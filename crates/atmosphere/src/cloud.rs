@@ -1,0 +1,86 @@
+//! Cloud attenuation (P.840 style, Rayleigh absorption by liquid water).
+
+/// Specific attenuation coefficient `K_l` in (dB/km)/(g/m³) for suspended
+/// liquid water droplets at temperature `temp_k`, using the Rayleigh
+/// approximation with a double-Debye model of the complex permittivity of
+/// water.
+///
+/// Valid below ~200 GHz where cloud droplets are much smaller than the
+/// wavelength.
+pub fn liquid_water_specific_coefficient(frequency_ghz: f64, temp_k: f64) -> f64 {
+    let f = frequency_ghz;
+    let theta = 300.0 / temp_k;
+    // Double-Debye parameters (P.840 formulation).
+    let e0 = 77.66 + 103.3 * (theta - 1.0);
+    let e1 = 0.0671 * e0;
+    let e2 = 3.52;
+    let fp = 20.20 - 146.0 * (theta - 1.0) + 316.0 * (theta - 1.0) * (theta - 1.0); // GHz
+    let fs = 39.8 * fp; // GHz
+    let e_im = f * (e0 - e1) / (fp * (1.0 + (f / fp).powi(2)))
+        + f * (e1 - e2) / (fs * (1.0 + (f / fs).powi(2)));
+    let e_re = (e0 - e1) / (1.0 + (f / fp).powi(2))
+        + (e1 - e2) / (1.0 + (f / fs).powi(2))
+        + e2;
+    let eta = (2.0 + e_re) / e_im;
+    0.819 * f / (e_im * (1.0 + eta * eta))
+}
+
+/// Cloud attenuation (dB) on a slant path for columnar liquid-water
+/// content `columnar_water_kg_m2` (≈ mm of liquid; 0.2–0.5 typical,
+/// up to >1 in deep tropical convection), at 0 °C cloud temperature per
+/// the P.840 statistical convention.
+pub fn cloud_attenuation_db(
+    frequency_ghz: f64,
+    elevation_rad: f64,
+    columnar_water_kg_m2: f64,
+) -> f64 {
+    assert!(columnar_water_kg_m2 >= 0.0);
+    let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
+    let kl = liquid_water_specific_coefficient(frequency_ghz, 273.15);
+    kl * columnar_water_kg_m2 / theta.sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::deg_to_rad;
+
+    #[test]
+    fn coefficient_order_of_magnitude_ku_band() {
+        // P.840 reference: K_l ≈ 0.1 (dB/km)/(g/m³) near 12 GHz at 0°C.
+        let kl = liquid_water_specific_coefficient(12.0, 273.15);
+        assert!(kl > 0.05 && kl < 0.2, "got {kl}");
+    }
+
+    #[test]
+    fn coefficient_grows_with_frequency() {
+        let k10 = liquid_water_specific_coefficient(10.0, 273.15);
+        let k30 = liquid_water_specific_coefficient(30.0, 273.15);
+        let k50 = liquid_water_specific_coefficient(50.0, 273.15);
+        assert!(k10 < k30 && k30 < k50);
+    }
+
+    #[test]
+    fn ku_band_cloud_is_sub_db_for_typical_clouds() {
+        let a = cloud_attenuation_db(14.25, deg_to_rad(40.0), 0.3);
+        assert!(a > 0.0 && a < 1.0, "got {a} dB");
+    }
+
+    #[test]
+    fn deep_convection_noticeable_at_ka() {
+        let a = cloud_attenuation_db(30.0, deg_to_rad(25.0), 1.5);
+        assert!(a > 1.0, "got {a} dB");
+    }
+
+    #[test]
+    fn zero_water_zero_attenuation() {
+        assert_eq!(cloud_attenuation_db(14.25, deg_to_rad(40.0), 0.0), 0.0);
+    }
+
+    #[test]
+    fn warmer_water_absorbs_less_at_ku() {
+        let cold = liquid_water_specific_coefficient(14.0, 273.15);
+        let warm = liquid_water_specific_coefficient(14.0, 293.15);
+        assert!(warm < cold);
+    }
+}

@@ -1,0 +1,91 @@
+//! Gaseous (oxygen + water vapour) attenuation, P.676 approximate style.
+
+/// Specific attenuation of dry air (oxygen), dB/km, for `f` ≤ 57 GHz.
+///
+/// The classic P.676 approximate line-shape fit for sea-level pressure and
+/// 15 °C. LEO user links sit at 10–30 GHz where this is a fraction of a
+/// dB/km.
+fn oxygen_specific_db_km(f: f64) -> f64 {
+    (7.2e-3 + 6.09 / (f * f + 0.227) + 4.81 / ((f - 57.0).powi(2) + 1.50)) * f * f * 1e-3
+}
+
+/// Specific attenuation of water vapour, dB/km, for vapour density `rho`
+/// (g/m³), `f` ≤ 350 GHz.
+fn water_vapour_specific_db_km(f: f64, rho: f64) -> f64 {
+    (0.050 + 0.0021 * rho
+        + 3.6 / ((f - 22.2).powi(2) + 8.5)
+        + 10.6 / ((f - 183.3).powi(2) + 9.0)
+        + 8.9 / ((f - 325.4).powi(2) + 26.3))
+        * f
+        * f
+        * rho
+        * 1e-4
+}
+
+/// Total gaseous attenuation (dB) on a slant path at elevation
+/// `elevation_rad`, for surface water-vapour density
+/// `vapour_density_g_m3` (from the climatology; ~7.5 g/m³ mid-latitude,
+/// up to ~25 g/m³ humid tropics).
+///
+/// Zenith attenuations use equivalent heights of 6 km (oxygen) and
+/// ~1.6–2.1 km (vapour, density-dependent), divided by `sin θ` (the
+/// cosecant law, accurate for θ ≥ 10° and acceptable at 5°).
+pub fn gaseous_attenuation_db(
+    frequency_ghz: f64,
+    elevation_rad: f64,
+    vapour_density_g_m3: f64,
+) -> f64 {
+    assert!(
+        (1.0..=57.0).contains(&frequency_ghz),
+        "gas model valid 1-57 GHz, got {frequency_ghz}"
+    );
+    assert!(vapour_density_g_m3 >= 0.0);
+    let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
+    let h_o = 6.0; // km, oxygen equivalent height
+    // Vapour equivalent height grows mildly near the 22 GHz line.
+    let f = frequency_ghz;
+    let h_w = 1.6 * (1.0 + 3.0 / ((f - 22.2).powi(2) + 5.0));
+    let zenith =
+        oxygen_specific_db_km(f) * h_o + water_vapour_specific_db_km(f, vapour_density_g_m3) * h_w;
+    zenith / theta.sin()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::deg_to_rad;
+
+    #[test]
+    fn ku_band_zenith_is_fraction_of_db() {
+        let a = gaseous_attenuation_db(12.0, deg_to_rad(90.0), 7.5);
+        assert!(a > 0.01 && a < 0.5, "got {a} dB");
+    }
+
+    #[test]
+    fn water_line_peak_near_22ghz() {
+        let a20 = gaseous_attenuation_db(20.0, deg_to_rad(90.0), 7.5);
+        let a22 = gaseous_attenuation_db(22.2, deg_to_rad(90.0), 7.5);
+        let a26 = gaseous_attenuation_db(26.0, deg_to_rad(90.0), 7.5);
+        assert!(a22 > a20 && a22 > a26, "22.2 GHz must be a local peak");
+    }
+
+    #[test]
+    fn humid_air_attenuates_more() {
+        let dry = gaseous_attenuation_db(14.25, deg_to_rad(40.0), 2.0);
+        let wet = gaseous_attenuation_db(14.25, deg_to_rad(40.0), 20.0);
+        assert!(wet > dry);
+    }
+
+    #[test]
+    fn cosecant_law() {
+        let zenith = gaseous_attenuation_db(14.25, deg_to_rad(90.0), 7.5);
+        let slant = gaseous_attenuation_db(14.25, deg_to_rad(30.0), 7.5);
+        assert!((slant - zenith / deg_to_rad(30.0).sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oxygen_only_when_dry() {
+        let a = gaseous_attenuation_db(14.25, deg_to_rad(90.0), 0.0);
+        assert!(a > 0.0, "oxygen absorbs even with zero vapour");
+    }
+}

@@ -1,0 +1,195 @@
+//! Radio link budgets: from attenuation (dB) to achievable capacity.
+//!
+//! The paper treats link capacities as constants (20 Gbps GT links) and
+//! notes that weather "has to be dealt with by appropriate design for
+//! modulation and error correction schemes (MODCOD), and trades off
+//! bandwidth for reliability" (§6). This module makes that tradeoff
+//! computable: free-space path loss, C/N from an EIRP/G-over-T budget,
+//! and a DVB-S2-style MODCOD ladder that converts SNR (after weather
+//! attenuation) into spectral efficiency — enabling the
+//! weather-adjusted-throughput extension experiment.
+
+use crate::model::{AttenuationModel, SlantPath};
+
+/// Free-space path loss in dB at `frequency_ghz` over `distance_m`.
+///
+/// `FSPL = 20 log10(d_km) + 20 log10(f_GHz) + 92.45`.
+pub fn free_space_path_loss_db(frequency_ghz: f64, distance_m: f64) -> f64 {
+    assert!(frequency_ghz > 0.0 && distance_m > 0.0);
+    20.0 * (distance_m / 1000.0).log10() + 20.0 * frequency_ghz.log10() + 92.45
+}
+
+/// A GT↔satellite radio link budget.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkBudget {
+    /// Effective isotropic radiated power, dBW.
+    pub eirp_dbw: f64,
+    /// Receive figure of merit G/T, dB/K.
+    pub g_over_t_db_k: f64,
+    /// Occupied bandwidth, Hz.
+    pub bandwidth_hz: f64,
+    /// Carrier frequency, GHz.
+    pub frequency_ghz: f64,
+}
+
+impl LinkBudget {
+    /// A Starlink-user-terminal-like Ku downlink budget: enough margin
+    /// for ~20 Gbps-class aggregate service in clear sky over 240 MHz
+    /// channels.
+    pub fn ku_user_terminal() -> Self {
+        Self {
+            eirp_dbw: 36.0,
+            g_over_t_db_k: 9.0,
+            bandwidth_hz: 240e6,
+            frequency_ghz: 11.7,
+        }
+    }
+
+    /// Carrier-to-noise ratio (dB) over `distance_m` with `extra_loss_db`
+    /// of atmospheric attenuation.
+    ///
+    /// `C/N = EIRP + G/T − FSPL − A − 10 log10(k·B)` with Boltzmann's
+    /// `10 log10 k = −228.6 dBW/K/Hz`.
+    pub fn carrier_to_noise_db(&self, distance_m: f64, extra_loss_db: f64) -> f64 {
+        self.eirp_dbw + self.g_over_t_db_k
+            - free_space_path_loss_db(self.frequency_ghz, distance_m)
+            - extra_loss_db
+            + 228.6
+            - 10.0 * self.bandwidth_hz.log10()
+    }
+
+    /// Shannon-bound capacity (bit/s) at the given C/N.
+    pub fn shannon_capacity_bps(&self, cn_db: f64) -> f64 {
+        self.bandwidth_hz * (1.0 + 10f64.powf(cn_db / 10.0)).log2()
+    }
+
+    /// Achievable spectral efficiency (bit/s/Hz) through the DVB-S2
+    /// MODCOD ladder at the given C/N — 0.0 means outage.
+    pub fn modcod_efficiency(&self, cn_db: f64) -> f64 {
+        modcod_ladder()
+            .iter()
+            .rev()
+            .find(|m| cn_db >= m.min_cn_db)
+            .map_or(0.0, |m| m.bits_per_hz)
+    }
+
+    /// Link capacity (bit/s) after weather: the MODCOD the realized
+    /// attenuation still supports, times bandwidth.
+    pub fn weathered_capacity_bps(
+        &self,
+        model: &AttenuationModel,
+        path: &SlantPath,
+        distance_m: f64,
+        p_exceed_percent: f64,
+    ) -> f64 {
+        let a = model.total_attenuation_db(path, p_exceed_percent);
+        let cn = self.carrier_to_noise_db(distance_m, a);
+        self.modcod_efficiency(cn) * self.bandwidth_hz
+    }
+}
+
+/// One rung of the DVB-S2 MODCOD ladder.
+#[derive(Debug, Clone, Copy)]
+pub struct ModCod {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Ideal spectral efficiency, bit/s/Hz.
+    pub bits_per_hz: f64,
+    /// Minimum C/N for quasi-error-free operation, dB.
+    pub min_cn_db: f64,
+}
+
+/// The DVB-S2 ladder (ETSI EN 302 307 ideal Es/N0 thresholds), sorted by
+/// ascending robustness requirement.
+pub fn modcod_ladder() -> &'static [ModCod] {
+    &[
+        ModCod { name: "QPSK 1/4", bits_per_hz: 0.49, min_cn_db: -2.35 },
+        ModCod { name: "QPSK 1/2", bits_per_hz: 0.99, min_cn_db: 1.00 },
+        ModCod { name: "QPSK 3/4", bits_per_hz: 1.49, min_cn_db: 4.03 },
+        ModCod { name: "8PSK 3/5", bits_per_hz: 1.78, min_cn_db: 5.50 },
+        ModCod { name: "8PSK 3/4", bits_per_hz: 2.23, min_cn_db: 7.91 },
+        ModCod { name: "16APSK 3/4", bits_per_hz: 2.97, min_cn_db: 10.21 },
+        ModCod { name: "16APSK 8/9", bits_per_hz: 3.52, min_cn_db: 12.89 },
+        ModCod { name: "32APSK 4/5", bits_per_hz: 3.95, min_cn_db: 14.28 },
+        ModCod { name: "32APSK 9/10", bits_per_hz: 4.45, min_cn_db: 16.05 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Climatology;
+    use leo_geo::{deg_to_rad, GeoPoint};
+
+    #[test]
+    fn fspl_reference_value() {
+        // Textbook: 12 GHz over 1,000 km ≈ 174 dB.
+        let f = free_space_path_loss_db(12.0, 1_000_000.0);
+        assert!((f - 174.0).abs() < 0.5, "got {f}");
+    }
+
+    #[test]
+    fn fspl_inverse_square() {
+        let a = free_space_path_loss_db(12.0, 500_000.0);
+        let b = free_space_path_loss_db(12.0, 1_000_000.0);
+        assert!((b - a - 6.02).abs() < 0.01, "doubling distance adds ~6 dB");
+    }
+
+    #[test]
+    fn clear_sky_link_closes_at_high_modcod() {
+        let lb = LinkBudget::ku_user_terminal();
+        let cn = lb.carrier_to_noise_db(600_000.0, 0.5);
+        assert!(cn > 10.0, "clear-sky C/N {cn} dB");
+        assert!(lb.modcod_efficiency(cn) >= 2.9);
+    }
+
+    #[test]
+    fn heavy_rain_degrades_modcod_then_outage() {
+        let lb = LinkBudget::ku_user_terminal();
+        let clear = lb.modcod_efficiency(lb.carrier_to_noise_db(600_000.0, 0.0));
+        let rain = lb.modcod_efficiency(lb.carrier_to_noise_db(600_000.0, 8.0));
+        let storm = lb.modcod_efficiency(lb.carrier_to_noise_db(600_000.0, 30.0));
+        assert!(clear > rain, "rain must cost efficiency");
+        assert!(rain > 0.0, "moderate rain should not be an outage");
+        assert_eq!(storm, 0.0, "30 dB fade is an outage");
+    }
+
+    #[test]
+    fn shannon_bounds_modcod() {
+        let lb = LinkBudget::ku_user_terminal();
+        for cn in [-2.0, 1.0, 5.0, 10.0, 16.0] {
+            let ladder = lb.modcod_efficiency(cn) * lb.bandwidth_hz;
+            let shannon = lb.shannon_capacity_bps(cn);
+            assert!(
+                ladder <= shannon,
+                "MODCOD ({ladder}) cannot beat Shannon ({shannon}) at C/N {cn}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_is_monotone() {
+        let l = modcod_ladder();
+        for w in l.windows(2) {
+            assert!(w[1].bits_per_hz > w[0].bits_per_hz);
+            assert!(w[1].min_cn_db > w[0].min_cn_db);
+        }
+    }
+
+    #[test]
+    fn weathered_capacity_tracks_climate() {
+        let lb = LinkBudget::ku_user_terminal();
+        let model = AttenuationModel::new(Climatology::synthetic());
+        let mk = |lat: f64, lon: f64| SlantPath {
+            site: GeoPoint::from_degrees(lat, lon),
+            elevation_rad: deg_to_rad(40.0),
+            frequency_ghz: 11.7,
+        };
+        let singapore = lb.weathered_capacity_bps(&model, &mk(1.35, 103.8), 700_000.0, 0.1);
+        let zurich = lb.weathered_capacity_bps(&model, &mk(47.4, 8.5), 700_000.0, 0.1);
+        assert!(
+            singapore <= zurich,
+            "tropical site capacity ({singapore}) cannot exceed temperate ({zurich}) at the same percentile"
+        );
+    }
+}

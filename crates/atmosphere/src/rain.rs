@@ -1,0 +1,266 @@
+//! Rain attenuation on slant paths (ITU-R P.838 / P.618 style).
+
+use leo_geo::rad_to_deg;
+
+/// Power-law coefficients of the specific rain attenuation
+/// `γ_R = k · R^α` (dB/km for rain rate `R` in mm/h).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RainCoefficients {
+    /// Multiplicative coefficient `k`.
+    pub k: f64,
+    /// Exponent `α`.
+    pub alpha: f64,
+}
+
+/// P.838-3 coefficient regression: a sum of log-frequency Gaussians plus a
+/// linear term, `log10 k = Σ a_j exp(−((log10 f − b_j)/c_j)²) + m·log10 f + c`.
+fn gaussian_fit(log_f: f64, a: &[f64], b: &[f64], c: &[f64], m: f64, cc: f64) -> f64 {
+    let mut s = m * log_f + cc;
+    for j in 0..a.len() {
+        let t = (log_f - b[j]) / c[j];
+        s += a[j] * (-t * t).exp();
+    }
+    s
+}
+
+/// Frequency-dependent `k` and `α` for **circular polarization**
+/// (the τ = 45° combination of the horizontal and vertical P.838-3
+/// coefficient sets), valid for 1–100 GHz.
+///
+/// LEO user links (and the paper's Ku-band analysis) see constantly
+/// rotating geometry, so the polarization-averaged circular coefficients
+/// are the appropriate choice.
+pub fn rain_coefficients(frequency_ghz: f64) -> RainCoefficients {
+    assert!(
+        (1.0..=100.0).contains(&frequency_ghz),
+        "rain model valid for 1-100 GHz, got {frequency_ghz}"
+    );
+    let lf = frequency_ghz.log10();
+    // kH
+    let k_h = 10f64.powf(gaussian_fit(
+        lf,
+        &[-5.33980, -0.35351, -0.23789, -0.94158],
+        &[-0.10008, 1.26970, 0.86036, 0.64552],
+        &[1.13098, 0.45400, 0.15354, 0.16817],
+        -0.18961,
+        0.71147,
+    ));
+    // kV
+    let k_v = 10f64.powf(gaussian_fit(
+        lf,
+        &[-3.80595, -3.44965, -0.39902, 0.50167],
+        &[0.56934, -0.22911, 0.73042, 1.07319],
+        &[0.81061, 0.51059, 0.11899, 0.27195],
+        -0.16398,
+        0.63297,
+    ));
+    // αH
+    let a_h = gaussian_fit(
+        lf,
+        &[-0.14318, 0.29591, 0.32177, -5.37610, 16.1721],
+        &[1.82442, 0.77564, 0.63773, -0.96230, -3.29980],
+        &[-0.55187, 0.19822, 0.13164, 1.47828, 3.43990],
+        0.67849,
+        -1.95537,
+    );
+    // αV
+    let a_v = gaussian_fit(
+        lf,
+        &[-0.07771, 0.56727, -0.20238, -48.2991, 48.5833],
+        &[2.33840, 0.95545, 1.14520, 0.791669, 0.791459],
+        &[-0.76284, 0.54039, 0.26809, 0.116226, 0.116479],
+        -0.053739,
+        0.83433,
+    );
+    // Circular polarization: k = (kH + kV)/2, α = (kH·αH + kV·αV)/(2k).
+    let k = 0.5 * (k_h + k_v);
+    let alpha = (k_h * a_h + k_v * a_v) / (2.0 * k);
+    RainCoefficients { k, alpha }
+}
+
+/// Mean annual rain height above mean sea level, km, as a function of
+/// latitude (P.839-style approximation: ~5 km in the tropics, falling off
+/// poleward of 23°).
+pub fn rain_height_km(lat_rad: f64) -> f64 {
+    let phi = rad_to_deg(lat_rad).abs();
+    let h0 = if phi <= 23.0 {
+        5.0
+    } else {
+        (5.0 - 0.075 * (phi - 23.0)).max(0.5)
+    };
+    h0 + 0.36
+}
+
+/// Rain attenuation (dB) exceeded for `p` percent of an average year on a
+/// slant path, following the P.618 method:
+///
+/// 1. slant length through rain `L_s = (h_R − h_s)/sin θ`;
+/// 2. specific attenuation at the local `R₀.₀₁`;
+/// 3. horizontal reduction and vertical adjustment factors at 0.01 %;
+/// 4. probability scaling from 0.01 % to `p ∈ [0.001, 5]`.
+///
+/// `rain_rate_001` is the rain rate exceeded 0.01 % of the time at the
+/// site (from the climatology). Elevations below 5° use the 5° geometry
+/// (the spherical-path refinement is irrelevant at LEO constellation
+/// minimum elevations of 25–40°).
+pub fn rain_attenuation_db(
+    frequency_ghz: f64,
+    elevation_rad: f64,
+    lat_rad: f64,
+    rain_rate_001_mm_h: f64,
+    p_percent: f64,
+) -> f64 {
+    assert!(
+        (0.001..=5.0).contains(&p_percent),
+        "P.618 scaling valid for p in [0.001, 5] percent, got {p_percent}"
+    );
+    if rain_rate_001_mm_h <= 0.0 {
+        return 0.0;
+    }
+    let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
+    let sin_t = theta.sin();
+    let hs_km: f64 = 0.0; // station at sea level — cities' altitude spread is noise here
+    let hr = rain_height_km(lat_rad);
+    let ls = (hr - hs_km) / sin_t; // slant length, km
+    if ls <= 0.0 {
+        return 0.0;
+    }
+    let lg = ls * theta.cos(); // horizontal projection, km
+    let RainCoefficients { k, alpha } = rain_coefficients(frequency_ghz);
+    let gamma_r = k * rain_rate_001_mm_h.powf(alpha); // dB/km
+
+    // Horizontal reduction factor at 0.01%.
+    let r001 = 1.0
+        / (1.0 + 0.78 * (lg * gamma_r / frequency_ghz).sqrt()
+            - 0.38 * (1.0 - (-2.0 * lg).exp()));
+
+    // Vertical adjustment factor at 0.01%.
+    let zeta = (hr - hs_km).atan2(lg * r001); // radians
+    let lr = if zeta > theta {
+        lg * r001 / theta.cos()
+    } else {
+        (hr - hs_km) / sin_t
+    };
+    let phi_deg = rad_to_deg(lat_rad).abs();
+    let chi = if phi_deg < 36.0 { 36.0 - phi_deg } else { 0.0 };
+    let theta_deg = rad_to_deg(theta);
+    let v001 = 1.0
+        / (1.0
+            + sin_t.sqrt()
+                * (31.0 * (1.0 - (-(theta_deg / (1.0 + chi))).exp()) * (lr * gamma_r).sqrt()
+                    / (frequency_ghz * frequency_ghz)
+                    - 0.45));
+    let le = lr * v001;
+    let a001 = gamma_r * le; // attenuation exceeded 0.01% of the year, dB
+    if a001 <= 0.0 {
+        return 0.0;
+    }
+
+    // Scale from 0.01% to p.
+    let p = p_percent;
+    let beta = if p >= 1.0 || phi_deg >= 36.0 {
+        0.0
+    } else if theta_deg >= 25.0 {
+        -0.005 * (phi_deg - 36.0)
+    } else {
+        -0.005 * (phi_deg - 36.0) + 1.8 - 4.25 * sin_t
+    };
+    let exponent =
+        -(0.655 + 0.033 * p.ln() - 0.045 * a001.ln() - beta * (1.0 - p) * sin_t);
+    (a001 * (p / 0.01).powf(exponent)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::deg_to_rad;
+
+    #[test]
+    fn coefficients_near_itu_table_at_12ghz() {
+        // ITU-R P.838-3 table at 12 GHz: kH=0.0188, kV=0.0168,
+        // αH=1.217, αV=1.200 → circular k≈0.0178, α≈1.209. Our regression
+        // constants are an approximation of the published fit; hold the
+        // value to within ~50% on k (absolute dB accuracy is not needed for
+        // the paper's relative BP-vs-ISL comparisons) and 0.15 on α.
+        let c = rain_coefficients(12.0);
+        assert!(c.k > 0.009 && c.k < 0.027, "k = {}", c.k);
+        assert!((c.alpha - 1.21).abs() < 0.15, "alpha = {}", c.alpha);
+    }
+
+    #[test]
+    fn coefficients_near_itu_table_at_30ghz() {
+        // 30 GHz: kH=0.2403, kV=0.2291, αH=0.9485, αV=0.9129.
+        let c = rain_coefficients(30.0);
+        assert!((c.k - 0.235).abs() < 0.05, "k = {}", c.k);
+        assert!((c.alpha - 0.93).abs() < 0.08, "alpha = {}", c.alpha);
+    }
+
+    #[test]
+    fn specific_attenuation_increases_with_frequency() {
+        let r: f64 = 30.0;
+        let mut prev = 0.0;
+        for f in [4.0, 8.0, 12.0, 20.0, 30.0, 50.0] {
+            let c = rain_coefficients(f);
+            let g = c.k * r.powf(c.alpha);
+            assert!(g > prev, "γ must grow with f (f={f}, γ={g})");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn rain_height_profile() {
+        assert!((rain_height_km(0.0) - 5.36).abs() < 1e-9);
+        assert!(rain_height_km(deg_to_rad(60.0)) < rain_height_km(deg_to_rad(10.0)));
+        assert!(rain_height_km(deg_to_rad(89.0)) >= 0.86);
+    }
+
+    #[test]
+    fn attenuation_monotone_in_rain_rate() {
+        let mut prev = -1.0;
+        for r in [5.0, 20.0, 60.0, 100.0] {
+            let a = rain_attenuation_db(14.25, deg_to_rad(40.0), deg_to_rad(10.0), r, 0.5);
+            assert!(a > prev, "A(R={r}) = {a} must grow");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn attenuation_monotone_in_exceedance() {
+        // Smaller p (rarer events) → larger attenuation.
+        let mut prev = f64::INFINITY;
+        for p in [0.01, 0.1, 0.5, 1.0, 3.0] {
+            let a = rain_attenuation_db(14.25, deg_to_rad(40.0), deg_to_rad(10.0), 60.0, p);
+            assert!(a < prev, "A(p={p}) = {a} must shrink as p grows");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn low_elevation_suffers_more() {
+        let hi = rain_attenuation_db(14.25, deg_to_rad(80.0), deg_to_rad(10.0), 60.0, 0.5);
+        let lo = rain_attenuation_db(14.25, deg_to_rad(25.0), deg_to_rad(10.0), 60.0, 0.5);
+        assert!(lo > hi, "low elevation ({lo}) must exceed high ({hi})");
+    }
+
+    #[test]
+    fn ku_band_tropics_order_of_magnitude() {
+        // Tropical site (R001 ~ 80 mm/h), Ku band, 40° elevation, p=0.5%:
+        // expect single-digit dB (the paper's Fig. 6/8 range).
+        let a = rain_attenuation_db(14.25, deg_to_rad(40.0), deg_to_rad(5.0), 80.0, 0.5);
+        assert!(a > 0.5 && a < 15.0, "got {a} dB");
+    }
+
+    #[test]
+    fn zero_rain_gives_zero() {
+        assert_eq!(
+            rain_attenuation_db(14.25, deg_to_rad(40.0), 0.0, 0.0, 0.1),
+            0.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "valid for p")]
+    fn rejects_out_of_range_probability() {
+        rain_attenuation_db(14.25, deg_to_rad(40.0), 0.0, 60.0, 10.0);
+    }
+}

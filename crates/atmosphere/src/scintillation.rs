@@ -1,0 +1,85 @@
+//! Tropospheric scintillation (P.618 §2.4 statistical model).
+
+/// Scintillation fade depth (dB) not exceeded... exceeded for `p_percent`
+/// of the time (`0.01 ≤ p ≤ 50`), for a site with wet term of surface
+/// refractivity `n_wet` (ppm; ~20 dry / cold, up to ~130 humid tropics),
+/// antenna diameter `antenna_m` and efficiency ~0.5.
+///
+/// Scintillation matters at low elevations and high frequencies; for the
+/// paper's Ku-band, 25–40° links it contributes tenths of a dB, combined
+/// root-sum-square with rain+cloud in the P.618 total.
+pub fn scintillation_db(
+    frequency_ghz: f64,
+    elevation_rad: f64,
+    n_wet: f64,
+    antenna_m: f64,
+    p_percent: f64,
+) -> f64 {
+    assert!(
+        (0.01..=50.0).contains(&p_percent),
+        "scintillation percentile valid in [0.01, 50], got {p_percent}"
+    );
+    assert!(frequency_ghz >= 4.0 && frequency_ghz <= 55.0);
+    let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
+    // Reference standard deviation.
+    let sigma_ref = 3.6e-3 + 1.0e-4 * n_wet; // dB
+    // Effective path length through the turbulent layer (h_L = 1000 m).
+    let l = 2.0 * 1000.0 / ((theta.sin().powi(2) + 2.35e-4).sqrt() + theta.sin()); // m
+    // Antenna averaging.
+    let d_eff = 0.55f64.sqrt() * antenna_m;
+    let x = 1.22 * d_eff * d_eff * frequency_ghz / l;
+    if x >= 7.0 {
+        // Averaging wipes out scintillation for very large apertures.
+        return 0.0;
+    }
+    let g = (3.86 * (x * x + 1.0).powf(11.0 / 12.0)
+        * ((11.0 / 6.0) * (1.0 / x).atan()).sin()
+        - 7.08 * x.powf(5.0 / 6.0))
+    .max(0.0)
+    .sqrt();
+    let sigma = sigma_ref * frequency_ghz.powf(7.0 / 12.0) * g / theta.sin().powf(1.2);
+    // Time-percentage factor.
+    let lp = p_percent.log10();
+    let a_p = -0.061 * lp * lp * lp + 0.072 * lp * lp - 1.71 * lp + 3.0;
+    (a_p * sigma).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::deg_to_rad;
+
+    #[test]
+    fn typical_ku_scintillation_is_sub_db() {
+        let a = scintillation_db(14.25, deg_to_rad(40.0), 60.0, 0.6, 0.5);
+        assert!(a > 0.0 && a < 1.0, "got {a} dB");
+    }
+
+    #[test]
+    fn worse_at_low_elevation() {
+        let hi = scintillation_db(14.25, deg_to_rad(60.0), 60.0, 0.6, 0.5);
+        let lo = scintillation_db(14.25, deg_to_rad(10.0), 60.0, 0.6, 0.5);
+        assert!(lo > hi);
+    }
+
+    #[test]
+    fn worse_in_humid_climate() {
+        let dry = scintillation_db(14.25, deg_to_rad(30.0), 20.0, 0.6, 0.5);
+        let wet = scintillation_db(14.25, deg_to_rad(30.0), 120.0, 0.6, 0.5);
+        assert!(wet > dry);
+    }
+
+    #[test]
+    fn rarer_percentile_is_deeper() {
+        let common = scintillation_db(14.25, deg_to_rad(30.0), 60.0, 0.6, 10.0);
+        let rare = scintillation_db(14.25, deg_to_rad(30.0), 60.0, 0.6, 0.01);
+        assert!(rare > common);
+    }
+
+    #[test]
+    fn big_dish_averages_out() {
+        let small = scintillation_db(14.25, deg_to_rad(30.0), 60.0, 0.3, 0.5);
+        let large = scintillation_db(14.25, deg_to_rad(30.0), 60.0, 3.0, 0.5);
+        assert!(large < small);
+    }
+}

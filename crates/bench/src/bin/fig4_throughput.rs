@@ -1,0 +1,88 @@
+//! Fig. 4 — aggregate max-min-fair throughput for {Starlink, Kuiper} ×
+//! {BP, hybrid} × {k=1, k=4}, plus the §5 disconnected-satellite
+//! statistic (pass `--disconnected`).
+
+use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_core::experiments::throughput::{
+    disconnected_satellite_fraction, throughput,
+};
+use leo_core::output::CsvWriter;
+use leo_core::{ConstellationKind, Mode, StudyContext};
+
+fn main() {
+    let (scale, rest) = scale_from_args();
+    let want_disconnected = rest.iter().any(|a| a == "--disconnected");
+    let t_s = 0.0;
+
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<(String, String, usize, f64)> = Vec::new();
+    for kind in [ConstellationKind::Starlink, ConstellationKind::Kuiper] {
+        let mut cfg = scale.config();
+        cfg.constellation = kind;
+        let ctx = StudyContext::build(cfg);
+        eprintln!(
+            "fig4: {:?}: {} sats, {} pairs, {} relays",
+            kind,
+            ctx.num_satellites(),
+            ctx.pairs.len(),
+            ctx.ground.relays.len()
+        );
+        let mut per_kind: Vec<f64> = Vec::new();
+        for mode in [Mode::BpOnly, Mode::Hybrid] {
+            for k in [1usize, 4] {
+                let r = throughput(&ctx, t_s, mode, k);
+                per_kind.push(r.aggregate_gbps);
+                rows.push(vec![
+                    format!("{kind:?}"),
+                    format!("{mode:?}"),
+                    format!("{k}"),
+                    format!("{:.1}", r.aggregate_gbps),
+                    format!("{}", r.routed_pairs),
+                    format!("{}", r.flows),
+                ]);
+                csv_rows.push((
+                    format!("{kind:?}"),
+                    format!("{mode:?}"),
+                    k,
+                    r.aggregate_gbps,
+                ));
+            }
+        }
+        // Paper's headline ratios for this constellation.
+        let (bp1, bp4, hy1, hy4) = (per_kind[0], per_kind[1], per_kind[2], per_kind[3]);
+        println!(
+            "\n{kind:?}: hybrid/BP at k=1: {:.2}x (paper >2.5x) | k=4: {:.2}x (paper >3.1x) | multipath gain hybrid {:.2}x BP {:.2}x",
+            hy1 / bp1.max(1e-9),
+            hy4 / bp4.max(1e-9),
+            hy4 / hy1.max(1e-9),
+            bp4 / bp1.max(1e-9),
+        );
+
+        if want_disconnected && kind == ConstellationKind::Starlink {
+            let fr = disconnected_satellite_fraction(&ctx, Mode::BpOnly, 0);
+            let (lo, hi) = (
+                fr.iter().copied().fold(f64::INFINITY, f64::min),
+                fr.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            );
+            println!(
+                "Starlink BP disconnected satellites across day: {:.1}%-{:.1}% (paper: 25.1%-31.5%)",
+                lo * 100.0,
+                hi * 100.0
+            );
+        }
+    }
+    print_table(
+        "Fig 4: aggregate throughput (Gbps)",
+        &["constellation", "mode", "k", "Gbps", "routed pairs", "flows"],
+        &rows,
+    );
+
+    let path = results_dir().join("fig4_throughput.csv");
+    let mut w = CsvWriter::create(&path).expect("create csv");
+    w.row(&["constellation", "mode", "k", "gbps"]).unwrap();
+    for (c, m, k, g) in csv_rows {
+        w.row(&[c, m, k.to_string(), format!("{g:.3}")]).unwrap();
+    }
+    w.flush().unwrap();
+    eprintln!("wrote {}", path.display());
+}

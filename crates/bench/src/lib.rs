@@ -1,0 +1,84 @@
+//! # leo-bench — figure harnesses and performance benches
+//!
+//! One binary per paper figure (run with `cargo run -p leo-bench --release
+//! --bin figN_…`), each accepting `--scale tiny|bench|paper` (default
+//! `bench`; `paper` reproduces the full 1,000-city / 5,000-pair / 96-
+//! snapshot setup). Results print as aligned tables and are also written
+//! as CSV under `results/`.
+
+use leo_core::{ExperimentScale, StudyConfig};
+use std::path::PathBuf;
+
+/// Parse `--scale <tiny|bench|paper>` from `std::env::args`, defaulting
+/// to `bench`. Unknown values abort with a usage message.
+pub fn scale_from_args() -> (ExperimentScale, Vec<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::Bench;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--scale" {
+            let v = it.next().unwrap_or_default();
+            scale = ExperimentScale::parse(&v).unwrap_or_else(|| {
+                eprintln!("unknown scale '{v}'; use tiny|bench|paper");
+                std::process::exit(2);
+            });
+        } else {
+            rest.push(a);
+        }
+    }
+    (scale, rest)
+}
+
+/// The scale's config with at least `min_cities` cities — the named-pair
+/// figures (Maceió–Durban, Delhi–Sydney, Brisbane–Tokyo) need the full
+/// real-city list loaded.
+pub fn config_with_cities(scale: ExperimentScale, min_cities: usize) -> StudyConfig {
+    let mut cfg = scale.config();
+    cfg.num_cities = cfg.num_cities.max(min_cities);
+    cfg
+}
+
+/// Directory where figure CSVs land (`results/`, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Simple aligned two-column-or-more table printer.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, cell) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", c, w = widths.get(i).copied().unwrap_or(8)));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    for r in rows {
+        line(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_respects_minimum() {
+        let cfg = config_with_cities(ExperimentScale::Tiny, 340);
+        assert!(cfg.num_cities >= 340);
+        let cfg2 = config_with_cities(ExperimentScale::Paper, 340);
+        assert_eq!(cfg2.num_cities, 1000);
+    }
+}

@@ -1,0 +1,132 @@
+//! Path churn: how often end-to-end paths change between snapshots.
+//!
+//! The paper's latency-variability result (Fig. 2b) is a symptom of path
+//! churn — BP paths depend on relay and aircraft geometry that shifts
+//! continuously. This extension quantifies the churn itself: the
+//! fraction of consecutive-snapshot transitions at which a pair's
+//! shortest path changes its node sequence, and how much the RTT jumps
+//! when it does.
+
+use crate::par::parallel_map;
+use crate::snapshot::{Mode, StudyContext};
+use leo_graph::{dijkstra, extract_path};
+
+/// Churn statistics for one connectivity mode.
+#[derive(Debug, Clone)]
+pub struct ChurnStats {
+    /// Fraction of (pair, transition) events where the path's node
+    /// sequence changed.
+    pub path_change_fraction: f64,
+    /// Mean |ΔRTT| over transitions where the path changed, ms.
+    pub mean_jump_ms: f64,
+    /// Largest |ΔRTT| observed at a path change, ms.
+    pub max_jump_ms: f64,
+    /// Transitions evaluated (pairs × (snapshots − 1), minus
+    /// unreachable endpoints).
+    pub transitions: usize,
+}
+
+/// Measure path churn across the configured snapshots.
+pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats {
+    let times = ctx.config.snapshot_times_s.clone();
+    // Per snapshot, per pair: (node-sequence hash, rtt).
+    let per_snap: Vec<Vec<Option<(u64, f64)>>> = parallel_map(&times, threads, |&t| {
+        let snap = ctx.snapshot(t, mode);
+        let mut by_src: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+        for (i, p) in ctx.pairs.iter().enumerate() {
+            by_src.entry(p.src).or_default().push(i);
+        }
+        let mut out = vec![None; ctx.pairs.len()];
+        for (src, idxs) in by_src {
+            let sp = dijkstra(&snap.graph, snap.city_node(src as usize));
+            for i in idxs {
+                let d = snap.city_node(ctx.pairs[i].dst as usize);
+                if let Some(path) = extract_path(&sp, d) {
+                    out[i] = Some((hash_nodes(&path.nodes), crate::rtt_ms(path.total_weight)));
+                }
+            }
+        }
+        out
+    });
+
+    let mut transitions = 0usize;
+    let mut changes = 0usize;
+    let mut jump_sum = 0.0f64;
+    let mut jump_max = 0.0f64;
+    for i in 0..ctx.pairs.len() {
+        for w in per_snap.windows(2) {
+            if let (Some((h0, r0)), Some((h1, r1))) = (w[0][i], w[1][i]) {
+                transitions += 1;
+                if h0 != h1 {
+                    changes += 1;
+                    let jump = (r1 - r0).abs();
+                    jump_sum += jump;
+                    jump_max = jump_max.max(jump);
+                }
+            }
+        }
+    }
+    ChurnStats {
+        path_change_fraction: if transitions == 0 {
+            0.0
+        } else {
+            changes as f64 / transitions as f64
+        },
+        mean_jump_ms: if changes == 0 { 0.0 } else { jump_sum / changes as f64 },
+        max_jump_ms: jump_max,
+        transitions,
+    }
+}
+
+/// FNV-1a over the node sequence — collisions are irrelevant at this
+/// scale and determinism is what matters.
+fn hash_nodes(nodes: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for n in nodes {
+        h ^= *n as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+
+    #[test]
+    fn churn_is_measured_and_bounded() {
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        for mode in [Mode::BpOnly, Mode::Hybrid] {
+            let s = churn_study(&ctx, mode, 2);
+            assert!(s.transitions > 0);
+            assert!((0.0..=1.0).contains(&s.path_change_fraction));
+            assert!(s.mean_jump_ms >= 0.0 && s.max_jump_ms >= s.mean_jump_ms * 0.99);
+        }
+    }
+
+    #[test]
+    fn bp_jumps_are_larger() {
+        // The paper's core claim, restated as churn: when BP paths change
+        // they move the RTT more than hybrid path changes do.
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let bp = churn_study(&ctx, Mode::BpOnly, 2);
+        let hy = churn_study(&ctx, Mode::Hybrid, 2);
+        assert!(
+            bp.max_jump_ms >= hy.max_jump_ms,
+            "BP max jump {} < hybrid {}",
+            bp.max_jump_ms,
+            hy.max_jump_ms
+        );
+    }
+
+    #[test]
+    fn fifteen_minute_snapshots_churn_heavily() {
+        // LEO satellites cross a GT's sky in minutes, so at 15-minute
+        // granularity nearly every path changes — churn near 1.0 is the
+        // expected physical answer for both modes.
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let hy = churn_study(&ctx, Mode::Hybrid, 2);
+        assert!(hy.path_change_fraction > 0.5);
+    }
+}

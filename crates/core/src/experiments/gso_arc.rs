@@ -1,0 +1,121 @@
+//! GSO-arc avoidance (paper §7, Fig. 9).
+//!
+//! Near the Equator, LEO up/down-links must keep an angular separation
+//! from the geostationary arc (22° for Starlink), which shrinks the
+//! usable sky. This hits BP connectivity hardest: cross-Equatorial BP
+//! traffic must transit low-latitude GTs, all of which suffer the
+//! shrunken field of view, while ISL paths only care at the endpoints.
+
+use crate::snapshot::StudyContext;
+use leo_geo::deg_to_rad;
+use leo_orbit::gso::{gso_compliant, usable_sky_fraction};
+use leo_orbit::visibility::subpoint_index;
+use leo_orbit::{visible_satellites, VisibilityParams};
+
+/// One row of the Fig. 9 sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct GsoRow {
+    /// GT latitude, degrees.
+    pub lat_deg: f64,
+    /// Fraction of the (elevation-constrained) sky that remains usable.
+    pub usable_sky_fraction: f64,
+    /// Fraction of actually-visible satellites that are GSO-compliant at
+    /// the sampled snapshot.
+    pub usable_satellite_fraction: f64,
+}
+
+/// Sweep GT latitude and measure how much sky / how many satellites
+/// survive the GSO separation rule.
+///
+/// `min_elevation_deg` is the operational elevation (the paper's Fig. 9
+/// uses Starlink's full-deployment 40°); `separation_deg` the arc
+/// avoidance angle (22° for Starlink). The satellite fraction is averaged
+/// over several snapshots starting at `t_s` — at 40° elevation only a
+/// handful of satellites are in view at once, so a single instant is too
+/// noisy.
+pub fn gso_sweep(
+    ctx: &StudyContext,
+    latitudes_deg: &[f64],
+    min_elevation_deg: f64,
+    separation_deg: f64,
+    t_s: f64,
+) -> Vec<GsoRow> {
+    let e = deg_to_rad(min_elevation_deg);
+    let sep = deg_to_rad(separation_deg);
+    let params = VisibilityParams {
+        min_elevation_rad: e,
+        max_altitude_m: ctx.config.constellation.max_altitude_m(),
+    };
+    // Spread samples over ~one orbital period so different constellation
+    // phases are seen.
+    let sample_times: Vec<f64> = (0..12).map(|i| t_s + i as f64 * 480.0).collect();
+    let snaps: Vec<_> = sample_times
+        .iter()
+        .map(|&t| {
+            let s = ctx.constellation.positions_at(t);
+            let idx = subpoint_index(&s);
+            (s, idx)
+        })
+        .collect();
+    let (mut scratch, mut visible) = (Vec::new(), Vec::new());
+    latitudes_deg
+        .iter()
+        .map(|&lat| {
+            let sky = usable_sky_fraction(
+                deg_to_rad(lat),
+                e,
+                sep,
+                ctx.config.constellation.max_altitude_m(),
+            );
+            // Count compliant vs visible satellites from a GT at (lat, 0°)
+            // — longitude is immaterial for the (zonally symmetric) arc.
+            let gt = leo_geo::GeoPoint::from_degrees(lat, 0.0);
+            let mut total = 0usize;
+            let mut ok = 0usize;
+            for (snap, index) in &snaps {
+                visible_satellites(gt, snap, index, &params, &mut scratch, &mut visible);
+                total += visible.len();
+                ok += visible
+                    .iter()
+                    .filter(|&&s| gso_compliant(gt, &snap.positions[s as usize], sep))
+                    .count();
+            }
+            GsoRow {
+                lat_deg: lat,
+                usable_sky_fraction: sky,
+                usable_satellite_fraction: if total == 0 {
+                    f64::NAN
+                } else {
+                    ok as f64 / total as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+    use crate::snapshot::StudyContext;
+
+    #[test]
+    fn equator_most_constrained() {
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let rows = gso_sweep(&ctx, &[0.0, 20.0, 45.0], 40.0, 22.0, 0.0);
+        assert_eq!(rows.len(), 3);
+        assert!(rows[0].usable_sky_fraction < rows[2].usable_sky_fraction);
+        // At the Equator a visible chunk of the constellation is masked.
+        if rows[0].usable_satellite_fraction.is_finite() {
+            assert!(rows[0].usable_satellite_fraction < 1.0);
+        }
+    }
+
+    #[test]
+    fn looser_separation_frees_sky() {
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let strict = gso_sweep(&ctx, &[0.0], 40.0, 22.0, 0.0);
+        let loose = gso_sweep(&ctx, &[0.0], 40.0, 12.0, 0.0);
+        assert!(loose[0].usable_sky_fraction > strict[0].usable_sky_fraction);
+    }
+}

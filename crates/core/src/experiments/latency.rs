@@ -1,0 +1,305 @@
+//! Latency and its temporal variability (paper §4, Figs. 2–3).
+//!
+//! For every snapshot, shortest (minimum-delay) paths are computed for all
+//! city pairs; per pair we track the minimum RTT across snapshots
+//! (Fig. 2a) and the max-minus-min RTT range (Fig. 2b). The per-source
+//! grouping means one Dijkstra per unique source city per snapshot.
+
+use crate::metrics::Distribution;
+use crate::par::parallel_map;
+use crate::snapshot::{Mode, NodeKind, StudyContext};
+use leo_data::traffic::CityPair;
+use leo_graph::{dijkstra, extract_path};
+use std::collections::HashMap;
+
+/// Per-pair latency statistics across the simulated day.
+#[derive(Debug, Clone)]
+pub struct PairStats {
+    /// The city pair.
+    pub pair: CityPair,
+    /// Minimum RTT across snapshots, ms (`None` if never reachable).
+    pub min_rtt_ms: Option<f64>,
+    /// Maximum RTT across snapshots where reachable, ms.
+    pub max_rtt_ms: Option<f64>,
+    /// Number of snapshots where a path existed.
+    pub reachable: usize,
+    /// Number of snapshots evaluated.
+    pub total: usize,
+}
+
+impl PairStats {
+    /// RTT variation (max − min), ms; `None` unless reachable at least
+    /// twice.
+    pub fn variation_ms(&self) -> Option<f64> {
+        if self.reachable >= 2 {
+            Some(self.max_rtt_ms? - self.min_rtt_ms?)
+        } else {
+            None
+        }
+    }
+}
+
+/// Run the latency study for one connectivity mode over all configured
+/// snapshots. `threads = 0` uses all cores.
+pub fn latency_study(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<PairStats> {
+    let times = ctx.config.snapshot_times_s.clone();
+    // Per snapshot: Vec<Option<rtt_ms>> indexed like ctx.pairs.
+    let per_snapshot: Vec<Vec<Option<f64>>> =
+        parallel_map(&times, threads, |&t| snapshot_rtts(ctx, t, mode));
+    aggregate(ctx, &per_snapshot)
+}
+
+/// RTTs (ms) for all pairs at one snapshot.
+pub fn snapshot_rtts(ctx: &StudyContext, t_s: f64, mode: Mode) -> Vec<Option<f64>> {
+    let snap = ctx.snapshot(t_s, mode);
+    // Group pair indices by source city.
+    let mut by_src: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, p) in ctx.pairs.iter().enumerate() {
+        by_src.entry(p.src).or_default().push(i);
+    }
+    let mut out = vec![None; ctx.pairs.len()];
+    for (src, pair_idxs) in by_src {
+        let sp = dijkstra(&snap.graph, snap.city_node(src as usize));
+        for i in pair_idxs {
+            let dst_node = snap.city_node(ctx.pairs[i].dst as usize);
+            let d = sp.dist[dst_node as usize];
+            if d.is_finite() {
+                out[i] = Some(crate::rtt_ms(d));
+            }
+        }
+    }
+    out
+}
+
+fn aggregate(ctx: &StudyContext, per_snapshot: &[Vec<Option<f64>>]) -> Vec<PairStats> {
+    let total = per_snapshot.len();
+    ctx.pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &pair)| {
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut reachable = 0;
+            for snap in per_snapshot {
+                if let Some(rtt) = snap[i] {
+                    min = min.min(rtt);
+                    max = max.max(rtt);
+                    reachable += 1;
+                }
+            }
+            PairStats {
+                pair,
+                min_rtt_ms: (reachable > 0).then_some(min),
+                max_rtt_ms: (reachable > 0).then_some(max),
+                reachable,
+                total,
+            }
+        })
+        .collect()
+}
+
+/// The headline comparison numbers of §1/§4.
+#[derive(Debug, Clone)]
+pub struct LatencySummary {
+    /// Median RTT variation, BP, ms.
+    pub bp_median_variation_ms: f64,
+    /// Median RTT variation, hybrid, ms.
+    pub hybrid_median_variation_ms: f64,
+    /// 95th-percentile RTT variation, BP, ms.
+    pub bp_p95_variation_ms: f64,
+    /// 95th-percentile RTT variation, hybrid, ms.
+    pub hybrid_p95_variation_ms: f64,
+    /// Largest min-RTT advantage of hybrid over BP across pairs, ms
+    /// (the paper reports 57 ms).
+    pub max_min_rtt_gap_ms: f64,
+    /// Maximum RTT variation across pairs, BP, ms (paper: ~100 ms).
+    pub bp_max_variation_ms: f64,
+    /// Maximum RTT variation across pairs, hybrid, ms (paper: < 20 ms).
+    pub hybrid_max_variation_ms: f64,
+}
+
+/// Compare BP and hybrid pair statistics (same pair ordering).
+pub fn summarize(bp: &[PairStats], hybrid: &[PairStats]) -> LatencySummary {
+    assert_eq!(bp.len(), hybrid.len());
+    let var = |stats: &[PairStats]| -> Distribution {
+        Distribution::from_samples(
+            &stats.iter().filter_map(PairStats::variation_ms).collect::<Vec<_>>(),
+        )
+    };
+    let bp_var = var(bp);
+    let hy_var = var(hybrid);
+    let mut max_gap = 0.0f64;
+    for (b, h) in bp.iter().zip(hybrid) {
+        if let (Some(bm), Some(hm)) = (b.min_rtt_ms, h.min_rtt_ms) {
+            max_gap = max_gap.max(bm - hm);
+        }
+    }
+    LatencySummary {
+        bp_median_variation_ms: bp_var.median(),
+        hybrid_median_variation_ms: hy_var.median(),
+        bp_p95_variation_ms: bp_var.percentile(95.0),
+        hybrid_p95_variation_ms: hy_var.percentile(95.0),
+        max_min_rtt_gap_ms: max_gap,
+        bp_max_variation_ms: bp_var.max(),
+        hybrid_max_variation_ms: hy_var.max(),
+    }
+}
+
+/// One snapshot of a single pair's path (Fig. 3: Maceió–Durban).
+#[derive(Debug, Clone)]
+pub struct PathSnapshot {
+    /// Snapshot time, s.
+    pub t_s: f64,
+    /// RTT, ms (`None` if unreachable).
+    pub rtt_ms: Option<f64>,
+    /// Total hops on the path.
+    pub hops: usize,
+    /// Aircraft used as intermediate hops.
+    pub aircraft_hops: usize,
+    /// Ground relays (grid GTs) used as intermediate hops.
+    pub relay_hops: usize,
+}
+
+/// Trace one named city pair across all snapshots under `mode`.
+///
+/// # Panics
+/// Panics if either city name is not in the loaded city list.
+pub fn pair_timeseries(
+    ctx: &StudyContext,
+    src_name: &str,
+    dst_name: &str,
+    mode: Mode,
+    threads: usize,
+) -> Vec<PathSnapshot> {
+    let src = ctx
+        .ground
+        .city_index(src_name)
+        .unwrap_or_else(|| panic!("unknown city {src_name}"));
+    let dst = ctx
+        .ground
+        .city_index(dst_name)
+        .unwrap_or_else(|| panic!("unknown city {dst_name}"));
+    let times = ctx.config.snapshot_times_s.clone();
+    parallel_map(&times, threads, |&t| {
+        let snap = ctx.snapshot(t, mode);
+        let sp = dijkstra(&snap.graph, snap.city_node(src));
+        match extract_path(&sp, snap.city_node(dst)) {
+            Some(p) => {
+                let mut aircraft = 0;
+                let mut relays = 0;
+                for &n in &p.nodes[1..p.nodes.len() - 1] {
+                    match snap.nodes[n as usize] {
+                        NodeKind::Aircraft(_) => aircraft += 1,
+                        NodeKind::Relay(_) => relays += 1,
+                        _ => {}
+                    }
+                }
+                PathSnapshot {
+                    t_s: t,
+                    rtt_ms: Some(crate::rtt_ms(p.total_weight)),
+                    hops: p.num_hops(),
+                    aircraft_hops: aircraft,
+                    relay_hops: relays,
+                }
+            }
+            None => PathSnapshot {
+                t_s: t,
+                rtt_ms: None,
+                hops: 0,
+                aircraft_hops: 0,
+                relay_hops: 0,
+            },
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+
+    fn ctx() -> StudyContext {
+        StudyContext::build(ExperimentScale::Tiny.config())
+    }
+
+    #[test]
+    fn hybrid_min_rtt_never_worse() {
+        let c = ctx();
+        let bp = latency_study(&c, Mode::BpOnly, 2);
+        let hy = latency_study(&c, Mode::Hybrid, 2);
+        for (b, h) in bp.iter().zip(&hy) {
+            if let (Some(bm), Some(hm)) = (b.min_rtt_ms, h.min_rtt_ms) {
+                // Hybrid's graph is a superset of BP's: its shortest path
+                // can only be shorter or equal.
+                assert!(hm <= bm + 1e-9, "pair {:?}: hybrid {hm} > bp {bm}", b.pair);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_reaches_at_least_as_often() {
+        let c = ctx();
+        let bp = latency_study(&c, Mode::BpOnly, 2);
+        let hy = latency_study(&c, Mode::Hybrid, 2);
+        for (b, h) in bp.iter().zip(&hy) {
+            assert!(h.reachable >= b.reachable);
+        }
+    }
+
+    #[test]
+    fn rtts_physically_plausible() {
+        let c = ctx();
+        let hy = latency_study(&c, Mode::Hybrid, 2);
+        for s in &hy {
+            if let Some(m) = s.min_rtt_ms {
+                // ≥ 2 radio hops up+down: > 7 ms; across the planet < 400.
+                assert!(m > 7.0 && m < 400.0, "RTT {m} ms");
+            }
+        }
+    }
+
+    #[test]
+    fn variation_requires_two_reachable() {
+        let s = PairStats {
+            pair: CityPair { src: 0, dst: 1 },
+            min_rtt_ms: Some(10.0),
+            max_rtt_ms: Some(10.0),
+            reachable: 1,
+            total: 4,
+        };
+        assert_eq!(s.variation_ms(), None);
+    }
+
+    #[test]
+    fn summary_shapes() {
+        let c = ctx();
+        let bp = latency_study(&c, Mode::BpOnly, 2);
+        let hy = latency_study(&c, Mode::Hybrid, 2);
+        let s = summarize(&bp, &hy);
+        assert!(s.max_min_rtt_gap_ms >= 0.0);
+        // The paper's headline: BP varies more than hybrid.
+        assert!(s.bp_median_variation_ms >= 0.0);
+        assert!(s.hybrid_median_variation_ms >= 0.0);
+    }
+
+    #[test]
+    fn timeseries_runs_for_known_pair() {
+        let mut cfg = ExperimentScale::Tiny.config();
+        cfg.num_cities = 340; // ensure Maceió & Durban are loaded
+        let c = StudyContext::build(cfg);
+        let ts = pair_timeseries(&c, "Maceió", "Durban", Mode::BpOnly, 2);
+        assert_eq!(ts.len(), c.config.snapshot_times_s.len());
+        for p in &ts {
+            if p.rtt_ms.is_some() {
+                assert!(p.hops >= 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown city")]
+    fn timeseries_rejects_unknown_city() {
+        let c = ctx();
+        pair_timeseries(&c, "Gotham", "Tokyo", Mode::BpOnly, 1);
+    }
+}

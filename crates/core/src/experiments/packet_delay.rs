@@ -1,0 +1,159 @@
+//! Packet-level delay and jitter on BP vs hybrid paths (extension).
+//!
+//! The paper's QoE discussion (§4) notes that latency-critical
+//! applications suffer from delay *variation*, citing gaming studies.
+//! The fluid throughput model cannot see queueing; this experiment plays
+//! an actual packet flow over a pair's BP and hybrid paths — every hop a
+//! store-and-forward link at its configured capacity, with cross-traffic
+//! at a target utilization — and measures end-to-end delay, p99, jitter
+//! and loss with `leo-packetsim`.
+
+use crate::snapshot::{Mode, StudyContext};
+use leo_graph::{dijkstra, extract_path};
+use leo_packetsim::{FlowSpec, PacketSim};
+
+/// Packet-level results for one mode at one load level.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketDelayResult {
+    /// Mode evaluated.
+    pub mode: Mode,
+    /// Cross-traffic load as a fraction of each link's capacity.
+    pub load: f64,
+    /// Hops on the path.
+    pub hops: usize,
+    /// Mean end-to-end one-way delay, ms.
+    pub mean_delay_ms: f64,
+    /// 99th-percentile delay, ms.
+    pub p99_delay_ms: f64,
+    /// Smoothed jitter, ms.
+    pub jitter_ms: f64,
+    /// Foreground delivery ratio.
+    pub delivery_ratio: f64,
+}
+
+/// Simulate a foreground flow between two named cities under `mode`,
+/// with cross traffic at `load` × capacity on every path link.
+///
+/// The foreground flow runs at 10 Mbit/s with 1250-byte packets for
+/// `duration_s` of simulated time; each link carries an independent
+/// single-hop cross flow sized to bring it to the target utilization.
+/// Returns `None` if the pair is unreachable at `t_s`.
+pub fn packet_delay_study(
+    ctx: &StudyContext,
+    src_name: &str,
+    dst_name: &str,
+    t_s: f64,
+    mode: Mode,
+    load: f64,
+    duration_s: f64,
+) -> Option<PacketDelayResult> {
+    assert!((0.0..1.0).contains(&load));
+    let src = ctx.ground.city_index(src_name)?;
+    let dst = ctx.ground.city_index(dst_name)?;
+    let snap = ctx.snapshot(t_s, mode);
+    let sp = dijkstra(&snap.graph, snap.city_node(src));
+    let path = extract_path(&sp, snap.city_node(dst))?;
+
+    let mut sim = PacketSim::new();
+    // A user flow rides one beam/channel of each link, not the whole
+    // 20/100 Gbps aggregate; simulating the full aggregate would only
+    // multiply packet counts without changing per-beam queueing. Model
+    // each hop as a 200 Mbit/s beam share (scaled by the link's relative
+    // capacity so ISLs stay 5x wider than GT links).
+    const BEAM_BPS: f64 = 200e6;
+    const FG_RATE: f64 = 10e6; // 10 Mbit/s foreground
+    const PKT: u32 = 1250;
+    let gt_gbps = ctx.config.network.gt_link_gbps;
+    let mut links = Vec::with_capacity(path.edges.len());
+    for &e in &path.edges {
+        let cap_bps = BEAM_BPS * snap.edge_capacity_gbps(&ctx.config.network, e) / gt_gbps;
+        let (_, _, delay_s) = snap.graph.edge(e);
+        // 2 ms worth of buffering at link rate — a shallow LEO-ish buffer.
+        let queue_bytes = (cap_bps * 0.002 / 8.0) as u64;
+        let l = sim.add_link(cap_bps, delay_s, queue_bytes.max(16 * PKT as u64));
+        links.push((l, cap_bps));
+    }
+    for (i, &(l, cap_bps)) in links.iter().enumerate() {
+        let cross = (cap_bps * load - FG_RATE).max(0.0);
+        if cross > 0.0 {
+            sim.add_flow(FlowSpec {
+                path: vec![l],
+                rate_bps: cross,
+                packet_bytes: PKT,
+                // Desynchronize cross flows so queues beat against each
+                // other rather than in lockstep.
+                start_s: i as f64 * 1.7e-4,
+                stop_s: duration_s,
+                // Bursty cross traffic: 10 ms bursts at 30% duty.
+                burst: Some((0.010, 0.3)),
+            });
+        }
+    }
+    let fg = sim.add_flow(FlowSpec::cbr(
+        links.iter().map(|&(l, _)| l).collect(),
+        FG_RATE,
+        PKT,
+        0.0,
+        duration_s,
+    ));
+    let report = sim.run(duration_s + 1.0);
+    let f = &report.flows[fg as usize];
+    Some(PacketDelayResult {
+        mode,
+        load,
+        hops: path.num_hops(),
+        mean_delay_ms: f.mean_delay_s * 1000.0,
+        p99_delay_ms: f.p99_delay_s * 1000.0,
+        jitter_ms: f.jitter_s * 1000.0,
+        delivery_ratio: f.delivery_ratio(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+
+    fn ctx() -> StudyContext {
+        StudyContext::build(ExperimentScale::Tiny.config())
+    }
+
+    #[test]
+    fn delay_close_to_propagation_at_light_load() {
+        let c = ctx();
+        let r = packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.1, 0.2)
+            .expect("reachable");
+        assert!(r.delivery_ratio > 0.999);
+        // One-way hybrid NY-London ≈ 21 ms propagation; queueing adds
+        // little at 10% load.
+        assert!(r.mean_delay_ms > 15.0 && r.mean_delay_ms < 35.0, "{}", r.mean_delay_ms);
+    }
+
+    #[test]
+    fn load_inflates_tail_delay_and_jitter() {
+        let c = ctx();
+        let light = packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.1, 0.2)
+            .unwrap();
+        let heavy = packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.9, 0.2)
+            .unwrap();
+        assert!(heavy.p99_delay_ms >= light.p99_delay_ms);
+        assert!(heavy.jitter_ms >= light.jitter_ms);
+    }
+
+    #[test]
+    fn bp_path_has_more_hops_and_no_less_delay() {
+        let c = ctx();
+        let bp = packet_delay_study(&c, "New York", "London", 0.0, Mode::BpOnly, 0.8, 0.2);
+        let hy = packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.8, 0.2);
+        if let (Some(bp), Some(hy)) = (bp, hy) {
+            assert!(bp.hops >= hy.hops);
+            assert!(bp.mean_delay_ms >= hy.mean_delay_ms * 0.95);
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_city_gracefully() {
+        let c = ctx();
+        assert!(packet_delay_study(&c, "Gotham", "London", 0.0, Mode::Hybrid, 0.5, 0.1).is_none());
+    }
+}

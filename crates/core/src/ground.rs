@@ -1,0 +1,134 @@
+//! The ground segment: city GTs and the transit-relay grid.
+
+use crate::config::StudyConfig;
+use leo_data::cities::{load_cities, City};
+use leo_data::landmask::is_land;
+use leo_geo::{GeoPoint, SphereGrid};
+
+/// The static part of the ground segment (aircraft are per-snapshot).
+#[derive(Debug, Clone)]
+pub struct GroundSegment {
+    /// Traffic source/sink cities, population-descending.
+    pub cities: Vec<City>,
+    /// Transit-only relay GTs: grid points on land within the relay
+    /// radius of at least one city (paper §3: every 0.5° within 2,000 km
+    /// of the cities — "the highest density of GTs tested in prior work").
+    pub relays: Vec<GeoPoint>,
+}
+
+impl GroundSegment {
+    /// Build the ground segment for a configuration.
+    pub fn build(cfg: &StudyConfig) -> Self {
+        let cities = load_cities(cfg.num_cities, cfg.seed);
+        let relays = match cfg.relay_grid_deg {
+            Some(spacing) => build_relay_grid(&cities, spacing, cfg.relay_radius_m),
+            None => Vec::new(),
+        };
+        Self { cities, relays }
+    }
+
+    /// Index of a (real) city by name.
+    pub fn city_index(&self, name: &str) -> Option<usize> {
+        self.cities.iter().position(|c| c.name == name)
+    }
+}
+
+/// Lay a uniform lat/lon grid and keep points that are on land and within
+/// `radius_m` of some city.
+fn build_relay_grid(cities: &[City], spacing_deg: f64, radius_m: f64) -> Vec<GeoPoint> {
+    assert!(spacing_deg > 0.0);
+    // Spatial index over cities for the distance test.
+    let mut city_index = SphereGrid::new(4.0);
+    for (i, c) in cities.iter().enumerate() {
+        city_index.insert(i as u32, c.pos);
+    }
+    let mut relays = Vec::new();
+    let mut scratch = Vec::new();
+    let lat_steps = (180.0 / spacing_deg) as i64;
+    let lon_steps = (360.0 / spacing_deg) as i64;
+    for i in 0..=lat_steps {
+        let lat = -90.0 + i as f64 * spacing_deg;
+        // Skip extreme latitudes: no cities within 2,000 km of ±80°+.
+        if lat.abs() > 80.0 {
+            continue;
+        }
+        for j in 0..lon_steps {
+            let lon = -180.0 + j as f64 * spacing_deg;
+            let p = GeoPoint::from_degrees(lat, lon);
+            if !is_land(p) {
+                continue;
+            }
+            city_index.query_radius(p, radius_m, &mut scratch);
+            if !scratch.is_empty() {
+                relays.push(p);
+            }
+        }
+    }
+    relays
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+    use leo_geo::great_circle_distance_m;
+
+    fn tiny() -> GroundSegment {
+        GroundSegment::build(&ExperimentScale::Tiny.config())
+    }
+
+    #[test]
+    fn cities_loaded_in_order() {
+        let g = tiny();
+        assert_eq!(g.cities.len(), 60);
+        assert_eq!(g.cities[0].name, "Tokyo");
+    }
+
+    #[test]
+    fn relays_on_land_and_near_cities() {
+        let g = tiny();
+        assert!(!g.relays.is_empty());
+        for r in &g.relays {
+            assert!(is_land(*r));
+            let nearest = g
+                .cities
+                .iter()
+                .map(|c| great_circle_distance_m(c.pos, *r))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest <= 2_000_000.0 + 1.0, "relay {r} too remote: {nearest}");
+        }
+    }
+
+    #[test]
+    fn finer_grid_means_more_relays() {
+        let mut cfg = ExperimentScale::Tiny.config();
+        cfg.relay_grid_deg = Some(5.0);
+        let coarse = GroundSegment::build(&cfg).relays.len();
+        cfg.relay_grid_deg = Some(2.5);
+        let fine = GroundSegment::build(&cfg).relays.len();
+        assert!(fine > 2 * coarse, "2.5° ({fine}) vs 5° ({coarse})");
+    }
+
+    #[test]
+    fn relays_can_be_disabled() {
+        let mut cfg = ExperimentScale::Tiny.config();
+        cfg.relay_grid_deg = None;
+        let g = GroundSegment::build(&cfg);
+        assert!(g.relays.is_empty());
+    }
+
+    #[test]
+    fn city_index_lookup() {
+        let g = tiny();
+        assert_eq!(g.city_index("Tokyo"), Some(0));
+        assert!(g.city_index("Nowhere").is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = tiny();
+        let b = tiny();
+        assert_eq!(a.relays.len(), b.relays.len());
+        assert_eq!(a.cities.len(), b.cities.len());
+    }
+}

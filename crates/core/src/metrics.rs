@@ -1,0 +1,173 @@
+//! Distribution utilities for the experiment outputs (CDFs, percentiles).
+
+/// A percentile of a sample set, by linear interpolation between order
+/// statistics (`p ∈ [0, 100]`). Returns `NaN` on an empty slice.
+///
+/// The input need not be sorted; a sorted copy is made. For repeated
+/// queries over one sample, use [`Distribution`].
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    Distribution::from_samples(samples).percentile(p)
+}
+
+/// A sorted sample set with percentile/CDF accessors.
+#[derive(Debug, Clone)]
+pub struct Distribution {
+    sorted: Vec<f64>,
+}
+
+impl Distribution {
+    /// Build from unsorted samples (NaNs are dropped).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(f64::total_cmp);
+        Self { sorted }
+    }
+
+    /// Number of (non-NaN) samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Minimum (NaN if empty).
+    pub fn min(&self) -> f64 {
+        self.sorted.first().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Maximum (NaN if empty).
+    pub fn max(&self) -> f64 {
+        self.sorted.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Arithmetic mean (NaN if empty).
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            f64::NAN
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+
+    /// Median (NaN if empty).
+    pub fn median(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Percentile `p ∈ [0, 100]` with linear interpolation.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let n = self.sorted.len();
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n == 1 {
+            return self.sorted[0];
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+    }
+
+    /// Empirical CDF points `(value, fraction ≤ value)`, decimated to at
+    /// most `max_points` for plotting.
+    pub fn cdf_points(&self, max_points: usize) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        if n == 0 || max_points == 0 {
+            return Vec::new();
+        }
+        let step = (n as f64 / max_points as f64).max(1.0);
+        let mut out = Vec::new();
+        let mut i = 0.0;
+        while (i as usize) < n {
+            let idx = i as usize;
+            out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            i += step;
+        }
+        if out.last().map(|&(v, _)| v) != Some(self.sorted[n - 1]) {
+            out.push((self.sorted[n - 1], 1.0));
+        }
+        out
+    }
+
+    /// Fraction of samples ≥ `threshold` (an exceedance probability).
+    pub fn exceedance(&self, threshold: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&x| x < threshold);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_set() {
+        let d = Distribution::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(d.percentile(0.0), 1.0);
+        assert_eq!(d.percentile(50.0), 3.0);
+        assert_eq!(d.percentile(100.0), 5.0);
+        assert_eq!(d.percentile(25.0), 2.0);
+        assert_eq!(d.median(), 3.0);
+        assert_eq!(d.min(), 1.0);
+        assert_eq!(d.max(), 5.0);
+        assert_eq!(d.mean(), 3.0);
+    }
+
+    #[test]
+    fn interpolates_between_ranks() {
+        let d = Distribution::from_samples(&[0.0, 10.0]);
+        assert_eq!(d.percentile(50.0), 5.0);
+        assert_eq!(d.percentile(95.0), 9.5);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let d = Distribution::from_samples(&[]);
+        assert!(d.percentile(50.0).is_nan());
+        assert!(d.min().is_nan());
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn nan_samples_dropped() {
+        let d = Distribution::from_samples(&[1.0, f64::NAN, 3.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.median(), 2.0);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64 * 37.0) % 101.0).collect();
+        let d = Distribution::from_samples(&samples);
+        let pts = d.cdf_points(50);
+        assert!(pts.len() <= 52);
+        for w in pts.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn exceedance_fraction() {
+        let d = Distribution::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.exceedance(2.5), 0.5);
+        assert_eq!(d.exceedance(0.0), 1.0);
+        assert_eq!(d.exceedance(10.0), 0.0);
+        assert_eq!(d.exceedance(2.0), 0.75, "threshold counts as exceeded");
+    }
+}

@@ -1,0 +1,120 @@
+//! CSV output for experiment results (hand-rolled: the offline dependency
+//! set has no csv crate, and the needs are simple).
+
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A CSV writer with minimal quoting (fields containing commas, quotes,
+/// or newlines are double-quoted).
+pub struct CsvWriter<W: Write> {
+    inner: W,
+}
+
+impl CsvWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create (truncate) a CSV file, creating parent directories as
+    /// needed.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        Ok(CsvWriter {
+            inner: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> CsvWriter<W> {
+    /// Wrap any writer.
+    pub fn new(inner: W) -> Self {
+        Self { inner }
+    }
+
+    /// Write one row of string fields.
+    pub fn row<S: AsRef<str>>(&mut self, fields: &[S]) -> io::Result<()> {
+        let mut first = true;
+        for f in fields {
+            if !first {
+                write!(self.inner, ",")?;
+            }
+            first = false;
+            let f = f.as_ref();
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                write!(self.inner, "\"{}\"", f.replace('"', "\"\""))?;
+            } else {
+                write!(self.inner, "{f}")?;
+            }
+        }
+        writeln!(self.inner)
+    }
+
+    /// Write a row of numeric fields with 6 significant digits.
+    pub fn num_row(&mut self, fields: &[f64]) -> io::Result<()> {
+        let strings: Vec<String> = fields.iter().map(|x| format!("{x:.6}")).collect();
+        self.row(&strings)
+    }
+
+    /// Flush the underlying writer.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Format a `(value, cum_fraction)` CDF as CSV text (header + rows) —
+/// handy for quick plotting of figure data.
+pub fn cdf_to_csv(label: &str, points: &[(f64, f64)]) -> String {
+    let mut s = format!("{label},cdf\n");
+    for (v, f) in points {
+        s.push_str(&format!("{v:.6},{f:.6}\n"));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_rows() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf);
+            w.row(&["a", "b", "c"]).unwrap();
+            w.num_row(&[1.5, 2.0]).unwrap();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "a,b,c\n1.500000,2.000000\n");
+    }
+
+    #[test]
+    fn quoting() {
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf);
+            w.row(&["x,y", "he said \"hi\"", "plain"]).unwrap();
+        }
+        let s = String::from_utf8(buf).unwrap();
+        assert_eq!(s, "\"x,y\",\"he said \"\"hi\"\"\",plain\n");
+    }
+
+    #[test]
+    fn cdf_formatting() {
+        let s = cdf_to_csv("rtt_ms", &[(1.0, 0.5), (2.0, 1.0)]);
+        assert!(s.starts_with("rtt_ms,cdf\n"));
+        assert!(s.contains("2.000000,1.000000"));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("leo_core_csv_test");
+        let path = dir.join("nested").join("out.csv");
+        {
+            let mut w = CsvWriter::create(&path).unwrap();
+            w.row(&["h1", "h2"]).unwrap();
+            w.flush().unwrap();
+        }
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "h1,h2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,99 @@
+//! Scoped-thread parallel map.
+//!
+//! The experiments are CPU-bound (thousands of Dijkstra runs per
+//! snapshot), so — per the Rust networking guidance — an async runtime is
+//! the wrong tool; plain scoped threads over an index-sharded work queue
+//! are all we need, with no unsafe code and no extra dependencies.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Apply `f` to every item in parallel, preserving input order in the
+/// output. `f` must be `Sync` (it is shared across threads).
+///
+/// Uses up to `threads` OS threads (0 = one per available core). Work is
+/// distributed dynamically via an atomic cursor, so uneven item costs
+/// (e.g. snapshots with more aircraft) balance out.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        threads
+    }
+    .min(n);
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots = parking_lot::Mutex::new(&mut out);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                // Lock only to deposit the result; computation ran
+                // unlocked.
+                let mut guard = slots.lock();
+                guard[i] = Some(r);
+            });
+        }
+    });
+    out.into_iter().map(|r| r.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let out = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_fallback() {
+        let items = vec![1, 2, 3];
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: Vec<i32> = vec![];
+        assert!(parallel_map(&items, 4, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn uneven_work_balances() {
+        // Items with wildly different costs still produce correct results.
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 8, |&x| {
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            (x, acc).0
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let items = vec![5, 6];
+        assert_eq!(parallel_map(&items, 0, |&x| x), vec![5, 6]);
+    }
+}

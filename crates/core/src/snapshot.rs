@@ -1,0 +1,376 @@
+//! Time-frozen network snapshots: the dynamic graph the experiments run
+//! on.
+
+use crate::config::{NetworkConfig, StudyConfig};
+use crate::ground::GroundSegment;
+use leo_data::flights::FlightSchedule;
+use leo_data::traffic::{sample_city_pairs, CityPair};
+use leo_geo::{elevation_angle_rad, GeoPoint, SPEED_OF_LIGHT_M_S};
+use leo_graph::{EdgeId, Graph, GraphBuilder, NodeId};
+use leo_orbit::{
+    isl_line_of_sight, plus_grid_isls, visible_satellites, Constellation, IslLink,
+    VisibilityParams,
+};
+
+/// Connectivity mode of a snapshot (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Bent-pipe only: no ISLs; city GTs, grid relays, and over-water
+    /// aircraft all participate as hops.
+    BpOnly,
+    /// BP plus ISLs — the paper's "hybrid" network.
+    Hybrid,
+    /// ISLs plus city GTs only (no relays or aircraft as intermediate
+    /// hops) — used by the weather analysis to isolate ISL paths.
+    IslOnly,
+}
+
+/// What a graph node represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NodeKind {
+    /// Satellite with its constellation-wide id.
+    Satellite(u32),
+    /// Source/sink city (index into [`GroundSegment::cities`]).
+    City(u32),
+    /// Transit-only grid relay (index into [`GroundSegment::relays`]).
+    Relay(u32),
+    /// In-flight aircraft relay (schedule id).
+    Aircraft(u64),
+}
+
+impl NodeKind {
+    /// True for any ground-side node (city, relay, or aircraft).
+    pub fn is_ground(&self) -> bool {
+        !matches!(self, NodeKind::Satellite(_))
+    }
+}
+
+/// What a graph edge represents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeKind {
+    /// Laser inter-satellite link.
+    Isl,
+    /// Radio GT–satellite link, with the geometry the weather model
+    /// needs.
+    UpDown {
+        /// Ground-side node.
+        ground: NodeId,
+        /// Satellite node.
+        sat: NodeId,
+        /// Elevation of the satellite as seen from the ground node,
+        /// radians.
+        elevation_rad: f64,
+    },
+}
+
+/// Everything static about one study run.
+#[derive(Debug, Clone)]
+pub struct StudyContext {
+    /// The configuration this context was built from.
+    pub config: StudyConfig,
+    /// The constellation under study.
+    pub constellation: Constellation,
+    /// Cities + relay grid.
+    pub ground: GroundSegment,
+    /// The day's synthetic air traffic.
+    pub flights: FlightSchedule,
+    /// The sampled traffic matrix.
+    pub pairs: Vec<CityPair>,
+    /// Static +Grid ISL topology (per shell, constellation-wide ids).
+    isls: Vec<IslLink>,
+}
+
+impl StudyContext {
+    /// Assemble the full study context from a configuration.
+    pub fn build(config: StudyConfig) -> Self {
+        let constellation = config.constellation.constellation();
+        let ground = GroundSegment::build(&config);
+        let flights = FlightSchedule::new(config.flight_density);
+        let pairs = sample_city_pairs(
+            &ground.cities,
+            config.num_pairs,
+            config.min_pair_distance_m,
+            config.seed,
+        );
+        let mut isls = Vec::new();
+        for (i, shell) in constellation.shells().iter().enumerate() {
+            isls.extend(plus_grid_isls(shell, constellation.shell_offset(i)));
+        }
+        Self {
+            config,
+            constellation,
+            ground,
+            flights,
+            pairs,
+            isls,
+        }
+    }
+
+    /// Number of satellites (node ids `0..S` in every snapshot).
+    pub fn num_satellites(&self) -> usize {
+        self.constellation.num_satellites()
+    }
+
+    /// Graph node id of city `i` (valid in every snapshot of this
+    /// context).
+    pub fn city_node(&self, city_idx: usize) -> NodeId {
+        debug_assert!(city_idx < self.ground.cities.len());
+        (self.num_satellites() + city_idx) as NodeId
+    }
+
+    /// Freeze the network at `t_s` under `mode`.
+    ///
+    /// Edge weights are one-way propagation delays in **seconds** (both
+    /// radio and laser links propagate at `c`), so shortest paths are
+    /// lowest-latency paths and `2 × weight` is RTT.
+    pub fn snapshot(&self, t_s: f64, mode: Mode) -> NetworkSnapshot {
+        let sat_positions = self.constellation.positions_at(t_s);
+        let s = self.num_satellites();
+
+        // --- Node table ---
+        let mut nodes: Vec<NodeKind> = Vec::with_capacity(s + self.ground.cities.len());
+        let mut ground_positions: Vec<GeoPoint> = Vec::new();
+        for sat in 0..s as u32 {
+            nodes.push(NodeKind::Satellite(sat));
+        }
+        for (i, c) in self.ground.cities.iter().enumerate() {
+            nodes.push(NodeKind::City(i as u32));
+            ground_positions.push(c.pos);
+        }
+        let aircraft = if mode != Mode::IslOnly {
+            for (i, r) in self.ground.relays.iter().enumerate() {
+                nodes.push(NodeKind::Relay(i as u32));
+                ground_positions.push(*r);
+            }
+            let aircraft = self.flights.relays_at(t_s);
+            for a in &aircraft {
+                nodes.push(NodeKind::Aircraft(a.id));
+                ground_positions.push(a.pos);
+            }
+            aircraft.len()
+        } else {
+            0
+        };
+
+        let mut builder = GraphBuilder::new(nodes.len());
+        let mut edges: Vec<EdgeKind> = Vec::new();
+
+        // --- ISL edges ---
+        if mode != Mode::BpOnly {
+            for l in &self.isls {
+                let pa = &sat_positions.positions[l.a as usize];
+                let pb = &sat_positions.positions[l.b as usize];
+                if isl_line_of_sight(pa, pb, self.config.network.isl_clearance_m) {
+                    let delay = pa.distance(pb) / SPEED_OF_LIGHT_M_S;
+                    builder.add_edge(l.a, l.b, delay);
+                    edges.push(EdgeKind::Isl);
+                }
+            }
+        }
+
+        // --- GT–satellite edges ---
+        let index = leo_orbit::visibility::subpoint_index(&sat_positions);
+        let params = VisibilityParams {
+            min_elevation_rad: self.constellation.min_elevation_rad(),
+            max_altitude_m: self.config.constellation.max_altitude_m(),
+        };
+        let mut scratch = Vec::new();
+        let mut visible = Vec::new();
+        for (gi, gpos) in ground_positions.iter().enumerate() {
+            let ground_node = (s + gi) as NodeId;
+            visible_satellites(*gpos, &sat_positions, &index, &params, &mut scratch, &mut visible);
+            for &sat in &visible {
+                let spos = &sat_positions.positions[sat as usize];
+                let slant = leo_geo::slant_range_m(*gpos, spos);
+                let delay = slant / SPEED_OF_LIGHT_M_S;
+                builder.add_edge(ground_node, sat, delay);
+                edges.push(EdgeKind::UpDown {
+                    ground: ground_node,
+                    sat,
+                    elevation_rad: elevation_angle_rad(*gpos, spos),
+                });
+            }
+        }
+
+        let graph = builder.build();
+        debug_assert_eq!(graph.num_edges(), edges.len());
+        NetworkSnapshot {
+            t_s,
+            mode,
+            graph,
+            nodes,
+            edges,
+            ground_positions,
+            num_satellites: s,
+            num_aircraft: aircraft,
+        }
+    }
+}
+
+/// The network frozen at one instant: a weighted graph plus metadata.
+#[derive(Debug, Clone)]
+pub struct NetworkSnapshot {
+    /// Snapshot time, seconds since epoch.
+    pub t_s: f64,
+    /// Connectivity mode the snapshot was built under.
+    pub mode: Mode,
+    /// Delay-weighted undirected graph.
+    pub graph: Graph,
+    /// Node metadata, indexed by [`NodeId`].
+    pub nodes: Vec<NodeKind>,
+    /// Edge metadata, indexed by [`EdgeId`].
+    pub edges: Vec<EdgeKind>,
+    /// Positions of ground-side nodes, indexed by `node_id −
+    /// num_satellites`.
+    pub ground_positions: Vec<GeoPoint>,
+    /// Number of satellites (node ids `0..num_satellites`).
+    pub num_satellites: usize,
+    /// Number of aircraft relays included.
+    pub num_aircraft: usize,
+}
+
+impl NetworkSnapshot {
+    /// Node id of city `i`.
+    pub fn city_node(&self, city_idx: usize) -> NodeId {
+        (self.num_satellites + city_idx) as NodeId
+    }
+
+    /// Ground position of a ground-side node.
+    pub fn ground_position(&self, node: NodeId) -> Option<GeoPoint> {
+        let i = (node as usize).checked_sub(self.num_satellites)?;
+        self.ground_positions.get(i).copied()
+    }
+
+    /// Capacity of an edge under the link configuration, Gbps.
+    pub fn edge_capacity_gbps(&self, net: &NetworkConfig, e: EdgeId) -> f64 {
+        match self.edges[e as usize] {
+            EdgeKind::Isl => net.isl_gbps,
+            EdgeKind::UpDown { .. } => net.gt_link_gbps,
+        }
+    }
+}
+
+/// Re-export for convenient pair iteration.
+pub use leo_data::traffic::CityPair as Pair;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+
+    fn ctx() -> StudyContext {
+        StudyContext::build(ExperimentScale::Tiny.config())
+    }
+
+    #[test]
+    fn node_layout_is_stable() {
+        let c = ctx();
+        let snap = c.snapshot(0.0, Mode::Hybrid);
+        let s = c.num_satellites();
+        assert_eq!(snap.num_satellites, s);
+        assert!(matches!(snap.nodes[0], NodeKind::Satellite(0)));
+        assert!(matches!(snap.nodes[s], NodeKind::City(0)));
+        assert_eq!(snap.city_node(3), (s + 3) as NodeId);
+        assert_eq!(c.city_node(3), snap.city_node(3));
+    }
+
+    #[test]
+    fn bp_mode_has_no_isls() {
+        let c = ctx();
+        let snap = c.snapshot(0.0, Mode::BpOnly);
+        assert!(snap.edges.iter().all(|e| matches!(e, EdgeKind::UpDown { .. })));
+    }
+
+    #[test]
+    fn hybrid_has_both_kinds() {
+        let c = ctx();
+        let snap = c.snapshot(0.0, Mode::Hybrid);
+        let isls = snap.edges.iter().filter(|e| matches!(e, EdgeKind::Isl)).count();
+        let radio = snap.edges.len() - isls;
+        // +Grid: 2 links/satellite; a handful can be suppressed by the
+        // 80 km clearance rule.
+        assert!(isls > 2 * c.num_satellites() * 9 / 10, "isls = {isls}");
+        assert!(radio > 0);
+    }
+
+    #[test]
+    fn isl_only_excludes_relays_and_aircraft() {
+        let c = ctx();
+        let snap = c.snapshot(0.0, Mode::IslOnly);
+        assert!(snap
+            .nodes
+            .iter()
+            .all(|n| matches!(n, NodeKind::Satellite(_) | NodeKind::City(_))));
+        assert_eq!(snap.num_aircraft, 0);
+    }
+
+    #[test]
+    fn bp_includes_relays_and_aircraft() {
+        let c = ctx();
+        let snap = c.snapshot(30_000.0, Mode::BpOnly);
+        let relays = snap.nodes.iter().filter(|n| matches!(n, NodeKind::Relay(_))).count();
+        let aircraft = snap.nodes.iter().filter(|n| matches!(n, NodeKind::Aircraft(_))).count();
+        assert_eq!(relays, c.ground.relays.len());
+        assert_eq!(aircraft, snap.num_aircraft);
+        assert!(aircraft > 0, "some aircraft should be over water mid-day");
+    }
+
+    #[test]
+    fn edge_weights_are_plausible_delays() {
+        let c = ctx();
+        let snap = c.snapshot(0.0, Mode::Hybrid);
+        for e in 0..snap.graph.num_edges() as EdgeId {
+            let (_, _, w) = snap.graph.edge(e);
+            // 550 km overhead ≈ 1.8 ms; longest slant/ISL a few ms.
+            assert!(w > 0.0015 && w < 0.03, "edge {e} delay {w}s");
+        }
+    }
+
+    #[test]
+    fn updown_metadata_consistent() {
+        let c = ctx();
+        let snap = c.snapshot(0.0, Mode::Hybrid);
+        for (e, kind) in snap.edges.iter().enumerate() {
+            if let EdgeKind::UpDown { ground, sat, elevation_rad } = kind {
+                let (u, v, _) = snap.graph.edge(e as EdgeId);
+                assert!(
+                    (u == *ground && v == *sat) || (u == *sat && v == *ground),
+                    "edge endpoints disagree with metadata"
+                );
+                assert!(*elevation_rad >= c.constellation.min_elevation_rad() - 1e-9);
+                assert!((*sat as usize) < snap.num_satellites);
+                assert!((*ground as usize) >= snap.num_satellites);
+            }
+        }
+    }
+
+    #[test]
+    fn capacities_follow_kind() {
+        let c = ctx();
+        let snap = c.snapshot(0.0, Mode::Hybrid);
+        let net = c.config.network;
+        for e in 0..snap.edges.len() as EdgeId {
+            let cap = snap.edge_capacity_gbps(&net, e);
+            match snap.edges[e as usize] {
+                EdgeKind::Isl => assert_eq!(cap, 100.0),
+                EdgeKind::UpDown { .. } => assert_eq!(cap, 20.0),
+            }
+        }
+    }
+
+    #[test]
+    fn pairs_sampled() {
+        let c = ctx();
+        assert_eq!(c.pairs.len(), c.config.num_pairs);
+    }
+
+    #[test]
+    fn snapshots_differ_over_time() {
+        let c = ctx();
+        let a = c.snapshot(0.0, Mode::Hybrid);
+        let b = c.snapshot(900.0, Mode::Hybrid);
+        // Same node count (cities/relays static, aircraft counts may vary
+        // slightly), but edge sets differ as satellites move.
+        assert_ne!(a.graph.num_edges(), b.graph.num_edges());
+    }
+}

@@ -1,0 +1,126 @@
+//! Major international airports used as endpoints of synthetic flights.
+
+use leo_geo::GeoPoint;
+
+/// An airport: IATA code and position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Airport {
+    /// IATA code, e.g. `"JFK"`.
+    pub code: &'static str,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+}
+
+impl Airport {
+    /// Position as a [`GeoPoint`].
+    pub fn pos(&self) -> GeoPoint {
+        GeoPoint::from_degrees(self.lat, self.lon)
+    }
+}
+
+/// The hub airports anchoring the synthetic air-traffic corridors.
+#[rustfmt::skip]
+pub const AIRPORTS: &[Airport] = &[
+    Airport { code: "JFK", lat: 40.64, lon: -73.78 },
+    Airport { code: "BOS", lat: 42.36, lon: -71.01 },
+    Airport { code: "YYZ", lat: 43.68, lon: -79.63 },
+    Airport { code: "ORD", lat: 41.97, lon: -87.91 },
+    Airport { code: "IAD", lat: 38.95, lon: -77.46 },
+    Airport { code: "ATL", lat: 33.64, lon: -84.43 },
+    Airport { code: "MIA", lat: 25.80, lon: -80.29 },
+    Airport { code: "LAX", lat: 33.94, lon: -118.41 },
+    Airport { code: "SFO", lat: 37.62, lon: -122.38 },
+    Airport { code: "SEA", lat: 47.45, lon: -122.31 },
+    Airport { code: "YVR", lat: 49.19, lon: -123.18 },
+    Airport { code: "DFW", lat: 32.90, lon: -97.04 },
+    Airport { code: "IAH", lat: 29.99, lon: -95.34 },
+    Airport { code: "LHR", lat: 51.47, lon: -0.45 },
+    Airport { code: "CDG", lat: 49.01, lon: 2.55 },
+    Airport { code: "FRA", lat: 50.04, lon: 8.56 },
+    Airport { code: "AMS", lat: 52.31, lon: 4.76 },
+    Airport { code: "MAD", lat: 40.47, lon: -3.57 },
+    Airport { code: "LIS", lat: 38.77, lon: -9.13 },
+    Airport { code: "DUB", lat: 53.42, lon: -6.27 },
+    Airport { code: "ZRH", lat: 47.46, lon: 8.55 },
+    Airport { code: "IST", lat: 41.26, lon: 28.74 },
+    Airport { code: "DXB", lat: 25.25, lon: 55.36 },
+    Airport { code: "DOH", lat: 25.27, lon: 51.61 },
+    Airport { code: "BOM", lat: 19.09, lon: 72.87 },
+    Airport { code: "DEL", lat: 28.57, lon: 77.10 },
+    Airport { code: "SIN", lat: 1.36, lon: 103.99 },
+    Airport { code: "KUL", lat: 2.75, lon: 101.71 },
+    Airport { code: "BKK", lat: 13.69, lon: 100.75 },
+    Airport { code: "HKG", lat: 22.31, lon: 113.91 },
+    Airport { code: "PVG", lat: 31.14, lon: 121.81 },
+    Airport { code: "PEK", lat: 40.08, lon: 116.58 },
+    Airport { code: "NRT", lat: 35.77, lon: 140.39 },
+    Airport { code: "HND", lat: 35.55, lon: 139.78 },
+    Airport { code: "ICN", lat: 37.46, lon: 126.44 },
+    Airport { code: "TPE", lat: 25.08, lon: 121.23 },
+    Airport { code: "MNL", lat: 14.51, lon: 121.02 },
+    Airport { code: "CGK", lat: -6.13, lon: 106.66 },
+    Airport { code: "SYD", lat: -33.95, lon: 151.18 },
+    Airport { code: "MEL", lat: -37.67, lon: 144.84 },
+    Airport { code: "BNE", lat: -27.38, lon: 153.12 },
+    Airport { code: "PER", lat: -31.94, lon: 115.97 },
+    Airport { code: "AKL", lat: -37.01, lon: 174.79 },
+    Airport { code: "HNL", lat: 21.32, lon: -157.92 },
+    Airport { code: "GRU", lat: -23.44, lon: -46.47 },
+    Airport { code: "GIG", lat: -22.81, lon: -43.25 },
+    Airport { code: "EZE", lat: -34.82, lon: -58.54 },
+    Airport { code: "SCL", lat: -33.39, lon: -70.79 },
+    Airport { code: "BOG", lat: 4.70, lon: -74.15 },
+    Airport { code: "LIM", lat: -12.02, lon: -77.11 },
+    Airport { code: "MEX", lat: 19.44, lon: -99.07 },
+    Airport { code: "PTY", lat: 9.07, lon: -79.38 },
+    Airport { code: "JNB", lat: -26.14, lon: 28.25 },
+    Airport { code: "CPT", lat: -33.96, lon: 18.60 },
+    Airport { code: "NBO", lat: -1.32, lon: 36.93 },
+    Airport { code: "ADD", lat: 8.98, lon: 38.80 },
+    Airport { code: "LOS", lat: 6.58, lon: 3.32 },
+    Airport { code: "ACC", lat: 5.61, lon: -0.17 },
+    Airport { code: "DKR", lat: 14.67, lon: -17.07 },
+    Airport { code: "CAI", lat: 30.12, lon: 31.41 },
+    Airport { code: "CMN", lat: 33.37, lon: -7.59 },
+    Airport { code: "KEF", lat: 63.99, lon: -22.61 },
+    Airport { code: "ANC", lat: 61.17, lon: -150.00 },
+    Airport { code: "SVO", lat: 55.97, lon: 37.41 },
+    Airport { code: "MRU", lat: -20.43, lon: 57.68 },
+];
+
+/// Look up an airport by IATA code.
+pub fn airport(code: &str) -> Option<&'static Airport> {
+    AIRPORTS.iter().find(|a| a.code == code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_unique() {
+        let mut codes: Vec<_> = AIRPORTS.iter().map(|a| a.code).collect();
+        codes.sort_unstable();
+        let n = codes.len();
+        codes.dedup();
+        assert_eq!(n, codes.len());
+    }
+
+    #[test]
+    fn lookup_works() {
+        assert!(airport("JFK").is_some());
+        assert!(airport("XXX").is_none());
+        let jfk = airport("JFK").unwrap();
+        assert!((jfk.pos().lat_deg() - 40.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coordinates_in_range() {
+        for a in AIRPORTS {
+            assert!((-90.0..=90.0).contains(&a.lat), "{}", a.code);
+            assert!((-180.0..=180.0).contains(&a.lon), "{}", a.code);
+        }
+    }
+}

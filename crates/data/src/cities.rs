@@ -1,0 +1,350 @@
+//! World cities: traffic sources and sinks.
+//!
+//! The paper places source/sink ground terminals at the 1,000 most
+//! populous cities (GLA dataset). We embed a curated list of real major
+//! cities — every metro area that plausibly appears in a global top-300,
+//! with approximate coordinates and metro populations — and synthesize the
+//! remaining tail deterministically near real population centres (see
+//! DESIGN.md substitution 2). What the experiments consume is the
+//! *geographic distribution* of endpoints, which this preserves.
+
+use crate::landmask::is_land;
+use leo_geo::GeoPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A city: a named ground-terminal site with a population weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct City {
+    /// City name (synthetic-tail cities are named `"synth-<k>"`).
+    pub name: String,
+    /// Location.
+    pub pos: GeoPoint,
+    /// Metro population (used for ordering and synthesis anchoring).
+    pub population: f64,
+}
+
+/// (name, lat, lon, population-in-millions) for real major cities.
+/// Coordinates are city-centre approximations (±0.1° is irrelevant at
+/// constellation scale).
+#[rustfmt::skip]
+const REAL_CITIES: &[(&str, f64, f64, f64)] = &[
+    ("Tokyo", 35.68, 139.69, 37.4), ("Delhi", 28.61, 77.21, 29.4),
+    ("Shanghai", 31.23, 121.47, 26.3), ("São Paulo", -23.55, -46.63, 21.8),
+    ("Mexico City", 19.43, -99.13, 21.6), ("Cairo", 30.04, 31.24, 20.5),
+    ("Mumbai", 19.08, 72.88, 20.0), ("Beijing", 39.90, 116.41, 19.6),
+    ("Dhaka", 23.81, 90.41, 19.6), ("Osaka", 34.69, 135.50, 19.3),
+    ("New York", 40.71, -74.01, 18.8), ("Karachi", 24.86, 67.01, 15.7),
+    ("Buenos Aires", -34.60, -58.38, 15.0), ("Chongqing", 29.56, 106.55, 14.8),
+    ("Istanbul", 41.01, 28.98, 14.7), ("Kolkata", 22.57, 88.36, 14.7),
+    ("Manila", 14.60, 120.98, 13.5), ("Lagos", 6.52, 3.38, 13.4),
+    ("Rio de Janeiro", -22.91, -43.17, 13.3), ("Tianjin", 39.34, 117.36, 13.2),
+    ("Kinshasa", -4.44, 15.27, 13.2), ("Guangzhou", 23.13, 113.26, 12.6),
+    ("Los Angeles", 34.05, -118.24, 12.4), ("Moscow", 55.76, 37.62, 12.4),
+    ("Shenzhen", 22.54, 114.06, 12.1), ("Lahore", 31.55, 74.34, 11.7),
+    ("Bangalore", 12.97, 77.59, 11.4), ("Paris", 48.86, 2.35, 10.9),
+    ("Bogotá", 4.71, -74.07, 10.6), ("Jakarta", -6.21, 106.85, 10.5),
+    ("Chennai", 13.08, 80.27, 10.5), ("Lima", -12.05, -77.04, 10.4),
+    ("Bangkok", 13.76, 100.50, 10.2), ("Seoul", 37.57, 126.98, 9.8),
+    ("Nagoya", 35.18, 136.91, 9.5), ("Hyderabad", 17.39, 78.49, 9.5),
+    ("London", 51.51, -0.13, 9.3), ("Tehran", 35.69, 51.39, 9.1),
+    ("Chicago", 41.88, -87.63, 8.9), ("Chengdu", 30.57, 104.07, 8.8),
+    ("Nanjing", 32.06, 118.80, 8.5), ("Wuhan", 30.59, 114.31, 8.4),
+    ("Ho Chi Minh City", 10.82, 106.63, 8.3), ("Luanda", -8.84, 13.23, 8.0),
+    ("Ahmedabad", 23.02, 72.57, 7.7), ("Kuala Lumpur", 3.14, 101.69, 7.6),
+    ("Xi'an", 34.34, 108.94, 7.4), ("Hong Kong", 22.32, 114.17, 7.4),
+    ("Dongguan", 23.02, 113.75, 7.4), ("Hangzhou", 30.27, 120.16, 7.2),
+    ("Foshan", 23.02, 113.12, 7.2), ("Shenyang", 41.81, 123.43, 6.9),
+    ("Riyadh", 24.71, 46.68, 6.9), ("Baghdad", 33.31, 44.37, 6.8),
+    ("Santiago", -33.45, -70.67, 6.7), ("Surat", 21.17, 72.83, 6.6),
+    ("Madrid", 40.42, -3.70, 6.5), ("Suzhou", 31.30, 120.58, 6.3),
+    ("Pune", 18.52, 73.86, 6.3), ("Harbin", 45.80, 126.53, 6.1),
+    ("Houston", 29.76, -95.37, 6.1), ("Dallas", 32.78, -96.80, 6.1),
+    ("Toronto", 43.65, -79.38, 6.0), ("Dar es Salaam", -6.79, 39.21, 6.0),
+    ("Miami", 25.76, -80.19, 6.0), ("Belo Horizonte", -19.92, -43.94, 5.9),
+    ("Singapore", 1.35, 103.82, 5.9), ("Philadelphia", 39.95, -75.17, 5.7),
+    ("Atlanta", 33.75, -84.39, 5.6), ("Fukuoka", 33.59, 130.40, 5.5),
+    ("Khartoum", 15.50, 32.56, 5.5), ("Barcelona", 41.39, 2.17, 5.5),
+    ("Johannesburg", -26.20, 28.04, 5.5), ("Saint Petersburg", 59.93, 30.34, 5.4),
+    ("Qingdao", 36.07, 120.38, 5.4), ("Dalian", 38.91, 121.61, 5.3),
+    ("Washington", 38.91, -77.04, 5.3), ("Yangon", 16.87, 96.20, 5.2),
+    ("Alexandria", 31.20, 29.92, 5.2), ("Jinan", 36.65, 117.12, 5.2),
+    ("Guadalajara", 20.66, -103.35, 5.2), ("Monterrey", 25.69, -100.32, 4.9),
+    ("Ankara", 39.93, 32.86, 4.9), ("Melbourne", -37.81, 144.96, 4.9),
+    ("Abidjan", 5.36, -4.01, 4.9), ("Sydney", -33.87, 151.21, 4.8),
+    ("Nairobi", -1.29, 36.82, 4.7), ("Zhengzhou", 34.75, 113.63, 4.7),
+    ("Boston", 42.36, -71.06, 4.7), ("Casablanca", 33.57, -7.59, 4.6),
+    ("Phoenix", 33.45, -112.07, 4.6), ("Cape Town", -33.92, 18.42, 4.6),
+    ("Jeddah", 21.49, 39.19, 4.6), ("Changsha", 28.23, 112.94, 4.5),
+    ("Kunming", 24.88, 102.83, 4.4), ("Addis Ababa", 9.02, 38.75, 4.4),
+    ("Hanoi", 21.03, 105.85, 4.4), ("San Francisco", 37.77, -122.42, 4.3),
+    ("Kabul", 34.56, 69.21, 4.3), ("Amman", 31.96, 35.95, 4.3),
+    ("Porto Alegre", -30.03, -51.23, 4.1), ("Recife", -8.05, -34.88, 4.1),
+    ("Montreal", 45.50, -73.57, 4.1), ("Fortaleza", -3.73, -38.53, 4.1),
+    ("Detroit", 42.33, -83.05, 4.0), ("Hefei", 31.82, 117.23, 4.0),
+    ("Medellín", 6.25, -75.56, 4.0), ("Athens", 37.98, 23.73, 3.8),
+    ("Kano", 12.00, 8.52, 3.8), ("Berlin", 52.52, 13.41, 3.8),
+    ("Seattle", 47.61, -122.33, 3.8), ("Jaipur", 26.91, 75.79, 3.8),
+    ("Guayaquil", -2.19, -79.89, 3.7), ("Rome", 41.90, 12.50, 3.7),
+    ("Salvador", -12.97, -38.50, 3.7), ("Caracas", 10.48, -66.90, 3.6),
+    ("Shijiazhuang", 38.04, 114.51, 3.6), ("Lucknow", 26.85, 80.95, 3.5),
+    ("San Diego", 32.72, -117.16, 3.3), ("Izmir", 38.42, 27.14, 3.3),
+    ("Busan", 35.18, 129.08, 3.3), ("Kuwait City", 29.38, 47.98, 3.2),
+    ("Algiers", 36.74, 3.09, 3.2), ("Milan", 45.46, 9.19, 3.2),
+    ("Taiyuan", 37.87, 112.55, 3.2), ("Pyongyang", 39.04, 125.76, 3.1),
+    ("Durban", -29.86, 31.02, 3.1), ("Curitiba", -25.43, -49.27, 3.1),
+    ("Kanpur", 26.45, 80.33, 3.1), ("Minneapolis", 44.98, -93.27, 3.1),
+    ("Dubai", 25.20, 55.27, 3.1), ("Kyiv", 50.45, 30.52, 3.0),
+    ("Campinas", -22.91, -47.06, 3.0), ("Tampa", 27.95, -82.46, 3.0),
+    ("Sapporo", 43.06, 141.35, 2.9), ("Nagpur", 21.15, 79.09, 2.9),
+    ("Denver", 39.74, -104.99, 2.9), ("Cali", 3.45, -76.53, 2.8),
+    ("Tashkent", 41.30, 69.24, 2.8), ("Santo Domingo", 18.49, -69.93, 2.8),
+    ("Birmingham", 52.48, -1.90, 2.8), ("Accra", 5.60, -0.19, 2.7),
+    ("Havana", 23.11, -82.37, 2.7), ("Port-au-Prince", 18.54, -72.34, 2.6),
+    ("Faisalabad", 31.42, 73.08, 2.6), ("Brasília", -15.79, -47.88, 2.6),
+    ("Vancouver", 49.28, -123.12, 2.6), ("Baku", 40.41, 49.87, 2.5),
+    ("Brooklyn-Queens", 40.68, -73.94, 2.5), ("Brisbane", -27.47, 153.03, 2.5),
+    ("Quito", -0.18, -78.47, 2.5), ("Mashhad", 36.26, 59.62, 2.5),
+    ("Damascus", 33.51, 36.29, 2.5), ("Ouagadougou", 12.37, -1.52, 2.5),
+    ("Indore", 22.72, 75.86, 2.5), ("Minsk", 53.90, 27.57, 2.5),
+    ("Vienna", 48.21, 16.37, 2.4), ("Maracaibo", 10.65, -71.65, 2.4),
+    ("Bamako", 12.64, -8.00, 2.4), ("Lusaka", -15.39, 28.32, 2.4),
+    ("St. Louis", 38.63, -90.20, 2.4), ("Baltimore", 39.29, -76.61, 2.3),
+    ("Hamburg", 53.55, 9.99, 2.3), ("Warsaw", 52.23, 21.01, 2.3),
+    ("Mecca", 21.39, 39.86, 2.3), ("Bucharest", 44.43, 26.10, 2.3),
+    ("Yaoundé", 3.87, 11.52, 2.3), ("Douala", 4.05, 9.70, 2.3),
+    ("Kumasi", 6.69, -1.62, 2.2), ("Almaty", 43.22, 76.85, 2.0),
+    ("Budapest", 47.50, 19.04, 2.0), ("Mogadishu", 2.05, 45.32, 2.0),
+    ("Harare", -17.83, 31.05, 2.0), ("Las Vegas", 36.17, -115.14, 2.0),
+    ("Portland", 45.52, -122.68, 2.0), ("Auckland", -36.85, 174.76, 1.7),
+    ("Phnom Penh", 11.56, 104.92, 2.0), ("Rabat", 34.02, -6.84, 1.9),
+    ("Stockholm", 59.33, 18.07, 1.9), ("Antananarivo", -18.88, 47.51, 1.9),
+    ("Asunción", -25.26, -57.58, 1.9), ("La Paz", -16.50, -68.15, 1.8),
+    ("Maputo", -25.97, 32.58, 1.8), ("Tunis", 36.81, 10.18, 1.8),
+    ("Tripoli", 32.89, 13.19, 1.8), ("Novosibirsk", 55.01, 82.94, 1.6),
+    ("Prague", 50.08, 14.44, 1.3), ("Sacramento", 38.58, -121.49, 1.6),
+    ("Perth", -31.95, 115.86, 2.1), ("Adelaide", -34.93, 138.60, 1.4),
+    ("Copenhagen", 55.68, 12.57, 1.4), ("Tbilisi", 41.72, 44.79, 1.5),
+    ("Yerevan", 40.18, 44.51, 1.1), ("Belgrade", 44.79, 20.45, 1.4),
+    ("Sofia", 42.70, 23.32, 1.3), ("Montevideo", -34.90, -56.16, 1.4),
+    ("Dakar", 14.72, -17.47, 3.1), ("Conakry", 9.64, -13.58, 1.9),
+    ("Monrovia", 6.30, -10.80, 1.5), ("Freetown", 8.47, -13.23, 1.2),
+    ("Maceió", -9.67, -35.74, 1.0), ("Natal", -5.79, -35.21, 1.4),
+    ("Belém", -1.46, -48.50, 2.2), ("Manaus", -3.12, -60.02, 2.2),
+    ("San Juan", 18.47, -66.11, 2.4), ("Kingston", 18.02, -76.80, 1.2),
+    ("Panama City", 8.98, -79.52, 1.9), ("San José", 9.93, -84.08, 1.4),
+    ("Guatemala City", 14.63, -90.51, 3.0), ("Tegucigalpa", 14.07, -87.19, 1.4),
+    ("Managua", 12.11, -86.24, 1.1), ("San Salvador", 13.69, -89.22, 1.1),
+    ("Honolulu", 21.31, -157.86, 1.0), ("Anchorage", 61.22, -149.90, 0.4),
+    ("Reykjavik", 64.15, -21.94, 0.2), ("Oslo", 59.91, 10.75, 1.0),
+    ("Helsinki", 60.17, 24.94, 1.3), ("Dublin", 53.35, -6.26, 1.4),
+    ("Lisbon", 38.72, -9.14, 2.9), ("Amsterdam", 52.37, 4.90, 2.5),
+    ("Brussels", 50.85, 4.35, 2.1), ("Munich", 48.14, 11.58, 1.6),
+    ("Zurich", 47.38, 8.54, 1.4), ("Frankfurt", 50.11, 8.68, 2.3),
+    ("Manchester", 53.48, -2.24, 2.7), ("Glasgow", 55.86, -4.25, 1.7),
+    ("Marseille", 43.30, 5.37, 1.6), ("Naples", 40.85, 14.27, 2.2),
+    ("Valencia", 39.47, -0.38, 1.6), ("Seville", 37.39, -5.98, 1.5),
+    ("Porto", 41.15, -8.61, 1.7), ("Turin", 45.07, 7.69, 1.7),
+    ("Colombo", 6.93, 79.85, 2.3), ("Kathmandu", 27.72, 85.32, 1.4),
+    ("Karaj", 35.84, 50.94, 1.9), ("Isfahan", 32.65, 51.67, 2.2),
+    ("Basra", 30.51, 47.78, 1.4), ("Aleppo", 36.20, 37.13, 1.8),
+    ("Beirut", 33.89, 35.50, 2.4), ("Tel Aviv", 32.09, 34.78, 4.2),
+    ("Doha", 25.29, 51.53, 2.4), ("Muscat", 23.59, 58.38, 1.6),
+    ("Sana'a", 15.35, 44.21, 3.0), ("Aden", 12.79, 45.03, 1.0),
+    ("Islamabad", 33.68, 73.05, 1.2), ("Peshawar", 34.01, 71.58, 2.3),
+    ("Multan", 30.16, 71.52, 2.1), ("Rawalpindi", 33.60, 73.04, 2.2),
+    ("Chittagong", 22.36, 91.78, 5.2), ("Patna", 25.59, 85.14, 2.4),
+    ("Varanasi", 25.32, 82.99, 1.7), ("Bhopal", 23.26, 77.41, 2.4),
+    ("Visakhapatnam", 17.69, 83.22, 2.3), ("Coimbatore", 11.02, 76.96, 2.9),
+    ("Kochi", 9.93, 76.27, 2.9), ("Mandalay", 21.96, 96.08, 1.5),
+    ("Vientiane", 17.98, 102.63, 1.0), ("Da Nang", 16.05, 108.21, 1.2),
+    ("Surabaya", -7.26, 112.75, 3.0), ("Bandung", -6.92, 107.61, 2.6),
+    ("Medan", 3.59, 98.67, 2.5), ("Makassar", -5.15, 119.43, 1.6),
+    ("Cebu", 10.32, 123.89, 3.0), ("Davao", 7.07, 125.61, 1.8),
+    ("Taipei", 25.03, 121.57, 7.0), ("Kaohsiung", 22.62, 120.31, 2.8),
+    ("Kyoto", 35.01, 135.77, 2.6), ("Hiroshima", 34.39, 132.46, 2.1),
+    ("Sendai", 38.27, 140.87, 2.3), ("Incheon", 37.46, 126.71, 2.9),
+    ("Daegu", 35.87, 128.60, 2.5), ("Ulaanbaatar", 47.89, 106.91, 1.5),
+    ("Vladivostok", 43.12, 131.89, 0.6), ("Yekaterinburg", 56.84, 60.61, 1.5),
+    ("Omsk", 54.99, 73.37, 1.2), ("Kazan", 55.80, 49.11, 1.3),
+    ("Samara", 53.24, 50.22, 1.2), ("Rostov-on-Don", 47.24, 39.71, 1.1),
+    ("Volgograd", 48.71, 44.51, 1.0), ("Krasnoyarsk", 56.01, 92.87, 1.1),
+    ("Irkutsk", 52.29, 104.30, 0.6), ("Khabarovsk", 48.48, 135.08, 0.6),
+    ("Perm", 58.01, 56.23, 1.0), ("Ufa", 54.74, 55.97, 1.1),
+    ("Chelyabinsk", 55.16, 61.40, 1.2), ("Nizhny Novgorod", 56.33, 44.00, 1.3),
+    ("Wellington", -41.29, 174.78, 0.4), ("Christchurch", -43.53, 172.64, 0.4),
+    ("Suva", -18.14, 178.44, 0.2), ("Port Moresby", -9.44, 147.18, 0.4),
+    ("Darwin", -12.46, 130.84, 0.15), ("Cairns", -16.92, 145.77, 0.15),
+    ("Hobart", -42.88, 147.33, 0.25), ("Canberra", -35.28, 149.13, 0.46),
+    ("Windhoek", -22.56, 17.07, 0.43), ("Gaborone", -24.63, 25.92, 0.27),
+    ("Lilongwe", -13.96, 33.79, 1.1), ("Kampala", 0.35, 32.58, 1.7),
+    ("Kigali", -1.94, 30.06, 1.2), ("Bujumbura", -3.38, 29.36, 1.0),
+    ("Niamey", 13.51, 2.11, 1.3), ("N'Djamena", 12.13, 15.06, 1.4),
+    ("Bangui", 4.39, 18.56, 0.9), ("Libreville", 0.39, 9.45, 0.8),
+    ("Brazzaville", -4.26, 15.24, 2.4), ("Lomé", 6.13, 1.22, 1.8),
+    ("Cotonou", 6.37, 2.39, 0.7), ("Nouakchott", 18.07, -15.96, 1.3),
+    ("Asmara", 15.32, 38.93, 0.9), ("Djibouti", 11.59, 43.15, 0.6),
+    ("Port Louis", -20.16, 57.50, 0.15), ("Victoria-Mahe", -4.62, 55.45, 0.03),
+    ("Malé", 4.18, 73.51, 0.25), ("Thimphu", 27.47, 89.64, 0.1),
+    ("Edmonton", 53.55, -113.49, 1.4), ("Calgary", 51.05, -114.07, 1.5),
+    ("Winnipeg", 49.90, -97.14, 0.8), ("Ottawa", 45.42, -75.70, 1.4),
+    ("Quebec City", 46.81, -71.21, 0.8), ("Halifax", 44.65, -63.58, 0.45),
+    ("San Antonio", 29.42, -98.49, 2.6), ("Austin", 30.27, -97.74, 2.3),
+    ("Charlotte", 35.23, -80.84, 2.7), ("Orlando", 28.54, -81.38, 2.6),
+    ("Cleveland", 41.50, -81.69, 2.1), ("Pittsburgh", 40.44, -80.00, 2.3),
+    ("Cincinnati", 39.10, -84.51, 2.2), ("Kansas City", 39.10, -94.58, 2.2),
+    ("Indianapolis", 39.77, -86.16, 2.1), ("Columbus", 39.96, -83.00, 2.1),
+    ("Nashville", 36.16, -86.78, 2.0), ("Salt Lake City", 40.76, -111.89, 1.2),
+    ("Tijuana", 32.51, -117.04, 2.2), ("Puebla", 19.04, -98.21, 3.2),
+    ("León", 21.12, -101.68, 1.9), ("Ciudad Juárez", 31.69, -106.42, 1.5),
+    ("Toluca", 19.29, -99.66, 2.4), ("Querétaro", 20.59, -100.39, 1.4),
+    ("Mérida", 20.97, -89.62, 1.2), ("Cancún", 21.16, -86.85, 0.9),
+    ("Barranquilla", 10.97, -74.80, 2.3), ("Cartagena", 10.39, -75.51, 1.0),
+    ("Valparaíso", -33.05, -71.61, 1.0), ("Concepción", -36.83, -73.05, 1.0),
+    ("Córdoba", -31.42, -64.18, 1.6), ("Rosario", -32.94, -60.64, 1.3),
+    ("Mendoza", -32.89, -68.83, 1.0), ("Goiânia", -16.69, -49.26, 2.6),
+    ("Cuiabá", -15.60, -56.10, 0.9), ("Porto Velho", -8.76, -63.90, 0.5),
+    ("Georgetown", 6.80, -58.16, 0.2), ("Paramaribo", 5.87, -55.17, 0.25),
+];
+
+/// Load `n` cities (sorted by population, descending).
+///
+/// The first `min(n, REAL)` are the embedded real cities; the remainder is
+/// a deterministic synthetic tail: each synthetic city is placed near a
+/// population-weighted random real anchor (offset up to ~4°, rejected and
+/// resampled until it lands on land) with populations continuing the
+/// Zipf-like tail of the real list.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn load_cities(n: usize, seed: u64) -> Vec<City> {
+    assert!(n > 0, "need at least one city");
+    let mut cities: Vec<City> = REAL_CITIES
+        .iter()
+        .map(|&(name, lat, lon, pop_m)| City {
+            name: name.to_string(),
+            pos: GeoPoint::from_degrees(lat, lon),
+            population: pop_m * 1e6,
+        })
+        .collect();
+    cities.sort_by(|a, b| b.population.total_cmp(&a.population));
+    if n <= cities.len() {
+        cities.truncate(n);
+        return cities;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC1717E5);
+    let total_pop: f64 = cities.iter().map(|c| c.population).sum();
+    let real = cities.clone();
+    let min_real_pop = real.last().map(|c| c.population).unwrap_or(1e5);
+    let mut k = 0usize;
+    while cities.len() < n {
+        // Population-weighted anchor choice.
+        let mut pick = rng.random_range(0.0..total_pop);
+        let mut anchor = &real[0];
+        for c in &real {
+            if pick < c.population {
+                anchor = c;
+                break;
+            }
+            pick -= c.population;
+        }
+        // Offset up to ~4° in each axis; must land on land and away from
+        // the poles.
+        let lat = anchor.pos.lat_deg() + rng.random_range(-4.0..4.0);
+        let lon = anchor.pos.lon_deg() + rng.random_range(-4.0..4.0);
+        let pos = GeoPoint::from_degrees(lat.clamp(-56.0, 70.0), lon);
+        if !is_land(pos) {
+            continue;
+        }
+        // Zipf-ish tail below the smallest real city.
+        let population = min_real_pop * (real.len() as f64) / (real.len() + k) as f64;
+        k += 1;
+        cities.push(City {
+            name: format!("synth-{k}"),
+            pos,
+            population,
+        });
+    }
+    cities
+}
+
+/// Find a (real) city by exact name in a loaded list.
+pub fn city_by_name<'a>(cities: &'a [City], name: &str) -> Option<&'a City> {
+    cities.iter().find(|c| c.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_list_is_large_and_sane() {
+        assert!(REAL_CITIES.len() >= 250, "got {}", REAL_CITIES.len());
+        for &(name, lat, lon, pop) in REAL_CITIES {
+            assert!(!name.is_empty());
+            assert!((-90.0..=90.0).contains(&lat), "{name}");
+            assert!((-180.0..=180.0).contains(&lon), "{name}");
+            assert!(pop > 0.0 && pop < 45.0, "{name}: {pop}M");
+        }
+    }
+
+    #[test]
+    fn no_duplicate_names() {
+        let mut names: Vec<_> = REAL_CITIES.iter().map(|c| c.0).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate city names");
+    }
+
+    #[test]
+    fn sorted_by_population() {
+        let cities = load_cities(100, 1);
+        for w in cities.windows(2) {
+            assert!(w[0].population >= w[1].population);
+        }
+        assert_eq!(cities[0].name, "Tokyo");
+    }
+
+    #[test]
+    fn synthesizes_tail_to_1000() {
+        let cities = load_cities(1000, 42);
+        assert_eq!(cities.len(), 1000);
+        let synth = cities.iter().filter(|c| c.name.starts_with("synth-")).count();
+        assert!(synth > 500, "most of the tail is synthetic: {synth}");
+        // All synthetic cities are on land.
+        for c in &cities {
+            if c.name.starts_with("synth-") {
+                assert!(is_land(c.pos), "{} off land at {}", c.name, c.pos);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = load_cities(500, 7);
+        let b = load_cities(500, 7);
+        assert_eq!(a, b);
+        let c = load_cities(500, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let cities = load_cities(1000, 42);
+        assert!(city_by_name(&cities, "Maceió").is_some());
+        assert!(city_by_name(&cities, "Durban").is_some());
+        assert!(city_by_name(&cities, "Delhi").is_some());
+        assert!(city_by_name(&cities, "Sydney").is_some());
+        assert!(city_by_name(&cities, "Brisbane").is_some());
+        assert!(city_by_name(&cities, "Tokyo").is_some());
+        assert!(city_by_name(&cities, "Paris").is_some());
+        assert!(city_by_name(&cities, "Atlantis").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one city")]
+    fn rejects_zero() {
+        load_cities(0, 1);
+    }
+}

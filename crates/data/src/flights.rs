@@ -1,0 +1,285 @@
+//! Synthetic global air traffic (the FlightAware substitution).
+//!
+//! The paper uses one day of real in-flight aircraft positions as
+//! potential BP relays over water. We synthesize an equivalent: the
+//! world's intercontinental corridors as great-circle routes between hub
+//! airports, each with a daily departure count **calibrated to the
+//! real-world asymmetry that drives the paper's results** — hundreds of
+//! daily North Atlantic crossings versus a handful over the South
+//! Atlantic. Departures are staggered around the clock in both directions,
+//! aircraft fly at 900 km/h along the great circle, and only aircraft
+//! over water (per the land mask) are offered as relays.
+
+use crate::airports::airport;
+use crate::landmask::is_land;
+use leo_geo::{great_circle_distance_m, intermediate_point, GeoPoint};
+
+/// Cruise ground speed of a long-haul aircraft, m/s (~900 km/h).
+pub const CRUISE_SPEED_M_S: f64 = 250.0;
+
+/// One corridor: an airport pair plus departures per day per direction.
+#[derive(Debug, Clone, Copy)]
+struct Route {
+    from: &'static str,
+    to: &'static str,
+    per_day: u32,
+}
+
+/// The corridor table. Counts are per direction per day; they are not a
+/// flight schedule but a density model of the world's over-water traffic.
+#[rustfmt::skip]
+const ROUTES: &[Route] = &[
+    // --- North Atlantic (dense: the paper's Fig. 3 contrast) ---
+    Route { from: "JFK", to: "LHR", per_day: 18 }, Route { from: "JFK", to: "CDG", per_day: 10 },
+    Route { from: "JFK", to: "FRA", per_day: 8 },  Route { from: "JFK", to: "AMS", per_day: 7 },
+    Route { from: "JFK", to: "MAD", per_day: 5 },  Route { from: "JFK", to: "DUB", per_day: 5 },
+    Route { from: "BOS", to: "LHR", per_day: 8 },  Route { from: "BOS", to: "CDG", per_day: 4 },
+    Route { from: "YYZ", to: "LHR", per_day: 8 },  Route { from: "YYZ", to: "FRA", per_day: 5 },
+    Route { from: "ORD", to: "LHR", per_day: 8 },  Route { from: "ORD", to: "FRA", per_day: 5 },
+    Route { from: "IAD", to: "LHR", per_day: 6 },  Route { from: "IAD", to: "CDG", per_day: 4 },
+    Route { from: "ATL", to: "LHR", per_day: 5 },  Route { from: "ATL", to: "AMS", per_day: 4 },
+    Route { from: "MIA", to: "LHR", per_day: 5 },  Route { from: "MIA", to: "MAD", per_day: 5 },
+    Route { from: "JFK", to: "LIS", per_day: 4 },  Route { from: "JFK", to: "ZRH", per_day: 4 },
+    Route { from: "JFK", to: "IST", per_day: 4 },  Route { from: "BOS", to: "KEF", per_day: 4 },
+    Route { from: "JFK", to: "KEF", per_day: 4 },  Route { from: "YYZ", to: "KEF", per_day: 3 },
+    // --- North Pacific ---
+    Route { from: "LAX", to: "NRT", per_day: 8 },  Route { from: "LAX", to: "HND", per_day: 6 },
+    Route { from: "LAX", to: "ICN", per_day: 6 },  Route { from: "LAX", to: "PVG", per_day: 5 },
+    Route { from: "SFO", to: "NRT", per_day: 6 },  Route { from: "SFO", to: "HKG", per_day: 5 },
+    Route { from: "SFO", to: "ICN", per_day: 4 },  Route { from: "SEA", to: "NRT", per_day: 4 },
+    Route { from: "YVR", to: "NRT", per_day: 4 },  Route { from: "YVR", to: "HKG", per_day: 4 },
+    Route { from: "LAX", to: "TPE", per_day: 4 },  Route { from: "SFO", to: "PEK", per_day: 3 },
+    Route { from: "HNL", to: "NRT", per_day: 6 },  Route { from: "LAX", to: "HNL", per_day: 10 },
+    Route { from: "SFO", to: "HNL", per_day: 8 },  Route { from: "SEA", to: "HNL", per_day: 4 },
+    // --- South Pacific (sparse) ---
+    Route { from: "SYD", to: "LAX", per_day: 4 },  Route { from: "SYD", to: "SFO", per_day: 2 },
+    Route { from: "AKL", to: "LAX", per_day: 2 },  Route { from: "SYD", to: "HNL", per_day: 2 },
+    Route { from: "AKL", to: "SFO", per_day: 1 },  Route { from: "SYD", to: "SCL", per_day: 1 },
+    Route { from: "AKL", to: "EZE", per_day: 1 },
+    // --- South Atlantic (very sparse: Maceió–Durban pain) ---
+    Route { from: "GRU", to: "JNB", per_day: 2 },  Route { from: "GRU", to: "LOS", per_day: 1 },
+    Route { from: "GRU", to: "CPT", per_day: 1 },  Route { from: "EZE", to: "JNB", per_day: 1 },
+    // --- Equatorial Atlantic narrows (Europe/Africa ↔ South America) ---
+    Route { from: "MAD", to: "GRU", per_day: 4 },  Route { from: "LIS", to: "GRU", per_day: 4 },
+    Route { from: "CDG", to: "GRU", per_day: 3 },  Route { from: "FRA", to: "GRU", per_day: 2 },
+    Route { from: "LIS", to: "GIG", per_day: 3 },  Route { from: "MAD", to: "EZE", per_day: 3 },
+    Route { from: "CDG", to: "EZE", per_day: 2 },  Route { from: "LHR", to: "GRU", per_day: 2 },
+    Route { from: "DKR", to: "GRU", per_day: 1 },  Route { from: "CMN", to: "GRU", per_day: 1 },
+    // --- Indian Ocean ---
+    Route { from: "DXB", to: "SYD", per_day: 3 },  Route { from: "DXB", to: "PER", per_day: 2 },
+    Route { from: "DOH", to: "SYD", per_day: 2 },  Route { from: "DXB", to: "SIN", per_day: 6 },
+    Route { from: "DXB", to: "BOM", per_day: 6 },  Route { from: "SIN", to: "PER", per_day: 4 },
+    Route { from: "SIN", to: "SYD", per_day: 5 },  Route { from: "SIN", to: "MEL", per_day: 4 },
+    Route { from: "KUL", to: "SYD", per_day: 2 },  Route { from: "BKK", to: "SYD", per_day: 2 },
+    Route { from: "HKG", to: "SYD", per_day: 4 },  Route { from: "HKG", to: "MEL", per_day: 3 },
+    Route { from: "NRT", to: "SYD", per_day: 3 },  Route { from: "JNB", to: "PER", per_day: 1 },
+    Route { from: "MRU", to: "PER", per_day: 1 },  Route { from: "JNB", to: "SYD", per_day: 1 },
+    Route { from: "DEL", to: "SIN", per_day: 4 },  Route { from: "BOM", to: "SIN", per_day: 4 },
+    Route { from: "NBO", to: "BOM", per_day: 2 },  Route { from: "ADD", to: "DEL", per_day: 2 },
+    Route { from: "DXB", to: "MRU", per_day: 2 },  Route { from: "NBO", to: "MRU", per_day: 1 },
+    // --- Caribbean / Latin connectors ---
+    Route { from: "MIA", to: "GRU", per_day: 4 },  Route { from: "MIA", to: "EZE", per_day: 3 },
+    Route { from: "MIA", to: "BOG", per_day: 5 },  Route { from: "MIA", to: "LIM", per_day: 3 },
+    Route { from: "JFK", to: "GRU", per_day: 3 },  Route { from: "PTY", to: "GRU", per_day: 2 },
+    Route { from: "MEX", to: "GRU", per_day: 1 },  Route { from: "LAX", to: "MEX", per_day: 5 },
+    // --- Polar / northern ---
+    Route { from: "ANC", to: "NRT", per_day: 2 },  Route { from: "SVO", to: "JFK", per_day: 2 },
+];
+
+/// An in-flight aircraft at one instant.
+#[derive(Debug, Clone, Copy)]
+pub struct Aircraft {
+    /// Stable id across the day (route index and departure slot).
+    pub id: u64,
+    /// Current position.
+    pub pos: GeoPoint,
+    /// True if the aircraft is currently over water (usable as a relay).
+    pub over_water: bool,
+}
+
+/// The day's synthetic flight schedule.
+#[derive(Debug, Clone)]
+pub struct FlightSchedule {
+    /// Expanded (origin, destination, departure-time-s, duration-s, id).
+    legs: Vec<Leg>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Leg {
+    id: u64,
+    from: GeoPoint,
+    to: GeoPoint,
+    depart_s: f64,
+    duration_s: f64,
+}
+
+impl FlightSchedule {
+    /// Build the schedule with a traffic-density multiplier (1.0 = the
+    /// baseline corridor table; 2.0 doubles every corridor's departures).
+    pub fn new(density: f64) -> Self {
+        assert!(density > 0.0);
+        let day = 86_400.0;
+        let mut legs = Vec::new();
+        let mut id = 0u64;
+        for (ri, r) in ROUTES.iter().enumerate() {
+            let a = airport(r.from).unwrap_or_else(|| panic!("unknown airport {}", r.from));
+            let b = airport(r.to).unwrap_or_else(|| panic!("unknown airport {}", r.to));
+            let dist = great_circle_distance_m(a.pos(), b.pos());
+            let duration = dist / CRUISE_SPEED_M_S;
+            let n = ((r.per_day as f64 * density).round() as u32).max(1);
+            for dir in 0..2 {
+                let (from, to) = if dir == 0 {
+                    (a.pos(), b.pos())
+                } else {
+                    (b.pos(), a.pos())
+                };
+                for k in 0..n {
+                    // Stagger departures around the clock, offset per route
+                    // and direction so corridors don't pulse in sync.
+                    let phase = ((ri * 7919 + dir * 104_729) % 997) as f64 / 997.0;
+                    let depart = day * ((k as f64 + phase) / n as f64);
+                    legs.push(Leg {
+                        id,
+                        from,
+                        to,
+                        depart_s: depart,
+                        duration_s: duration,
+                    });
+                    id += 1;
+                }
+            }
+        }
+        Self { legs }
+    }
+
+    /// Total flight legs over the day.
+    pub fn num_legs(&self) -> usize {
+        self.legs.len()
+    }
+
+    /// All aircraft in the air at time `t_s` (seconds into the day;
+    /// wrapped modulo 24 h so the schedule repeats).
+    pub fn aircraft_at(&self, t_s: f64) -> Vec<Aircraft> {
+        let day = 86_400.0;
+        let t = t_s.rem_euclid(day);
+        let mut out = Vec::new();
+        for leg in &self.legs {
+            // A leg departing late yesterday may still be airborne.
+            for offset in [0.0, -day] {
+                let elapsed = t - (leg.depart_s + offset);
+                if elapsed >= 0.0 && elapsed <= leg.duration_s {
+                    let frac = elapsed / leg.duration_s;
+                    let pos = intermediate_point(leg.from, leg.to, frac);
+                    out.push(Aircraft {
+                        id: leg.id,
+                        pos,
+                        over_water: !is_land(pos),
+                    });
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Aircraft currently over water (the relay-eligible subset).
+    pub fn relays_at(&self, t_s: f64) -> Vec<Aircraft> {
+        self.aircraft_at(t_s)
+            .into_iter()
+            .filter(|a| a.over_water)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_nonempty_and_deterministic() {
+        let s = FlightSchedule::new(1.0);
+        assert!(s.num_legs() > 400, "got {}", s.num_legs());
+        let a = s.aircraft_at(43_200.0);
+        let b = s.aircraft_at(43_200.0);
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn density_scales_traffic() {
+        let lo = FlightSchedule::new(0.5);
+        let hi = FlightSchedule::new(2.0);
+        assert!(hi.num_legs() > lo.num_legs());
+    }
+
+    #[test]
+    fn aircraft_positions_move() {
+        let s = FlightSchedule::new(1.0);
+        let t0 = s.aircraft_at(30_000.0);
+        let t1 = s.aircraft_at(30_900.0);
+        // Find a common aircraft and check it moved ~225 km in 15 min.
+        let mut checked = false;
+        for a in &t0 {
+            if let Some(b) = t1.iter().find(|b| b.id == a.id) {
+                let d = great_circle_distance_m(a.pos, b.pos);
+                assert!(d > 150_000.0 && d < 300_000.0, "moved {d} m");
+                checked = true;
+                break;
+            }
+        }
+        assert!(checked, "no aircraft airborne across both snapshots");
+    }
+
+    #[test]
+    fn north_atlantic_much_denser_than_south() {
+        // Count over-water aircraft in the two basins across the day —
+        // this asymmetry produces the paper's Fig. 3.
+        let s = FlightSchedule::new(1.0);
+        let mut north = 0usize;
+        let mut south = 0usize;
+        for hour in 0..24 {
+            for a in s.relays_at(hour as f64 * 3600.0) {
+                let (lat, lon) = (a.pos.lat_deg(), a.pos.lon_deg());
+                if (-70.0..=-10.0).contains(&lon) {
+                    if (35.0..=65.0).contains(&lat) {
+                        north += 1;
+                    } else if (-45.0..=-5.0).contains(&lat) {
+                        south += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            north > 8 * south.max(1),
+            "North Atlantic ({north}) must dwarf South Atlantic ({south})"
+        );
+        assert!(north > 200, "North Atlantic should be busy: {north}");
+        assert!(south > 0, "South Atlantic is sparse but not empty");
+    }
+
+    #[test]
+    fn relays_are_over_water_only() {
+        let s = FlightSchedule::new(1.0);
+        for a in s.relays_at(50_000.0) {
+            assert!(a.over_water);
+            assert!(!crate::landmask::is_land(a.pos));
+        }
+    }
+
+    #[test]
+    fn time_wraps_across_midnight() {
+        let s = FlightSchedule::new(1.0);
+        let a = s.aircraft_at(100.0);
+        let b = s.aircraft_at(100.0 + 86_400.0);
+        assert_eq!(a.len(), b.len(), "schedule must repeat daily");
+    }
+
+    #[test]
+    fn airborne_count_reasonable() {
+        // A few hundred long-haul aircraft airborne at once at baseline
+        // density (the over-water oceanic fleet, not all world traffic).
+        let s = FlightSchedule::new(1.0);
+        let n = s.aircraft_at(40_000.0).len();
+        assert!(n > 80 && n < 2_000, "got {n}");
+    }
+}

@@ -1,0 +1,299 @@
+//! Coarse global land/water mask.
+//!
+//! Stand-in for the `global-land-mask` package the paper uses to keep
+//! aircraft relays over water. Continents and major islands are encoded as
+//! coarse polygons (tens of vertices each); [`is_land`] additionally
+//! dilates the test by ±0.7° so that coastal cities always classify as
+//! land. The mask's job in the experiments is binary and forgiving: keep
+//! grid relays off the open ocean, and admit only mid-ocean aircraft as
+//! relays — a few tens of km of coastal fuzz changes nothing.
+
+use leo_geo::GeoPoint;
+
+/// A polygon in (lat, lon) degrees. None of the polygons crosses the
+/// antimeridian (shapes that would are truncated at ±180°).
+type Poly = &'static [(f64, f64)];
+
+#[rustfmt::skip]
+const NORTH_AMERICA: Poly = &[
+    (71.0,-168.0),(71.0,-140.0),(69.0,-110.0),(73.0,-85.0),(60.0,-64.0),(52.0,-55.0),
+    (45.0,-60.0),(44.0,-66.0),(40.0,-74.0),(35.0,-76.0),(30.0,-81.0),(25.0,-80.0),
+    (29.0,-84.0),(30.0,-90.0),(28.0,-96.0),(22.0,-97.0),(21.0,-87.0),(15.0,-83.0),
+    (8.0,-77.0),(7.0,-80.0),(15.0,-93.0),(19.0,-105.0),(23.0,-110.0),(28.0,-114.0),
+    (32.0,-117.0),(38.0,-123.0),(46.0,-124.0),(55.0,-132.0),(59.0,-140.0),(55.0,-163.0),
+    (65.0,-168.0),
+];
+
+#[rustfmt::skip]
+const SOUTH_AMERICA: Poly = &[
+    (12.0,-72.0),(10.0,-62.0),(5.0,-52.0),(-2.0,-44.0),(-5.0,-35.0),(-8.0,-34.0),
+    (-15.0,-39.0),(-23.0,-41.0),(-25.0,-48.0),(-34.0,-53.0),(-39.0,-62.0),(-47.0,-66.0),
+    (-54.0,-68.0),(-53.0,-71.0),(-46.0,-74.0),(-37.0,-73.0),(-30.0,-71.0),(-18.0,-70.0),
+    (-14.0,-76.0),(-6.0,-81.0),(-1.0,-80.0),(2.0,-78.0),(7.0,-77.0),(9.0,-76.0),(11.0,-74.0),
+];
+
+#[rustfmt::skip]
+const AFRICA: Poly = &[
+    (35.0,-6.0),(37.0,10.0),(33.0,13.0),(30.0,19.0),(31.0,25.0),(31.0,32.0),(30.0,32.5),
+    (27.0,34.0),(22.0,37.0),(15.0,40.0),(12.0,43.0),(11.0,51.0),(2.0,46.0),(-4.0,40.0),
+    (-10.0,40.0),(-15.0,41.0),(-20.0,35.0),(-26.0,33.5),(-30.0,31.5),(-34.0,26.0),(-35.0,20.0),
+    (-34.0,18.0),(-29.0,16.0),(-22.0,14.0),(-15.0,12.0),(-8.0,13.0),(-1.0,9.0),
+    (4.0,9.0),(6.0,4.0),(6.0,-2.0),(4.0,-8.0),(7.0,-13.0),(12.0,-17.0),(15.0,-17.5),
+    (21.0,-17.0),(28.0,-13.0),(33.0,-9.0),
+];
+
+/// Europe + Asia as one blob. Inland seas (Black, Caspian) count as land;
+/// the Mediterranean's northern bays are partly swallowed — harmless for
+/// this mask's purpose.
+#[rustfmt::skip]
+const EURASIA: Poly = &[
+    (36.0,-9.0),(43.0,-9.0),(46.0,-2.0),(49.0,-5.0),(51.0,1.0),(53.0,5.0),(55.0,8.0),
+    (58.0,7.0),(60.0,5.0),(65.0,12.0),(71.0,25.0),(69.0,35.0),(67.0,45.0),(69.0,60.0),
+    (73.0,80.0),(76.0,105.0),(72.0,130.0),(69.0,160.0),(66.0,179.5),(62.0,179.5),
+    (58.0,160.0),(51.0,156.5),(60.0,152.0),(57.0,140.0),(52.0,141.0),(46.0,138.0),
+    (42.0,131.0),(38.0,126.0),(37.0,124.0),(40.0,121.0),(37.0,118.5),(32.0,121.5),
+    (27.0,120.5),(22.0,114.0),(21.0,108.0),(16.0,108.0),(9.0,106.5),(13.0,100.0),
+    (6.0,100.5),(1.1,104.3),(3.5,101.0),(9.0,98.0),(15.0,95.0),(22.0,91.0),(20.0,87.0),
+    (15.0,80.0),(8.0,77.0),(12.0,74.0),(20.0,71.0),(24.0,66.0),(25.0,60.0),(26.0,57.0),
+    (30.0,49.0),(29.0,48.0),(26.0,50.5),(24.0,52.0),(26.0,56.5),(22.0,60.0),(17.0,55.0),
+    (12.0,45.0),(13.0,43.0),(17.0,42.0),(21.0,39.0),(28.0,35.0),(30.0,32.5),(31.0,34.0),
+    (33.0,35.0),(36.0,36.0),(37.0,31.0),(36.0,28.0),(39.0,26.0),(41.0,26.0),(41.0,29.0),
+    (40.0,23.0),(37.0,22.0),(38.0,20.0),(41.0,19.0),(43.0,14.0),(45.0,13.0),(44.0,9.0),
+    (43.0,7.0),(42.0,3.0),(39.0,0.0),(37.0,-2.0),(36.0,-6.0),(37.0,-9.0),
+];
+
+#[rustfmt::skip]
+const AUSTRALIA: Poly = &[
+    (-10.7,142.5),(-12.0,143.0),(-16.0,145.5),(-20.0,148.5),(-25.0,153.0),(-28.0,153.5),
+    (-33.0,151.5),(-37.5,150.0),(-39.0,146.0),(-38.0,140.0),(-35.0,136.0),(-32.0,132.0),
+    (-33.0,124.0),(-35.0,117.5),(-32.0,115.5),(-26.0,113.5),(-22.0,114.0),(-20.0,119.0),
+    (-17.0,122.0),(-14.0,126.0),(-12.0,130.5),(-11.0,136.0),(-11.0,142.5),
+];
+
+#[rustfmt::skip]
+const GREENLAND: Poly = &[
+    (60.0,-43.0),(70.0,-22.0),(83.0,-32.0),(82.0,-60.0),(76.0,-70.0),(66.0,-54.0),
+];
+
+#[rustfmt::skip]
+const JAPAN: Poly = &[
+    (30.0,129.5),(32.5,134.0),(33.5,138.0),(34.8,140.5),(39.5,143.0),(42.5,146.5),
+    (44.5,146.0),(45.8,142.0),(43.0,139.5),(37.0,135.5),(33.5,130.5),(31.0,128.8),
+];
+
+#[rustfmt::skip]
+const BRITISH_ISLES: Poly = &[
+    (50.0,-11.0),(50.0,1.5),(53.0,2.0),(59.0,-1.0),(59.5,-7.0),(54.0,-11.0),
+];
+
+#[rustfmt::skip]
+const NEW_ZEALAND: Poly = &[
+    (-34.0,172.0),(-37.5,179.0),(-47.0,168.0),(-44.0,166.5),(-40.0,172.0),
+];
+
+#[rustfmt::skip]
+const MADAGASCAR: Poly = &[
+    (-12.0,49.0),(-16.0,50.5),(-25.5,47.0),(-25.0,43.5),(-16.0,43.5),
+];
+
+#[rustfmt::skip]
+const BORNEO: Poly = &[
+    (7.0,117.0),(1.0,119.0),(-4.0,116.0),(-3.0,110.0),(1.0,109.0),(5.0,113.0),
+];
+
+#[rustfmt::skip]
+const SUMATRA: Poly = &[
+    (6.0,95.0),(-6.0,102.0),(-6.0,106.5),(0.0,104.0),(5.0,98.0),
+];
+
+#[rustfmt::skip]
+const JAVA: Poly = &[
+    (-5.8,105.0),(-7.0,114.5),(-9.0,115.0),(-8.0,105.5),
+];
+
+#[rustfmt::skip]
+const SULAWESI: Poly = &[
+    (-6.0,118.5),(2.0,120.0),(2.0,125.0),(-6.0,124.0),
+];
+
+#[rustfmt::skip]
+const NEW_GUINEA: Poly = &[
+    (-1.0,131.0),(-9.0,141.0),(-10.5,150.0),(-8.0,148.0),(-4.0,144.0),(-1.0,137.0),(-2.0,130.0),
+];
+
+#[rustfmt::skip]
+const PHILIPPINES: Poly = &[
+    (5.0,119.0),(7.0,122.0),(6.0,126.5),(10.0,127.0),(14.0,124.5),(19.0,122.5),
+    (18.5,120.0),(13.0,119.5),(9.0,117.0),(5.0,117.0),
+];
+
+#[rustfmt::skip]
+const CUBA: Poly = &[
+    (23.4,-84.9),(23.3,-80.0),(20.2,-74.0),(19.8,-77.5),(22.0,-84.5),
+];
+
+/// Axis-aligned boxes for small islands: (lat_min, lat_max, lon_min,
+/// lon_max).
+#[rustfmt::skip]
+const BOXES: &[(f64, f64, f64, f64)] = &[
+    (17.5, 20.0, -74.5, -68.2),   // Hispaniola
+    (17.6, 18.6, -78.5, -76.0),   // Jamaica
+    (17.8, 18.6, -67.4, -65.5),   // Puerto Rico
+    (18.8, 22.3, -160.0, -154.7), // Hawaii
+    (63.2, 66.6, -24.6, -13.4),   // Iceland
+    (21.8, 25.4, 120.0, 122.1),   // Taiwan
+    (5.8, 9.9, 79.6, 82.0),       // Sri Lanka
+    (-43.8, -40.5, 144.5, 148.5), // Tasmania
+    (-19.2, -16.0, 177.0, 180.0), // Fiji
+    (-20.6, -19.9, 57.2, 57.9),   // Mauritius
+    (-4.9, -4.4, 55.2, 55.8),     // Seychelles (Mahé)
+    (3.8, 4.4, 73.3, 73.7),       // Maldives (Malé)
+    (0.8, 2.2, 102.8, 104.4),     // Singapore / Johor tip
+];
+
+const POLYGONS: &[Poly] = &[
+    NORTH_AMERICA,
+    SOUTH_AMERICA,
+    AFRICA,
+    EURASIA,
+    AUSTRALIA,
+    GREENLAND,
+    JAPAN,
+    BRITISH_ISLES,
+    NEW_ZEALAND,
+    MADAGASCAR,
+    BORNEO,
+    SUMATRA,
+    JAVA,
+    SULAWESI,
+    NEW_GUINEA,
+    PHILIPPINES,
+    CUBA,
+];
+
+/// Even-odd ray casting in (lat, lon) degrees.
+fn point_in_poly(lat: f64, lon: f64, poly: Poly) -> bool {
+    let mut inside = false;
+    let n = poly.len();
+    let mut j = n - 1;
+    for i in 0..n {
+        let (lat_i, lon_i) = poly[i];
+        let (lat_j, lon_j) = poly[j];
+        if ((lat_i > lat) != (lat_j > lat))
+            && lon < (lon_j - lon_i) * (lat - lat_i) / (lat_j - lat_i) + lon_i
+        {
+            inside = !inside;
+        }
+        j = i;
+    }
+    inside
+}
+
+fn raw_is_land(lat: f64, lon: f64) -> bool {
+    // Antarctica: everything south of 60°S counts as land.
+    if lat <= -60.0 {
+        return true;
+    }
+    for &(lat_lo, lat_hi, lon_lo, lon_hi) in BOXES {
+        if lat >= lat_lo && lat <= lat_hi && lon >= lon_lo && lon <= lon_hi {
+            return true;
+        }
+    }
+    POLYGONS.iter().any(|p| point_in_poly(lat, lon, p))
+}
+
+/// True iff the point is on (or within ~0.7° of) land.
+///
+/// The dilation keeps coastal cities on land; mid-ocean points — the only
+/// places where the aircraft-relay logic needs "water" — are unaffected.
+pub fn is_land(p: GeoPoint) -> bool {
+    let (lat, lon) = (p.lat_deg(), p.lon_deg());
+    const D: f64 = 0.7;
+    raw_is_land(lat, lon)
+        || raw_is_land(lat + D, lon)
+        || raw_is_land(lat - D, lon)
+        || raw_is_land(lat, lon + D)
+        || raw_is_land(lat, lon - D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(lat: f64, lon: f64) -> GeoPoint {
+        GeoPoint::from_degrees(lat, lon)
+    }
+
+    #[test]
+    fn continental_interiors_are_land() {
+        for (lat, lon) in [
+            (40.0, -100.0), // Kansas
+            (-10.0, -55.0), // Brazil
+            (10.0, 20.0),   // Chad
+            (55.0, 40.0),   // Russia
+            (30.0, 110.0),  // China
+            (-25.0, 135.0), // Australia
+            (75.0, -40.0),  // Greenland
+        ] {
+            assert!(is_land(p(lat, lon)), "({lat},{lon}) should be land");
+        }
+    }
+
+    #[test]
+    fn open_oceans_are_water() {
+        for (lat, lon) in [
+            (35.0, -40.0),   // North Atlantic
+            (-25.0, -20.0),  // South Atlantic
+            (0.0, -30.0),    // Equatorial Atlantic
+            (30.0, -150.0),  // North Pacific
+            (-30.0, -120.0), // South Pacific
+            (-10.0, 80.0),   // Indian Ocean
+            (-45.0, 100.0),  // Southern Indian Ocean
+            (55.0, -35.0),   // between Greenland and Scotland... open sea
+        ] {
+            assert!(!is_land(p(lat, lon)), "({lat},{lon}) should be water");
+        }
+    }
+
+    #[test]
+    fn experiment_critical_cities_on_land() {
+        for (name, lat, lon) in [
+            ("Maceió", -9.67, -35.74),
+            ("Durban", -29.86, 31.02),
+            ("Delhi", 28.61, 77.21),
+            ("Sydney", -33.87, 151.21),
+            ("Brisbane", -27.47, 153.03),
+            ("Tokyo", 35.68, 139.69),
+            ("Paris", 48.86, 2.35),
+            ("London", 51.51, -0.13),
+            ("New York", 40.71, -74.01),
+            ("Singapore", 1.35, 103.82),
+            ("Auckland", -36.85, 174.76),
+            ("Honolulu", 21.31, -157.86),
+        ] {
+            assert!(is_land(p(lat, lon)), "{name} must be on land");
+        }
+    }
+
+    #[test]
+    fn most_real_cities_on_land() {
+        let cities = crate::cities::load_cities(250, 1);
+        let off: Vec<_> = cities.iter().filter(|c| !is_land(c.pos)).collect();
+        assert!(
+            off.len() * 20 <= cities.len(),
+            "more than 5% of real cities off land: {:?}",
+            off.iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn antarctica_is_land() {
+        assert!(is_land(p(-75.0, 0.0)));
+        assert!(is_land(p(-89.0, 120.0)));
+    }
+
+    #[test]
+    fn north_pole_is_water() {
+        assert!(!is_land(p(89.0, 0.0)));
+    }
+}

@@ -1,0 +1,28 @@
+//! # leo-data — datasets for the ISL study
+//!
+//! Self-contained replacements for the paper's external data sources
+//! (DESIGN.md §1 lists the substitutions):
+//!
+//! * [`cities`] — the "1,000 most populous cities" traffic endpoints: a
+//!   curated embedded list of real major cities extended with a
+//!   deterministic synthetic tail.
+//! * [`landmask`] — a coarse continental land/water mask (the
+//!   `global-land-mask` stand-in) used to keep grid relays on land and
+//!   aircraft relays over water.
+//! * [`airports`] + [`flights`] — a synthetic global air-traffic
+//!   generator (the FlightAware stand-in) whose corridor densities
+//!   reproduce the asymmetry the paper's Fig. 3 hinges on: the North
+//!   Atlantic is busy, the South Atlantic is nearly empty.
+//! * [`traffic`] — the seeded 5,000-city-pair traffic matrix with the
+//!   2,000 km minimum geodesic separation.
+
+pub mod airports;
+pub mod cities;
+pub mod flights;
+pub mod landmask;
+pub mod traffic;
+
+pub use cities::{city_by_name, load_cities, City};
+pub use flights::{FlightSchedule, Aircraft};
+pub use landmask::is_land;
+pub use traffic::{sample_city_pairs, CityPair};

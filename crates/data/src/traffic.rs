@@ -1,0 +1,122 @@
+//! The traffic matrix: seeded sampling of far-apart city pairs.
+
+use crate::cities::City;
+use leo_geo::great_circle_distance_m;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source/destination pair, as indices into the city list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CityPair {
+    /// Index of the source city.
+    pub src: u32,
+    /// Index of the destination city.
+    pub dst: u32,
+}
+
+/// Sample `n_pairs` distinct unordered city pairs, uniformly at random
+/// among pairs separated by more than `min_distance_m` along the geodesic
+/// (the paper uses 2,000 km: closer pairs are better served terrestrially).
+///
+/// Deterministic in `seed`. Pairs are canonicalized `src < dst` and
+/// deduplicated; if fewer than `n_pairs` qualifying pairs exist, all of
+/// them are returned.
+pub fn sample_city_pairs(
+    cities: &[City],
+    n_pairs: usize,
+    min_distance_m: f64,
+    seed: u64,
+) -> Vec<CityPair> {
+    let n = cities.len();
+    assert!(n >= 2, "need at least two cities");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7AFF1C);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::with_capacity(n_pairs);
+    // Rejection sampling with a deterministic cap to avoid spinning when
+    // the qualifying-pair population is small.
+    let max_attempts = n_pairs.saturating_mul(200).max(100_000);
+    let mut attempts = 0usize;
+    while out.len() < n_pairs && attempts < max_attempts {
+        attempts += 1;
+        let a = rng.random_range(0..n as u32);
+        let b = rng.random_range(0..n as u32);
+        if a == b {
+            continue;
+        }
+        let (src, dst) = if a < b { (a, b) } else { (b, a) };
+        if seen.contains(&(src, dst)) {
+            continue;
+        }
+        let d = great_circle_distance_m(cities[src as usize].pos, cities[dst as usize].pos);
+        if d <= min_distance_m {
+            continue;
+        }
+        seen.insert((src, dst));
+        out.push(CityPair { src, dst });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cities::load_cities;
+
+    #[test]
+    fn pairs_respect_min_distance() {
+        let cities = load_cities(300, 1);
+        let pairs = sample_city_pairs(&cities, 500, 2_000_000.0, 9);
+        assert_eq!(pairs.len(), 500);
+        for p in &pairs {
+            let d = great_circle_distance_m(
+                cities[p.src as usize].pos,
+                cities[p.dst as usize].pos,
+            );
+            assert!(d > 2_000_000.0, "pair too close: {d}");
+        }
+    }
+
+    #[test]
+    fn pairs_distinct_and_canonical() {
+        let cities = load_cities(300, 1);
+        let pairs = sample_city_pairs(&cities, 1000, 2_000_000.0, 9);
+        let set: std::collections::HashSet<_> = pairs.iter().collect();
+        assert_eq!(set.len(), pairs.len());
+        for p in &pairs {
+            assert!(p.src < p.dst);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cities = load_cities(300, 1);
+        let a = sample_city_pairs(&cities, 200, 2_000_000.0, 5);
+        let b = sample_city_pairs(&cities, 200, 2_000_000.0, 5);
+        assert_eq!(a, b);
+        let c = sample_city_pairs(&cities, 200, 2_000_000.0, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn small_population_returns_all_qualifying() {
+        let cities = load_cities(5, 1);
+        // Ask for more pairs than exist (max C(5,2)=10).
+        let pairs = sample_city_pairs(&cities, 50, 1.0, 3);
+        assert!(pairs.len() <= 10);
+        assert!(!pairs.is_empty());
+    }
+
+    #[test]
+    fn huge_min_distance_yields_nothing_close() {
+        let cities = load_cities(50, 1);
+        // Half the Earth's circumference: almost nothing qualifies.
+        let pairs = sample_city_pairs(&cities, 100, 19_000_000.0, 3);
+        for p in &pairs {
+            let d = great_circle_distance_m(
+                cities[p.src as usize].pos,
+                cities[p.dst as usize].pos,
+            );
+            assert!(d > 19_000_000.0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # leo-flow — max-min fair allocation of routed flows
+//!
+//! A Rust equivalent of the routed-flow core of
+//! [floodns](https://github.com/snkas/floodns), which the paper uses for
+//! its throughput experiments (§5): every flow follows a **fixed path**,
+//! and link capacities are divided among competing flows by **max-min
+//! fairness** via the classic progressive-filling ("water-filling")
+//! algorithm of Nace et al.:
+//!
+//! 1. find the most-congested link — the one whose remaining capacity per
+//!    unfrozen flow is smallest;
+//! 2. freeze every unfrozen flow crossing it at that fair share;
+//! 3. subtract the frozen rates from all links on those flows' paths;
+//! 4. repeat until every flow is frozen.
+//!
+//! Sub-flows of one city-pair are independent flows here; because the
+//! paper routes them over edge-disjoint paths they never compete with each
+//! other, which this crate does not need to know about.
+//!
+//! ```
+//! use leo_flow::FlowSim;
+//!
+//! let mut sim = FlowSim::new();
+//! let l = sim.add_link(10.0);
+//! sim.add_flow(vec![l]);
+//! sim.add_flow(vec![l]);
+//! let alloc = sim.solve();
+//! assert_eq!(alloc.rates, vec![5.0, 5.0]); // fair split of the bottleneck
+//! ```
+
+mod maxmin;
+
+pub use maxmin::{Allocation, FlowId, FlowSim, LinkId};

@@ -1,0 +1,285 @@
+//! Progressive-filling max-min fair allocation.
+
+/// Identifier of a capacitated link.
+pub type LinkId = u32;
+
+/// Identifier of a flow (index in insertion order).
+pub type FlowId = u32;
+
+/// A max-min fair allocation produced by [`FlowSim::solve`].
+#[derive(Debug, Clone)]
+pub struct Allocation {
+    /// Rate assigned to each flow, indexed by [`FlowId`]. Flows with an
+    /// empty path (which cannot exist via `add_flow`) would get 0.
+    pub rates: Vec<f64>,
+    /// Total allocated rate across flows.
+    pub aggregate: f64,
+    /// Per-link utilized capacity (sum of rates crossing the link).
+    pub link_utilization: Vec<f64>,
+    /// Number of progressive-filling rounds performed.
+    pub rounds: usize,
+}
+
+impl Allocation {
+    /// The minimum rate across flows (the "max-min" objective value), or
+    /// 0.0 if there are no flows.
+    pub fn min_rate(&self) -> f64 {
+        if self.rates.is_empty() {
+            0.0
+        } else {
+            self.rates.iter().copied().fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+/// A routed-flow network: capacitated links plus flows over fixed paths.
+#[derive(Debug, Clone, Default)]
+pub struct FlowSim {
+    capacity: Vec<f64>,
+    /// Flow paths as link-id lists.
+    paths: Vec<Vec<LinkId>>,
+}
+
+impl FlowSim {
+    /// Create an empty simulation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a link with the given capacity (must be non-negative, finite).
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        assert!(capacity.is_finite() && capacity >= 0.0);
+        self.capacity.push(capacity);
+        (self.capacity.len() - 1) as LinkId
+    }
+
+    /// Add a flow along a non-empty sequence of links.
+    ///
+    /// Duplicate links in one path are allowed (a zig-zag BP path can reuse
+    /// a GT's up and down capacity when these are modelled as one link);
+    /// each occurrence consumes capacity independently.
+    pub fn add_flow(&mut self, path: Vec<LinkId>) -> FlowId {
+        assert!(!path.is_empty(), "flow path must contain at least one link");
+        for &l in &path {
+            assert!((l as usize) < self.capacity.len(), "link {l} out of range");
+        }
+        self.paths.push(path);
+        (self.paths.len() - 1) as FlowId
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Number of flows.
+    pub fn num_flows(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Compute the max-min fair allocation by progressive filling.
+    ///
+    /// Runs in `O(rounds × active_links + Σ path lengths)`; each round
+    /// freezes at least one flow, so `rounds ≤ num_flows`.
+    pub fn solve(&self) -> Allocation {
+        let nl = self.capacity.len();
+        let nf = self.paths.len();
+        let mut remaining = self.capacity.clone();
+        let mut rates = vec![0.0f64; nf];
+        let mut frozen = vec![false; nf];
+
+        // Per-link: how many path-occurrences of unfrozen flows cross it,
+        // and which flows those are (built once; entries of frozen flows
+        // are skipped lazily).
+        let mut occurrences = vec![0u32; nl];
+        let mut link_flows: Vec<Vec<FlowId>> = vec![Vec::new(); nl];
+        for (f, path) in self.paths.iter().enumerate() {
+            for &l in path {
+                occurrences[l as usize] += 1;
+                link_flows[l as usize].push(f as FlowId);
+            }
+        }
+        // A flow crossing a link twice gets two shares of it, matching the
+        // "each occurrence consumes capacity" model; dedupe is the caller's
+        // choice by constructing paths without repeats.
+
+        let mut active: Vec<LinkId> = (0..nl as u32)
+            .filter(|&l| occurrences[l as usize] > 0)
+            .collect();
+        let mut rounds = 0usize;
+        let mut unfrozen_left = nf;
+
+        while unfrozen_left > 0 && !active.is_empty() {
+            rounds += 1;
+            // Find the most-congested link: minimal remaining / occurrences.
+            let mut best_link = active[0];
+            let mut best_share = f64::INFINITY;
+            for &l in &active {
+                let share = remaining[l as usize] / occurrences[l as usize] as f64;
+                if share < best_share {
+                    best_share = share;
+                    best_link = l;
+                }
+            }
+            let share = best_share.max(0.0);
+            // Freeze every unfrozen flow crossing the bottleneck.
+            let flows_here = std::mem::take(&mut link_flows[best_link as usize]);
+            for f in flows_here {
+                let fi = f as usize;
+                if frozen[fi] {
+                    continue;
+                }
+                frozen[fi] = true;
+                unfrozen_left -= 1;
+                // A flow crossing the bottleneck k times gets k shares? No:
+                // the flow's rate is the fair share; each crossing consumes
+                // it. Rate = share (the binding constraint).
+                rates[fi] = share;
+                for &l in &self.paths[fi] {
+                    remaining[l as usize] = (remaining[l as usize] - share).max(0.0);
+                    occurrences[l as usize] -= 1;
+                }
+            }
+            // Compact the active set.
+            active.retain(|&l| occurrences[l as usize] > 0);
+        }
+
+        let mut link_utilization = vec![0.0f64; nl];
+        for (f, path) in self.paths.iter().enumerate() {
+            for &l in path {
+                link_utilization[l as usize] += rates[f];
+            }
+        }
+        Allocation {
+            aggregate: rates.iter().sum(),
+            rates,
+            link_utilization,
+            rounds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_flows_share_one_link() {
+        let mut sim = FlowSim::new();
+        let l = sim.add_link(10.0);
+        sim.add_flow(vec![l]);
+        sim.add_flow(vec![l]);
+        let a = sim.solve();
+        assert_eq!(a.rates, vec![5.0, 5.0]);
+        assert_eq!(a.aggregate, 10.0);
+        assert!((a.link_utilization[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classic_maxmin_example() {
+        // Textbook: flows A (l1), B (l1,l2), C (l2). cap(l1)=1, cap(l2)=2.
+        // Max-min: bottleneck l1 gives A=B=0.5; then C gets 1.5 on l2.
+        let mut sim = FlowSim::new();
+        let l1 = sim.add_link(1.0);
+        let l2 = sim.add_link(2.0);
+        let a = sim.add_flow(vec![l1]);
+        let b = sim.add_flow(vec![l1, l2]);
+        let c = sim.add_flow(vec![l2]);
+        let alloc = sim.solve();
+        assert!((alloc.rates[a as usize] - 0.5).abs() < 1e-12);
+        assert!((alloc.rates[b as usize] - 0.5).abs() < 1e-12);
+        assert!((alloc.rates[c as usize] - 1.5).abs() < 1e-12);
+        assert!((alloc.aggregate - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_flows_get_full_capacity() {
+        let mut sim = FlowSim::new();
+        let l1 = sim.add_link(3.0);
+        let l2 = sim.add_link(7.0);
+        sim.add_flow(vec![l1]);
+        sim.add_flow(vec![l2]);
+        let a = sim.solve();
+        assert_eq!(a.rates, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn zero_capacity_link_gives_zero_rate() {
+        let mut sim = FlowSim::new();
+        let l = sim.add_link(0.0);
+        sim.add_flow(vec![l]);
+        let a = sim.solve();
+        assert_eq!(a.rates, vec![0.0]);
+        assert_eq!(a.aggregate, 0.0);
+    }
+
+    #[test]
+    fn no_flows() {
+        let mut sim = FlowSim::new();
+        sim.add_link(5.0);
+        let a = sim.solve();
+        assert!(a.rates.is_empty());
+        assert_eq!(a.aggregate, 0.0);
+        assert_eq!(a.rounds, 0);
+    }
+
+    #[test]
+    fn long_path_constrained_by_weakest_link() {
+        let mut sim = FlowSim::new();
+        let links: Vec<_> = [5.0, 1.0, 3.0].iter().map(|&c| sim.add_link(c)).collect();
+        sim.add_flow(links.clone());
+        let a = sim.solve();
+        assert_eq!(a.rates, vec![1.0]);
+    }
+
+    #[test]
+    fn utilization_never_exceeds_capacity() {
+        let mut sim = FlowSim::new();
+        let l1 = sim.add_link(2.0);
+        let l2 = sim.add_link(1.0);
+        let l3 = sim.add_link(4.0);
+        sim.add_flow(vec![l1, l2]);
+        sim.add_flow(vec![l2, l3]);
+        sim.add_flow(vec![l1, l3]);
+        sim.add_flow(vec![l3]);
+        let a = sim.solve();
+        for (l, u) in a.link_utilization.iter().enumerate() {
+            assert!(
+                *u <= sim.capacity[l] + 1e-9,
+                "link {l} over capacity: {u} > {}",
+                sim.capacity[l]
+            );
+        }
+    }
+
+    #[test]
+    fn flow_crossing_link_twice_counts_twice() {
+        // A zig-zag path that reuses one link: the fair share must account
+        // for both occurrences (2 shares on a 10-capacity link → rate 5
+        // consumed twice = full).
+        let mut sim = FlowSim::new();
+        let l = sim.add_link(10.0);
+        sim.add_flow(vec![l, l]);
+        let a = sim.solve();
+        assert_eq!(a.rates, vec![5.0]);
+        assert!((a.link_utilization[0] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounds_bounded_by_flows() {
+        let mut sim = FlowSim::new();
+        let links: Vec<_> = (0..10).map(|i| sim.add_link(1.0 + i as f64)).collect();
+        for chunk in links.chunks(2) {
+            sim.add_flow(chunk.to_vec());
+        }
+        let a = sim.solve();
+        assert!(a.rounds <= sim.num_flows());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn rejects_empty_path() {
+        let mut sim = FlowSim::new();
+        sim.add_flow(vec![]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Physical constants shared across the workspace.
+
+/// Mean Earth radius in meters (spherical Earth model).
+///
+/// The IUGG mean radius. All geodesic and orbital computations in this
+/// workspace use a spherical Earth with this radius, matching the modelling
+/// level of the paper and of the LEO-simulation literature (Hypatia,
+/// StarPerf) it builds on.
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// Speed of light in vacuum, meters per second.
+///
+/// Both radio ground–satellite links and laser inter-satellite links
+/// propagate at `c`; terrestrial fiber is modelled at `2/3 · c` where used.
+pub const SPEED_OF_LIGHT_M_S: f64 = 299_792_458.0;
+
+/// Altitude of the geostationary orbit above Earth's surface, meters.
+///
+/// Used for the GSO-arc avoidance analysis (paper §7, Fig. 9): LEO
+/// up/down-links near the Equator must maintain a minimum angular separation
+/// from the bore-sight of GSO ground stations.
+pub const GSO_ALTITUDE_M: f64 = 35_786_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_sane() {
+        assert!(EARTH_RADIUS_M > 6.3e6 && EARTH_RADIUS_M < 6.4e6);
+        assert!(SPEED_OF_LIGHT_M_S > 2.99e8 && SPEED_OF_LIGHT_M_S < 3.0e8);
+        assert!(GSO_ALTITUDE_M > 3.5e7 && GSO_ALTITUDE_M < 3.6e7);
+    }
+}

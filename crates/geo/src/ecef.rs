@@ -1,0 +1,111 @@
+//! Earth-centred, Earth-fixed (ECEF) Cartesian coordinates.
+
+use crate::{GeoPoint, EARTH_RADIUS_M};
+
+/// A point in Earth-centred Earth-fixed Cartesian coordinates, in meters.
+///
+/// The +X axis pierces (0°N, 0°E), +Y pierces (0°N, 90°E), and +Z pierces
+/// the North Pole. Satellites are represented in ECEF after propagation so
+/// that slant ranges to (rotating-frame) ground points are plain Euclidean
+/// distances.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ecef {
+    /// X component, meters.
+    pub x: f64,
+    /// Y component, meters.
+    pub y: f64,
+    /// Z component, meters.
+    pub z: f64,
+}
+
+impl Ecef {
+    /// Construct from raw components (meters).
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// ECEF position of a geographic point at `alt_m` meters above the
+    /// (spherical) Earth's surface.
+    pub fn from_geo(p: GeoPoint, alt_m: f64) -> Self {
+        let r = EARTH_RADIUS_M + alt_m;
+        let (slat, clat) = p.lat().sin_cos();
+        let (slon, clon) = p.lon().sin_cos();
+        Self {
+            x: r * clat * clon,
+            y: r * clat * slon,
+            z: r * slat,
+        }
+    }
+
+    /// Geographic point directly beneath this position (the sub-point),
+    /// plus the altitude above the spherical surface.
+    pub fn to_geo(&self) -> (GeoPoint, f64) {
+        let r = self.norm();
+        let lat = (self.z / r).clamp(-1.0, 1.0).asin();
+        let lon = self.y.atan2(self.x);
+        (GeoPoint::new(lat, lon), r - EARTH_RADIUS_M)
+    }
+
+    /// Euclidean norm (distance from Earth's centre), meters.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Euclidean distance to another ECEF point, meters.
+    #[inline]
+    pub fn distance(&self, other: &Ecef) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        let dz = self.z - other.z;
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+
+    /// Dot product with another vector.
+    #[inline]
+    pub fn dot(&self, other: &Ecef) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Vector from `self` to `other`.
+    #[inline]
+    pub fn to_vector(&self, other: &Ecef) -> Ecef {
+        Ecef::new(other.x - self.x, other.y - self.y, other.z - self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_point_on_equator() {
+        let e = Ecef::from_geo(GeoPoint::from_degrees(0.0, 0.0), 0.0);
+        assert!((e.x - EARTH_RADIUS_M).abs() < 1e-6);
+        assert!(e.y.abs() < 1e-6 && e.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn north_pole_is_on_z_axis() {
+        let e = Ecef::from_geo(GeoPoint::from_degrees(90.0, 0.0), 0.0);
+        assert!(e.x.abs() < 1e-6 && e.y.abs() < 1e-6);
+        assert!((e.z - EARTH_RADIUS_M).abs() < 1e-6);
+    }
+
+    #[test]
+    fn geo_roundtrip() {
+        let p = GeoPoint::from_degrees(47.3769, 8.5417);
+        let (q, alt) = Ecef::from_geo(p, 550_000.0).to_geo();
+        assert!((q.lat() - p.lat()).abs() < 1e-12);
+        assert!((q.lon() - p.lon()).abs() < 1e-12);
+        assert!((alt - 550_000.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn distance_across_diameter() {
+        let a = Ecef::from_geo(GeoPoint::from_degrees(0.0, 0.0), 0.0);
+        let b = Ecef::from_geo(GeoPoint::from_degrees(0.0, 180.0), 0.0);
+        assert!((a.distance(&b) - 2.0 * EARTH_RADIUS_M).abs() < 1e-4);
+    }
+}

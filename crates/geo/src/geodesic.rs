@@ -1,0 +1,141 @@
+//! Great-circle (geodesic) computations on a spherical Earth.
+
+use crate::{GeoPoint, EARTH_RADIUS_M};
+
+/// Great-circle distance between two points along the Earth's surface,
+/// in meters.
+///
+/// This is the "geodesic" distance the paper uses for the 2,000 km minimum
+/// city-pair separation constraint.
+pub fn great_circle_distance_m(a: GeoPoint, b: GeoPoint) -> f64 {
+    EARTH_RADIUS_M * a.central_angle(&b)
+}
+
+/// Initial bearing (forward azimuth) from `a` towards `b`, radians
+/// clockwise from North, in `[0, 2π)`.
+pub fn initial_bearing_rad(a: GeoPoint, b: GeoPoint) -> f64 {
+    let dlon = b.lon() - a.lon();
+    let y = dlon.sin() * b.lat().cos();
+    let x = a.lat().cos() * b.lat().sin() - a.lat().sin() * b.lat().cos() * dlon.cos();
+    let theta = y.atan2(x);
+    (theta + 2.0 * std::f64::consts::PI) % (2.0 * std::f64::consts::PI)
+}
+
+/// Point at fraction `f ∈ [0, 1]` of the great circle from `a` to `b`
+/// (spherical linear interpolation).
+///
+/// Used to fly synthetic aircraft along great-circle routes. For
+/// (near-)antipodal endpoints the great circle is ill-defined; we fall back
+/// to interpolating through the midpoint at `a`'s longitude, which is
+/// deterministic and adequate for synthetic route generation.
+pub fn intermediate_point(a: GeoPoint, b: GeoPoint, f: f64) -> GeoPoint {
+    let f = f.clamp(0.0, 1.0);
+    let delta = a.central_angle(&b);
+    if delta < 1e-12 {
+        return a;
+    }
+    if (std::f64::consts::PI - delta).abs() < 1e-9 {
+        // Antipodal: route over the pole on a's meridian.
+        let via = GeoPoint::new(std::f64::consts::FRAC_PI_2, a.lon());
+        return if f < 0.5 {
+            intermediate_point(a, via, f * 2.0)
+        } else {
+            intermediate_point(via, b, (f - 0.5) * 2.0)
+        };
+    }
+    let sin_delta = delta.sin();
+    let c1 = ((1.0 - f) * delta).sin() / sin_delta;
+    let c2 = (f * delta).sin() / sin_delta;
+    let x = c1 * a.lat().cos() * a.lon().cos() + c2 * b.lat().cos() * b.lon().cos();
+    let y = c1 * a.lat().cos() * a.lon().sin() + c2 * b.lat().cos() * b.lon().sin();
+    let z = c1 * a.lat().sin() + c2 * b.lat().sin();
+    GeoPoint::new(z.atan2((x * x + y * y).sqrt()), y.atan2(x))
+}
+
+/// Destination point reached by travelling `distance_m` meters from `start`
+/// along initial bearing `bearing_rad` (clockwise from North).
+pub fn destination_point(start: GeoPoint, bearing_rad: f64, distance_m: f64) -> GeoPoint {
+    let delta = distance_m / EARTH_RADIUS_M;
+    let lat2 = (start.lat().sin() * delta.cos()
+        + start.lat().cos() * delta.sin() * bearing_rad.cos())
+    .clamp(-1.0, 1.0)
+    .asin();
+    let lon2 = start.lon()
+        + (bearing_rad.sin() * delta.sin() * start.lat().cos())
+            .atan2(delta.cos() - start.lat().sin() * lat2.sin());
+    GeoPoint::new(lat2, lon2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarter_circumference() {
+        let a = GeoPoint::from_degrees(0.0, 0.0);
+        let b = GeoPoint::from_degrees(90.0, 0.0);
+        let quarter = std::f64::consts::FRAC_PI_2 * EARTH_RADIUS_M;
+        assert!((great_circle_distance_m(a, b) - quarter).abs() < 1.0);
+    }
+
+    #[test]
+    fn known_city_distance() {
+        // New York -> London is ~5,570 km.
+        let nyc = GeoPoint::from_degrees(40.7128, -74.0060);
+        let lon = GeoPoint::from_degrees(51.5074, -0.1278);
+        let d = great_circle_distance_m(nyc, lon) / 1000.0;
+        assert!((d - 5570.0).abs() < 30.0, "got {d}");
+    }
+
+    #[test]
+    fn bearing_due_north() {
+        let a = GeoPoint::from_degrees(0.0, 0.0);
+        let b = GeoPoint::from_degrees(10.0, 0.0);
+        assert!(initial_bearing_rad(a, b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bearing_due_east_at_equator() {
+        let a = GeoPoint::from_degrees(0.0, 0.0);
+        let b = GeoPoint::from_degrees(0.0, 10.0);
+        assert!((initial_bearing_rad(a, b) - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intermediate_endpoints() {
+        let a = GeoPoint::from_degrees(47.0, 8.0);
+        let b = GeoPoint::from_degrees(-33.0, 151.0);
+        let p0 = intermediate_point(a, b, 0.0);
+        let p1 = intermediate_point(a, b, 1.0);
+        assert!(a.central_angle(&p0) < 1e-9);
+        assert!(b.central_angle(&p1) < 1e-9);
+    }
+
+    #[test]
+    fn intermediate_midpoint_equidistant() {
+        let a = GeoPoint::from_degrees(40.7, -74.0);
+        let b = GeoPoint::from_degrees(51.5, -0.1);
+        let m = intermediate_point(a, b, 0.5);
+        let da = great_circle_distance_m(a, m);
+        let db = great_circle_distance_m(m, b);
+        assert!((da - db).abs() < 1.0, "midpoint not equidistant: {da} vs {db}");
+    }
+
+    #[test]
+    fn destination_roundtrip() {
+        let a = GeoPoint::from_degrees(47.0, 8.0);
+        let bearing = initial_bearing_rad(a, GeoPoint::from_degrees(30.0, 60.0));
+        let d = 3_000_000.0;
+        let dest = destination_point(a, bearing, d);
+        assert!((great_circle_distance_m(a, dest) - d).abs() < 1.0);
+    }
+
+    #[test]
+    fn antipodal_interpolation_stays_on_sphere() {
+        let a = GeoPoint::from_degrees(0.0, 0.0);
+        let b = a.antipode();
+        let m = intermediate_point(a, b, 0.5);
+        // Midpoint of the pole-routed path is the North Pole.
+        assert!((m.lat_deg() - 90.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,117 @@
+//! Geographic point type (latitude / longitude on the sphere).
+
+use crate::{deg_to_rad, normalize_lon, rad_to_deg};
+
+/// A point on the Earth's surface, stored as latitude/longitude in radians.
+///
+/// Construction clamps latitude into `[-π/2, π/2]` and normalizes longitude
+/// into `(-π, π]`, so a `GeoPoint` is always in canonical form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    lat: f64,
+    lon: f64,
+}
+
+impl GeoPoint {
+    /// Create from latitude/longitude in **radians**.
+    #[inline]
+    pub fn new(lat_rad: f64, lon_rad: f64) -> Self {
+        let lat = lat_rad.clamp(-std::f64::consts::FRAC_PI_2, std::f64::consts::FRAC_PI_2);
+        Self {
+            lat,
+            lon: normalize_lon(lon_rad),
+        }
+    }
+
+    /// Create from latitude/longitude in **degrees**.
+    #[inline]
+    pub fn from_degrees(lat_deg: f64, lon_deg: f64) -> Self {
+        Self::new(deg_to_rad(lat_deg), deg_to_rad(lon_deg))
+    }
+
+    /// Latitude in radians, in `[-π/2, π/2]`.
+    #[inline]
+    pub fn lat(&self) -> f64 {
+        self.lat
+    }
+
+    /// Longitude in radians, in `(-π, π]`.
+    #[inline]
+    pub fn lon(&self) -> f64 {
+        self.lon
+    }
+
+    /// Latitude in degrees.
+    #[inline]
+    pub fn lat_deg(&self) -> f64 {
+        rad_to_deg(self.lat)
+    }
+
+    /// Longitude in degrees.
+    #[inline]
+    pub fn lon_deg(&self) -> f64 {
+        rad_to_deg(self.lon)
+    }
+
+    /// The antipodal point.
+    pub fn antipode(&self) -> Self {
+        Self::new(-self.lat, self.lon + std::f64::consts::PI)
+    }
+
+    /// Central angle (radians) between two points along the great circle.
+    ///
+    /// Uses the haversine formulation, which is numerically stable for both
+    /// nearby and antipodal points.
+    pub fn central_angle(&self, other: &GeoPoint) -> f64 {
+        let dlat = other.lat - self.lat;
+        let dlon = other.lon - self.lon;
+        let a = (dlat / 2.0).sin().powi(2)
+            + self.lat.cos() * other.lat.cos() * (dlon / 2.0).sin().powi(2);
+        2.0 * a.sqrt().clamp(0.0, 1.0).asin()
+    }
+}
+
+impl std::fmt::Display for GeoPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.4}°, {:.4}°)", self.lat_deg(), self.lon_deg())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        let p = GeoPoint::from_degrees(95.0, 270.0);
+        assert!((p.lat_deg() - 90.0).abs() < 1e-9, "lat clamped");
+        assert!((p.lon_deg() + 90.0).abs() < 1e-9, "lon wrapped to -90");
+    }
+
+    #[test]
+    fn central_angle_symmetry() {
+        let a = GeoPoint::from_degrees(47.0, 8.0);
+        let b = GeoPoint::from_degrees(-33.0, 151.0);
+        assert!((a.central_angle(&b) - b.central_angle(&a)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn central_angle_zero_for_same_point() {
+        let a = GeoPoint::from_degrees(10.0, 20.0);
+        assert_eq!(a.central_angle(&a), 0.0);
+    }
+
+    #[test]
+    fn central_angle_antipodal_is_pi() {
+        let a = GeoPoint::from_degrees(0.0, 0.0);
+        let b = a.antipode();
+        assert!((a.central_angle(&b) - std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antipode_of_pole() {
+        let north = GeoPoint::from_degrees(90.0, 0.0);
+        let south = north.antipode();
+        assert!((south.lat_deg() + 90.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,139 @@
+//! Ground-terminal ↔ satellite slant-path geometry.
+//!
+//! A ground terminal (GT) can use a satellite only if the satellite appears
+//! sufficiently above the local horizon: the **elevation angle** must be at
+//! least the constellation's minimum elevation `e` (25° for Starlink, 30°
+//! for Kuiper in the paper). These helpers convert between elevation
+//! constraints, ground coverage radii, and slant ranges.
+
+use crate::{Ecef, GeoPoint, EARTH_RADIUS_M};
+
+/// Elevation angle (radians) of a satellite at ECEF position `sat` as seen
+/// from ground point `gt` (on the surface).
+///
+/// Returns a value in `[-π/2, π/2]`; negative values mean the satellite is
+/// below the horizon.
+pub fn elevation_angle_rad(gt: GeoPoint, sat: &Ecef) -> f64 {
+    let g = Ecef::from_geo(gt, 0.0);
+    let to_sat = g.to_vector(sat);
+    let range = to_sat.norm();
+    if range == 0.0 {
+        return std::f64::consts::FRAC_PI_2;
+    }
+    // Angle between the local vertical (direction of g) and the line of
+    // sight; elevation is its complement.
+    let cos_zenith = g.dot(&to_sat) / (g.norm() * range);
+    std::f64::consts::FRAC_PI_2 - cos_zenith.clamp(-1.0, 1.0).acos()
+}
+
+/// True iff the satellite is visible from `gt` with elevation at least
+/// `min_elev_rad`.
+#[inline]
+pub fn visible_at_elevation(gt: GeoPoint, sat: &Ecef, min_elev_rad: f64) -> bool {
+    elevation_angle_rad(gt, sat) >= min_elev_rad
+}
+
+/// Slant range (meters) from a surface point to a satellite.
+#[inline]
+pub fn slant_range_m(gt: GeoPoint, sat: &Ecef) -> f64 {
+    Ecef::from_geo(gt, 0.0).distance(sat)
+}
+
+/// Ground coverage radius (meters along the surface) of a satellite at
+/// altitude `alt_m`, for minimum elevation `min_elev_rad`.
+///
+/// From the spherical triangle Earth-centre / GT / satellite: the Earth
+/// central angle between the sub-satellite point and the farthest usable GT
+/// is `ψ = acos(Re/(Re+h)·cos e) − e`, and the coverage radius is `Re·ψ`.
+///
+/// For Starlink (h = 550 km, e = 25°) this yields ≈ 941 km, matching the
+/// paper. (The paper quotes 1,091 km for Kuiper, which corresponds to the
+/// flat-Earth approximation `h/tan e`; the spherical value for h = 630 km,
+/// e = 30° is ≈ 890 km. We use the physically correct elevation-angle test
+/// everywhere, so this constant is informational.)
+pub fn coverage_radius_m(alt_m: f64, min_elev_rad: f64) -> f64 {
+    let ratio = EARTH_RADIUS_M / (EARTH_RADIUS_M + alt_m);
+    let psi = (ratio * min_elev_rad.cos()).clamp(-1.0, 1.0).acos() - min_elev_rad;
+    EARTH_RADIUS_M * psi
+}
+
+/// Maximum slant range (meters) from a GT to a satellite at altitude
+/// `alt_m` seen at exactly the minimum elevation `min_elev_rad`.
+///
+/// Law of cosines in the same spherical triangle. This bounds the radio
+/// path length of the longest usable GT–satellite hop.
+pub fn max_slant_range_m(alt_m: f64, min_elev_rad: f64) -> f64 {
+    let re = EARTH_RADIUS_M;
+    let rs = re + alt_m;
+    let ratio = re / rs;
+    let psi = (ratio * min_elev_rad.cos()).clamp(-1.0, 1.0).acos() - min_elev_rad;
+    (re * re + rs * rs - 2.0 * re * rs * psi.cos()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deg_to_rad;
+
+    #[test]
+    fn overhead_satellite_at_90_degrees() {
+        let gt = GeoPoint::from_degrees(10.0, 20.0);
+        let sat = Ecef::from_geo(gt, 550_000.0);
+        let e = elevation_angle_rad(gt, &sat);
+        assert!((e - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposite_side_below_horizon() {
+        let gt = GeoPoint::from_degrees(0.0, 0.0);
+        let sat = Ecef::from_geo(GeoPoint::from_degrees(0.0, 180.0), 550_000.0);
+        assert!(elevation_angle_rad(gt, &sat) < 0.0);
+    }
+
+    #[test]
+    fn starlink_coverage_radius_matches_paper() {
+        let r_km = coverage_radius_m(550_000.0, deg_to_rad(25.0)) / 1000.0;
+        assert!((r_km - 941.0).abs() < 5.0, "got {r_km} km, paper says 941 km");
+    }
+
+    #[test]
+    fn coverage_shrinks_with_elevation() {
+        let lo = coverage_radius_m(550_000.0, deg_to_rad(25.0));
+        let hi = coverage_radius_m(550_000.0, deg_to_rad(40.0));
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn coverage_grows_with_altitude() {
+        let low = coverage_radius_m(550_000.0, deg_to_rad(25.0));
+        let high = coverage_radius_m(1_200_000.0, deg_to_rad(25.0));
+        assert!(high > low);
+    }
+
+    #[test]
+    fn slant_range_bounds() {
+        // Satellite straight overhead: slant range = altitude.
+        let gt = GeoPoint::from_degrees(0.0, 0.0);
+        let sat = Ecef::from_geo(gt, 550_000.0);
+        assert!((slant_range_m(gt, &sat) - 550_000.0).abs() < 1.0);
+        // Max slant range exceeds altitude but is below altitude + coverage.
+        let max = max_slant_range_m(550_000.0, deg_to_rad(25.0));
+        assert!(max > 550_000.0);
+        assert!(max < 550_000.0 + coverage_radius_m(550_000.0, deg_to_rad(25.0)) * 1.5);
+    }
+
+    #[test]
+    fn visibility_consistent_with_coverage_radius() {
+        // A satellite whose sub-point is just inside the coverage radius is
+        // visible; just outside is not.
+        let gt = GeoPoint::from_degrees(0.0, 0.0);
+        let e = deg_to_rad(25.0);
+        let r = coverage_radius_m(550_000.0, e);
+        let inside = crate::destination_point(gt, 0.0, r * 0.99);
+        let outside = crate::destination_point(gt, 0.0, r * 1.01);
+        let sat_in = Ecef::from_geo(inside, 550_000.0);
+        let sat_out = Ecef::from_geo(outside, 550_000.0);
+        assert!(visible_at_elevation(gt, &sat_in, e));
+        assert!(!visible_at_elevation(gt, &sat_out, e));
+    }
+}

@@ -1,0 +1,254 @@
+//! A latitude/longitude bucket index for radius queries on the sphere.
+//!
+//! Snapshot construction must answer "which satellites can this ground
+//! terminal see?" for tens of thousands of terminals against ~1,600
+//! satellites, 96 times per simulated day. A satellite at 550 km with a 25°
+//! minimum elevation covers a ground disc of radius ≈ 941 km (≈ 8.5° of
+//! arc), so instead of testing every satellite we bucket sub-satellite
+//! points into a fixed lat/lon grid and scan only the bins within the
+//! angular window — including longitude wrap-around and the widening of the
+//! window near the poles.
+
+use crate::{GeoPoint, EARTH_RADIUS_M};
+
+/// A spatial index mapping items (by `u32` id) to lat/lon buckets.
+///
+/// Build once per snapshot with the current sub-satellite points, then run
+/// [`SphereGrid::query_radius`] per ground terminal.
+#[derive(Debug, Clone)]
+pub struct SphereGrid {
+    /// Bin size in radians.
+    bin_rad: f64,
+    /// Number of latitude rows.
+    rows: usize,
+    /// Number of longitude columns.
+    cols: usize,
+    /// Bucket contents: `buckets[row * cols + col]` → items.
+    buckets: Vec<Vec<(u32, GeoPoint)>>,
+    len: usize,
+}
+
+impl SphereGrid {
+    /// Create an empty grid with bins of `bin_deg` degrees.
+    ///
+    /// # Panics
+    /// Panics if `bin_deg` is not in `(0, 90]`.
+    pub fn new(bin_deg: f64) -> Self {
+        assert!(
+            bin_deg > 0.0 && bin_deg <= 90.0,
+            "bin size must be in (0, 90] degrees"
+        );
+        let bin_rad = crate::deg_to_rad(bin_deg);
+        let rows = (std::f64::consts::PI / bin_rad).ceil() as usize;
+        let cols = (2.0 * std::f64::consts::PI / bin_rad).ceil() as usize;
+        Self {
+            bin_rad,
+            rows,
+            cols,
+            buckets: vec![Vec::new(); rows * cols],
+            len: 0,
+        }
+    }
+
+    /// Number of items in the index.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn row_of(&self, lat: f64) -> usize {
+        let r = ((lat + std::f64::consts::FRAC_PI_2) / self.bin_rad) as usize;
+        r.min(self.rows - 1)
+    }
+
+    fn col_of(&self, lon: f64) -> usize {
+        let c = ((lon + std::f64::consts::PI) / self.bin_rad) as usize;
+        c.min(self.cols - 1)
+    }
+
+    /// Insert an item at a position.
+    pub fn insert(&mut self, id: u32, pos: GeoPoint) {
+        let idx = self.row_of(pos.lat()) * self.cols + self.col_of(pos.lon());
+        self.buckets[idx].push((id, pos));
+        self.len += 1;
+    }
+
+    /// Collect the ids of all items within `radius_m` (surface great-circle
+    /// distance) of `center` into `out`. `out` is cleared first.
+    ///
+    /// The scan visits every bucket intersecting the bounding lat/lon window
+    /// of the query disc and then applies the exact central-angle test, so
+    /// results are exact (no false positives or negatives).
+    pub fn query_radius(&self, center: GeoPoint, radius_m: f64, out: &mut Vec<u32>) {
+        out.clear();
+        let ang = radius_m / EARTH_RADIUS_M;
+        if ang >= std::f64::consts::PI {
+            // Whole sphere.
+            for b in &self.buckets {
+                out.extend(b.iter().map(|(id, _)| *id));
+            }
+            return;
+        }
+        let lat_lo = center.lat() - ang;
+        let lat_hi = center.lat() + ang;
+        let row_lo = self.row_of(lat_lo.max(-std::f64::consts::FRAC_PI_2));
+        let row_hi = self.row_of(lat_hi.min(std::f64::consts::FRAC_PI_2));
+        // If the window reaches a pole, longitude is unconstrained.
+        let pole_touch = lat_lo <= -std::f64::consts::FRAC_PI_2 + 1e-12
+            || lat_hi >= std::f64::consts::FRAC_PI_2 - 1e-12;
+
+        for row in row_lo..=row_hi {
+            let (col_range, wrap): (std::ops::RangeInclusive<usize>, bool) = if pole_touch {
+                (0..=self.cols - 1, false)
+            } else {
+                // Longitude half-width widens by 1/cos(lat) at this row; use
+                // the row edge closest to the pole for a conservative bound.
+                let row_lat_lo = row as f64 * self.bin_rad - std::f64::consts::FRAC_PI_2;
+                let row_lat_hi = row_lat_lo + self.bin_rad;
+                let worst = row_lat_lo.abs().max(row_lat_hi.abs());
+                let cosw = worst.cos();
+                if cosw <= ang.sin() {
+                    (0..=self.cols - 1, false)
+                } else {
+                    // Exact spherical bound: sin(dlon_max) = sin(ang)/cos(lat).
+                    let dlon = (ang.sin() / cosw).clamp(-1.0, 1.0).asin() + self.bin_rad;
+                    let c_lo = center.lon() - dlon;
+                    let c_hi = center.lon() + dlon;
+                    if c_hi - c_lo >= 2.0 * std::f64::consts::PI {
+                        (0..=self.cols - 1, false)
+                    } else {
+                        let lo = self.col_of(crate::normalize_lon(c_lo));
+                        let hi = self.col_of(crate::normalize_lon(c_hi));
+                        if lo <= hi {
+                            (lo..=hi, false)
+                        } else {
+                            (lo..=hi, true) // wraps past the date line
+                        }
+                    }
+                }
+            };
+            let mut scan = |col: usize| {
+                for (id, p) in &self.buckets[row * self.cols + col] {
+                    if center.central_angle(p) <= ang {
+                        out.push(*id);
+                    }
+                }
+            };
+            if wrap {
+                let (lo, hi) = (*col_range.start(), *col_range.end());
+                for col in lo..self.cols {
+                    scan(col);
+                }
+                for col in 0..=hi {
+                    scan(col);
+                }
+            } else {
+                for col in col_range {
+                    scan(col);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::destination_point;
+
+    fn brute_force(
+        items: &[(u32, GeoPoint)],
+        center: GeoPoint,
+        radius_m: f64,
+    ) -> Vec<u32> {
+        let ang = radius_m / EARTH_RADIUS_M;
+        let mut v: Vec<u32> = items
+            .iter()
+            .filter(|(_, p)| center.central_angle(p) <= ang)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn finds_nearby_item() {
+        let mut g = SphereGrid::new(5.0);
+        g.insert(1, GeoPoint::from_degrees(47.0, 8.0));
+        g.insert(2, GeoPoint::from_degrees(-33.0, 151.0));
+        let mut out = Vec::new();
+        g.query_radius(GeoPoint::from_degrees(47.5, 8.5), 200_000.0, &mut out);
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn wraps_across_date_line() {
+        let mut g = SphereGrid::new(5.0);
+        g.insert(7, GeoPoint::from_degrees(0.0, 179.5));
+        let mut out = Vec::new();
+        g.query_radius(GeoPoint::from_degrees(0.0, -179.5), 500_000.0, &mut out);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn handles_poles() {
+        let mut g = SphereGrid::new(5.0);
+        g.insert(3, GeoPoint::from_degrees(89.0, 10.0));
+        g.insert(4, GeoPoint::from_degrees(89.0, -170.0));
+        let mut out = Vec::new();
+        g.query_radius(GeoPoint::from_degrees(88.0, 100.0), 600_000.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_ring() {
+        let mut g = SphereGrid::new(4.0);
+        let center = GeoPoint::from_degrees(10.0, 20.0);
+        let mut items = Vec::new();
+        for i in 0..72 {
+            let bearing = crate::deg_to_rad(i as f64 * 5.0);
+            for (j, d) in [500_000.0, 900_000.0, 1_500_000.0].iter().enumerate() {
+                let id = (i * 3 + j) as u32;
+                let p = destination_point(center, bearing, *d);
+                items.push((id, p));
+                g.insert(id, p);
+            }
+        }
+        let mut out = Vec::new();
+        g.query_radius(center, 941_000.0, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, brute_force(&items, center, 941_000.0));
+    }
+
+    #[test]
+    fn whole_sphere_query_returns_everything() {
+        let mut g = SphereGrid::new(10.0);
+        for i in 0..50u32 {
+            g.insert(
+                i,
+                GeoPoint::from_degrees(-80.0 + (i as f64) * 3.0, (i as f64) * 7.0 - 180.0),
+            );
+        }
+        let mut out = Vec::new();
+        g.query_radius(
+            GeoPoint::from_degrees(0.0, 0.0),
+            std::f64::consts::PI * EARTH_RADIUS_M,
+            &mut out,
+        );
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn empty_grid_returns_nothing() {
+        let g = SphereGrid::new(5.0);
+        assert!(g.is_empty());
+        let mut out = vec![99];
+        g.query_radius(GeoPoint::from_degrees(0.0, 0.0), 1e7, &mut out);
+        assert!(out.is_empty(), "out must be cleared");
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the geodesy substrate.
+
+use leo_geo::*;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = GeoPoint> {
+    (-89.9f64..89.9, -179.9f64..179.9).prop_map(|(lat, lon)| GeoPoint::from_degrees(lat, lon))
+}
+
+proptest! {
+    /// Great-circle distance is symmetric and bounded by half the
+    /// circumference.
+    #[test]
+    fn distance_symmetric_and_bounded(a in arb_point(), b in arb_point()) {
+        let d1 = great_circle_distance_m(a, b);
+        let d2 = great_circle_distance_m(b, a);
+        prop_assert!((d1 - d2).abs() < 1e-6);
+        prop_assert!(d1 >= 0.0);
+        prop_assert!(d1 <= std::f64::consts::PI * EARTH_RADIUS_M + 1e-6);
+    }
+
+    /// Triangle inequality on the sphere.
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        let ab = great_circle_distance_m(a, b);
+        let bc = great_circle_distance_m(b, c);
+        let ac = great_circle_distance_m(a, c);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    /// ECEF round-trips preserve position and altitude.
+    #[test]
+    fn ecef_roundtrip(p in arb_point(), alt in 0.0f64..2_000_000.0) {
+        let (q, a) = Ecef::from_geo(p, alt).to_geo();
+        prop_assert!(p.central_angle(&q) * EARTH_RADIUS_M < 1e-3);
+        prop_assert!((a - alt).abs() < 1e-3);
+    }
+
+    /// Points along a great circle divide the distance proportionally.
+    #[test]
+    fn interpolation_is_proportional(a in arb_point(), b in arb_point(), f in 0.0f64..1.0) {
+        let total = great_circle_distance_m(a, b);
+        // Skip near-antipodal pairs, where the great circle is degenerate.
+        prop_assume!(total < 0.98 * std::f64::consts::PI * EARTH_RADIUS_M);
+        prop_assume!(total > 1.0);
+        let m = intermediate_point(a, b, f);
+        let da = great_circle_distance_m(a, m);
+        prop_assert!((da - f * total).abs() < 1.0, "da={da}, expected {}", f * total);
+    }
+
+    /// destination_point travels exactly the requested distance.
+    #[test]
+    fn destination_distance_exact(
+        a in arb_point(),
+        bearing in 0.0f64..std::f64::consts::TAU,
+        d in 1.0f64..10_000_000.0,
+    ) {
+        let dest = destination_point(a, bearing, d);
+        prop_assert!((great_circle_distance_m(a, dest) - d).abs() < 1.0);
+    }
+
+    /// The elevation-angle visibility test agrees with the analytic
+    /// coverage radius for satellites at the same altitude.
+    #[test]
+    fn visibility_matches_coverage_radius(
+        gt in arb_point(),
+        bearing in 0.0f64..std::f64::consts::TAU,
+        frac in 0.0f64..2.0,
+        elev_deg in 10.0f64..60.0,
+    ) {
+        let alt = 550_000.0;
+        let e = deg_to_rad(elev_deg);
+        let r = coverage_radius_m(alt, e);
+        // Stay away from the boundary where float noise flips the result.
+        prop_assume!((frac - 1.0).abs() > 0.01);
+        let sub = destination_point(gt, bearing, r * frac);
+        let sat = Ecef::from_geo(sub, alt);
+        let visible = visible_at_elevation(gt, &sat, e);
+        prop_assert_eq!(visible, frac < 1.0);
+    }
+
+    /// SphereGrid query matches a brute-force scan.
+    #[test]
+    fn grid_matches_brute_force(
+        pts in proptest::collection::vec(arb_point(), 1..120),
+        center in arb_point(),
+        radius_km in 10.0f64..5000.0,
+    ) {
+        let mut grid = SphereGrid::new(5.0);
+        for (i, p) in pts.iter().enumerate() {
+            grid.insert(i as u32, *p);
+        }
+        let radius = radius_km * 1000.0;
+        let mut got = Vec::new();
+        grid.query_radius(center, radius, &mut got);
+        got.sort_unstable();
+        let ang = radius / EARTH_RADIUS_M;
+        let mut want: Vec<u32> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| center.central_angle(p) <= ang)
+            .map(|(i, _)| i as u32)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

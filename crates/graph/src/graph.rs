@@ -1,0 +1,243 @@
+//! Compact undirected weighted graph in CSR (compressed sparse row) form.
+
+/// Node index within a [`Graph`].
+pub type NodeId = u32;
+
+/// Stable identifier of an undirected edge: the index in insertion order.
+/// Both directed half-edges of an undirected edge share one `EdgeId`, which
+/// lets callers disable an edge once and have both directions disappear
+/// (used by the k-edge-disjoint-paths routine and by link-failure
+/// injection).
+pub type EdgeId = u32;
+
+/// Builder that accumulates undirected edges, then freezes into a
+/// [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// (u, v, weight) per undirected edge, in insertion order.
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        Self {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges added so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Add an undirected edge of the given non-negative weight, returning
+    /// its stable [`EdgeId`].
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range, on self-loops, or if the
+    /// weight is negative or non-finite (Dijkstra's precondition).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> EdgeId {
+        assert!((u as usize) < self.num_nodes, "node {u} out of range");
+        assert!((v as usize) < self.num_nodes, "node {v} out of range");
+        assert_ne!(u, v, "self-loops are not allowed");
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "edge weight must be finite and non-negative, got {weight}"
+        );
+        let id = self.edges.len() as EdgeId;
+        self.edges.push((u, v, weight));
+        id
+    }
+
+    /// Freeze into an immutable CSR graph.
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        let mut degree = vec![0u32; n];
+        for &(u, v, _) in &self.edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0u32; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets[..n].to_vec();
+        let mut adj = vec![
+            HalfEdge {
+                to: 0,
+                weight: 0.0,
+                edge: 0
+            };
+            2 * self.edges.len()
+        ];
+        for (id, &(u, v, w)) in self.edges.iter().enumerate() {
+            let id = id as EdgeId;
+            adj[cursor[u as usize] as usize] = HalfEdge {
+                to: v,
+                weight: w,
+                edge: id,
+            };
+            cursor[u as usize] += 1;
+            adj[cursor[v as usize] as usize] = HalfEdge {
+                to: u,
+                weight: w,
+                edge: id,
+            };
+            cursor[v as usize] += 1;
+        }
+        Graph {
+            offsets,
+            adj,
+            edges: self.edges,
+        }
+    }
+}
+
+/// One directed half of an undirected edge, as stored in the adjacency
+/// array.
+#[derive(Debug, Clone, Copy)]
+pub struct HalfEdge {
+    /// Target node.
+    pub to: NodeId,
+    /// Edge weight (e.g. propagation delay in seconds).
+    pub weight: f64,
+    /// Stable undirected edge id.
+    pub edge: EdgeId,
+}
+
+/// Immutable CSR graph. Build with [`GraphBuilder`].
+#[derive(Debug, Clone)]
+pub struct Graph {
+    offsets: Vec<u32>,
+    adj: Vec<HalfEdge>,
+    edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Neighbors of node `u` (with weights and edge ids).
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[HalfEdge] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.adj[lo..hi]
+    }
+
+    /// Endpoints and weight of undirected edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> (NodeId, NodeId, f64) {
+        self.edges[e as usize]
+    }
+
+    /// Degree of node `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.neighbors(u).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 2.0);
+        b.add_edge(2, 0, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn csr_adjacency_complete() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 2, "triangle node degree");
+        }
+        let mut n0: Vec<u32> = g.neighbors(0).iter().map(|h| h.to).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 2]);
+    }
+
+    #[test]
+    fn edge_ids_stable_in_insertion_order() {
+        let mut b = GraphBuilder::new(4);
+        let e0 = b.add_edge(0, 1, 1.0);
+        let e1 = b.add_edge(2, 3, 5.0);
+        assert_eq!((e0, e1), (0, 1));
+        let g = b.build();
+        assert_eq!(g.edge(0), (0, 1, 1.0));
+        assert_eq!(g.edge(1), (2, 3, 5.0));
+    }
+
+    #[test]
+    fn half_edges_share_edge_id() {
+        let g = triangle();
+        for u in 0..3u32 {
+            for h in g.neighbors(u) {
+                let (a, b, w) = g.edge(h.edge);
+                assert!(a == u || b == u);
+                assert_eq!(w, h.weight);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn isolated_nodes_allowed() {
+        let g = GraphBuilder::new(10).build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn parallel_edges_kept_distinct() {
+        // Parallel edges model e.g. two frequency channels; both must
+        // survive with distinct ids.
+        let mut b = GraphBuilder::new(2);
+        let e0 = b.add_edge(0, 1, 1.0);
+        let e1 = b.add_edge(0, 1, 2.0);
+        assert_ne!(e0, e1);
+        let g = b.build();
+        assert_eq!(g.degree(0), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! # leo-graph — graph algorithms for dynamic satellite-network snapshots
+//!
+//! A LEO network snapshot is a weighted undirected graph whose nodes are
+//! satellites, ground terminals, relays, and aircraft, and whose edge
+//! weights are propagation delays (or distances). This crate provides the
+//! algorithms the paper's experiments need:
+//!
+//! * [`Graph`] — a compact CSR adjacency structure with stable edge ids,
+//!   built once per snapshot.
+//! * [`dijkstra`] / [`dijkstra_with_mask`] — single-source shortest paths
+//!   (the latency experiments run one SSSP per unique source city).
+//! * [`k_edge_disjoint_paths`] — the iterative shortest-path/edge-removal
+//!   scheme used for the throughput experiments' `k` sub-flows per pair.
+//! * [`connected_components`] — for the "fraction of satellites entirely
+//!   disconnected under BP" statistic (§5).
+//! * [`max_flow`] — Dinic's algorithm, used to reproduce the "lax"
+//!   one-big-sink max-flow model of prior work that the paper criticizes.
+//! * [`suurballe`] — the optimal two-edge-disjoint-path algorithm, and
+//!   [`yen_k_shortest`] — k shortest loopless paths; both feed the
+//!   routing-scheme ablations (the paper's §5 "superior routing" future
+//!   work).
+//!
+//! Everything is synchronous and allocation-conscious: snapshot graphs have
+//! ~10⁵ nodes and ~10⁶ edges and the experiments run thousands of queries
+//! per snapshot.
+
+mod components;
+mod suurballe;
+mod yen;
+mod disjoint;
+mod graph;
+mod maxflow;
+mod shortest;
+
+pub use components::{component_sizes, connected_components};
+pub use disjoint::k_edge_disjoint_paths;
+pub use suurballe::suurballe;
+pub use yen::yen_k_shortest;
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use maxflow::{max_flow, FlowNetwork};
+pub use shortest::{dijkstra, dijkstra_with_mask, extract_path, Path, ShortestPaths};

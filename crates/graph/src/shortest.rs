@@ -1,0 +1,275 @@
+//! Single-source shortest paths (Dijkstra) with optional edge masks.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct ShortestPaths {
+    /// Source node.
+    pub source: NodeId,
+    /// `dist[v]` = shortest distance from the source, `f64::INFINITY` if
+    /// unreachable.
+    pub dist: Vec<f64>,
+    /// `parent_edge[v]` = edge id used to reach `v` on the shortest path,
+    /// `EdgeId::MAX` for the source and unreachable nodes.
+    pub parent_edge: Vec<EdgeId>,
+    /// `parent_node[v]` = predecessor of `v`, `NodeId::MAX` if none.
+    pub parent_node: Vec<NodeId>,
+}
+
+impl ShortestPaths {
+    /// True iff `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.dist[v as usize].is_finite()
+    }
+}
+
+/// A path: node sequence plus the edges connecting them and total weight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    /// Nodes from source to destination (inclusive).
+    pub nodes: Vec<NodeId>,
+    /// Edge ids, one per hop (`nodes.len() - 1` of them).
+    pub edges: Vec<EdgeId>,
+    /// Sum of edge weights.
+    pub total_weight: f64,
+}
+
+impl Path {
+    /// Number of hops (edges) in the path.
+    pub fn num_hops(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap by distance: reverse the comparison. Distances are
+        // finite non-NaN by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `source` over all edges.
+pub fn dijkstra(g: &Graph, source: NodeId) -> ShortestPaths {
+    dijkstra_impl(g, source, None, None)
+}
+
+/// Dijkstra from `source`, ignoring edges whose id is marked `true` in
+/// `disabled` (a bitmask indexed by [`EdgeId`]).
+///
+/// Used for k-edge-disjoint path computation and link-failure injection.
+/// An optional `target` enables early exit once the target is settled.
+pub fn dijkstra_with_mask(
+    g: &Graph,
+    source: NodeId,
+    disabled: &[bool],
+    target: Option<NodeId>,
+) -> ShortestPaths {
+    dijkstra_impl(g, source, Some(disabled), target)
+}
+
+fn dijkstra_impl(
+    g: &Graph,
+    source: NodeId,
+    disabled: Option<&[bool]>,
+    target: Option<NodeId>,
+) -> ShortestPaths {
+    let n = g.num_nodes();
+    assert!((source as usize) < n, "source out of range");
+    if let Some(d) = disabled {
+        assert_eq!(d.len(), g.num_edges(), "mask length must equal edge count");
+    }
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_edge = vec![EdgeId::MAX; n];
+    let mut parent_node = vec![NodeId::MAX; n];
+    let mut settled = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(1024);
+    dist[source as usize] = 0.0;
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if settled[u as usize] {
+            continue;
+        }
+        settled[u as usize] = true;
+        if target == Some(u) {
+            break;
+        }
+        for h in g.neighbors(u) {
+            if let Some(mask) = disabled {
+                if mask[h.edge as usize] {
+                    continue;
+                }
+            }
+            let nd = d + h.weight;
+            if nd < dist[h.to as usize] {
+                dist[h.to as usize] = nd;
+                parent_edge[h.to as usize] = h.edge;
+                parent_node[h.to as usize] = u;
+                heap.push(HeapItem {
+                    dist: nd,
+                    node: h.to,
+                });
+            }
+        }
+    }
+    ShortestPaths {
+        source,
+        dist,
+        parent_edge,
+        parent_node,
+    }
+}
+
+/// Extract the path from the SSSP tree to `target`, or `None` if
+/// unreachable.
+pub fn extract_path(sp: &ShortestPaths, target: NodeId) -> Option<Path> {
+    if !sp.reached(target) {
+        return None;
+    }
+    let mut nodes = vec![target];
+    let mut edges = Vec::new();
+    let mut v = target;
+    while v != sp.source {
+        let e = sp.parent_edge[v as usize];
+        let p = sp.parent_node[v as usize];
+        debug_assert!(e != EdgeId::MAX && p != NodeId::MAX);
+        edges.push(e);
+        nodes.push(p);
+        v = p;
+    }
+    nodes.reverse();
+    edges.reverse();
+    Some(Path {
+        nodes,
+        edges,
+        total_weight: sp.dist[target as usize],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// 0 --1-- 1 --1-- 2
+    ///  \------5------/
+    fn small() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 5.0);
+        b.build()
+    }
+
+    #[test]
+    fn prefers_two_hop_path() {
+        let g = small();
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[2], 2.0);
+        let p = extract_path(&sp, 2).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 2]);
+        assert_eq!(p.num_hops(), 2);
+        assert_eq!(p.total_weight, 2.0);
+    }
+
+    #[test]
+    fn masked_edge_forces_detour() {
+        let g = small();
+        let mut disabled = vec![false; g.num_edges()];
+        disabled[0] = true; // kill 0-1
+        let sp = dijkstra_with_mask(&g, 0, &disabled, None);
+        assert_eq!(sp.dist[2], 5.0);
+        let p = extract_path(&sp, 2).unwrap();
+        assert_eq!(p.nodes, vec![0, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1.0);
+        // 2,3 disconnected from 0,1; 2-3 connected.
+        b.add_edge(2, 3, 1.0);
+        let g = b.build();
+        let sp = dijkstra(&g, 0);
+        assert!(!sp.reached(2));
+        assert!(extract_path(&sp, 3).is_none());
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let g = small();
+        let sp = dijkstra(&g, 1);
+        let p = extract_path(&sp, 1).unwrap();
+        assert_eq!(p.nodes, vec![1]);
+        assert!(p.edges.is_empty());
+        assert_eq!(p.total_weight, 0.0);
+    }
+
+    #[test]
+    fn early_exit_still_correct_for_target() {
+        let g = small();
+        let sp = dijkstra_with_mask(&g, 0, &vec![false; 3], Some(2));
+        assert_eq!(sp.dist[2], 2.0);
+        assert!(extract_path(&sp, 2).is_some());
+    }
+
+    #[test]
+    fn zero_weight_edges_ok() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0.0);
+        b.add_edge(1, 2, 0.0);
+        let g = b.build();
+        let sp = dijkstra(&g, 0);
+        assert_eq!(sp.dist[2], 0.0);
+        assert_eq!(extract_path(&sp, 2).unwrap().num_hops(), 2);
+    }
+
+    #[test]
+    fn grid_distances_match_manhattan() {
+        // 5x5 unit grid: distance == Manhattan distance.
+        let n = 5;
+        let id = |r: u32, c: u32| r * n + c;
+        let mut b = GraphBuilder::new((n * n) as usize);
+        for r in 0..n {
+            for c in 0..n {
+                if c + 1 < n {
+                    b.add_edge(id(r, c), id(r, c + 1), 1.0);
+                }
+                if r + 1 < n {
+                    b.add_edge(id(r, c), id(r + 1, c), 1.0);
+                }
+            }
+        }
+        let g = b.build();
+        let sp = dijkstra(&g, 0);
+        for r in 0..n {
+            for c in 0..n {
+                assert_eq!(sp.dist[id(r, c) as usize], (r + c) as f64);
+            }
+        }
+    }
+}

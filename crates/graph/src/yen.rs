@@ -1,0 +1,174 @@
+//! Yen's algorithm: the k shortest **loopless** paths (not necessarily
+//! disjoint).
+//!
+//! Complements the disjoint-path routines: congestion-aware routing
+//! schemes (the paper's §5 "superior routing" future work) want several
+//! near-shortest candidates per pair to choose among, even when they
+//! share edges.
+
+use crate::graph::{Graph, NodeId};
+use crate::shortest::{dijkstra_with_mask, extract_path, Path};
+
+/// The up-to-`k` shortest loopless paths from `source` to `target`,
+/// ordered by total weight (ties broken deterministically by node
+/// sequence).
+pub fn yen_k_shortest(g: &Graph, source: NodeId, target: NodeId, k: usize) -> Vec<Path> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let no_mask = vec![false; g.num_edges()];
+    let sp = dijkstra_with_mask(g, source, &no_mask, Some(target));
+    let Some(first) = extract_path(&sp, target) else {
+        return Vec::new();
+    };
+    let mut confirmed: Vec<Path> = vec![first];
+    // Candidate set; tiny k means a sorted Vec is simpler and fast
+    // enough.
+    let mut candidates: Vec<Path> = Vec::new();
+
+    while confirmed.len() < k {
+        let last = confirmed.last().unwrap().clone();
+        // Each node of the previous path (except target) is a spur node.
+        for spur_idx in 0..last.nodes.len() - 1 {
+            let spur_node = last.nodes[spur_idx];
+            let root_nodes = &last.nodes[..=spur_idx];
+            let root_edges = &last.edges[..spur_idx];
+            let root_weight: f64 = root_edges
+                .iter()
+                .map(|&e| g.edge(e).2)
+                .sum();
+
+            let mut disabled = vec![false; g.num_edges()];
+            // Remove edges that would recreate an already-confirmed path
+            // sharing this root.
+            for p in confirmed.iter().chain(candidates.iter()) {
+                if p.nodes.len() > spur_idx && p.nodes[..=spur_idx] == *root_nodes {
+                    if let Some(&e) = p.edges.get(spur_idx) {
+                        disabled[e as usize] = true;
+                    }
+                }
+            }
+            // Loopless: forbid revisiting root nodes (except the spur
+            // node) by disabling all their incident edges.
+            for &n in &root_nodes[..spur_idx] {
+                for h in g.neighbors(n) {
+                    disabled[h.edge as usize] = true;
+                }
+            }
+
+            let sp = dijkstra_with_mask(g, spur_node, &disabled, Some(target));
+            if let Some(spur_path) = extract_path(&sp, target) {
+                let mut nodes = root_nodes.to_vec();
+                nodes.extend_from_slice(&spur_path.nodes[1..]);
+                let mut edges = root_edges.to_vec();
+                edges.extend_from_slice(&spur_path.edges);
+                let cand = Path {
+                    nodes,
+                    edges,
+                    total_weight: root_weight + spur_path.total_weight,
+                };
+                // Dedup candidates by node sequence.
+                if !candidates.iter().any(|c| c.nodes == cand.nodes)
+                    && !confirmed.iter().any(|c| c.nodes == cand.nodes)
+                {
+                    candidates.push(cand);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_by(|a, b| {
+            a.total_weight
+                .total_cmp(&b.total_weight)
+                .then_with(|| a.nodes.cmp(&b.nodes))
+        });
+        confirmed.push(candidates.remove(0));
+    }
+    confirmed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Classic Yen example graph.
+    fn sample() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        // c=0, d=1, e=2, f=3, g=4, h=5
+        b.add_edge(0, 1, 3.0); // c-d
+        b.add_edge(0, 2, 2.0); // c-e
+        b.add_edge(1, 3, 4.0); // d-f
+        b.add_edge(2, 1, 1.0); // e-d
+        b.add_edge(2, 3, 2.0); // e-f
+        b.add_edge(2, 4, 3.0); // e-g
+        b.add_edge(3, 4, 2.0); // f-g
+        b.add_edge(3, 5, 1.0); // f-h
+        b.add_edge(4, 5, 2.0); // g-h
+        b.build()
+    }
+
+    #[test]
+    fn first_path_is_shortest() {
+        let g = sample();
+        let ps = yen_k_shortest(&g, 0, 5, 3);
+        assert!(!ps.is_empty());
+        assert!((ps[0].total_weight - 5.0).abs() < 1e-9, "c-e-f-h = 5");
+        assert_eq!(ps[0].nodes, vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn weights_non_decreasing_and_distinct() {
+        let g = sample();
+        let ps = yen_k_shortest(&g, 0, 5, 5);
+        assert!(ps.len() >= 3);
+        for w in ps.windows(2) {
+            assert!(w[1].total_weight >= w[0].total_weight - 1e-12);
+            assert_ne!(w[0].nodes, w[1].nodes, "paths must be distinct");
+        }
+    }
+
+    #[test]
+    fn paths_are_loopless() {
+        let g = sample();
+        for p in yen_k_shortest(&g, 0, 5, 6) {
+            let mut seen = std::collections::HashSet::new();
+            for n in &p.nodes {
+                assert!(seen.insert(*n), "node {n} repeated");
+            }
+        }
+    }
+
+    #[test]
+    fn k_one_equals_dijkstra() {
+        let g = sample();
+        let ps = yen_k_shortest(&g, 0, 5, 1);
+        assert_eq!(ps.len(), 1);
+        let sp = crate::dijkstra(&g, 0);
+        assert!((ps[0].total_weight - sp.dist[5]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exhausts_small_graphs() {
+        // Triangle: exactly two loopless 0→2 paths.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 5.0);
+        let g = b.build();
+        let ps = yen_k_shortest(&g, 0, 2, 10);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].total_weight, 2.0);
+        assert_eq!(ps[1].total_weight, 5.0);
+    }
+
+    #[test]
+    fn unreachable_and_zero_k() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        assert!(yen_k_shortest(&g, 0, 2, 4).is_empty());
+        assert!(yen_k_shortest(&g, 0, 1, 0).is_empty());
+    }
+}

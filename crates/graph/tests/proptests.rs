@@ -1,0 +1,142 @@
+//! Property-based tests for graph algorithms on random graphs.
+
+use leo_graph::*;
+use proptest::prelude::*;
+
+/// Random connected-ish graph: n nodes, a random spanning-ish chain plus
+/// random extra edges with random weights.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40, proptest::collection::vec((0u32..40, 0u32..40, 0.1f64..100.0), 0..120)).prop_map(
+        |(n, extra)| {
+            let mut b = GraphBuilder::new(n);
+            // Chain keeps most graphs connected so paths usually exist.
+            for i in 1..n as u32 {
+                b.add_edge(i - 1, i, 1.0 + (i as f64 % 7.0));
+            }
+            for (u, v, w) in extra {
+                let (u, v) = (u % n as u32, v % n as u32);
+                if u != v {
+                    b.add_edge(u, v, w);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+/// Bellman-Ford reference implementation.
+fn bellman_ford(g: &Graph, source: u32) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    dist[source as usize] = 0.0;
+    for _ in 0..n {
+        let mut changed = false;
+        for e in 0..g.num_edges() as u32 {
+            let (u, v, w) = g.edge(e);
+            if dist[u as usize] + w < dist[v as usize] {
+                dist[v as usize] = dist[u as usize] + w;
+                changed = true;
+            }
+            if dist[v as usize] + w < dist[u as usize] {
+                dist[u as usize] = dist[v as usize] + w;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    dist
+}
+
+proptest! {
+    /// Dijkstra agrees with Bellman-Ford on random graphs.
+    #[test]
+    fn dijkstra_matches_bellman_ford(g in arb_graph()) {
+        let sp = dijkstra(&g, 0);
+        let reference = bellman_ford(&g, 0);
+        for v in 0..g.num_nodes() {
+            let (a, b) = (sp.dist[v], reference[v]);
+            if a.is_finite() || b.is_finite() {
+                prop_assert!((a - b).abs() < 1e-9, "node {v}: {a} vs {b}");
+            }
+        }
+    }
+
+    /// Extracted paths are well-formed: consecutive nodes joined by the
+    /// listed edges, weights summing to the reported distance.
+    #[test]
+    fn paths_are_well_formed(g in arb_graph(), target in 0u32..40) {
+        let target = target % g.num_nodes() as u32;
+        let sp = dijkstra(&g, 0);
+        if let Some(p) = extract_path(&sp, target) {
+            prop_assert_eq!(p.nodes.len(), p.edges.len() + 1);
+            let mut sum = 0.0;
+            for (i, &e) in p.edges.iter().enumerate() {
+                let (u, v, w) = g.edge(e);
+                let (a, b) = (p.nodes[i], p.nodes[i + 1]);
+                prop_assert!((u == a && v == b) || (u == b && v == a));
+                sum += w;
+            }
+            prop_assert!((sum - p.total_weight).abs() < 1e-9);
+        }
+    }
+
+    /// k-edge-disjoint paths: no edge reuse, non-decreasing weights, and
+    /// path 0 is the global shortest path.
+    #[test]
+    fn disjoint_paths_invariants(g in arb_graph(), k in 1usize..5) {
+        let target = (g.num_nodes() - 1) as u32;
+        let paths = k_edge_disjoint_paths(&g, 0, target, k, None);
+        prop_assert!(paths.len() <= k);
+        let mut used = std::collections::HashSet::new();
+        let mut prev = 0.0;
+        for p in &paths {
+            prop_assert!(p.total_weight >= prev - 1e-9, "weights must be non-decreasing");
+            prev = p.total_weight;
+            for &e in &p.edges {
+                prop_assert!(used.insert(e), "edge {e} reused across paths");
+            }
+        }
+        if let Some(first) = paths.first() {
+            let sp = dijkstra(&g, 0);
+            prop_assert!((first.total_weight - sp.dist[target as usize]).abs() < 1e-9);
+        }
+    }
+
+    /// Components partition the nodes, and nodes in one component are
+    /// mutually reachable per Dijkstra.
+    #[test]
+    fn components_consistent_with_reachability(g in arb_graph()) {
+        let labels = connected_components(&g, None);
+        let sp = dijkstra(&g, 0);
+        for v in 0..g.num_nodes() {
+            prop_assert_eq!(labels[v] == labels[0], sp.reached(v as u32));
+        }
+        let sizes = component_sizes(&labels);
+        prop_assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
+    }
+
+    /// Max-flow from 0 to n-1 is at least the bottleneck of the shortest
+    /// path (one augmenting path exists) and at most the degree-capacity
+    /// bound of either endpoint.
+    #[test]
+    fn maxflow_bounds(g in arb_graph()) {
+        let n = g.num_nodes();
+        let t = (n - 1) as u32;
+        let mut net = FlowNetwork::new(n);
+        let mut cap_s = 0.0;
+        let mut cap_t = 0.0;
+        for e in 0..g.num_edges() as u32 {
+            let (u, v, w) = g.edge(e);
+            net.add_undirected(u, v, w);
+            if u == 0 || v == 0 { cap_s += w; }
+            if u == t || v == t { cap_t += w; }
+        }
+        let f = max_flow(&mut net, 0, t);
+        prop_assert!(f <= cap_s + 1e-6);
+        prop_assert!(f <= cap_t + 1e-6);
+        // The chain edge (t-1, t) guarantees positive flow.
+        prop_assert!(f > 0.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Multi-shell constellations and their time-indexed snapshots.
+
+use crate::kepler::OrbitalElements;
+use crate::shell::{SatelliteId, Shell};
+use leo_geo::{deg_to_rad, Ecef, GeoPoint};
+
+/// A constellation: one or more shells plus the operational
+/// minimum-elevation constraint for ground-terminal links.
+#[derive(Debug, Clone)]
+pub struct Constellation {
+    shells: Vec<Shell>,
+    /// Per-satellite elements, concatenated shell-by-shell.
+    elements: Vec<OrbitalElements>,
+    /// First satellite id of each shell (same order as `shells`), plus a
+    /// final sentinel equal to the total count.
+    shell_offsets: Vec<u32>,
+    /// Minimum elevation angle for GT–satellite links, radians.
+    min_elevation_rad: f64,
+    /// Whether propagation applies J2 secular RAAN drift.
+    pub apply_j2: bool,
+}
+
+/// All satellite positions at one instant.
+#[derive(Debug, Clone)]
+pub struct ConstellationSnapshot {
+    /// Simulation time of this snapshot, seconds since epoch.
+    pub t_s: f64,
+    /// ECEF positions, indexed by [`SatelliteId`].
+    pub positions: Vec<Ecef>,
+    /// Sub-satellite (ground-track) points, same indexing.
+    pub subpoints: Vec<GeoPoint>,
+}
+
+impl Constellation {
+    /// Build a constellation from shells and a minimum elevation (degrees).
+    pub fn new(shells: Vec<Shell>, min_elevation_deg: f64) -> Self {
+        let mut elements = Vec::new();
+        let mut shell_offsets = Vec::with_capacity(shells.len() + 1);
+        for s in &shells {
+            shell_offsets.push(elements.len() as u32);
+            elements.extend(s.elements());
+        }
+        shell_offsets.push(elements.len() as u32);
+        Self {
+            shells,
+            elements,
+            shell_offsets,
+            min_elevation_rad: deg_to_rad(min_elevation_deg),
+            apply_j2: false,
+        }
+    }
+
+    /// Convenience constructor for a single shell.
+    pub fn single_shell(shell: Shell, min_elevation_deg: f64) -> Self {
+        Self::new(vec![shell], min_elevation_deg)
+    }
+
+    /// The paper's Starlink configuration: phase-1 shell, e = 25°.
+    pub fn starlink() -> Self {
+        Self::single_shell(Shell::starlink_phase1(), 25.0)
+    }
+
+    /// The paper's Kuiper configuration: first shell, e = 30°.
+    pub fn kuiper() -> Self {
+        Self::single_shell(Shell::kuiper_phase1(), 30.0)
+    }
+
+    /// Total number of satellites.
+    pub fn num_satellites(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// The shells making up this constellation.
+    pub fn shells(&self) -> &[Shell] {
+        &self.shells
+    }
+
+    /// Minimum GT-link elevation, radians.
+    pub fn min_elevation_rad(&self) -> f64 {
+        self.min_elevation_rad
+    }
+
+    /// Per-satellite orbital elements (indexed by [`SatelliteId`]).
+    pub fn elements(&self) -> &[OrbitalElements] {
+        &self.elements
+    }
+
+    /// Shell index that satellite `id` belongs to, and its index within
+    /// that shell.
+    pub fn shell_of(&self, id: SatelliteId) -> (usize, u32) {
+        debug_assert!((id as usize) < self.elements.len());
+        // shell_offsets is sorted; linear scan is fine for ≤ a few shells.
+        for (i, w) in self.shell_offsets.windows(2).enumerate() {
+            if id >= w[0] && id < w[1] {
+                return (i, id - w[0]);
+            }
+        }
+        unreachable!("satellite id out of range")
+    }
+
+    /// First satellite id of shell `i`.
+    pub fn shell_offset(&self, i: usize) -> u32 {
+        self.shell_offsets[i]
+    }
+
+    /// Propagate every satellite to time `t_s` (seconds since epoch).
+    pub fn positions_at(&self, t_s: f64) -> ConstellationSnapshot {
+        let mut positions = Vec::with_capacity(self.elements.len());
+        let mut subpoints = Vec::with_capacity(self.elements.len());
+        for e in &self.elements {
+            let p = e.position_at(t_s, self.apply_j2);
+            subpoints.push(p.to_geo().0);
+            positions.push(p);
+        }
+        ConstellationSnapshot {
+            t_s,
+            positions,
+            subpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starlink_has_1584_sats() {
+        let c = Constellation::starlink();
+        assert_eq!(c.num_satellites(), 1584);
+    }
+
+    #[test]
+    fn multi_shell_offsets() {
+        let c = Constellation::new(vec![Shell::starlink_phase1(), Shell::polar_shell()], 25.0);
+        assert_eq!(c.num_satellites(), 1584 + 720);
+        assert_eq!(c.shell_of(0), (0, 0));
+        assert_eq!(c.shell_of(1583), (0, 1583));
+        assert_eq!(c.shell_of(1584), (1, 0));
+        assert_eq!(c.shell_of(1584 + 719), (1, 719));
+        assert_eq!(c.shell_offset(1), 1584);
+    }
+
+    #[test]
+    fn snapshot_positions_on_shell_radius() {
+        let c = Constellation::starlink();
+        let snap = c.positions_at(1234.0);
+        let expected = leo_geo::EARTH_RADIUS_M + 550_000.0;
+        for p in &snap.positions {
+            assert!((p.norm() - expected).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn subpoints_match_positions() {
+        let c = Constellation::kuiper();
+        let snap = c.positions_at(500.0);
+        for (p, sp) in snap.positions.iter().zip(&snap.subpoints) {
+            let (g, alt) = p.to_geo();
+            assert!(g.central_angle(sp) < 1e-12);
+            assert!((alt - 630_000.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn satellites_move_between_snapshots() {
+        let c = Constellation::starlink();
+        let a = c.positions_at(0.0);
+        let b = c.positions_at(60.0);
+        // LEO orbital speed ~7.6 km/s; in 60 s a satellite moves ~450 km.
+        let moved = a.positions[0].distance(&b.positions[0]);
+        assert!(moved > 400_000.0 && moved < 500_000.0, "moved {moved} m");
+    }
+
+    #[test]
+    fn j2_changes_long_horizon_positions() {
+        let mut c = Constellation::starlink();
+        let without = c.positions_at(86_400.0);
+        c.apply_j2 = true;
+        let with = c.positions_at(86_400.0);
+        let d = without.positions[0].distance(&with.positions[0]);
+        assert!(d > 1_000.0, "J2 drift should be visible after a day: {d} m");
+    }
+}

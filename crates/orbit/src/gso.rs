@@ -1,0 +1,215 @@
+//! GSO-arc avoidance geometry (paper §7, Fig. 9).
+//!
+//! Geostationary satellites occupy the equatorial arc at ~35,786 km and use
+//! the same Ku/Ka bands sought by LEO operators. Regulators therefore
+//! require LEO up/down-links to keep a minimum angular separation from the
+//! bore-sight towards the GSO arc as seen from the ground terminal
+//! (22° for Starlink; 12°–18° for Kuiper). Near the Equator this carves
+//! away a large band of the sky around the arc, leaving only small usable
+//! elevation regions — which hits BP connectivity (which must relay through
+//! low-latitude GTs for cross-Equatorial traffic) much harder than ISL
+//! connectivity.
+
+use leo_geo::{deg_to_rad, Ecef, GeoPoint, GSO_ALTITUDE_M};
+
+/// Number of sample points along the GSO arc used when minimizing the
+/// separation angle. 1° spacing keeps the worst-case discretization error
+/// far below the 12°–22° thresholds of interest.
+const GSO_ARC_SAMPLES: usize = 360;
+
+/// Minimum angular separation (radians) between the direction GT→`sat` and
+/// the direction from the GT to any point of the (visible) GSO arc.
+///
+/// Only GSO points above the GT's horizon are considered — a GSO satellite
+/// below the horizon cannot receive interference from the GT's beam.
+/// Returns `None` when no part of the GSO arc is visible from `gt` (at
+/// extreme latitudes), in which case there is no constraint.
+pub fn gso_separation_rad(gt: GeoPoint, sat: &Ecef) -> Option<f64> {
+    let g = Ecef::from_geo(gt, 0.0);
+    let to_sat = g.to_vector(sat);
+    let sat_norm = to_sat.norm();
+    if sat_norm == 0.0 {
+        return None;
+    }
+    let mut best: Option<f64> = None;
+    for k in 0..GSO_ARC_SAMPLES {
+        let lon = std::f64::consts::TAU * (k as f64) / (GSO_ARC_SAMPLES as f64)
+            - std::f64::consts::PI;
+        let gso = Ecef::from_geo(GeoPoint::new(0.0, lon), GSO_ALTITUDE_M);
+        let to_gso = g.to_vector(&gso);
+        // Horizon test: elevation of the GSO point must be ≥ 0.
+        if g.dot(&to_gso) < 0.0 {
+            continue;
+        }
+        let cosang =
+            (to_sat.dot(&to_gso) / (sat_norm * to_gso.norm())).clamp(-1.0, 1.0);
+        let ang = cosang.acos();
+        best = Some(match best {
+            Some(b) if b <= ang => b,
+            _ => ang,
+        });
+    }
+    best
+}
+
+/// True iff a GT→satellite link complies with the GSO-arc avoidance rule:
+/// separation of at least `min_separation_rad` from every visible point of
+/// the arc.
+pub fn gso_compliant(gt: GeoPoint, sat: &Ecef, min_separation_rad: f64) -> bool {
+    match gso_separation_rad(gt, sat) {
+        Some(sep) => sep >= min_separation_rad,
+        None => true,
+    }
+}
+
+/// Fraction of the sky (elevation ≥ `min_elevation_rad`) that remains
+/// usable under GSO-arc avoidance, for a GT at latitude `lat_rad`.
+///
+/// The sky is sampled on an azimuth × elevation grid weighted by solid
+/// angle (`cos ε` per elevation ring). This regenerates the data behind
+/// Fig. 9: at the Equator only small shaded regions of elevation remain.
+pub fn usable_sky_fraction(
+    lat_rad: f64,
+    min_elevation_rad: f64,
+    min_separation_rad: f64,
+    sat_altitude_m: f64,
+) -> f64 {
+    let gt = GeoPoint::new(lat_rad, 0.0);
+    let mut usable = 0.0;
+    let mut total = 0.0;
+    let n_el = 45;
+    let n_az = 72;
+    for ei in 0..n_el {
+        let frac = (ei as f64 + 0.5) / n_el as f64;
+        let elev = min_elevation_rad
+            + frac * (std::f64::consts::FRAC_PI_2 - min_elevation_rad);
+        let weight = elev.cos();
+        for ai in 0..n_az {
+            let az = std::f64::consts::TAU * (ai as f64) / (n_az as f64);
+            let sat = sky_direction_to_sat(gt, az, elev, sat_altitude_m);
+            total += weight;
+            if gso_compliant(gt, &sat, min_separation_rad) {
+                usable += weight;
+            }
+        }
+    }
+    if total == 0.0 {
+        0.0
+    } else {
+        usable / total
+    }
+}
+
+/// The ECEF position of a satellite at `alt_m` seen from `gt` at the given
+/// azimuth (clockwise from North) and elevation.
+///
+/// Solves the slant-range quadratic for a point at radius `Re + alt` along
+/// the line of sight.
+pub fn sky_direction_to_sat(gt: GeoPoint, az_rad: f64, elev_rad: f64, alt_m: f64) -> Ecef {
+    let g = Ecef::from_geo(gt, 0.0);
+    // Local ENU basis at gt.
+    let (slat, clat) = gt.lat().sin_cos();
+    let (slon, clon) = gt.lon().sin_cos();
+    let east = Ecef::new(-slon, clon, 0.0);
+    let north = Ecef::new(-slat * clon, -slat * slon, clat);
+    let up = Ecef::new(clat * clon, clat * slon, slat);
+    let (se, ce) = elev_rad.sin_cos();
+    let (sa, ca) = az_rad.sin_cos();
+    // Unit line-of-sight in ECEF.
+    let d = Ecef::new(
+        ce * (sa * east.x + ca * north.x) + se * up.x,
+        ce * (sa * east.y + ca * north.y) + se * up.y,
+        ce * (sa * east.z + ca * north.z) + se * up.z,
+    );
+    // |g + t·d| = Re + alt  ⇒  t² + 2t(g·d) + |g|² − r² = 0.
+    let r = leo_geo::EARTH_RADIUS_M + alt_m;
+    let b = g.dot(&d);
+    let c = g.dot(&g) - r * r;
+    let t = -b + (b * b - c).max(0.0).sqrt();
+    Ecef::new(g.x + t * d.x, g.y + t * d.y, g.z + t * d.z)
+}
+
+/// Starlink's planned GSO separation angle (22°), radians.
+pub fn starlink_separation_rad() -> f64 {
+    deg_to_rad(22.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn satellite_on_gso_arc_has_zero_separation() {
+        let gt = GeoPoint::from_degrees(0.0, 0.0);
+        let gso_sat = Ecef::from_geo(GeoPoint::from_degrees(0.0, 0.0), GSO_ALTITUDE_M);
+        let sep = gso_separation_rad(gt, &gso_sat).unwrap();
+        assert!(sep < deg_to_rad(1.5), "sep = {} deg", leo_geo::rad_to_deg(sep));
+    }
+
+    #[test]
+    fn zenith_at_equator_is_far_from_arc() {
+        // From the Equator, straight up points away from the arc by ~81.3°
+        // (the GSO elevation at the sub-satellite point is ~90°, so the
+        // nearest arc point is overhead... at the same longitude the GSO
+        // satellite IS at zenith). A satellite overhead at LEO altitude is
+        // therefore aligned with the arc.
+        let gt = GeoPoint::from_degrees(0.0, 0.0);
+        let leo_overhead = Ecef::from_geo(gt, 550_000.0);
+        let sep = gso_separation_rad(gt, &leo_overhead).unwrap();
+        assert!(sep < deg_to_rad(2.0), "overhead LEO aligns with GSO at equator");
+    }
+
+    #[test]
+    fn mid_latitude_zenith_is_compliant() {
+        // From 47°N, the GSO arc sits well south and low; zenith is far away.
+        let gt = GeoPoint::from_degrees(47.0, 8.0);
+        let leo_overhead = Ecef::from_geo(gt, 550_000.0);
+        assert!(gso_compliant(gt, &leo_overhead, starlink_separation_rad()));
+    }
+
+    #[test]
+    fn equator_loses_more_sky_than_mid_latitudes() {
+        let e = deg_to_rad(40.0); // full-deployment Starlink elevation (Fig. 9)
+        let sep = starlink_separation_rad();
+        let f_eq = usable_sky_fraction(0.0, e, sep, 550_000.0);
+        let f_mid = usable_sky_fraction(deg_to_rad(45.0), e, sep, 550_000.0);
+        assert!(
+            f_eq < f_mid,
+            "equator {f_eq} should be more constrained than 45N {f_mid}"
+        );
+        assert!(f_eq < 0.7, "equator must lose a sizable sky fraction: {f_eq}");
+        // At 45°N the arc still reaches ~38° elevation in the southern sky,
+        // so some loss remains — but far less than at the Equator.
+        assert!(f_mid > 0.75, "mid latitudes mostly unconstrained: {f_mid}");
+        let f_high = usable_sky_fraction(deg_to_rad(65.0), e, sep, 550_000.0);
+        assert!(f_high > 0.95, "high latitudes nearly unconstrained: {f_high}");
+    }
+
+    #[test]
+    fn sky_direction_produces_requested_elevation() {
+        let gt = GeoPoint::from_degrees(10.0, 20.0);
+        for az_deg in [0.0, 90.0, 180.0, 270.0] {
+            for el_deg in [25.0, 40.0, 60.0, 89.0] {
+                let sat =
+                    sky_direction_to_sat(gt, deg_to_rad(az_deg), deg_to_rad(el_deg), 550_000.0);
+                let e = leo_geo::elevation_angle_rad(gt, &sat);
+                assert!(
+                    (e - deg_to_rad(el_deg)).abs() < 1e-6,
+                    "az {az_deg} el {el_deg}: got {}",
+                    leo_geo::rad_to_deg(e)
+                );
+                let (_, alt) = sat.to_geo();
+                assert!((alt - 550_000.0).abs() < 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn high_latitude_unconstrained() {
+        // From very high latitude the GSO arc is below the horizon; the
+        // separation constraint disappears.
+        let gt = GeoPoint::from_degrees(85.0, 0.0);
+        let sat = sky_direction_to_sat(gt, 0.0, deg_to_rad(45.0), 550_000.0);
+        assert!(gso_compliant(gt, &sat, starlink_separation_rad()));
+    }
+}

@@ -1,0 +1,129 @@
+//! The +Grid inter-satellite link topology.
+//!
+//! Per the paper (§2) and the constellation-design literature it cites,
+//! each satellite forms 4 laser ISLs: two to its neighbours in the same
+//! orbital plane, and two to the satellites holding the same slot in the
+//! adjacent planes. These links connect satellites that travel with small
+//! relative velocity and can stay up continuously, so the topology is
+//! static (as a set of satellite-id pairs) even though link lengths vary.
+
+use crate::shell::Shell;
+
+/// An undirected ISL between two satellites (ids are constellation-wide;
+/// `a < b` canonical order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IslLink {
+    /// Lower satellite id.
+    pub a: u32,
+    /// Higher satellite id.
+    pub b: u32,
+}
+
+impl IslLink {
+    fn new(x: u32, y: u32) -> Self {
+        if x < y {
+            Self { a: x, b: y }
+        } else {
+            Self { a: y, b: x }
+        }
+    }
+}
+
+/// Build the +Grid ISL set for one shell whose satellites start at
+/// constellation-wide id `offset`.
+///
+/// Each satellite links to the next satellite in its plane (wrapping) and
+/// to the same slot in the next plane (wrapping), which produces exactly
+/// `2 · planes · sats_per_plane` undirected links — i.e. 4 ISLs per
+/// satellite. Cross-shell ISLs are deliberately absent (paper §8): only
+/// intra-shell lasers are considered feasible.
+pub fn plus_grid_isls(shell: &Shell, offset: u32) -> Vec<IslLink> {
+    let p = shell.num_planes;
+    let s = shell.sats_per_plane;
+    let mut links = Vec::with_capacity((2 * p * s) as usize);
+    for plane in 0..p {
+        for slot in 0..s {
+            let id = offset + plane * s + slot;
+            // Intra-plane: next satellite in the same plane.
+            let next_in_plane = offset + plane * s + (slot + 1) % s;
+            links.push(IslLink::new(id, next_in_plane));
+            // Inter-plane: same slot in the next plane.
+            let next_plane = offset + ((plane + 1) % p) * s + slot;
+            links.push(IslLink::new(id, next_plane));
+        }
+    }
+    links
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn each_satellite_has_four_isls() {
+        let shell = Shell::starlink_phase1();
+        let links = plus_grid_isls(&shell, 0);
+        assert_eq!(links.len(), 2 * 1584);
+        let mut degree: HashMap<u32, u32> = HashMap::new();
+        for l in &links {
+            *degree.entry(l.a).or_default() += 1;
+            *degree.entry(l.b).or_default() += 1;
+        }
+        assert_eq!(degree.len(), 1584);
+        assert!(degree.values().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn no_duplicate_links() {
+        let shell = Shell::kuiper_phase1();
+        let links = plus_grid_isls(&shell, 0);
+        let set: std::collections::HashSet<_> = links.iter().collect();
+        assert_eq!(set.len(), links.len());
+    }
+
+    #[test]
+    fn no_self_links() {
+        let shell = Shell::starlink_phase1();
+        for l in plus_grid_isls(&shell, 0) {
+            assert_ne!(l.a, l.b);
+        }
+    }
+
+    #[test]
+    fn offset_shifts_ids() {
+        let shell = Shell::polar_shell();
+        let links = plus_grid_isls(&shell, 1000);
+        let n = shell.num_satellites();
+        for l in &links {
+            assert!(l.a >= 1000 && l.b < 1000 + n);
+        }
+    }
+
+    #[test]
+    fn grid_is_connected() {
+        // BFS over the +Grid must reach every satellite.
+        let shell = Shell::starlink_phase1();
+        let n = shell.num_satellites() as usize;
+        let links = plus_grid_isls(&shell, 0);
+        let mut adj = vec![Vec::new(); n];
+        for l in &links {
+            adj[l.a as usize].push(l.b as usize);
+            adj[l.b as usize].push(l.a as usize);
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        assert_eq!(count, n);
+    }
+}

@@ -1,0 +1,193 @@
+//! Circular-orbit Kepler propagation with optional J2 secular drift.
+
+use leo_geo::{Ecef, EARTH_RADIUS_M};
+
+/// Earth's gravitational parameter μ = GM, m³/s².
+pub const EARTH_MU: f64 = 3.986_004_418e14;
+
+/// Earth's second zonal harmonic (oblateness), dimensionless.
+pub const EARTH_J2: f64 = 1.082_626_68e-3;
+
+/// Earth's sidereal rotation rate, rad/s.
+pub const EARTH_ROTATION_RAD_S: f64 = 7.292_115_0e-5;
+
+/// Orbital period of a circular orbit at altitude `alt_m`, seconds.
+///
+/// Starlink's 550 km shell has a period of ≈ 95.6 minutes, matching the
+/// paper's "orbital period of ~100 minutes".
+pub fn orbital_period_s(alt_m: f64) -> f64 {
+    let a = EARTH_RADIUS_M + alt_m;
+    2.0 * std::f64::consts::PI * (a * a * a / EARTH_MU).sqrt()
+}
+
+/// Orbital elements of one satellite on a circular orbit.
+///
+/// The element set is reduced to what a circular orbit needs: semi-major
+/// axis (via altitude), inclination, right ascension of the ascending node
+/// (RAAN), and the argument of latitude at epoch (angle from the ascending
+/// node along the orbit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrbitalElements {
+    /// Altitude above the spherical Earth surface, meters.
+    pub altitude_m: f64,
+    /// Inclination, radians.
+    pub inclination_rad: f64,
+    /// RAAN at epoch, radians.
+    pub raan_rad: f64,
+    /// Argument of latitude at epoch, radians.
+    pub arg_latitude_rad: f64,
+}
+
+impl OrbitalElements {
+    /// Semi-major axis, meters.
+    #[inline]
+    pub fn semi_major_axis_m(&self) -> f64 {
+        EARTH_RADIUS_M + self.altitude_m
+    }
+
+    /// Mean motion n = √(μ/a³), rad/s.
+    #[inline]
+    pub fn mean_motion_rad_s(&self) -> f64 {
+        (EARTH_MU / self.semi_major_axis_m().powi(3)).sqrt()
+    }
+
+    /// Secular RAAN drift rate due to J2, rad/s (negative for prograde
+    /// orbits — nodes regress westward).
+    pub fn j2_raan_rate_rad_s(&self) -> f64 {
+        let a = self.semi_major_axis_m();
+        let n = self.mean_motion_rad_s();
+        -1.5 * n * EARTH_J2 * (EARTH_RADIUS_M / a).powi(2) * self.inclination_rad.cos()
+    }
+
+    /// Position at simulation time `t_s` (seconds since epoch), in the
+    /// Earth-fixed (ECEF) frame.
+    ///
+    /// The satellite moves on a circle in the orbital plane (ECI), which is
+    /// then rotated into ECEF by the Earth rotation angle `ω⊕·t`. If
+    /// `apply_j2` is set, the RAAN additionally drifts at the J2 secular
+    /// rate. Epoch Greenwich sidereal angle is taken as zero, which is an
+    /// arbitrary but consistent phase choice for a synthetic epoch.
+    pub fn position_at(&self, t_s: f64, apply_j2: bool) -> Ecef {
+        let a = self.semi_major_axis_m();
+        let n = self.mean_motion_rad_s();
+        let u = self.arg_latitude_rad + n * t_s;
+        let raan = if apply_j2 {
+            self.raan_rad + self.j2_raan_rate_rad_s() * t_s
+        } else {
+            self.raan_rad
+        };
+        // Position in the orbital plane.
+        let (su, cu) = u.sin_cos();
+        let (si, ci) = self.inclination_rad.sin_cos();
+        // ECI: rotate in-plane position by inclination then RAAN.
+        let x_eci = cu * raan.cos() - su * ci * raan.sin();
+        let y_eci = cu * raan.sin() + su * ci * raan.cos();
+        let z_eci = su * si;
+        // ECI -> ECEF: rotate by -GMST; GMST(t) = ω⊕·t with zero epoch phase.
+        let theta = EARTH_ROTATION_RAD_S * t_s;
+        let (st, ct) = theta.sin_cos();
+        Ecef::new(
+            a * (x_eci * ct + y_eci * st),
+            a * (-x_eci * st + y_eci * ct),
+            a * z_eci,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leo_geo::deg_to_rad;
+
+    fn starlink_elem(raan_deg: f64, u_deg: f64) -> OrbitalElements {
+        OrbitalElements {
+            altitude_m: 550_000.0,
+            inclination_rad: deg_to_rad(53.0),
+            raan_rad: deg_to_rad(raan_deg),
+            arg_latitude_rad: deg_to_rad(u_deg),
+        }
+    }
+
+    #[test]
+    fn starlink_period_about_96_minutes() {
+        let p = orbital_period_s(550_000.0) / 60.0;
+        assert!((p - 95.6).abs() < 0.5, "got {p} minutes");
+    }
+
+    #[test]
+    fn altitude_constant_over_time() {
+        let e = starlink_elem(10.0, 20.0);
+        for t in [0.0, 100.0, 1000.0, 40_000.0, 86_400.0] {
+            let pos = e.position_at(t, true);
+            assert!(
+                (pos.norm() - e.semi_major_axis_m()).abs() < 1e-3,
+                "circular orbit must keep constant radius"
+            );
+        }
+    }
+
+    #[test]
+    fn latitude_bounded_by_inclination() {
+        let e = starlink_elem(0.0, 0.0);
+        let mut max_lat: f64 = 0.0;
+        let period = orbital_period_s(550_000.0);
+        for i in 0..1000 {
+            let t = period * (i as f64) / 1000.0;
+            let (p, _) = e.position_at(t, false).to_geo();
+            max_lat = max_lat.max(p.lat().abs());
+        }
+        let incl = deg_to_rad(53.0);
+        assert!(max_lat <= incl + 1e-9);
+        assert!(max_lat > incl - 0.01, "orbit should reach its inclination");
+    }
+
+    #[test]
+    fn period_returns_to_start_in_eci() {
+        let e = starlink_elem(45.0, 80.0);
+        let p = orbital_period_s(550_000.0);
+        // In ECEF, after one orbital period the Earth has rotated; compare
+        // in a non-rotating check by undoing the rotation analytically: the
+        // argument of latitude advances exactly 2π.
+        let pos0 = e.position_at(0.0, false);
+        let shifted = OrbitalElements {
+            arg_latitude_rad: e.arg_latitude_rad + 2.0 * std::f64::consts::PI,
+            ..e
+        };
+        // Same in-plane position at t=0.
+        let pos1 = shifted.position_at(0.0, false);
+        assert!(pos0.distance(&pos1) < 1e-3);
+        // And position_at(p) equals the rotated-by-Earth version of t=0.
+        let after = e.position_at(p, false);
+        assert!((after.norm() - pos0.norm()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn j2_regresses_nodes_for_prograde() {
+        let e = starlink_elem(0.0, 0.0);
+        assert!(e.j2_raan_rate_rad_s() < 0.0);
+        // Magnitude for Starlink-like orbit is ~5 degrees/day.
+        let deg_per_day = e.j2_raan_rate_rad_s().abs() * 86_400.0 * 180.0 / std::f64::consts::PI;
+        assert!(deg_per_day > 3.0 && deg_per_day < 7.0, "got {deg_per_day}");
+    }
+
+    #[test]
+    fn polar_orbit_has_no_j2_drift() {
+        let e = OrbitalElements {
+            inclination_rad: deg_to_rad(90.0),
+            ..starlink_elem(0.0, 0.0)
+        };
+        assert!(e.j2_raan_rate_rad_s().abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_track_moves_west_between_orbits() {
+        // Because Earth rotates east under the orbit, successive equator
+        // crossings shift west.
+        let e = starlink_elem(0.0, 0.0);
+        let p = orbital_period_s(550_000.0);
+        let (g0, _) = e.position_at(0.0, false).to_geo();
+        let (g1, _) = e.position_at(p, false).to_geo();
+        let dlon = leo_geo::normalize_lon(g1.lon() - g0.lon());
+        assert!(dlon < 0.0, "ground track must shift west, got {dlon}");
+    }
+}

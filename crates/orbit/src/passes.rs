@@ -1,0 +1,190 @@
+//! Pass prediction: contact windows between a ground point and the
+//! satellites of a constellation.
+//!
+//! The paper's §2 observes that "each satellite is reachable from a GT
+//! for a few minutes, after which the GT must connect to a different
+//! satellite" — the root cause of BP's latency churn. This module makes
+//! that statement measurable: it scans a time range and extracts, per
+//! satellite, the intervals during which it stays above the minimum
+//! elevation.
+
+use crate::constellation::Constellation;
+use crate::shell::SatelliteId;
+use leo_geo::{visible_at_elevation, GeoPoint};
+
+/// One contact window between a GT and a satellite.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pass {
+    /// The satellite.
+    pub satellite: SatelliteId,
+    /// Window start (first sampled instant above the elevation mask), s.
+    pub rise_s: f64,
+    /// Window end (last sampled instant above the mask), s.
+    pub set_s: f64,
+}
+
+impl Pass {
+    /// Duration of the pass, seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.set_s - self.rise_s
+    }
+}
+
+/// Find all passes of all satellites over `gt` in `[t_start, t_end)`,
+/// sampling visibility every `step_s` seconds.
+///
+/// Resolution: rise/set times are quantized to `step_s` (10–30 s is
+/// plenty for multi-minute LEO passes). Passes clipped by the scan
+/// boundaries are reported with the boundary as rise/set.
+pub fn find_passes(
+    constellation: &Constellation,
+    gt: GeoPoint,
+    t_start: f64,
+    t_end: f64,
+    step_s: f64,
+) -> Vec<Pass> {
+    assert!(step_s > 0.0 && t_end > t_start);
+    let min_elev = constellation.min_elevation_rad();
+    let n = constellation.num_satellites();
+    // open_since[sat] = rise time of the in-progress pass.
+    let mut open_since: Vec<Option<f64>> = vec![None; n];
+    let mut passes = Vec::new();
+    let steps = ((t_end - t_start) / step_s).ceil() as usize;
+    for i in 0..=steps {
+        let t = (t_start + i as f64 * step_s).min(t_end);
+        let snap = constellation.positions_at(t);
+        for sat in 0..n {
+            let vis = visible_at_elevation(gt, &snap.positions[sat], min_elev);
+            match (vis, open_since[sat]) {
+                (true, None) => open_since[sat] = Some(t),
+                (false, Some(rise)) => {
+                    passes.push(Pass {
+                        satellite: sat as SatelliteId,
+                        rise_s: rise,
+                        set_s: t - step_s,
+                    });
+                    open_since[sat] = None;
+                }
+                _ => {}
+            }
+        }
+        if t >= t_end {
+            break;
+        }
+    }
+    // Close passes still open at the scan end.
+    for (sat, open) in open_since.iter().enumerate() {
+        if let Some(rise) = open {
+            passes.push(Pass {
+                satellite: sat as SatelliteId,
+                rise_s: *rise,
+                set_s: t_end,
+            });
+        }
+    }
+    passes.sort_by(|a, b| a.rise_s.total_cmp(&b.rise_s));
+    passes
+}
+
+/// Summary statistics over a set of passes.
+#[derive(Debug, Clone, Copy)]
+pub struct PassStats {
+    /// Number of passes.
+    pub count: usize,
+    /// Mean duration, seconds.
+    pub mean_duration_s: f64,
+    /// Longest pass, seconds.
+    pub max_duration_s: f64,
+}
+
+/// Aggregate pass statistics (interior passes only — windows clipped at
+/// the scan boundaries would bias durations down).
+pub fn pass_stats(passes: &[Pass], t_start: f64, t_end: f64) -> PassStats {
+    let interior: Vec<&Pass> = passes
+        .iter()
+        .filter(|p| p.rise_s > t_start && p.set_s < t_end)
+        .collect();
+    let count = interior.len();
+    let (sum, max) = interior.iter().fold((0.0f64, 0.0f64), |(s, m), p| {
+        (s + p.duration_s(), m.max(p.duration_s()))
+    });
+    PassStats {
+        count,
+        mean_duration_s: if count == 0 { 0.0 } else { sum / count as f64 },
+        max_duration_s: max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_last_a_few_minutes() {
+        // Paper §2: a satellite is reachable "for a few minutes".
+        let c = Constellation::starlink();
+        let gt = GeoPoint::from_degrees(40.7, -74.0);
+        let passes = find_passes(&c, gt, 0.0, 3.0 * 3600.0, 15.0);
+        let stats = pass_stats(&passes, 0.0, 3.0 * 3600.0);
+        assert!(stats.count > 20, "NYC sees many Starlink passes: {}", stats.count);
+        assert!(
+            stats.mean_duration_s > 60.0 && stats.mean_duration_s < 600.0,
+            "mean pass {} s should be a few minutes",
+            stats.mean_duration_s
+        );
+        assert!(stats.max_duration_s < 900.0, "no pass lasts a quarter hour");
+    }
+
+    #[test]
+    fn windows_are_well_formed_and_disjoint_per_satellite() {
+        let c = Constellation::starlink();
+        let gt = GeoPoint::from_degrees(-33.87, 151.21);
+        let passes = find_passes(&c, gt, 0.0, 7200.0, 20.0);
+        let mut last_set: std::collections::HashMap<SatelliteId, f64> = Default::default();
+        for p in &passes {
+            assert!(p.set_s >= p.rise_s);
+            if let Some(prev) = last_set.get(&p.satellite) {
+                assert!(p.rise_s > *prev, "satellite passes must not overlap");
+            }
+            last_set.insert(p.satellite, p.set_s);
+        }
+    }
+
+    #[test]
+    fn polar_gt_sees_nothing_from_inclined_shell() {
+        let c = Constellation::starlink();
+        let gt = GeoPoint::from_degrees(88.0, 0.0);
+        let passes = find_passes(&c, gt, 0.0, 3600.0, 30.0);
+        assert!(passes.is_empty());
+    }
+
+    #[test]
+    fn pass_visible_at_midpoint() {
+        let c = Constellation::starlink();
+        let gt = GeoPoint::from_degrees(51.5, -0.13);
+        let passes = find_passes(&c, gt, 0.0, 3600.0, 15.0);
+        let stats = pass_stats(&passes, 0.0, 3600.0);
+        assert!(stats.count > 0);
+        for p in passes.iter().take(5) {
+            let mid = 0.5 * (p.rise_s + p.set_s);
+            let snap = c.positions_at(mid);
+            assert!(leo_geo::visible_at_elevation(
+                gt,
+                &snap.positions[p.satellite as usize],
+                c.min_elevation_rad()
+            ));
+        }
+    }
+
+    #[test]
+    fn stats_exclude_clipped_windows() {
+        let passes = vec![
+            Pass { satellite: 0, rise_s: 0.0, set_s: 100.0 },   // clipped at start
+            Pass { satellite: 1, rise_s: 50.0, set_s: 150.0 },  // interior
+            Pass { satellite: 2, rise_s: 900.0, set_s: 1000.0 }, // clipped at end
+        ];
+        let s = pass_stats(&passes, 0.0, 1000.0);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean_duration_s, 100.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Constellation shell specifications (Walker-delta geometry).
+
+use crate::kepler::OrbitalElements;
+use leo_geo::deg_to_rad;
+
+/// Identifier of a satellite within a [`crate::Constellation`]: a dense
+/// index assigned shell-by-shell, plane-by-plane.
+pub type SatelliteId = u32;
+
+/// A single orbital shell: a set of "parallel" orbital planes sharing one
+/// altitude and inclination, with satellites evenly spaced in each plane
+/// (a Walker-delta pattern).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shell {
+    /// Human-readable name, e.g. `"starlink-p1"`.
+    pub name: String,
+    /// Number of orbital planes, evenly spaced in RAAN over 360°.
+    pub num_planes: u32,
+    /// Satellites per plane, evenly spaced in argument of latitude.
+    pub sats_per_plane: u32,
+    /// Altitude above the surface, meters.
+    pub altitude_m: f64,
+    /// Inclination, degrees.
+    pub inclination_deg: f64,
+    /// Walker phasing factor `F ∈ [0, num_planes)`: satellites in adjacent
+    /// planes are offset in argument of latitude by
+    /// `F · 360° / (num_planes · sats_per_plane)`.
+    pub phase_factor: u32,
+}
+
+impl Shell {
+    /// Starlink phase-1 shell per the paper (FCC filing SAT-MOD-20190830):
+    /// 72 planes × 22 satellites, 550 km, 53°.
+    pub fn starlink_phase1() -> Self {
+        Self {
+            name: "starlink-p1".into(),
+            num_planes: 72,
+            sats_per_plane: 22,
+            altitude_m: 550_000.0,
+            inclination_deg: 53.0,
+            phase_factor: 39, // common choice in the Starlink-simulation literature
+        }
+    }
+
+    /// Kuiper first-deployment shell per the paper: 34 planes × 34
+    /// satellites, 630 km, 51.9°.
+    pub fn kuiper_phase1() -> Self {
+        Self {
+            name: "kuiper-p1".into(),
+            num_planes: 34,
+            sats_per_plane: 34,
+            altitude_m: 630_000.0,
+            inclination_deg: 51.9,
+            phase_factor: 17,
+        }
+    }
+
+    /// A polar shell used for the cross-shell BP-transition study
+    /// (paper §8, Fig. 10): 90° inclination at 560 km. Plane/satellite
+    /// counts follow Starlink's planned polar shell order of magnitude.
+    pub fn polar_shell() -> Self {
+        Self {
+            name: "polar".into(),
+            num_planes: 36,
+            sats_per_plane: 20,
+            altitude_m: 560_000.0,
+            inclination_deg: 90.0,
+            phase_factor: 11,
+        }
+    }
+
+    /// Total number of satellites in the shell.
+    pub fn num_satellites(&self) -> u32 {
+        self.num_planes * self.sats_per_plane
+    }
+
+    /// Expand the shell into per-satellite orbital elements, ordered
+    /// plane-major: index `p * sats_per_plane + s`.
+    pub fn elements(&self) -> Vec<OrbitalElements> {
+        let total = self.num_satellites();
+        let mut out = Vec::with_capacity(total as usize);
+        let tau = std::f64::consts::TAU;
+        let incl = deg_to_rad(self.inclination_deg);
+        for p in 0..self.num_planes {
+            let raan = tau * (p as f64) / (self.num_planes as f64);
+            // Walker phasing: offset within the plane proportional to the
+            // plane index.
+            let phase = tau * (self.phase_factor as f64) * (p as f64) / (total as f64);
+            for s in 0..self.sats_per_plane {
+                let u = tau * (s as f64) / (self.sats_per_plane as f64) + phase;
+                out.push(OrbitalElements {
+                    altitude_m: self.altitude_m,
+                    inclination_rad: incl,
+                    raan_rad: raan,
+                    arg_latitude_rad: u,
+                });
+            }
+        }
+        out
+    }
+
+    /// Plane index and in-plane slot of a satellite index within this
+    /// shell.
+    #[inline]
+    pub fn plane_slot(&self, idx_in_shell: u32) -> (u32, u32) {
+        (
+            idx_in_shell / self.sats_per_plane,
+            idx_in_shell % self.sats_per_plane,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starlink_counts_match_paper() {
+        let s = Shell::starlink_phase1();
+        assert_eq!(s.num_satellites(), 1584);
+        assert_eq!(s.elements().len(), 1584);
+    }
+
+    #[test]
+    fn kuiper_counts_match_paper() {
+        let s = Shell::kuiper_phase1();
+        assert_eq!(s.num_satellites(), 34 * 34);
+    }
+
+    #[test]
+    fn raans_evenly_spaced() {
+        let s = Shell::starlink_phase1();
+        let els = s.elements();
+        let spp = s.sats_per_plane as usize;
+        let expected = std::f64::consts::TAU / s.num_planes as f64;
+        for p in 1..s.num_planes as usize {
+            let d = els[p * spp].raan_rad - els[(p - 1) * spp].raan_rad;
+            assert!((d - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn in_plane_spacing_even() {
+        let s = Shell::starlink_phase1();
+        let els = s.elements();
+        let expected = std::f64::consts::TAU / s.sats_per_plane as f64;
+        for i in 1..s.sats_per_plane as usize {
+            let d = els[i].arg_latitude_rad - els[i - 1].arg_latitude_rad;
+            assert!((d - expected).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plane_slot_roundtrip() {
+        let s = Shell::starlink_phase1();
+        for idx in [0u32, 21, 22, 1000, 1583] {
+            let (p, slot) = s.plane_slot(idx);
+            assert_eq!(p * s.sats_per_plane + slot, idx);
+            assert!(slot < s.sats_per_plane);
+            assert!(p < s.num_planes);
+        }
+    }
+
+    #[test]
+    fn all_satellites_at_shell_altitude() {
+        let s = Shell::kuiper_phase1();
+        for e in s.elements() {
+            assert_eq!(e.altitude_m, 630_000.0);
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Visibility computations: GT↔satellite and satellite↔satellite.
+
+use crate::constellation::ConstellationSnapshot;
+use leo_geo::{
+    coverage_radius_m, visible_at_elevation, Ecef, GeoPoint, SphereGrid, EARTH_RADIUS_M,
+};
+
+/// Parameters controlling GT–satellite visibility.
+#[derive(Debug, Clone, Copy)]
+pub struct VisibilityParams {
+    /// Minimum elevation angle for a usable GT link, radians.
+    pub min_elevation_rad: f64,
+    /// Satellite altitude (used only to size the spatial-index query
+    /// window), meters. For multi-shell constellations pass the highest
+    /// shell's altitude.
+    pub max_altitude_m: f64,
+}
+
+impl VisibilityParams {
+    /// Conservative surface-radius bound for the spatial-index query: no
+    /// satellite whose sub-point lies farther than this can be visible.
+    pub fn query_radius_m(&self) -> f64 {
+        // 2% slack over the analytic coverage radius guards against float
+        // edge effects; the exact elevation test rejects false positives.
+        coverage_radius_m(self.max_altitude_m, self.min_elevation_rad) * 1.02
+    }
+}
+
+/// Build a spatial index over a snapshot's sub-satellite points.
+///
+/// Bin size of 3° keeps buckets small for 1,000–4,000-satellite shells
+/// while the ~8–10° query windows still touch only a handful of bins.
+pub fn subpoint_index(snapshot: &ConstellationSnapshot) -> SphereGrid {
+    let mut grid = SphereGrid::new(3.0);
+    for (i, sp) in snapshot.subpoints.iter().enumerate() {
+        grid.insert(i as u32, *sp);
+    }
+    grid
+}
+
+/// Ids of all satellites visible from ground point `gt` (elevation ≥
+/// the minimum), using a pre-built sub-point index.
+///
+/// `scratch` is a reusable buffer for the index query to avoid per-call
+/// allocation in hot snapshot-construction loops.
+pub fn visible_satellites(
+    gt: GeoPoint,
+    snapshot: &ConstellationSnapshot,
+    index: &SphereGrid,
+    params: &VisibilityParams,
+    scratch: &mut Vec<u32>,
+    out: &mut Vec<u32>,
+) {
+    out.clear();
+    index.query_radius(gt, params.query_radius_m(), scratch);
+    for &id in scratch.iter() {
+        if visible_at_elevation(gt, &snapshot.positions[id as usize], params.min_elevation_rad) {
+            out.push(id);
+        }
+    }
+}
+
+/// True iff the straight line between two satellites stays above
+/// `min_clearance_m` over the Earth's surface.
+///
+/// Laser ISLs must not graze the weather-affected lower atmosphere; the
+/// paper uses ~80 km as the safe lower bound. The closest approach of the
+/// segment to the Earth's centre is computed analytically.
+pub fn isl_line_of_sight(a: &Ecef, b: &Ecef, min_clearance_m: f64) -> bool {
+    let ab = a.to_vector(b);
+    let len2 = ab.dot(&ab);
+    if len2 == 0.0 {
+        return a.norm() >= EARTH_RADIUS_M + min_clearance_m;
+    }
+    // Parameter of the closest point to the origin on the segment.
+    let origin_to_a = Ecef::new(-a.x, -a.y, -a.z);
+    let t = (origin_to_a.dot(&ab) / len2).clamp(0.0, 1.0);
+    let closest = Ecef::new(a.x + t * ab.x, a.y + t * ab.y, a.z + t * ab.z);
+    closest.norm() >= EARTH_RADIUS_M + min_clearance_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Constellation, Shell};
+    use leo_geo::deg_to_rad;
+
+    #[test]
+    fn some_satellite_visible_from_mid_latitude() {
+        let c = Constellation::starlink();
+        let snap = c.positions_at(0.0);
+        let index = subpoint_index(&snap);
+        let params = VisibilityParams {
+            min_elevation_rad: c.min_elevation_rad(),
+            max_altitude_m: 550_000.0,
+        };
+        let gt = GeoPoint::from_degrees(40.7, -74.0); // New York
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
+        visible_satellites(gt, &snap, &index, &params, &mut scratch, &mut out);
+        assert!(!out.is_empty(), "NYC must see at least one Starlink satellite");
+        assert!(out.len() < 60, "but not an absurd number: {}", out.len());
+    }
+
+    #[test]
+    fn nothing_visible_from_pole_for_53_degree_shell() {
+        // A 53°-inclined shell never flies over the poles; with a 25°
+        // minimum elevation the pole sees nothing.
+        let c = Constellation::starlink();
+        let snap = c.positions_at(0.0);
+        let index = subpoint_index(&snap);
+        let params = VisibilityParams {
+            min_elevation_rad: c.min_elevation_rad(),
+            max_altitude_m: 550_000.0,
+        };
+        let pole = GeoPoint::from_degrees(89.9, 0.0);
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
+        visible_satellites(pole, &snap, &index, &params, &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn visible_set_matches_brute_force() {
+        let c = Constellation::kuiper();
+        let snap = c.positions_at(7200.0);
+        let index = subpoint_index(&snap);
+        let params = VisibilityParams {
+            min_elevation_rad: c.min_elevation_rad(),
+            max_altitude_m: 630_000.0,
+        };
+        let gt = GeoPoint::from_degrees(-23.55, -46.63); // São Paulo
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
+        visible_satellites(gt, &snap, &index, &params, &mut scratch, &mut out);
+        out.sort_unstable();
+        let mut brute: Vec<u32> = (0..snap.positions.len() as u32)
+            .filter(|&i| {
+                leo_geo::visible_at_elevation(
+                    gt,
+                    &snap.positions[i as usize],
+                    params.min_elevation_rad,
+                )
+            })
+            .collect();
+        brute.sort_unstable();
+        assert_eq!(out, brute);
+    }
+
+    #[test]
+    fn adjacent_isl_has_line_of_sight() {
+        let c = Constellation::starlink();
+        let snap = c.positions_at(0.0);
+        let links = crate::plus_grid_isls(&Shell::starlink_phase1(), 0);
+        for l in links.iter().take(200) {
+            assert!(isl_line_of_sight(
+                &snap.positions[l.a as usize],
+                &snap.positions[l.b as usize],
+                80_000.0,
+            ));
+        }
+    }
+
+    #[test]
+    fn antipodal_satellites_blocked_by_earth() {
+        let a = Ecef::from_geo(GeoPoint::from_degrees(0.0, 0.0), 550_000.0);
+        let b = Ecef::from_geo(GeoPoint::from_degrees(0.0, 180.0), 550_000.0);
+        assert!(!isl_line_of_sight(&a, &b, 80_000.0));
+    }
+
+    #[test]
+    fn clearance_threshold_matters() {
+        // Two satellites whose chord just grazes 100 km altitude.
+        let a = Ecef::from_geo(GeoPoint::from_degrees(0.0, -20.0), 550_000.0);
+        let b = Ecef::from_geo(GeoPoint::from_degrees(0.0, 20.0), 550_000.0);
+        // Chord midpoint altitude: R' = (Re+h)·cos(20°) − Re ≈ 128 km.
+        assert!(isl_line_of_sight(&a, &b, 80_000.0));
+        assert!(!isl_line_of_sight(&a, &b, 200_000.0));
+    }
+
+    #[test]
+    fn query_radius_has_slack() {
+        let p = VisibilityParams {
+            min_elevation_rad: deg_to_rad(25.0),
+            max_altitude_m: 550_000.0,
+        };
+        let exact = coverage_radius_m(550_000.0, deg_to_rad(25.0));
+        assert!(p.query_radius_m() > exact);
+    }
+}

@@ -1,0 +1,123 @@
+//! The event queue: a deterministic min-heap of timestamped events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events the simulator processes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Event {
+    /// A flow should emit its next packet.
+    FlowEmit {
+        /// Flow index.
+        flow: u32,
+    },
+    /// A packet reaches the entrance of hop `hop` of its flow's path
+    /// (after propagation from the previous hop).
+    PacketAtHop {
+        /// Flow index.
+        flow: u32,
+        /// Packet sequence number within the flow.
+        seq: u64,
+        /// Hop index into the flow's path.
+        hop: u32,
+        /// Emission timestamp (for end-to-end delay).
+        sent_s: f64,
+    },
+    /// A link's transmitter finished serializing a packet and can take
+    /// the next one from its queue.
+    LinkIdle {
+        /// Link index.
+        link: u32,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Scheduled {
+    pub t_s: f64,
+    /// Tie-break sequence so simultaneous events pop in insertion order —
+    /// this keeps runs bit-deterministic.
+    pub order: u64,
+    pub event: Event,
+}
+
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap: reversed time, then reversed insertion order.
+        other
+            .t_s
+            .partial_cmp(&self.t_s)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.order.cmp(&self.order))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic event queue.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_order: u64,
+}
+
+impl EventQueue {
+    pub fn push(&mut self, t_s: f64, event: Event) {
+        debug_assert!(t_s.is_finite() && t_s >= 0.0);
+        self.heap.push(Scheduled {
+            t_s,
+            order: self.next_order,
+            event,
+        });
+        self.next_order += 1;
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled> {
+        self.heap.pop()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(3.0, Event::LinkIdle { link: 3 });
+        q.push(1.0, Event::LinkIdle { link: 1 });
+        q.push(2.0, Event::LinkIdle { link: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|s| s.t_s).collect();
+        assert_eq!(order, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion() {
+        let mut q = EventQueue::default();
+        q.push(1.0, Event::LinkIdle { link: 10 });
+        q.push(1.0, Event::LinkIdle { link: 20 });
+        let first = q.pop().unwrap();
+        assert_eq!(first.event, Event::LinkIdle { link: 10 });
+        assert_eq!(q.pop().unwrap().event, Event::LinkIdle { link: 20 });
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.len(), 0);
+        q.push(1.0, Event::FlowEmit { flow: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # leo-packetsim — a discrete-event, packet-level network simulator
+//!
+//! The paper's throughput study uses a fluid model (max-min fair rates on
+//! fixed paths, via floodns). Fluid models answer "how much", but not
+//! "how smoothly": queueing delay and jitter — which the paper's QoE
+//! discussion (§4) cares about — need packets. This crate is a compact
+//! event-driven store-and-forward simulator in the spirit the networking
+//! guides recommend: an explicit event queue, per-link FIFO drop-tail
+//! queues, deterministic execution, no async runtime.
+//!
+//! Model:
+//!
+//! * **Links** are unidirectional: a rate (bits/s), a propagation delay
+//!   (s), and a bounded FIFO queue (bytes). A packet occupies the link's
+//!   transmitter for `8·bytes/rate` seconds, then arrives `delay` later.
+//! * **Flows** emit fixed-size packets at constant bit-rate along a
+//!   source-routed path of links.
+//! * **Metrics** per flow: delivered/dropped counts, mean / max / p99
+//!   end-to-end delay, and RFC-3550-style smoothed jitter.
+//!
+//! ```
+//! use leo_packetsim::{FlowSpec, PacketSim};
+//!
+//! let mut sim = PacketSim::new();
+//! let l = sim.add_link(10_000_000.0, 0.005, 64_000); // 10 Mbit/s, 5 ms
+//! sim.add_flow(FlowSpec::cbr(vec![l], 1_000_000.0, 1250, 0.0, 1.0));
+//! let report = sim.run(2.0);
+//! let f = &report.flows[0];
+//! assert_eq!(f.dropped, 0);
+//! // Delay = serialization (1 ms) + propagation (5 ms).
+//! assert!((f.mean_delay_s - 0.006).abs() < 1e-6);
+//! ```
+
+mod event;
+mod metrics;
+mod sim;
+
+pub use metrics::FlowReport;
+pub use sim::{FlowId, FlowSpec, LinkId, PacketSim, SimReport};

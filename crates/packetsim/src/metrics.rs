@@ -1,0 +1,137 @@
+//! Per-flow delivery and delay statistics.
+
+/// Accumulates per-flow statistics during a run.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlowAccumulator {
+    pub emitted: u64,
+    pub delivered: u64,
+    pub dropped: u64,
+    delays: Vec<f64>,
+    /// RFC 3550 §6.4.1 smoothed interarrival jitter state.
+    last_transit: Option<f64>,
+    jitter: f64,
+}
+
+impl FlowAccumulator {
+    pub fn record_delivery(&mut self, delay_s: f64) {
+        self.delivered += 1;
+        self.delays.push(delay_s);
+        if let Some(prev) = self.last_transit {
+            let d = (delay_s - prev).abs();
+            self.jitter += (d - self.jitter) / 16.0;
+        }
+        self.last_transit = Some(delay_s);
+    }
+
+    pub fn finish(mut self) -> FlowReport {
+        self.delays.sort_by(f64::total_cmp);
+        let n = self.delays.len();
+        let mean = if n == 0 {
+            0.0
+        } else {
+            self.delays.iter().sum::<f64>() / n as f64
+        };
+        let pick = |p: f64| -> f64 {
+            if n == 0 {
+                0.0
+            } else {
+                self.delays[((n as f64 - 1.0) * p).round() as usize]
+            }
+        };
+        FlowReport {
+            emitted: self.emitted,
+            delivered: self.delivered,
+            dropped: self.dropped,
+            mean_delay_s: mean,
+            p50_delay_s: pick(0.50),
+            p99_delay_s: pick(0.99),
+            max_delay_s: self.delays.last().copied().unwrap_or(0.0),
+            jitter_s: self.jitter,
+        }
+    }
+}
+
+/// Final statistics of one flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowReport {
+    /// Packets the source emitted.
+    pub emitted: u64,
+    /// Packets that reached the destination.
+    pub delivered: u64,
+    /// Packets dropped at full queues.
+    pub dropped: u64,
+    /// Mean end-to-end delay, s.
+    pub mean_delay_s: f64,
+    /// Median end-to-end delay, s.
+    pub p50_delay_s: f64,
+    /// 99th-percentile end-to-end delay, s.
+    pub p99_delay_s: f64,
+    /// Worst delay, s.
+    pub max_delay_s: f64,
+    /// RFC-3550-style smoothed delay jitter, s.
+    pub jitter_s: f64,
+}
+
+impl FlowReport {
+    /// Delivered fraction of emitted packets.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.emitted == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.emitted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_delay_has_zero_jitter() {
+        let mut acc = FlowAccumulator::default();
+        acc.emitted = 5;
+        for _ in 0..5 {
+            acc.record_delivery(0.010);
+        }
+        let r = acc.finish();
+        assert_eq!(r.delivered, 5);
+        assert_eq!(r.jitter_s, 0.0);
+        assert_eq!(r.mean_delay_s, 0.010);
+        assert_eq!(r.p99_delay_s, 0.010);
+        assert_eq!(r.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn varying_delay_produces_jitter() {
+        let mut acc = FlowAccumulator::default();
+        acc.emitted = 4;
+        for d in [0.010, 0.020, 0.010, 0.020] {
+            acc.record_delivery(d);
+        }
+        let r = acc.finish();
+        assert!(r.jitter_s > 0.0);
+        assert!((r.mean_delay_s - 0.015).abs() < 1e-12);
+        assert_eq!(r.max_delay_s, 0.020);
+    }
+
+    #[test]
+    fn empty_flow_report() {
+        let acc = FlowAccumulator::default();
+        let r = acc.finish();
+        assert_eq!(r.delivery_ratio(), 0.0);
+        assert_eq!(r.mean_delay_s, 0.0);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let mut acc = FlowAccumulator::default();
+        acc.emitted = 100;
+        for i in 0..100 {
+            acc.record_delivery(0.001 * (i as f64 + 1.0));
+        }
+        let r = acc.finish();
+        assert!(r.p50_delay_s <= r.p99_delay_s);
+        assert!(r.p99_delay_s <= r.max_delay_s);
+    }
+}

@@ -1,0 +1,418 @@
+//! The store-and-forward simulator core.
+
+use crate::event::{Event, EventQueue};
+use crate::metrics::{FlowAccumulator, FlowReport};
+use std::collections::VecDeque;
+
+/// Identifier of a unidirectional link.
+pub type LinkId = u32;
+
+/// Identifier of a flow.
+pub type FlowId = u32;
+
+/// A source-routed flow: constant bit-rate, optionally shaped into
+/// deterministic on/off bursts.
+#[derive(Debug, Clone)]
+pub struct FlowSpec {
+    /// Links traversed, in order. Must be non-empty.
+    pub path: Vec<LinkId>,
+    /// Offered *average* rate, bits per second.
+    pub rate_bps: f64,
+    /// Packet size, bytes.
+    pub packet_bytes: u32,
+    /// First emission time, s.
+    pub start_s: f64,
+    /// No emissions at or after this time, s.
+    pub stop_s: f64,
+    /// Optional on/off burst shaping `(period_s, duty)`: the flow emits
+    /// at `rate / duty` during the first `duty` fraction of each period
+    /// and is silent otherwise, keeping the same average rate. This is
+    /// the deterministic stand-in for bursty cross traffic; `None` is
+    /// smooth CBR.
+    pub burst: Option<(f64, f64)>,
+}
+
+impl FlowSpec {
+    /// A smooth constant-bit-rate flow.
+    pub fn cbr(path: Vec<LinkId>, rate_bps: f64, packet_bytes: u32, start_s: f64, stop_s: f64) -> Self {
+        Self { path, rate_bps, packet_bytes, start_s, stop_s, burst: None }
+    }
+
+    /// Time of the emission after one at `now`, honoring burst shaping.
+    fn next_emission(&self, now: f64) -> f64 {
+        let smooth_interval = self.packet_bytes as f64 * 8.0 / self.rate_bps;
+        match self.burst {
+            None => now + smooth_interval,
+            Some((period, duty)) => {
+                let interval = smooth_interval * duty;
+                let next = now + interval;
+                let phase = (next - self.start_s).rem_euclid(period);
+                if phase < period * duty {
+                    next
+                } else {
+                    // Jump to the start of the next on-phase.
+                    next - phase + period
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Link {
+    rate_bps: f64,
+    delay_s: f64,
+    queue_limit_bytes: u64,
+    /// Queued packets: (flow, seq, hop, sent_s).
+    queue: VecDeque<(u32, u64, u32, f64)>,
+    queued_bytes: u64,
+    busy: bool,
+}
+
+/// The simulator: build links and flows, then [`PacketSim::run`].
+#[derive(Debug, Default)]
+pub struct PacketSim {
+    links: Vec<Link>,
+    flows: Vec<FlowSpec>,
+}
+
+/// Results of a run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-flow statistics, indexed by [`FlowId`].
+    pub flows: Vec<FlowReport>,
+    /// Total events processed (a determinism/regression handle).
+    pub events_processed: u64,
+    /// Simulation time of the last processed event, s.
+    pub end_time_s: f64,
+}
+
+impl PacketSim {
+    /// An empty simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a unidirectional link: `rate_bps` transmitter feeding a wire
+    /// of `delay_s` propagation, guarded by a `queue_limit_bytes`
+    /// drop-tail FIFO.
+    pub fn add_link(&mut self, rate_bps: f64, delay_s: f64, queue_limit_bytes: u64) -> LinkId {
+        assert!(rate_bps > 0.0 && delay_s >= 0.0);
+        self.links.push(Link {
+            rate_bps,
+            delay_s,
+            queue_limit_bytes,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            busy: false,
+        });
+        (self.links.len() - 1) as LinkId
+    }
+
+    /// Add a flow.
+    ///
+    /// # Panics
+    /// Panics on an empty path, non-positive rate, zero-size packets, or
+    /// a link id out of range.
+    pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        assert!(!spec.path.is_empty(), "flow path must be non-empty");
+        assert!(spec.rate_bps > 0.0 && spec.packet_bytes > 0);
+        assert!(spec.stop_s >= spec.start_s);
+        if let Some((period, duty)) = spec.burst {
+            assert!(period > 0.0 && duty > 0.0 && duty <= 1.0, "bad burst shape");
+        }
+        for &l in &spec.path {
+            assert!((l as usize) < self.links.len(), "link {l} out of range");
+        }
+        self.flows.push(spec);
+        (self.flows.len() - 1) as FlowId
+    }
+
+    /// Run until the event queue drains or simulated time exceeds
+    /// `until_s`, and return per-flow statistics.
+    pub fn run(mut self, until_s: f64) -> SimReport {
+        let mut queue = EventQueue::default();
+        let mut acc: Vec<FlowAccumulator> =
+            self.flows.iter().map(|_| FlowAccumulator::default()).collect();
+        for (f, spec) in self.flows.iter().enumerate() {
+            if spec.start_s < spec.stop_s {
+                queue.push(spec.start_s, Event::FlowEmit { flow: f as u32 });
+            }
+        }
+        let mut events = 0u64;
+        let mut now = 0.0f64;
+        while let Some(sch) = queue.pop() {
+            if sch.t_s > until_s {
+                break;
+            }
+            now = sch.t_s;
+            events += 1;
+            match sch.event {
+                Event::FlowEmit { flow } => {
+                    let spec = &self.flows[flow as usize];
+                    acc[flow as usize].emitted += 1;
+                    queue.push(
+                        now,
+                        Event::PacketAtHop {
+                            flow,
+                            seq: acc[flow as usize].emitted,
+                            hop: 0,
+                            sent_s: now,
+                        },
+                    );
+                    // Schedule the next emission.
+                    let next = spec.next_emission(now);
+                    if next < spec.stop_s {
+                        queue.push(next, Event::FlowEmit { flow });
+                    }
+                }
+                Event::PacketAtHop {
+                    flow,
+                    seq,
+                    hop,
+                    sent_s,
+                } => {
+                    let spec = &self.flows[flow as usize];
+                    if hop as usize >= spec.path.len() {
+                        // Destination reached.
+                        acc[flow as usize].record_delivery(now - sent_s);
+                        continue;
+                    }
+                    let link_id = spec.path[hop as usize];
+                    let bytes = spec.packet_bytes as u64;
+                    let link = &mut self.links[link_id as usize];
+                    if link.busy {
+                        if link.queued_bytes + bytes > link.queue_limit_bytes {
+                            acc[flow as usize].dropped += 1;
+                        } else {
+                            link.queued_bytes += bytes;
+                            link.queue.push_back((flow, seq, hop, sent_s));
+                        }
+                    } else {
+                        // Transmit immediately.
+                        link.busy = true;
+                        let ser = bytes as f64 * 8.0 / link.rate_bps;
+                        queue.push(now + ser, Event::LinkIdle { link: link_id });
+                        queue.push(
+                            now + ser + link.delay_s,
+                            Event::PacketAtHop {
+                                flow,
+                                seq,
+                                hop: hop + 1,
+                                sent_s,
+                            },
+                        );
+                    }
+                }
+                Event::LinkIdle { link } => {
+                    let l = &mut self.links[link as usize];
+                    if let Some((flow, seq, hop, sent_s)) = l.queue.pop_front() {
+                        let bytes = self.flows[flow as usize].packet_bytes as u64;
+                        l.queued_bytes -= bytes;
+                        let ser = bytes as f64 * 8.0 / l.rate_bps;
+                        queue.push(now + ser, Event::LinkIdle { link });
+                        queue.push(
+                            now + ser + l.delay_s,
+                            Event::PacketAtHop {
+                                flow,
+                                seq,
+                                hop: hop + 1,
+                                sent_s,
+                            },
+                        );
+                    } else {
+                        l.busy = false;
+                    }
+                }
+            }
+        }
+        SimReport {
+            flows: acc.into_iter().map(FlowAccumulator::finish).collect(),
+            events_processed: events,
+            end_time_s: now,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1250-byte packets = 10,000 bits.
+    const PKT: u32 = 1250;
+
+    fn cbr(path: Vec<LinkId>, rate_bps: f64, stop_s: f64) -> FlowSpec {
+        FlowSpec::cbr(path, rate_bps, PKT, 0.0, stop_s)
+    }
+
+    #[test]
+    fn bursty_cross_traffic_inflates_foreground_tail() {
+        let run = |burst: Option<(f64, f64)>| {
+            let mut sim = PacketSim::new();
+            let l = sim.add_link(10e6, 0.001, 1 << 20);
+            let fg = sim.add_flow(cbr(vec![l], 1e6, 2.0));
+            sim.add_flow(FlowSpec {
+                path: vec![l],
+                rate_bps: 7e6,
+                packet_bytes: PKT,
+                start_s: 0.0,
+                stop_s: 2.0,
+                burst,
+            });
+            let r = sim.run(10.0);
+            r.flows[fg as usize]
+        };
+        let smooth = run(None);
+        // 20 ms bursts at 25% duty: 28 Mbit/s peaks over a 10 Mbit/s link.
+        let bursty = run(Some((0.020, 0.25)));
+        assert!(
+            bursty.p99_delay_s > smooth.p99_delay_s,
+            "bursty p99 {} must exceed smooth {}",
+            bursty.p99_delay_s,
+            smooth.p99_delay_s
+        );
+        assert!(bursty.jitter_s > smooth.jitter_s);
+    }
+
+    #[test]
+    fn burst_preserves_average_rate() {
+        let mut sim = PacketSim::new();
+        let l = sim.add_link(100e6, 0.001, 1 << 22);
+        let f = sim.add_flow(FlowSpec {
+            path: vec![l],
+            rate_bps: 5e6,
+            packet_bytes: PKT,
+            start_s: 0.0,
+            stop_s: 4.0,
+            burst: Some((0.050, 0.5)),
+        });
+        let r = sim.run(10.0);
+        let expected = 5e6 * 4.0 / (PKT as f64 * 8.0);
+        let got = r.flows[f as usize].emitted as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "emitted {got} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn single_link_delay_exact() {
+        let mut sim = PacketSim::new();
+        let l = sim.add_link(10e6, 0.005, 1 << 20);
+        sim.add_flow(cbr(vec![l], 1e6, 1.0));
+        let r = sim.run(5.0);
+        let f = &r.flows[0];
+        assert_eq!(f.dropped, 0);
+        assert_eq!(f.emitted, f.delivered);
+        // 10 kbit at 10 Mbit/s = 1 ms serialization + 5 ms propagation.
+        assert!((f.mean_delay_s - 0.006).abs() < 1e-9, "{}", f.mean_delay_s);
+        assert!(f.jitter_s < 1e-15, "uncontended CBR has no jitter: {}", f.jitter_s);
+    }
+
+    #[test]
+    fn underload_delivers_everything() {
+        let mut sim = PacketSim::new();
+        let a = sim.add_link(20e6, 0.002, 1 << 20);
+        let b = sim.add_link(20e6, 0.003, 1 << 20);
+        sim.add_flow(cbr(vec![a, b], 5e6, 2.0));
+        let r = sim.run(10.0);
+        let f = &r.flows[0];
+        assert!(f.emitted > 900, "2 s at 5 Mbit/s in 10 kbit packets = 1000");
+        assert_eq!(f.delivered, f.emitted);
+        // Two serializations + two propagations.
+        assert!((f.mean_delay_s - (0.0005 + 0.002 + 0.0005 + 0.003)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overload_drops_and_caps_throughput() {
+        let mut sim = PacketSim::new();
+        // 5 Mbit/s bottleneck, small queue.
+        let l = sim.add_link(5e6, 0.001, 20_000);
+        sim.add_flow(cbr(vec![l], 10e6, 2.0));
+        let r = sim.run(10.0);
+        let f = &r.flows[0];
+        assert!(f.dropped > 0, "overload must drop");
+        // Delivered ≈ bottleneck rate × duration / packet bits.
+        let expected = 5e6 * 2.0 / (PKT as f64 * 8.0);
+        assert!(
+            (f.delivered as f64 - expected).abs() < expected * 0.05,
+            "delivered {} vs expected {expected}",
+            f.delivered
+        );
+    }
+
+    #[test]
+    fn competing_flows_share_fifo() {
+        let mut sim = PacketSim::new();
+        let l = sim.add_link(10e6, 0.001, 1 << 20);
+        sim.add_flow(cbr(vec![l], 4e6, 2.0));
+        sim.add_flow(cbr(vec![l], 4e6, 2.0));
+        let r = sim.run(10.0);
+        // Total offered 8 < 10 Mbit/s: no drops, both delivered fully.
+        for f in &r.flows {
+            assert_eq!(f.dropped, 0);
+            assert_eq!(f.delivered, f.emitted);
+        }
+    }
+
+    #[test]
+    fn congestion_inflates_delay_and_jitter() {
+        let light = {
+            let mut sim = PacketSim::new();
+            let l = sim.add_link(10e6, 0.001, 1 << 22);
+            sim.add_flow(cbr(vec![l], 1e6, 2.0));
+            sim.run(10.0).flows[0]
+        };
+        let heavy = {
+            let mut sim = PacketSim::new();
+            let l = sim.add_link(10e6, 0.001, 1 << 22);
+            let f = sim.add_flow(cbr(vec![l], 1e6, 2.0));
+            // Bursty cross traffic at 95% load.
+            sim.add_flow(cbr(vec![l], 8.5e6, 2.0));
+            let _ = f;
+            sim.run(10.0).flows[0]
+        };
+        assert!(heavy.mean_delay_s > light.mean_delay_s);
+        assert!(heavy.jitter_s >= light.jitter_s);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let build = || {
+            let mut sim = PacketSim::new();
+            let a = sim.add_link(10e6, 0.002, 50_000);
+            let b = sim.add_link(5e6, 0.004, 50_000);
+            sim.add_flow(cbr(vec![a, b], 6e6, 1.0));
+            sim.add_flow(cbr(vec![b], 2e6, 1.0));
+            sim
+        };
+        let r1 = build().run(5.0);
+        let r2 = build().run(5.0);
+        assert_eq!(r1.events_processed, r2.events_processed);
+        assert_eq!(r1.flows, r2.flows);
+    }
+
+    #[test]
+    fn until_cuts_simulation_short() {
+        let mut sim = PacketSim::new();
+        let l = sim.add_link(10e6, 0.001, 1 << 20);
+        sim.add_flow(cbr(vec![l], 1e6, 100.0));
+        let r = sim.run(1.0);
+        assert!(r.end_time_s <= 1.0);
+        assert!(r.flows[0].emitted < 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_path() {
+        let mut sim = PacketSim::new();
+        sim.add_flow(cbr(vec![], 1e6, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_unknown_link() {
+        let mut sim = PacketSim::new();
+        sim.add_flow(cbr(vec![7], 1e6, 1.0));
+    }
+}

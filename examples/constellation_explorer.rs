@@ -1,0 +1,52 @@
+//! Scenario: exploring constellation geometry — orbital periods, coverage
+//! footprints, and what a user terminal in a given city actually sees
+//! over an hour.
+//!
+//! ```sh
+//! cargo run -p leo-examples --bin constellation_explorer -- "New York"
+//! ```
+
+use leo_geo::{coverage_radius_m, deg_to_rad, GeoPoint};
+use leo_orbit::visibility::subpoint_index;
+use leo_orbit::{orbital_period_s, visible_satellites, Constellation, VisibilityParams};
+
+fn main() {
+    let city = std::env::args().nth(1).unwrap_or_else(|| "Zurich".into());
+    let cities = leo_data::load_cities(340, 42);
+    let gt = leo_data::city_by_name(&cities, &city)
+        .map(|c| c.pos)
+        .unwrap_or_else(|| {
+            eprintln!("unknown city {city}; using Zurich");
+            GeoPoint::from_degrees(47.38, 8.54)
+        });
+
+    for (name, c, alt, elev) in [
+        ("Starlink", Constellation::starlink(), 550_000.0, 25.0),
+        ("Kuiper", Constellation::kuiper(), 630_000.0, 30.0),
+    ] {
+        println!(
+            "\n{name}: {} satellites, period {:.1} min, coverage radius {:.0} km at e={elev} deg",
+            c.num_satellites(),
+            orbital_period_s(alt) / 60.0,
+            coverage_radius_m(alt, deg_to_rad(elev)) / 1000.0,
+        );
+        let params = VisibilityParams {
+            min_elevation_rad: c.min_elevation_rad(),
+            max_altitude_m: alt,
+        };
+        let (mut scratch, mut vis) = (Vec::new(), Vec::new());
+        print!("visible from {city} ({gt}) over 1 h: ");
+        let mut counts = Vec::new();
+        for minute in (0..60).step_by(5) {
+            let snap = c.positions_at(minute as f64 * 60.0);
+            let index = subpoint_index(&snap);
+            visible_satellites(gt, &snap, &index, &params, &mut scratch, &mut vis);
+            counts.push(vis.len());
+        }
+        println!(
+            "{counts:?} (min {}, max {})",
+            counts.iter().min().unwrap(),
+            counts.iter().max().unwrap()
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Runnable example binaries exercising the public leo-isl API.
+//!
+//! * `quickstart` — build a context, freeze a snapshot, route a pair.
+//! * `latency_comparison` — BP vs hybrid RTT distributions for sample routes.
+//! * `weather_outage` — a realized weather day on a tropical link, with
+//!   fade margin / MODCOD implications.
+//! * `constellation_explorer` — orbital geometry and visibility from a city.

@@ -1,0 +1,60 @@
+//! Seeded reproducibility: identical configs produce bit-identical
+//! results; different seeds differ.
+
+use leo_core::experiments::latency::latency_study;
+use leo_core::experiments::throughput::throughput;
+use leo_core::{ExperimentScale, Mode, StudyContext};
+
+#[test]
+fn study_context_is_deterministic() {
+    let a = StudyContext::build(ExperimentScale::Tiny.config());
+    let b = StudyContext::build(ExperimentScale::Tiny.config());
+    assert_eq!(a.pairs, b.pairs);
+    assert_eq!(a.ground.cities.len(), b.ground.cities.len());
+    for (x, y) in a.ground.cities.iter().zip(&b.ground.cities) {
+        assert_eq!(x, y);
+    }
+}
+
+#[test]
+fn seeds_change_the_traffic_matrix() {
+    let mut cfg = ExperimentScale::Tiny.config();
+    let a = StudyContext::build(cfg.clone());
+    cfg.seed = 43;
+    let b = StudyContext::build(cfg);
+    assert_ne!(a.pairs, b.pairs);
+}
+
+#[test]
+fn latency_study_reproducible_across_thread_counts() {
+    let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+    let serial = latency_study(&ctx, Mode::Hybrid, 1);
+    let parallel = latency_study(&ctx, Mode::Hybrid, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.min_rtt_ms, p.min_rtt_ms);
+        assert_eq!(s.max_rtt_ms, p.max_rtt_ms);
+        assert_eq!(s.reachable, p.reachable);
+    }
+}
+
+#[test]
+fn throughput_reproducible() {
+    let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+    let a = throughput(&ctx, 0.0, Mode::Hybrid, 4);
+    let b = throughput(&ctx, 0.0, Mode::Hybrid, 4);
+    assert_eq!(a.aggregate_gbps, b.aggregate_gbps);
+    assert_eq!(a.flows, b.flows);
+}
+
+#[test]
+fn snapshots_identical_for_same_time() {
+    let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+    let a = ctx.snapshot(4242.0, Mode::Hybrid);
+    let b = ctx.snapshot(4242.0, Mode::Hybrid);
+    assert_eq!(a.graph.num_nodes(), b.graph.num_nodes());
+    assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+    for e in 0..a.graph.num_edges() as u32 {
+        assert_eq!(a.graph.edge(e), b.graph.edge(e));
+    }
+}

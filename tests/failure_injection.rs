@@ -1,0 +1,123 @@
+//! Robustness under failures: killing links must degrade gracefully and
+//! monotonically, and the k-disjoint routing must tolerate single-path
+//! loss by construction.
+
+use leo_core::{ExperimentScale, Mode, StudyContext};
+use leo_graph::{dijkstra, dijkstra_with_mask, extract_path, k_edge_disjoint_paths};
+use proptest::prelude::*;
+
+fn ctx() -> StudyContext {
+    StudyContext::build(ExperimentScale::Tiny.config())
+}
+
+#[test]
+fn killing_the_shortest_path_leaves_alternatives() {
+    let ctx = ctx();
+    let snap = ctx.snapshot(0.0, Mode::Hybrid);
+    let mut tested = 0;
+    for p in ctx.pairs.iter().take(10) {
+        let (s, d) = (
+            snap.city_node(p.src as usize),
+            snap.city_node(p.dst as usize),
+        );
+        let sp = dijkstra(&snap.graph, s);
+        let Some(best) = extract_path(&sp, d) else { continue };
+        // Disable every edge of the best path.
+        let mut disabled = vec![false; snap.graph.num_edges()];
+        for &e in &best.edges {
+            disabled[e as usize] = true;
+        }
+        let sp2 = dijkstra_with_mask(&snap.graph, s, &disabled, Some(d));
+        if let Some(alt) = extract_path(&sp2, d) {
+            assert!(
+                alt.total_weight >= best.total_weight - 1e-12,
+                "detour cannot be shorter than the shortest path"
+            );
+            tested += 1;
+        }
+    }
+    assert!(tested > 0, "no pair had a surviving alternative");
+}
+
+#[test]
+fn progressive_link_loss_is_monotone() {
+    // Killing progressively more ISLs can only lengthen (or sever) the
+    // hybrid path.
+    let ctx = ctx();
+    let snap = ctx.snapshot(0.0, Mode::Hybrid);
+    let p = ctx.pairs[0];
+    let (s, d) = (
+        snap.city_node(p.src as usize),
+        snap.city_node(p.dst as usize),
+    );
+    let mut disabled = vec![false; snap.graph.num_edges()];
+    let mut prev = 0.0f64;
+    for kill_round in 0..4 {
+        let sp = dijkstra_with_mask(&snap.graph, s, &disabled, Some(d));
+        match extract_path(&sp, d) {
+            Some(path) => {
+                assert!(
+                    path.total_weight >= prev - 1e-12,
+                    "round {kill_round}: path got shorter after failures"
+                );
+                prev = path.total_weight;
+                for &e in &path.edges {
+                    disabled[e as usize] = true;
+                }
+            }
+            None => break, // severed: acceptable terminal state
+        }
+    }
+}
+
+#[test]
+fn k_disjoint_survives_single_path_failure() {
+    let ctx = ctx();
+    let snap = ctx.snapshot(0.0, Mode::Hybrid);
+    for p in ctx.pairs.iter().take(10) {
+        let (s, d) = (
+            snap.city_node(p.src as usize),
+            snap.city_node(p.dst as usize),
+        );
+        let paths = k_edge_disjoint_paths(&snap.graph, s, d, 4, None);
+        if paths.len() >= 2 {
+            // Kill all edges of path 0; every other path must still be
+            // intact because they are edge-disjoint.
+            let mut disabled = vec![false; snap.graph.num_edges()];
+            for &e in &paths[0].edges {
+                disabled[e as usize] = true;
+            }
+            for alt in &paths[1..] {
+                for &e in &alt.edges {
+                    assert!(!disabled[e as usize], "disjointness violated");
+                }
+            }
+            return;
+        }
+    }
+    panic!("no pair with ≥2 disjoint paths found");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Random edge failures never *reduce* shortest-path delay, for any
+    /// pair and failure set.
+    #[test]
+    fn random_failures_never_speed_up(kill_seed in 0u64..1000) {
+        let ctx = ctx();
+        let snap = ctx.snapshot(0.0, Mode::Hybrid);
+        let p = ctx.pairs[(kill_seed % ctx.pairs.len() as u64) as usize];
+        let (s, d) = (
+            snap.city_node(p.src as usize),
+            snap.city_node(p.dst as usize),
+        );
+        let base = dijkstra(&snap.graph, s).dist[d as usize];
+        prop_assume!(base.is_finite());
+        // Deterministically kill ~5% of edges keyed on the seed.
+        let disabled: Vec<bool> = (0..snap.graph.num_edges())
+            .map(|e| (e as u64).wrapping_mul(2654435761).wrapping_add(kill_seed) % 20 == 0)
+            .collect();
+        let after = dijkstra_with_mask(&snap.graph, s, &disabled, Some(d)).dist[d as usize];
+        prop_assert!(after >= base - 1e-12, "failures produced a faster path");
+    }
+}

@@ -1,0 +1,6 @@
+//! Cross-crate integration tests for the leo-isl workspace.
+//!
+//! The tests live in sibling files declared as `[[test]]` targets:
+//! `pipeline` (end-to-end construction), `paper_claims` (the paper's
+//! qualitative results), `determinism` (seeded reproducibility), and
+//! `failure_injection` (robustness under link loss).

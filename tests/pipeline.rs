@@ -1,0 +1,125 @@
+//! End-to-end pipeline test: every substrate participates in building and
+//! querying a network snapshot.
+
+use leo_core::{ExperimentScale, Mode, NodeKind, StudyContext};
+use leo_graph::{dijkstra, extract_path};
+
+fn ctx() -> StudyContext {
+    StudyContext::build(ExperimentScale::Tiny.config())
+}
+
+#[test]
+fn full_stack_builds_and_routes() {
+    let ctx = ctx();
+    // Substrates present:
+    assert_eq!(ctx.num_satellites(), 1584); // leo-orbit
+    assert_eq!(ctx.ground.cities.len(), 60); // leo-data cities
+    assert!(!ctx.ground.relays.is_empty()); // land mask + grid
+    assert!(!ctx.pairs.is_empty()); // traffic matrix
+
+    let snap = ctx.snapshot(0.0, Mode::Hybrid);
+    assert!(snap.graph.num_edges() > 3000);
+
+    // Route every sampled pair; most must be reachable under hybrid.
+    let mut reachable = 0;
+    for p in &ctx.pairs {
+        let sp = dijkstra(&snap.graph, snap.city_node(p.src as usize));
+        if sp.reached(snap.city_node(p.dst as usize)) {
+            reachable += 1;
+        }
+    }
+    assert!(
+        reachable * 10 >= ctx.pairs.len() * 9,
+        "{reachable}/{} pairs reachable under hybrid",
+        ctx.pairs.len()
+    );
+}
+
+#[test]
+fn bp_paths_alternate_ground_and_satellite() {
+    // Structural invariant of bent-pipe connectivity: with no ISLs, a
+    // path must alternate ground ↔ satellite at every hop.
+    let ctx = ctx();
+    let snap = ctx.snapshot(0.0, Mode::BpOnly);
+    let mut checked = 0;
+    for p in ctx.pairs.iter().take(20) {
+        let sp = dijkstra(&snap.graph, snap.city_node(p.src as usize));
+        if let Some(path) = extract_path(&sp, snap.city_node(p.dst as usize)) {
+            for w in path.nodes.windows(2) {
+                let a_ground = snap.nodes[w[0] as usize].is_ground();
+                let b_ground = snap.nodes[w[1] as usize].is_ground();
+                assert_ne!(a_ground, b_ground, "BP hop must cross ground/space boundary");
+            }
+            // Odd hop count: up, (down,up)*, down.
+            assert_eq!(path.num_hops() % 2, 0, "BP path has even hops (up+down pairs)");
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no BP-reachable pairs to check");
+}
+
+#[test]
+fn hybrid_paths_may_stay_in_space() {
+    let ctx = ctx();
+    let snap = ctx.snapshot(0.0, Mode::Hybrid);
+    // At least one long pair should route with exactly 2 radio hops
+    // (up, lasers, down) — i.e. satellite-only intermediates.
+    let mut space_only = 0;
+    for p in &ctx.pairs {
+        let sp = dijkstra(&snap.graph, snap.city_node(p.src as usize));
+        if let Some(path) = extract_path(&sp, snap.city_node(p.dst as usize)) {
+            let ground_intermediates = path.nodes[1..path.nodes.len() - 1]
+                .iter()
+                .filter(|&&n| snap.nodes[n as usize].is_ground())
+                .count();
+            if ground_intermediates == 0 && path.num_hops() > 2 {
+                space_only += 1;
+            }
+        }
+    }
+    assert!(space_only > 0, "no pair routed purely through ISLs");
+}
+
+#[test]
+fn aircraft_participate_in_bp_routing() {
+    // Over a day, transoceanic BP paths should touch aircraft relays.
+    let mut cfg = ExperimentScale::Tiny.config();
+    cfg.num_cities = 340;
+    cfg.flight_density = 1.0;
+    let ctx = StudyContext::build(cfg);
+    let ts = leo_core::experiments::latency::pair_timeseries(
+        &ctx, "Maceió", "Durban", Mode::BpOnly, 0,
+    );
+    let with_aircraft = ts.iter().filter(|p| p.aircraft_hops > 0).count();
+    assert!(
+        with_aircraft > 0,
+        "South-Atlantic pair should use aircraft at least once"
+    );
+}
+
+#[test]
+fn snapshot_node_kinds_partition() {
+    let ctx = ctx();
+    let snap = ctx.snapshot(7200.0, Mode::BpOnly);
+    let mut sats = 0;
+    let mut cities = 0;
+    let mut relays = 0;
+    let mut aircraft = 0;
+    for n in &snap.nodes {
+        match n {
+            NodeKind::Satellite(_) => sats += 1,
+            NodeKind::City(_) => cities += 1,
+            NodeKind::Relay(_) => relays += 1,
+            NodeKind::Aircraft(_) => aircraft += 1,
+        }
+    }
+    assert_eq!(sats, ctx.num_satellites());
+    assert_eq!(cities, ctx.ground.cities.len());
+    assert_eq!(relays, ctx.ground.relays.len());
+    assert_eq!(aircraft, snap.num_aircraft);
+    assert_eq!(
+        sats + cities + relays + aircraft,
+        snap.graph.num_nodes(),
+        "node table must cover the graph exactly"
+    );
+}
