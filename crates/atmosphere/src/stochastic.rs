@@ -17,6 +17,7 @@
 
 use crate::model::{AttenuationModel, SlantPath};
 use leo_geo::GeoPoint;
+use leo_util::rng::mix64;
 
 /// A deterministic, seeded weather realization.
 #[derive(Debug, Clone, Copy)]
@@ -36,19 +37,13 @@ impl WeatherProcess {
         }
     }
 
-    /// SplitMix64 — a tiny, high-quality stateless mixer.
-    fn mix(mut z: u64) -> u64 {
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
     /// Standard Gaussian from a hash key (Box-Muller on two mixed
-    /// uniforms).
+    /// uniforms). The mixer is `leo_util::rng::mix64` — the same
+    /// SplitMix64 finalizer this module carried privately before the
+    /// hermetic refactor, so seeded weather streams are unchanged.
     fn gaussian(&self, key: u64) -> f64 {
-        let a = Self::mix(self.seed ^ key);
-        let b = Self::mix(a ^ 0xD6E8_FEB8_6659_FD93);
+        let a = mix64(self.seed ^ key);
+        let b = mix64(a ^ 0xD6E8_FEB8_6659_FD93);
         let u1 = ((a >> 11) as f64 + 1.0) / (1u64 << 53) as f64; // (0, 1]
         let u2 = (b >> 11) as f64 / (1u64 << 53) as f64;
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
@@ -58,7 +53,7 @@ impl WeatherProcess {
     fn site_key(site: GeoPoint) -> u64 {
         let lat = (site.lat_deg() * 100.0).round() as i64 as u64;
         let lon = (site.lon_deg() * 100.0).round() as i64 as u64;
-        Self::mix(lat.wrapping_mul(0x9E37_79B9).wrapping_add(lon))
+        mix64(lat.wrapping_mul(0x9E37_79B9).wrapping_add(lon))
     }
 
     /// The correlated standard-Gaussian weather state of `site` at time

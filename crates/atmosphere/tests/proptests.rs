@@ -1,62 +1,80 @@
 //! Property-based tests for the attenuation model: physical
-//! monotonicities that must hold over the whole input space.
+//! monotonicities that must hold over the whole input space (on
+//! `leo_util::check`; 256 cases per property, ≥ the proptest originals).
 
 use leo_atmo::*;
 use leo_geo::{deg_to_rad, GeoPoint};
-use proptest::prelude::*;
+use leo_util::check::{check, Gen};
+use leo_util::check_assert;
 
-fn arb_site() -> impl Strategy<Value = GeoPoint> {
-    (-70.0f64..70.0, -180.0f64..180.0).prop_map(|(lat, lon)| GeoPoint::from_degrees(lat, lon))
+fn arb_site(g: &mut Gen) -> GeoPoint {
+    GeoPoint::from_degrees(g.f64(-70.0..70.0), g.f64(-180.0..180.0))
 }
 
-fn arb_path() -> impl Strategy<Value = SlantPath> {
-    (arb_site(), 10.0f64..85.0, 10.0f64..30.0).prop_map(|(site, elev, f)| SlantPath {
-        site,
-        elevation_rad: deg_to_rad(elev),
-        frequency_ghz: f,
-    })
+fn arb_path(g: &mut Gen) -> SlantPath {
+    SlantPath {
+        site: arb_site(g),
+        elevation_rad: deg_to_rad(g.f64(10.0..85.0)),
+        frequency_ghz: g.f64(10.0..30.0),
+    }
 }
 
-proptest! {
-    /// Attenuation is positive, finite, and monotone in the exceedance
-    /// probability everywhere on Earth.
-    #[test]
-    fn total_attenuation_monotone(path in arb_path()) {
-        let model = AttenuationModel::new(Climatology::synthetic());
+/// Attenuation is positive, finite, and monotone in the exceedance
+/// probability everywhere on Earth.
+#[test]
+fn total_attenuation_monotone() {
+    let model = AttenuationModel::new(Climatology::synthetic());
+    check("total_attenuation_monotone", |g| {
+        let path = arb_path(g);
         let mut prev = f64::INFINITY;
         for p in [0.01, 0.1, 0.5, 1.0, 5.0] {
             let a = model.total_attenuation_db(&path, p);
-            prop_assert!(a.is_finite() && a > 0.0, "A({p}) = {a}");
-            prop_assert!(a <= prev + 1e-9, "A must fall as p grows");
+            check_assert!(a.is_finite() && a > 0.0, "A({p}) = {a}");
+            check_assert!(a <= prev + 1e-9, "A must fall as p grows");
             prev = a;
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Lower elevation never reduces attenuation (longer path through
-    /// the troposphere).
-    #[test]
-    fn elevation_monotone(site in arb_site(), f in 10.0f64..30.0, p in 0.05f64..5.0) {
-        let model = AttenuationModel::new(Climatology::synthetic());
+/// Lower elevation never reduces attenuation (longer path through
+/// the troposphere).
+#[test]
+fn elevation_monotone() {
+    let model = AttenuationModel::new(Climatology::synthetic());
+    check("elevation_monotone", |g| {
+        let site = arb_site(g);
+        let f = g.f64(10.0..30.0);
+        let p = g.f64(0.05..5.0);
         let hi = SlantPath { site, elevation_rad: deg_to_rad(70.0), frequency_ghz: f };
         let lo = SlantPath { site, elevation_rad: deg_to_rad(15.0), frequency_ghz: f };
-        prop_assert!(
+        check_assert!(
             model.total_attenuation_db(&lo, p) >= model.total_attenuation_db(&hi, p) - 1e-9
         );
-    }
+        Ok(())
+    });
+}
 
-    /// Rain coefficients stay physical across the valid band.
-    #[test]
-    fn rain_coefficients_physical(f in 1.0f64..100.0) {
+/// Rain coefficients stay physical across the valid band.
+#[test]
+fn rain_coefficients_physical() {
+    check("rain_coefficients_physical", |g| {
+        let f = g.f64(1.0..100.0);
         let c = rain_coefficients(f);
-        prop_assert!(c.k > 0.0 && c.k < 3.0, "k = {}", c.k);
-        prop_assert!(c.alpha > 0.4 && c.alpha < 2.0, "alpha = {}", c.alpha);
-    }
+        check_assert!(c.k > 0.0 && c.k < 3.0, "k = {}", c.k);
+        check_assert!(c.alpha > 0.4 && c.alpha < 2.0, "alpha = {}", c.alpha);
+        Ok(())
+    });
+}
 
-    /// The stochastic process honors the analytic exceedance curve at
-    /// an arbitrary threshold percentile (coarse check, 4000 samples).
-    #[test]
-    fn stochastic_matches_exceedance(seed in 0u64..50, p_check in 0.5f64..4.0) {
-        let model = AttenuationModel::new(Climatology::synthetic());
+/// The stochastic process honors the analytic exceedance curve at
+/// an arbitrary threshold percentile (coarse check, 4000 samples).
+#[test]
+fn stochastic_matches_exceedance() {
+    let model = AttenuationModel::new(Climatology::synthetic());
+    check("stochastic_matches_exceedance", |g| {
+        let seed = g.u64(0..50);
+        let p_check = g.f64(0.5..4.0);
         let w = WeatherProcess::new(seed);
         let path = SlantPath {
             site: GeoPoint::from_degrees(5.0, 100.0),
@@ -73,24 +91,34 @@ proptest! {
             }
         }
         let frac = exceed as f64 / n as f64 * 100.0;
-        prop_assert!((frac - p_check).abs() < 1.5, "target {p_check}%, got {frac}%");
-    }
+        check_assert!((frac - p_check).abs() < 1.5, "target {p_check}%, got {frac}%");
+        Ok(())
+    });
+}
 
-    /// MODCOD efficiency is monotone in C/N and bounded by Shannon.
-    #[test]
-    fn modcod_monotone_and_shannon_bounded(cn in -5.0f64..25.0) {
+/// MODCOD efficiency is monotone in C/N and bounded by Shannon.
+#[test]
+fn modcod_monotone_and_shannon_bounded() {
+    check("modcod_monotone_and_shannon_bounded", |g| {
+        let cn = g.f64(-5.0..25.0);
         let lb = LinkBudget::ku_user_terminal();
         let e1 = lb.modcod_efficiency(cn);
         let e2 = lb.modcod_efficiency(cn + 1.0);
-        prop_assert!(e2 >= e1);
-        prop_assert!(e1 * lb.bandwidth_hz <= lb.shannon_capacity_bps(cn) + 1.0);
-    }
+        check_assert!(e2 >= e1);
+        check_assert!(e1 * lb.bandwidth_hz <= lb.shannon_capacity_bps(cn) + 1.0);
+        Ok(())
+    });
+}
 
-    /// FSPL grows with both distance and frequency.
-    #[test]
-    fn fspl_monotone(f in 1.0f64..50.0, d in 100_000.0f64..3_000_000.0) {
+/// FSPL grows with both distance and frequency.
+#[test]
+fn fspl_monotone() {
+    check("fspl_monotone", |g| {
+        let f = g.f64(1.0..50.0);
+        let d = g.f64(100_000.0..3_000_000.0);
         let base = free_space_path_loss_db(f, d);
-        prop_assert!(free_space_path_loss_db(f * 1.5, d) > base);
-        prop_assert!(free_space_path_loss_db(f, d * 1.5) > base);
-    }
+        check_assert!(free_space_path_loss_db(f * 1.5, d) > base);
+        check_assert!(free_space_path_loss_db(f, d * 1.5) > base);
+        Ok(())
+    });
 }

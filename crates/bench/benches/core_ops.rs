@@ -1,85 +1,75 @@
 //! Performance benchmarks of the hot paths: snapshot construction,
 //! shortest paths, disjoint paths, max-min allocation, and the
 //! attenuation model.
+//!
+//! Runs on the in-tree `leo_util::bench` harness (`harness = false`, so
+//! this file owns `main`). `cargo bench -p leo-bench --bench core_ops`
+//! prints one line per benchmark and writes `BENCH_core_ops.json`
+//! (JSON lines, per-iteration ns) into `LEO_BENCH_DIR` or the cwd.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use leo_atmo::{AttenuationModel, Climatology, SlantPath};
 use leo_core::{ExperimentScale, Mode, StudyContext};
 use leo_flow::FlowSim;
 use leo_geo::{deg_to_rad, GeoPoint};
 use leo_graph::{dijkstra, k_edge_disjoint_paths};
+use leo_util::bench::Harness;
 
-fn bench_snapshot_build(c: &mut Criterion) {
+fn bench_snapshot_build(h: &mut Harness) {
     let ctx = StudyContext::build(ExperimentScale::Tiny.config());
-    c.bench_function("snapshot_build_hybrid", |b| {
-        b.iter(|| std::hint::black_box(ctx.snapshot(1234.0, Mode::Hybrid)))
-    });
-    c.bench_function("snapshot_build_bp", |b| {
-        b.iter(|| std::hint::black_box(ctx.snapshot(1234.0, Mode::BpOnly)))
-    });
+    h.bench("snapshot_build_hybrid", || ctx.snapshot(1234.0, Mode::Hybrid));
+    h.bench("snapshot_build_bp", || ctx.snapshot(1234.0, Mode::BpOnly));
 }
 
-fn bench_propagation(c: &mut Criterion) {
+fn bench_propagation(h: &mut Harness) {
     let constellation = leo_orbit::Constellation::starlink();
-    c.bench_function("propagate_1584_sats", |b| {
-        b.iter(|| std::hint::black_box(constellation.positions_at(5678.0)))
-    });
+    h.bench("propagate_1584_sats", || constellation.positions_at(5678.0));
 }
 
-fn bench_dijkstra(c: &mut Criterion) {
+fn bench_dijkstra(h: &mut Harness) {
     let ctx = StudyContext::build(ExperimentScale::Tiny.config());
     let snap = ctx.snapshot(0.0, Mode::Hybrid);
     let src = snap.city_node(0);
-    c.bench_function("dijkstra_hybrid_snapshot", |b| {
-        b.iter(|| std::hint::black_box(dijkstra(&snap.graph, src)))
-    });
-    c.bench_function("k4_disjoint_paths", |b| {
-        b.iter(|| {
-            std::hint::black_box(k_edge_disjoint_paths(
-                &snap.graph,
-                src,
-                snap.city_node(20),
-                4,
-                None,
-            ))
-        })
+    h.bench("dijkstra_hybrid_snapshot", || dijkstra(&snap.graph, src));
+    h.bench("k4_disjoint_paths", || {
+        k_edge_disjoint_paths(&snap.graph, src, snap.city_node(20), 4, None)
     });
 }
 
-fn bench_maxmin(c: &mut Criterion) {
+fn bench_maxmin(h: &mut Harness) {
     // A synthetic instance shaped like the throughput experiment: many
-    // short flows over a shared pool of links.
+    // short flows over a shared pool of links. `solve` consumes state, so
+    // each iteration rebuilds; construction is a small fraction of the
+    // waterfilling cost and is deliberately included in the measurement.
     let build = || {
         let mut sim = FlowSim::new();
         let links: Vec<_> = (0..2000).map(|i| sim.add_link(20.0 + (i % 5) as f64)).collect();
         for f in 0..1000u32 {
             let path: Vec<_> = (0..6)
-                .map(|h| links[((f as usize * 37 + h * 211) % links.len())])
+                .map(|h| links[(f as usize * 37 + h * 211) % links.len()])
                 .collect();
             sim.add_flow(path);
         }
         sim
     };
-    c.bench_function("maxmin_1000_flows", |b| {
-        b.iter_batched(build, |sim| std::hint::black_box(sim.solve()), BatchSize::SmallInput)
-    });
+    h.bench("maxmin_1000_flows", || build().solve());
 }
 
-fn bench_attenuation(c: &mut Criterion) {
+fn bench_attenuation(h: &mut Harness) {
     let model = AttenuationModel::new(Climatology::synthetic());
     let path = SlantPath {
         site: GeoPoint::from_degrees(1.35, 103.8),
         elevation_rad: deg_to_rad(40.0),
         frequency_ghz: 14.25,
     };
-    c.bench_function("total_attenuation", |b| {
-        b.iter(|| std::hint::black_box(model.total_attenuation_db(&path, 0.5)))
-    });
+    h.bench("total_attenuation", || model.total_attenuation_db(&path, 0.5));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_snapshot_build, bench_propagation, bench_dijkstra, bench_maxmin, bench_attenuation
+fn main() {
+    let mut h = Harness::new("core_ops");
+    bench_snapshot_build(&mut h);
+    bench_propagation(&mut h);
+    bench_dijkstra(&mut h);
+    bench_maxmin(&mut h);
+    bench_attenuation(&mut h);
+    h.finish().expect("write BENCH_core_ops.json");
 }
-criterion_main!(benches);

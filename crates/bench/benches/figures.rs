@@ -2,56 +2,54 @@
 //! version of a paper experiment and sanity-checks its shape (who wins),
 //! so `cargo bench` both times the pipelines and re-verifies the paper's
 //! qualitative results.
+//!
+//! Runs on the in-tree `leo_util::bench` harness (`harness = false`);
+//! writes `BENCH_figures.json` into `LEO_BENCH_DIR` or the cwd.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use leo_core::experiments::latency::latency_study;
 use leo_core::experiments::throughput::throughput;
 use leo_core::experiments::weather::weather_study;
 use leo_core::{ExperimentScale, Mode, StudyContext};
+use leo_util::bench::Harness;
 
 fn ctx() -> StudyContext {
     StudyContext::build(ExperimentScale::Tiny.config())
 }
 
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2(h: &mut Harness) {
     let ctx = ctx();
-    c.bench_function("fig2_latency_study_tiny", |b| {
-        b.iter(|| {
-            let bp = latency_study(&ctx, Mode::BpOnly, 0);
-            let hy = latency_study(&ctx, Mode::Hybrid, 0);
-            // Shape check: hybrid min RTT never worse.
-            for (x, y) in bp.iter().zip(&hy) {
-                if let (Some(bm), Some(hm)) = (x.min_rtt_ms, y.min_rtt_ms) {
-                    assert!(hm <= bm + 1e-9);
-                }
+    h.bench("fig2_latency_study_tiny", || {
+        let bp = latency_study(&ctx, Mode::BpOnly, 0);
+        let hy = latency_study(&ctx, Mode::Hybrid, 0);
+        // Shape check: hybrid min RTT never worse.
+        for (x, y) in bp.iter().zip(&hy) {
+            if let (Some(bm), Some(hm)) = (x.min_rtt_ms, y.min_rtt_ms) {
+                assert!(hm <= bm + 1e-9);
             }
-            std::hint::black_box((bp, hy))
-        })
+        }
+        (bp, hy)
     });
 }
 
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4(h: &mut Harness) {
     let ctx = ctx();
-    c.bench_function("fig4_throughput_tiny", |b| {
-        b.iter(|| {
-            let bp = throughput(&ctx, 0.0, Mode::BpOnly, 1);
-            let hy = throughput(&ctx, 0.0, Mode::Hybrid, 1);
-            assert!(hy.aggregate_gbps > bp.aggregate_gbps, "hybrid must win");
-            std::hint::black_box((bp, hy))
-        })
+    h.bench("fig4_throughput_tiny", || {
+        let bp = throughput(&ctx, 0.0, Mode::BpOnly, 1);
+        let hy = throughput(&ctx, 0.0, Mode::Hybrid, 1);
+        assert!(hy.aggregate_gbps > bp.aggregate_gbps, "hybrid must win");
+        (bp, hy)
     });
 }
 
-fn bench_fig6(c: &mut Criterion) {
+fn bench_fig6(h: &mut Harness) {
     let ctx = ctx();
-    c.bench_function("fig6_weather_study_tiny", |b| {
-        b.iter(|| std::hint::black_box(weather_study(&ctx, 7, 0)))
-    });
+    h.bench("fig6_weather_study_tiny", || weather_study(&ctx, 7, 0));
 }
 
-criterion_group! {
-    name = figures;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig2, bench_fig4, bench_fig6
+fn main() {
+    let mut h = Harness::new("figures");
+    bench_fig2(&mut h);
+    bench_fig4(&mut h);
+    bench_fig6(&mut h);
+    h.finish().expect("write BENCH_figures.json");
 }
-criterion_main!(figures);

@@ -1,0 +1,30 @@
+//! Committed perf baseline: times the two headline pipelines (fig. 2
+//! latency study, fig. 4 throughput) at Tiny scale and writes
+//! `BENCH_seed.json` (label `seed`) into `LEO_BENCH_DIR` or the cwd.
+//!
+//! The JSON-lines file is committed to the repo; future PRs re-run this
+//! bin under a new label and diff medians against the `seed` baseline,
+//! so the perf trajectory lives in git history rather than a dashboard.
+//!
+//! Run: `cargo run -p leo-bench --release --bin bench_baseline`
+
+use leo_core::experiments::latency::latency_study;
+use leo_core::experiments::throughput::throughput;
+use leo_core::{ExperimentScale, Mode, StudyContext};
+use leo_util::bench::Harness;
+
+fn main() {
+    let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+    let mut h = Harness::new("seed");
+    h.bench("fig2_latency_study_tiny", || {
+        let bp = latency_study(&ctx, Mode::BpOnly, 0);
+        let hy = latency_study(&ctx, Mode::Hybrid, 0);
+        (bp, hy)
+    });
+    h.bench("fig4_throughput_tiny", || {
+        let bp = throughput(&ctx, 0.0, Mode::BpOnly, 1);
+        let hy = throughput(&ctx, 0.0, Mode::Hybrid, 1);
+        (bp, hy)
+    });
+    h.finish().expect("write BENCH_seed.json");
+}

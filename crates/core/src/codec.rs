@@ -9,9 +9,9 @@
 //! truncated or corrupted blob yields an error rather than a bad graph.
 
 use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, NodeKind};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use leo_geo::GeoPoint;
 use leo_graph::GraphBuilder;
+use leo_util::buf::{ByteBuf, ReadBytes};
 
 /// Magic bytes identifying a snapshot blob.
 const MAGIC: &[u8; 4] = b"LEOS";
@@ -62,8 +62,8 @@ fn tag_mode(t: u8) -> Result<Mode, CodecError> {
 }
 
 /// Serialize a snapshot into a self-contained blob.
-pub fn encode_snapshot(snap: &NetworkSnapshot) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + snap.nodes.len() * 8 + snap.edges.len() * 24);
+pub fn encode_snapshot(snap: &NetworkSnapshot) -> Vec<u8> {
+    let mut buf = ByteBuf::with_capacity(64 + snap.nodes.len() * 8 + snap.edges.len() * 24);
     buf.put_slice(MAGIC);
     buf.put_u16_le(VERSION);
     buf.put_u8(mode_tag(snap.mode));
@@ -119,7 +119,7 @@ pub fn encode_snapshot(snap: &NetworkSnapshot) -> Bytes {
             }
         }
     }
-    buf.freeze()
+    buf.into_vec()
 }
 
 macro_rules! need {

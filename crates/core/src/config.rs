@@ -2,11 +2,11 @@
 //! and experiment scale presets.
 
 use leo_orbit::{Constellation, Shell};
-use serde::{Deserialize, Serialize};
+use leo_util::config::{KvDoc, KvError, KvWriter};
 
 /// Which constellation to study (paper §2: one shell each, per the FCC
 /// filings of the first deployment phases).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ConstellationKind {
     /// Starlink phase 1: 72×22 at 550 km, 53°, e = 25°.
     Starlink,
@@ -38,10 +38,29 @@ impl ConstellationKind {
             Self::StarlinkPlusPolar => 560_000.0,
         }
     }
+
+    /// Stable config-text name (see [`StudyConfig::to_kv_string`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Starlink => "starlink",
+            Self::Kuiper => "kuiper",
+            Self::StarlinkPlusPolar => "starlink_plus_polar",
+        }
+    }
+
+    /// Parse a config-text name.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "starlink" => Some(Self::Starlink),
+            "kuiper" => Some(Self::Kuiper),
+            "starlink_plus_polar" => Some(Self::StarlinkPlusPolar),
+            _ => None,
+        }
+    }
 }
 
 /// Link-layer parameters (paper §2 and §5).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NetworkConfig {
     /// Capacity of each GT–satellite radio link, Gbps (paper: 20).
     pub gt_link_gbps: f64,
@@ -69,7 +88,7 @@ impl Default for NetworkConfig {
 }
 
 /// Full study configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyConfig {
     /// The constellation under study.
     pub constellation: ConstellationKind,
@@ -100,6 +119,62 @@ impl StudyConfig {
     pub fn day_snapshots(n: usize) -> Vec<f64> {
         assert!(n > 0);
         (0..n).map(|i| 86_400.0 * i as f64 / n as f64).collect()
+    }
+
+    /// Serialize to the workspace's `key = value` config text
+    /// (`leo_util::config` format). Round-trips exactly through
+    /// [`StudyConfig::from_kv_str`]: every float is written with
+    /// shortest-exact formatting.
+    pub fn to_kv_string(&self) -> String {
+        let mut w = KvWriter::new();
+        w.section("study")
+            .field("constellation", self.constellation.name())
+            .field("num_cities", self.num_cities)
+            .field("num_pairs", self.num_pairs)
+            .field("min_pair_distance_m", self.min_pair_distance_m)
+            .field_opt_f64("relay_grid_deg", self.relay_grid_deg)
+            .field("relay_radius_m", self.relay_radius_m)
+            .field("flight_density", self.flight_density)
+            .field_f64_list("snapshot_times_s", &self.snapshot_times_s)
+            .field("seed", self.seed);
+        w.section("network")
+            .field("gt_link_gbps", self.network.gt_link_gbps)
+            .field("isl_gbps", self.network.isl_gbps)
+            .field("uplink_ghz", self.network.uplink_ghz)
+            .field("downlink_ghz", self.network.downlink_ghz)
+            .field("isl_clearance_m", self.network.isl_clearance_m);
+        w.finish()
+    }
+
+    /// Parse config text produced by [`StudyConfig::to_kv_string`] (or
+    /// written by hand in the same format).
+    pub fn from_kv_str(text: &str) -> Result<Self, KvError> {
+        let doc = KvDoc::parse(text)?;
+        let constellation_name = doc.require("study", "constellation")?;
+        let constellation =
+            ConstellationKind::from_name(constellation_name).ok_or_else(|| KvError::BadValue {
+                section: "study".into(),
+                key: "constellation".into(),
+                value: constellation_name.to_string(),
+            })?;
+        Ok(StudyConfig {
+            constellation,
+            network: NetworkConfig {
+                gt_link_gbps: doc.get_f64("network", "gt_link_gbps")?,
+                isl_gbps: doc.get_f64("network", "isl_gbps")?,
+                uplink_ghz: doc.get_f64("network", "uplink_ghz")?,
+                downlink_ghz: doc.get_f64("network", "downlink_ghz")?,
+                isl_clearance_m: doc.get_f64("network", "isl_clearance_m")?,
+            },
+            num_cities: doc.get_usize("study", "num_cities")?,
+            num_pairs: doc.get_usize("study", "num_pairs")?,
+            min_pair_distance_m: doc.get_f64("study", "min_pair_distance_m")?,
+            relay_grid_deg: doc.get_opt_f64("study", "relay_grid_deg")?,
+            relay_radius_m: doc.get_f64("study", "relay_radius_m")?,
+            flight_density: doc.get_f64("study", "flight_density")?,
+            snapshot_times_s: doc.get_f64_list("study", "snapshot_times_s")?,
+            seed: doc.get_u64("study", "seed")?,
+        })
     }
 }
 
@@ -208,6 +283,62 @@ mod tests {
         assert_eq!(ExperimentScale::parse("paper"), Some(ExperimentScale::Paper));
         assert_eq!(ExperimentScale::parse("TINY"), Some(ExperimentScale::Tiny));
         assert_eq!(ExperimentScale::parse("nope"), None);
+    }
+
+    #[test]
+    fn kv_roundtrip_all_scales() {
+        for scale in [ExperimentScale::Tiny, ExperimentScale::Bench, ExperimentScale::Paper] {
+            let cfg = scale.config();
+            let text = cfg.to_kv_string();
+            let back = StudyConfig::from_kv_str(&text).expect("parse back");
+            assert_eq!(back, cfg, "round-trip mismatch for {scale:?}:\n{text}");
+        }
+    }
+
+    #[test]
+    fn kv_roundtrip_none_grid_and_other_constellations() {
+        let mut cfg = ExperimentScale::Tiny.config();
+        cfg.relay_grid_deg = None;
+        cfg.constellation = ConstellationKind::StarlinkPlusPolar;
+        cfg.seed = u64::MAX;
+        let back = StudyConfig::from_kv_str(&cfg.to_kv_string()).unwrap();
+        assert_eq!(back, cfg);
+        cfg.constellation = ConstellationKind::Kuiper;
+        let back = StudyConfig::from_kv_str(&cfg.to_kv_string()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn kv_parse_rejects_bad_constellation() {
+        let text = ExperimentScale::Tiny
+            .config()
+            .to_kv_string()
+            .replace("constellation = starlink", "constellation = oneweb");
+        assert!(StudyConfig::from_kv_str(&text).is_err());
+    }
+
+    #[test]
+    fn kv_parse_rejects_missing_key() {
+        let text: String = ExperimentScale::Tiny
+            .config()
+            .to_kv_string()
+            .lines()
+            .filter(|l| !l.starts_with("seed"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        assert!(StudyConfig::from_kv_str(&text).is_err());
+    }
+
+    #[test]
+    fn constellation_names_roundtrip() {
+        for k in [
+            ConstellationKind::Starlink,
+            ConstellationKind::Kuiper,
+            ConstellationKind::StarlinkPlusPolar,
+        ] {
+            assert_eq!(ConstellationKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(ConstellationKind::from_name("oneweb"), None);
     }
 
     #[test]

@@ -1,74 +1,94 @@
-//! Property-based tests for the dataset substrate.
+//! Property-based tests for the dataset substrate (on
+//! `leo_util::check`; 256 cases per property, ≥ the proptest originals).
 
 use leo_data::*;
 use leo_geo::{great_circle_distance_m, GeoPoint};
-use proptest::prelude::*;
+use leo_util::check::check;
+use leo_util::{check_assert, check_assert_eq};
 
-proptest! {
-    /// load_cities returns exactly n cities, population-sorted, with
-    /// finite coordinates, for any n and seed.
-    #[test]
-    fn cities_always_well_formed(n in 1usize..1200, seed in 0u64..100) {
+/// load_cities returns exactly n cities, population-sorted, with
+/// finite coordinates, for any n and seed.
+#[test]
+fn cities_always_well_formed() {
+    check("cities_always_well_formed", |g| {
+        let n = g.usize(1..1200);
+        let seed = g.u64(0..100);
         let cities = load_cities(n, seed);
-        prop_assert_eq!(cities.len(), n);
+        check_assert_eq!(cities.len(), n);
         for w in cities.windows(2) {
-            prop_assert!(w[0].population >= w[1].population);
+            check_assert!(w[0].population >= w[1].population);
         }
         for c in &cities {
-            prop_assert!(c.pos.lat_deg().abs() <= 90.0);
-            prop_assert!(c.population > 0.0);
+            check_assert!(c.pos.lat_deg().abs() <= 90.0);
+            check_assert!(c.population > 0.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Pair sampling respects the distance floor and canonical ordering
-    /// for arbitrary seeds and floors.
-    #[test]
-    fn pairs_respect_floor(seed in 0u64..50, floor_km in 500.0f64..8000.0) {
-        let cities = load_cities(200, 1);
+/// Pair sampling respects the distance floor and canonical ordering
+/// for arbitrary seeds and floors.
+#[test]
+fn pairs_respect_floor() {
+    let cities = load_cities(200, 1);
+    check("pairs_respect_floor", |g| {
+        let seed = g.u64(0..50);
+        let floor_km = g.f64(500.0..8000.0);
         let pairs = sample_city_pairs(&cities, 150, floor_km * 1000.0, seed);
         for p in &pairs {
-            prop_assert!(p.src < p.dst);
+            check_assert!(p.src < p.dst);
             let d = great_circle_distance_m(
                 cities[p.src as usize].pos,
                 cities[p.dst as usize].pos,
             );
-            prop_assert!(d > floor_km * 1000.0);
+            check_assert!(d > floor_km * 1000.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Aircraft fly their great circle: at any instant, an aircraft's
-    /// distance from both route endpoints sums to ≈ the route length
-    /// (within the generator's interpolation tolerance).
-    #[test]
-    fn aircraft_between_endpoints(t in 0.0f64..86_400.0) {
-        let sched = flights::FlightSchedule::new(0.5);
+/// Aircraft fly their great circle: at any instant, an aircraft's
+/// position is a finite point on Earth.
+#[test]
+fn aircraft_between_endpoints() {
+    let sched = flights::FlightSchedule::new(0.5);
+    check("aircraft_between_endpoints", |g| {
+        let t = g.f64(0.0..86_400.0);
         for a in sched.aircraft_at(t).iter().take(40) {
             // Every aircraft is somewhere on Earth with finite coords.
-            prop_assert!(a.pos.lat_deg().abs() <= 90.0);
+            check_assert!(a.pos.lat_deg().abs() <= 90.0);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Land-mask dilation: every raw-land point stays land after
-    /// dilation (dilation only adds).
-    #[test]
-    fn dilation_only_adds(lat in -85.0f64..85.0, lon in -180.0f64..180.0) {
-        let p = GeoPoint::from_degrees(lat, lon);
+/// Land-mask dilation: every raw-land point stays land after
+/// dilation (dilation only adds).
+#[test]
+fn dilation_only_adds() {
+    check("dilation_only_adds", |g| {
+        let p = GeoPoint::from_degrees(g.f64(-85.0..85.0), g.f64(-180.0..180.0));
         // is_land is the dilated test; a point that is land must remain
         // land for slightly perturbed queries within the dilation radius.
         if is_land(p) {
             // No assertion on neighbours (coast edges legitimately flip);
             // but determinism must hold.
-            prop_assert_eq!(is_land(p), is_land(p));
+            check_assert_eq!(is_land(p), is_land(p));
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Flight schedule repeats daily for any query time.
-    #[test]
-    fn schedule_is_periodic(t in 0.0f64..86_400.0) {
-        let sched = flights::FlightSchedule::new(0.5);
-        prop_assert_eq!(
+/// Flight schedule repeats daily for any query time.
+#[test]
+fn schedule_is_periodic() {
+    let sched = flights::FlightSchedule::new(0.5);
+    check("schedule_is_periodic", |g| {
+        let t = g.f64(0.0..86_400.0);
+        check_assert_eq!(
             sched.aircraft_at(t).len(),
             sched.aircraft_at(t + 86_400.0).len()
         );
-    }
+        Ok(())
+    });
 }

@@ -1,19 +1,17 @@
 //! Property-based tests: the allocator must produce feasible, max-min fair
-//! allocations on random instances.
+//! allocations on random instances (on `leo_util::check`; 256 cases per
+//! property, ≥ the proptest originals).
 
 use leo_flow::FlowSim;
-use proptest::prelude::*;
+use leo_util::check::{check, Gen};
+use leo_util::{check_assert, check_assume};
 
 /// Random instance: link capacities plus flows over random link subsets.
-fn arb_instance() -> impl Strategy<Value = (Vec<f64>, Vec<Vec<u32>>)> {
-    (1usize..20).prop_flat_map(|nl| {
-        let caps = proptest::collection::vec(0.1f64..100.0, nl);
-        let flows = proptest::collection::vec(
-            proptest::collection::vec(0u32..nl as u32, 1..6),
-            1..30,
-        );
-        (caps, flows)
-    })
+fn arb_instance(g: &mut Gen) -> (Vec<f64>, Vec<Vec<u32>>) {
+    let nl = g.usize(1..20);
+    let caps = g.vec(nl..nl + 1, |g| g.f64(0.1..100.0));
+    let flows = g.vec(1..30, |g| g.vec(1..6, |g| g.u32(0..nl as u32)));
+    (caps, flows)
 }
 
 fn build(caps: &[f64], flows: &[Vec<u32>]) -> FlowSim {
@@ -32,24 +30,29 @@ fn build(caps: &[f64], flows: &[Vec<u32>]) -> FlowSim {
     sim
 }
 
-proptest! {
-    /// Feasibility: no link carries more than its capacity.
-    #[test]
-    fn allocation_is_feasible((caps, flows) in arb_instance()) {
+/// Feasibility: no link carries more than its capacity.
+#[test]
+fn allocation_is_feasible() {
+    check("allocation_is_feasible", |g| {
+        let (caps, flows) = arb_instance(g);
         let sim = build(&caps, &flows);
         let a = sim.solve();
         for (l, u) in a.link_utilization.iter().enumerate() {
-            prop_assert!(*u <= caps[l] + 1e-6, "link {l}: {u} > {}", caps[l]);
+            check_assert!(*u <= caps[l] + 1e-6, "link {l}: {u} > {}", caps[l]);
         }
-        prop_assert!(a.rates.iter().all(|r| *r >= 0.0));
-        prop_assert!((a.aggregate - a.rates.iter().sum::<f64>()).abs() < 1e-9);
-    }
+        check_assert!(a.rates.iter().all(|r| *r >= 0.0));
+        check_assert!((a.aggregate - a.rates.iter().sum::<f64>()).abs() < 1e-9);
+        Ok(())
+    });
+}
 
-    /// Max-min fairness (bottleneck condition): every flow has at least
-    /// one saturated link on its path on which its rate is maximal among
-    /// crossing flows. This characterizes max-min fair allocations.
-    #[test]
-    fn allocation_is_maxmin_fair((caps, flows) in arb_instance()) {
+/// Max-min fairness (bottleneck condition): every flow has at least
+/// one saturated link on its path on which its rate is maximal among
+/// crossing flows. This characterizes max-min fair allocations.
+#[test]
+fn allocation_is_maxmin_fair() {
+    check("allocation_is_maxmin_fair", |g| {
+        let (caps, flows) = arb_instance(g);
         let sim = build(&caps, &flows);
         let a = sim.solve();
         // Reconstruct the deduped paths the same way `build` did.
@@ -69,39 +72,49 @@ proptest! {
                     .iter()
                     .enumerate()
                     .filter(|(_, q)| q.contains(&l))
-                    .all(|(g, _)| a.rates[g] <= a.rates[f] + 1e-6);
+                    .all(|(other, _)| a.rates[other] <= a.rates[f] + 1e-6);
                 saturated && is_max
             });
-            prop_assert!(
+            check_assert!(
                 has_bottleneck,
                 "flow {f} (rate {}) has no bottleneck link",
                 a.rates[f]
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Adding a flow never increases any existing flow's rate... is NOT a
-    /// max-min invariant in general; instead we check monotonicity of the
-    /// minimum: the smallest rate can only shrink or stay when a flow is
-    /// added to the same instance.
-    #[test]
-    fn min_rate_monotone_under_added_flow((caps, flows) in arb_instance()) {
-        prop_assume!(flows.len() >= 2);
+/// Adding a flow never increases any existing flow's rate... is NOT a
+/// max-min invariant in general; instead we check monotonicity of the
+/// minimum: the smallest rate can only shrink or stay when a flow is
+/// added to the same instance.
+#[test]
+fn min_rate_monotone_under_added_flow() {
+    check("min_rate_monotone_under_added_flow", |g| {
+        let (caps, flows) = arb_instance(g);
+        check_assume!(flows.len() >= 2);
         let sim_all = build(&caps, &flows);
         let sim_fewer = build(&caps, &flows[..flows.len() - 1]);
         let a_all = sim_all.solve();
         let a_fewer = sim_fewer.solve();
-        prop_assert!(a_all.min_rate() <= a_fewer.min_rate() + 1e-6);
-    }
+        check_assert!(a_all.min_rate() <= a_fewer.min_rate() + 1e-6);
+        Ok(())
+    });
+}
 
-    /// Scaling all capacities scales the allocation.
-    #[test]
-    fn allocation_scales_with_capacity((caps, flows) in arb_instance(), scale in 0.5f64..4.0) {
+/// Scaling all capacities scales the allocation.
+#[test]
+fn allocation_scales_with_capacity() {
+    check("allocation_scales_with_capacity", |g| {
+        let (caps, flows) = arb_instance(g);
+        let scale = g.f64(0.5..4.0);
         let a1 = build(&caps, &flows).solve();
         let scaled: Vec<f64> = caps.iter().map(|c| c * scale).collect();
         let a2 = build(&scaled, &flows).solve();
         for (r1, r2) in a1.rates.iter().zip(&a2.rates) {
-            prop_assert!((r1 * scale - r2).abs() < 1e-6, "{} * {scale} != {}", r1, r2);
+            check_assert!((r1 * scale - r2).abs() < 1e-6, "{} * {scale} != {}", r1, r2);
         }
-    }
+        Ok(())
+    });
 }

@@ -1,27 +1,29 @@
-//! Property-based tests for graph algorithms on random graphs.
+//! Property-based tests for graph algorithms on random graphs (on
+//! `leo_util::check`; 256 cases per property, ≥ the proptest originals).
 
 use leo_graph::*;
-use proptest::prelude::*;
+use leo_util::check::{check, Gen};
+use leo_util::{check_assert, check_assert_eq};
 
 /// Random connected-ish graph: n nodes, a random spanning-ish chain plus
 /// random extra edges with random weights.
-fn arb_graph() -> impl Strategy<Value = Graph> {
-    (2usize..40, proptest::collection::vec((0u32..40, 0u32..40, 0.1f64..100.0), 0..120)).prop_map(
-        |(n, extra)| {
-            let mut b = GraphBuilder::new(n);
-            // Chain keeps most graphs connected so paths usually exist.
-            for i in 1..n as u32 {
-                b.add_edge(i - 1, i, 1.0 + (i as f64 % 7.0));
-            }
-            for (u, v, w) in extra {
-                let (u, v) = (u % n as u32, v % n as u32);
-                if u != v {
-                    b.add_edge(u, v, w);
-                }
-            }
-            b.build()
-        },
-    )
+fn arb_graph(g: &mut Gen) -> Graph {
+    let n = g.usize(2..40);
+    let extra = g.vec(0..120, |g| {
+        (g.u32(0..40), g.u32(0..40), g.f64(0.1..100.0))
+    });
+    let mut b = GraphBuilder::new(n);
+    // Chain keeps most graphs connected so paths usually exist.
+    for i in 1..n as u32 {
+        b.add_edge(i - 1, i, 1.0 + (i as f64 % 7.0));
+    }
+    for (u, v, w) in extra {
+        let (u, v) = (u % n as u32, v % n as u32);
+        if u != v {
+            b.add_edge(u, v, w);
+        }
+    }
+    b.build()
 }
 
 /// Bellman-Ford reference implementation.
@@ -49,79 +51,97 @@ fn bellman_ford(g: &Graph, source: u32) -> Vec<f64> {
     dist
 }
 
-proptest! {
-    /// Dijkstra agrees with Bellman-Ford on random graphs.
-    #[test]
-    fn dijkstra_matches_bellman_ford(g in arb_graph()) {
+/// Dijkstra agrees with Bellman-Ford on random graphs.
+#[test]
+fn dijkstra_matches_bellman_ford() {
+    check("dijkstra_matches_bellman_ford", |gen| {
+        let g = arb_graph(gen);
         let sp = dijkstra(&g, 0);
         let reference = bellman_ford(&g, 0);
         for v in 0..g.num_nodes() {
             let (a, b) = (sp.dist[v], reference[v]);
             if a.is_finite() || b.is_finite() {
-                prop_assert!((a - b).abs() < 1e-9, "node {v}: {a} vs {b}");
+                check_assert!((a - b).abs() < 1e-9, "node {v}: {a} vs {b}");
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Extracted paths are well-formed: consecutive nodes joined by the
-    /// listed edges, weights summing to the reported distance.
-    #[test]
-    fn paths_are_well_formed(g in arb_graph(), target in 0u32..40) {
-        let target = target % g.num_nodes() as u32;
+/// Extracted paths are well-formed: consecutive nodes joined by the
+/// listed edges, weights summing to the reported distance.
+#[test]
+fn paths_are_well_formed() {
+    check("paths_are_well_formed", |gen| {
+        let g = arb_graph(gen);
+        let target = gen.u32(0..40) % g.num_nodes() as u32;
         let sp = dijkstra(&g, 0);
         if let Some(p) = extract_path(&sp, target) {
-            prop_assert_eq!(p.nodes.len(), p.edges.len() + 1);
+            check_assert_eq!(p.nodes.len(), p.edges.len() + 1);
             let mut sum = 0.0;
             for (i, &e) in p.edges.iter().enumerate() {
                 let (u, v, w) = g.edge(e);
                 let (a, b) = (p.nodes[i], p.nodes[i + 1]);
-                prop_assert!((u == a && v == b) || (u == b && v == a));
+                check_assert!((u == a && v == b) || (u == b && v == a));
                 sum += w;
             }
-            prop_assert!((sum - p.total_weight).abs() < 1e-9);
+            check_assert!((sum - p.total_weight).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// k-edge-disjoint paths: no edge reuse, non-decreasing weights, and
-    /// path 0 is the global shortest path.
-    #[test]
-    fn disjoint_paths_invariants(g in arb_graph(), k in 1usize..5) {
+/// k-edge-disjoint paths: no edge reuse, non-decreasing weights, and
+/// path 0 is the global shortest path.
+#[test]
+fn disjoint_paths_invariants() {
+    check("disjoint_paths_invariants", |gen| {
+        let g = arb_graph(gen);
+        let k = gen.usize(1..5);
         let target = (g.num_nodes() - 1) as u32;
         let paths = k_edge_disjoint_paths(&g, 0, target, k, None);
-        prop_assert!(paths.len() <= k);
+        check_assert!(paths.len() <= k);
         let mut used = std::collections::HashSet::new();
         let mut prev = 0.0;
         for p in &paths {
-            prop_assert!(p.total_weight >= prev - 1e-9, "weights must be non-decreasing");
+            check_assert!(p.total_weight >= prev - 1e-9, "weights must be non-decreasing");
             prev = p.total_weight;
             for &e in &p.edges {
-                prop_assert!(used.insert(e), "edge {e} reused across paths");
+                check_assert!(used.insert(e), "edge {e} reused across paths");
             }
         }
         if let Some(first) = paths.first() {
             let sp = dijkstra(&g, 0);
-            prop_assert!((first.total_weight - sp.dist[target as usize]).abs() < 1e-9);
+            check_assert!((first.total_weight - sp.dist[target as usize]).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Components partition the nodes, and nodes in one component are
-    /// mutually reachable per Dijkstra.
-    #[test]
-    fn components_consistent_with_reachability(g in arb_graph()) {
+/// Components partition the nodes, and nodes in one component are
+/// mutually reachable per Dijkstra.
+#[test]
+fn components_consistent_with_reachability() {
+    check("components_consistent_with_reachability", |gen| {
+        let g = arb_graph(gen);
         let labels = connected_components(&g, None);
         let sp = dijkstra(&g, 0);
         for v in 0..g.num_nodes() {
-            prop_assert_eq!(labels[v] == labels[0], sp.reached(v as u32));
+            check_assert_eq!(labels[v] == labels[0], sp.reached(v as u32));
         }
         let sizes = component_sizes(&labels);
-        prop_assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
-    }
+        check_assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
+        Ok(())
+    });
+}
 
-    /// Max-flow from 0 to n-1 is at least the bottleneck of the shortest
-    /// path (one augmenting path exists) and at most the degree-capacity
-    /// bound of either endpoint.
-    #[test]
-    fn maxflow_bounds(g in arb_graph()) {
+/// Max-flow from 0 to n-1 is at least the bottleneck of the shortest
+/// path (one augmenting path exists) and at most the degree-capacity
+/// bound of either endpoint.
+#[test]
+fn maxflow_bounds() {
+    check("maxflow_bounds", |gen| {
+        let g = arb_graph(gen);
         let n = g.num_nodes();
         let t = (n - 1) as u32;
         let mut net = FlowNetwork::new(n);
@@ -130,13 +150,18 @@ proptest! {
         for e in 0..g.num_edges() as u32 {
             let (u, v, w) = g.edge(e);
             net.add_undirected(u, v, w);
-            if u == 0 || v == 0 { cap_s += w; }
-            if u == t || v == t { cap_t += w; }
+            if u == 0 || v == 0 {
+                cap_s += w;
+            }
+            if u == t || v == t {
+                cap_t += w;
+            }
         }
         let f = max_flow(&mut net, 0, t);
-        prop_assert!(f <= cap_s + 1e-6);
-        prop_assert!(f <= cap_t + 1e-6);
+        check_assert!(f <= cap_s + 1e-6);
+        check_assert!(f <= cap_t + 1e-6);
         // The chain edge (t-1, t) guarantees positive flow.
-        prop_assert!(f > 0.0);
-    }
+        check_assert!(f > 0.0);
+        Ok(())
+    });
 }

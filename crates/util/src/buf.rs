@@ -1,0 +1,213 @@
+//! Minimal little-endian byte reader/writer (the `bytes` crate's `Buf` /
+//! `BufMut` surface that the snapshot codec actually uses, and nothing
+//! more).
+//!
+//! * [`ByteBuf`] is a growable write buffer over `Vec<u8>` with
+//!   `put_*_le` methods.
+//! * [`ReadBytes`] is implemented for `&[u8]`, advancing the slice in
+//!   place exactly like `bytes::Buf` does, with the same contract: the
+//!   caller checks [`ReadBytes::remaining`] first, and a short read
+//!   panics (decoders guard with their own truncation checks).
+
+/// Growable little-endian write buffer.
+#[derive(Debug, Clone, Default)]
+pub struct ByteBuf {
+    data: Vec<u8>,
+}
+
+impl ByteBuf {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New empty buffer with `cap` bytes pre-allocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteBuf {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append raw bytes.
+    #[inline]
+    pub fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+
+    /// Append one byte.
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    #[inline]
+    pub fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    #[inline]
+    pub fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    #[inline]
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64` (IEEE-754 bit pattern).
+    #[inline]
+    pub fn put_f64_le(&mut self, v: f64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Finish writing and take the underlying bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// View the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// In-place reader over a byte slice: each `get_*` consumes from the
+/// front.
+///
+/// # Panics
+/// All `get_*`/`copy_to_slice` methods panic if fewer than the required
+/// bytes remain — check [`ReadBytes::remaining`] first, exactly as with
+/// `bytes::Buf`.
+pub trait ReadBytes {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consume a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl ReadBytes for &[u8] {
+    #[inline]
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    #[inline]
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "byte slice underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = ByteBuf::with_capacity(32);
+        w.put_u8(0xAB);
+        w.put_u16_le(0x1234);
+        w.put_u32_le(0xDEADBEEF);
+        w.put_u64_le(0x0102030405060708);
+        w.put_f64_le(-1234.5678);
+        w.put_slice(b"xyz");
+        let v = w.into_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(r.get_u64_le(), 0x0102030405060708);
+        assert_eq!(r.get_f64_le(), -1234.5678);
+        let mut tail = [0u8; 3];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn encoding_is_little_endian() {
+        let mut w = ByteBuf::new();
+        w.put_u32_le(1);
+        assert_eq!(w.as_slice(), &[1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn remaining_tracks_reads() {
+        let v = vec![0u8; 10];
+        let mut r: &[u8] = &v;
+        assert_eq!(r.remaining(), 10);
+        r.get_u32_le();
+        assert_eq!(r.remaining(), 6);
+        r.get_u16_le();
+        assert_eq!(r.remaining(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn short_read_panics() {
+        let v = vec![0u8; 3];
+        let mut r: &[u8] = &v;
+        r.get_u32_le();
+    }
+
+    #[test]
+    fn f64_bit_exact() {
+        for x in [0.0, -0.0, f64::MIN_POSITIVE, 1.0e300, f64::INFINITY] {
+            let mut w = ByteBuf::new();
+            w.put_f64_le(x);
+            let mut r: &[u8] = w.as_slice();
+            assert_eq!(r.get_f64_le().to_bits(), x.to_bits());
+        }
+    }
+}

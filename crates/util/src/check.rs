@@ -1,0 +1,334 @@
+//! A compact seeded property-testing harness (replaces `proptest` for
+//! this workspace).
+//!
+//! Shape of a property:
+//!
+//! ```
+//! use leo_util::check::{check, Gen};
+//! use leo_util::{check_assert, check_assume};
+//!
+//! check("addition_commutes", |g: &mut Gen| {
+//!     let a = g.u32(0..1000);
+//!     let b = g.u32(0..1000);
+//!     check_assume!(a != b); // skipped cases don't count
+//!     check_assert!(a + b == b + a, "a={a} b={b}");
+//!     Ok(())
+//! });
+//! ```
+//!
+//! * Cases are generated from a seeded [`Rng64`] stream; the base seed is
+//!   derived from the property name, so every property is deterministic
+//!   run-to-run but decorrelated from its neighbours.
+//! * On failure the harness panics with the property name, case number,
+//!   and the **failing case seed**; rerun just that case by setting
+//!   `LEO_CHECK_SEED=0x<seed>`.
+//! * [`check_assume!`] skips a case (like proptest's `prop_assume!`);
+//!   skipped cases are regenerated so the configured case count is the
+//!   number of cases actually *executed*. A runaway skip rate (> 95 %)
+//!   fails loudly instead of looping forever.
+//! * No shrinking: cases are small by construction here, and the
+//!   reported seed reproduces the exact failing input.
+
+use crate::rng::{mix64, Rng64};
+use std::ops::Range;
+
+/// Default number of executed cases per property (≥ proptest's 256
+/// default, which the ported suites were written against).
+pub const DEFAULT_CASES: usize = 256;
+
+/// Why a case did not pass.
+#[derive(Debug, Clone)]
+pub struct CaseError {
+    /// Human-readable description (empty for skips).
+    pub message: String,
+    /// True when the case was vetoed by [`check_assume!`], not failed.
+    pub skip: bool,
+}
+
+impl CaseError {
+    /// A genuine failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        CaseError {
+            message: message.into(),
+            skip: false,
+        }
+    }
+
+    /// A vetoed (skipped) case.
+    pub fn skip() -> Self {
+        CaseError {
+            message: String::new(),
+            skip: true,
+        }
+    }
+}
+
+/// Result of one property case.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Input generator handed to each property case.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Rng64,
+}
+
+impl Gen {
+    /// Generator for a specific case seed (what `LEO_CHECK_SEED` replays).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: Rng64::seed_from_u64(seed),
+        }
+    }
+
+    /// Uniform `u32` in `[range.start, range.end)`.
+    pub fn u32(&mut self, range: Range<u32>) -> u32 {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `u64` in `[range.start, range.end)`.
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `usize` in `[range.start, range.end)`.
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.rng.random_range(range)
+    }
+
+    /// Uniform `f64` in `[range.start, range.end)`.
+    pub fn f64(&mut self, range: Range<f64>) -> f64 {
+        self.rng.random_range(range)
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.random_bool(0.5)
+    }
+
+    /// Vector with a uniform length in `len` whose elements are drawn by
+    /// `f`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = if len.start + 1 == len.end {
+            len.start
+        } else {
+            self.usize(len)
+        };
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// Access the underlying PRNG for bespoke distributions.
+    pub fn rng(&mut self) -> &mut Rng64 {
+        &mut self.rng
+    }
+}
+
+/// Run `f` for [`DEFAULT_CASES`] executed cases.
+///
+/// # Panics
+/// Panics (with the failing seed) if any case fails.
+pub fn check(name: &str, f: impl FnMut(&mut Gen) -> CaseResult) {
+    check_with(name, DEFAULT_CASES, f);
+}
+
+/// Run `f` for `cases` executed cases.
+///
+/// # Panics
+/// Panics (with the failing seed) if any case fails, or if more than 95 %
+/// of generated cases are skipped.
+pub fn check_with(name: &str, cases: usize, mut f: impl FnMut(&mut Gen) -> CaseResult) {
+    // Replay mode: run exactly the requested case.
+    if let Ok(v) = std::env::var("LEO_CHECK_SEED") {
+        let seed = parse_seed(&v)
+            .unwrap_or_else(|| panic!("LEO_CHECK_SEED `{v}` is not a (hex) integer"));
+        let mut gen = Gen::from_seed(seed);
+        match f(&mut gen) {
+            Ok(()) => return,
+            Err(e) if e.skip => panic!("property `{name}`: seed {seed:#018X} is a skipped case"),
+            Err(e) => panic!("property `{name}` failed (replayed seed {seed:#018X}): {}", e.message),
+        }
+    }
+
+    let base = name_seed(name);
+    let max_attempts = cases.saturating_mul(20).max(1000);
+    let mut executed = 0usize;
+    let mut attempt = 0usize;
+    while executed < cases {
+        assert!(
+            attempt < max_attempts,
+            "property `{name}`: skipped {} of {attempt} generated cases — \
+             the assumptions veto almost everything"
+            , attempt - executed
+        );
+        let case_seed = mix64(base ^ attempt as u64);
+        let mut gen = Gen::from_seed(case_seed);
+        match f(&mut gen) {
+            Ok(()) => executed += 1,
+            Err(e) if e.skip => {}
+            Err(e) => panic!(
+                "property `{name}` failed at case {executed} (seed {case_seed:#018X}): {}\n\
+                 rerun just this case with LEO_CHECK_SEED={case_seed:#X}",
+                e.message
+            ),
+        }
+        attempt += 1;
+    }
+}
+
+/// Deterministic per-property base seed (FNV-1a of the name, mixed).
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    mix64(h)
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Assert inside a property case: on failure the case (not the process)
+/// fails, and the harness reports the failing seed.
+#[macro_export]
+macro_rules! check_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::check::CaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::check::CaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assert with both values in the failure message.
+#[macro_export]
+macro_rules! check_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::check::CaseError::fail(format!(
+                "assertion failed: {} == {}: {:?} vs {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            )));
+        }
+    }};
+}
+
+/// Veto a case (it is skipped and regenerated, like `prop_assume!`).
+#[macro_export]
+macro_rules! check_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::check::CaseError::skip());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0usize);
+        check_with("always_passes", 50, |g| {
+            let _ = g.u32(0..10);
+            count.set(count.get() + 1);
+            Ok(())
+        });
+        assert_eq!(count.get(), 50);
+    }
+
+    #[test]
+    fn deterministic_case_streams() {
+        let mut first = Vec::new();
+        check_with("stream_a", 10, |g| {
+            first.push(g.u64(0..1_000_000));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        check_with("stream_a", 10, |g| {
+            second.push(g.u64(0..1_000_000));
+            Ok(())
+        });
+        assert_eq!(first, second);
+        let mut other = Vec::new();
+        check_with("stream_b", 10, |g| {
+            other.push(g.u64(0..1_000_000));
+            Ok(())
+        });
+        assert_ne!(first, other, "different properties get different streams");
+    }
+
+    #[test]
+    fn failure_reports_seed_and_name() {
+        let result = std::panic::catch_unwind(|| {
+            check_with("doomed", 20, |g| {
+                let x = g.u32(0..100);
+                check_assert!(x < 1000, "x = {x}"); // passes
+                check_assert!(false, "always fails");
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("doomed"), "{msg}");
+        assert!(msg.contains("LEO_CHECK_SEED"), "{msg}");
+        assert!(msg.contains("always fails"), "{msg}");
+    }
+
+    #[test]
+    fn assume_skips_but_executes_requested_count() {
+        let executed = std::cell::Cell::new(0usize);
+        check_with("half_skipped", 40, |g| {
+            let x = g.u32(0..100);
+            check_assume!(x % 2 == 0);
+            executed.set(executed.get() + 1);
+            Ok(())
+        });
+        assert_eq!(executed.get(), 40);
+    }
+
+    #[test]
+    fn runaway_skip_rate_fails() {
+        let result = std::panic::catch_unwind(|| {
+            check_with("all_skipped", 50, |_g| Err(CaseError::skip()));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn gen_vec_respects_length_range() {
+        check_with("vec_lengths", 50, |g| {
+            let v = g.vec(2..7, |g| g.f64(0.0..1.0));
+            check_assert!(v.len() >= 2 && v.len() < 7, "len {}", v.len());
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn seed_parsing() {
+        assert_eq!(parse_seed("0x10"), Some(16));
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xDEADBEEFDEADBEEF"), Some(0xDEAD_BEEF_DEAD_BEEF));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! # leo-util — the hermetic foundation layer
+//!
+//! Everything the rest of the workspace previously pulled from crates.io
+//! lives here as a small, documented, dependency-free implementation:
+//!
+//! * [`rng`] — seedable SplitMix64 + xoshiro256++ PRNG (replaces `rand`)
+//! * [`buf`] — little-endian byte reader/writer (replaces `bytes`)
+//! * [`config`] — `key = value` sectioned config text (replaces `serde`)
+//! * [`check`] — seeded property-testing harness (replaces `proptest`)
+//! * [`bench`] — warmup + median/p95 timing harness (replaces `criterion`)
+//!
+//! The workspace policy (see DESIGN.md "Hermetic build") is that
+//! `[workspace.dependencies]` names only `path` crates, so
+//! `cargo build --offline` works from a clean checkout with no registry.
+//! `scripts/ci.sh` enforces this.
+//!
+//! This crate depends on nothing but `std`, and every other crate in the
+//! workspace may depend on it (it is the bottom of the layer diagram).
+
+pub mod bench;
+pub mod buf;
+pub mod check;
+pub mod config;
+pub mod rng;
+
+pub use rng::Rng64;

@@ -1,0 +1,279 @@
+//! Seedable, documented PRNG: SplitMix64 seeding + xoshiro256++ streams.
+//!
+//! # Stream format (pinned — do not change)
+//!
+//! Golden values elsewhere in the workspace (`tests/determinism.rs`, the
+//! synthetic city tail, the traffic matrix) are pinned against these exact
+//! streams, so the algorithms below are part of the repo's compatibility
+//! surface:
+//!
+//! * **Seeding.** `Rng64::seed_from_u64(seed)` fills the four 64-bit
+//!   xoshiro256++ state words with four consecutive outputs of SplitMix64
+//!   initialized at `seed` (the standard Blackman–Vigna recipe).
+//! * **Output.** `next_u64` is xoshiro256++:
+//!   `rotl(s0 + s3, 23) + s0`, then the linear state transition.
+//! * **Floats.** `next_f64` takes the top 53 bits of `next_u64` and
+//!   scales by 2⁻⁵³, giving uniforms in `[0, 1)`.
+//! * **Integer ranges.** `random_range(lo..hi)` over integers uses the
+//!   widening multiply-shift `(next_u64 as u128 * span) >> 64` — the
+//!   tiny modulo bias (< 2⁻⁶⁴ per value) is irrelevant here and the
+//!   mapping is branch-free and deterministic.
+//! * **Float ranges.** `random_range(lo..hi)` over `f64` is
+//!   `lo + next_f64() * (hi - lo)`.
+//!
+//! The one-shot mixer [`mix64`] (SplitMix64's finalizer) is also exported
+//! for stateless counter-based hashing (e.g. the weather process in
+//! `leo-atmo`, which must evaluate any `(site, t)` key independently).
+
+use std::ops::Range;
+
+/// SplitMix64 finalizer: a tiny, high-quality, stateless 64-bit mixer.
+///
+/// Constants are the canonical ones from Steele, Lea & Flood's SplitMix64;
+/// `mix64(counter)` is a perfectly usable stateless random stream.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Advance a SplitMix64 state and return the next output.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256++ PRNG (Blackman & Vigna).
+///
+/// Fast, 256-bit state, passes BigCrush; more than enough statistical
+/// quality for synthetic-city placement, traffic sampling, and property
+/// testing. Not cryptographic.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Seed the generator from a single `u64` via SplitMix64 expansion.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0
+            .wrapping_add(s3)
+            .rotate_left(23)
+            .wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        self.s = [s0, s1, s2, s3.rotate_left(45)];
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Uniform sample from a half-open range. Implemented for
+    /// `Range<u32>`, `Range<u64>`, `Range<usize>`, and `Range<f64>`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+}
+
+/// A range type [`Rng64::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draw one uniform sample.
+    fn sample(self, rng: &mut Rng64) -> Self::Output;
+}
+
+#[inline]
+fn sample_span(rng: &mut Rng64, span: u64) -> u64 {
+    // Widening multiply-shift: maps next_u64 uniformly onto [0, span).
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+impl SampleRange for Range<u64> {
+    type Output = u64;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> u64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + sample_span(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange for Range<u32> {
+    type Output = u32;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> u32 {
+        assert!(self.start < self.end, "empty range");
+        self.start + sample_span(rng, (self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + sample_span(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let x = self.start + rng.next_f64() * (self.end - self.start);
+        // Guard the (theoretical) rounding-up edge so the range stays
+        // half-open.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(Rng64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn stream_golden_values() {
+        // Pin the exact stream: these are part of the documented format
+        // (see module docs). If this test ever fails, seeded experiment
+        // outputs across the workspace have silently changed.
+        let mut r = Rng64::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn splitmix_golden() {
+        // Reference values for SplitMix64 from seed 0.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_is_half() {
+        let mut r = Rng64::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let a = r.random_range(10u32..20);
+            assert!((10..20).contains(&a));
+            let b = r.random_range(5usize..6);
+            assert_eq!(b, 5);
+            let c = r.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&c));
+            let d = r.random_range(0u64..u64::MAX);
+            assert!(d < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = Rng64::seed_from_u64(9);
+        let mut counts = [0usize; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.random_range(0usize..10)] += 1;
+        }
+        for c in counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn bool_probability() {
+        let mut r = Rng64::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| r.random_bool(0.25)).count();
+        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        Rng64::seed_from_u64(0).random_range(5u32..5);
+    }
+
+    #[test]
+    fn mix64_matches_splitmix_step() {
+        // mix64(x) must equal one splitmix64 step starting at state x.
+        let mut s = 12345u64;
+        assert_eq!(mix64(12345), splitmix64(&mut s));
+    }
+}

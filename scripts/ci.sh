@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification, fully offline.
+#
+# 1. Hermeticity guard: [workspace.dependencies] may only name in-tree
+#    path crates. Any crates-io (version) dependency fails the build
+#    before cargo even runs, so a registry dep can't sneak back in.
+# 2. Offline release build + full test suite (`--offline` makes cargo
+#    error out instead of touching the network).
+#
+# Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== hermeticity guard: [workspace.dependencies] must be path-only =="
+violations=$(
+    awk '
+        /^\[workspace.dependencies\]/ { in_deps = 1; next }
+        /^\[/                         { in_deps = 0 }
+        in_deps && NF && $0 !~ /^#/ && $0 !~ /path *=/ { print }
+    ' Cargo.toml
+)
+if [ -n "$violations" ]; then
+    echo "ERROR: non-path entries in [workspace.dependencies]:" >&2
+    echo "$violations" >&2
+    echo "The workspace must build offline; fold the dependency into crates/util instead." >&2
+    exit 1
+fi
+echo "ok: all workspace dependencies are path deps"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "tier-1 verify passed"

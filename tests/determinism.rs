@@ -1,8 +1,10 @@
 //! Seeded reproducibility: identical configs produce bit-identical
-//! results; different seeds differ.
+//! results; different seeds differ; and key seeded outputs match pinned
+//! golden values so an accidental PRNG-stream change cannot slip in.
 
 use leo_core::experiments::latency::latency_study;
 use leo_core::experiments::throughput::throughput;
+use leo_core::output::{cdf_to_csv, CsvWriter};
 use leo_core::{ExperimentScale, Mode, StudyContext};
 
 #[test]
@@ -23,6 +25,43 @@ fn seeds_change_the_traffic_matrix() {
     cfg.seed = 43;
     let b = StudyContext::build(cfg);
     assert_ne!(a.pairs, b.pairs);
+}
+
+/// Golden values for the Tiny-scale seeded sample.
+///
+/// Pinned against the `leo_util::rng` xoshiro256++ streams that replaced
+/// `rand::StdRng` (ChaCha12) in the hermetic-core refactor — the seeded
+/// pair sample legitimately changed at that point and these are the new
+/// values. The xoshiro output stream itself is pinned by golden tests in
+/// `leo_util::rng`, so a failure here means the *derivation* (seed mixing
+/// or sampling logic) changed, not the generator.
+#[test]
+fn tiny_pair_sample_matches_goldens() {
+    let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+    assert_eq!(ctx.pairs.len(), 40);
+    let first: Vec<(u32, u32)> = ctx.pairs.iter().take(4).map(|p| (p.src, p.dst)).collect();
+    assert_eq!(first, vec![(0, 39), (16, 27), (46, 59), (36, 59)]);
+}
+
+/// Golden end-to-end figures at Tiny scale (same pin rationale as
+/// above: re-pinned once for the xoshiro256++ streams). The tolerance
+/// covers float summation only — the pipeline is deterministic, so any
+/// drift beyond 1e-9 is a real behaviour change.
+#[test]
+fn tiny_figures_match_goldens() {
+    let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+    let lat = latency_study(&ctx, Mode::Hybrid, 0);
+    let min0 = lat[0].min_rtt_ms.expect("pair 0 reachable");
+    let max0 = lat[0].max_rtt_ms.expect("pair 0 reachable");
+    assert!((min0 - 30.773586783653947).abs() < 1e-9, "min_rtt {min0}");
+    assert!((max0 - 31.51297608470644).abs() < 1e-9, "max_rtt {max0}");
+    let th = throughput(&ctx, 0.0, Mode::Hybrid, 1);
+    assert_eq!(th.flows, 40);
+    assert!(
+        (th.aggregate_gbps - 496.6666666666667).abs() < 1e-9,
+        "aggregate {}",
+        th.aggregate_gbps
+    );
 }
 
 #[test]
@@ -57,4 +96,43 @@ fn snapshots_identical_for_same_time() {
     for e in 0..a.graph.num_edges() as u32 {
         assert_eq!(a.graph.edge(e), b.graph.edge(e));
     }
+}
+
+/// The full experiment → CSV path is byte-deterministic: running the
+/// same study twice and serializing both ways must produce identical
+/// bytes, both through `CsvWriter` rows and the `cdf_to_csv` formatter.
+/// (This is what lets committed `results/*.csv` files act as goldens.)
+#[test]
+fn repeat_csv_output_is_byte_identical() {
+    let render = || {
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let lat = latency_study(&ctx, Mode::Hybrid, 4);
+        let mut buf = Vec::new();
+        {
+            let mut w = CsvWriter::new(&mut buf);
+            w.row(&["pair", "min_rtt_ms", "max_rtt_ms"]).unwrap();
+            for (i, s) in lat.iter().enumerate() {
+                w.num_row(&[
+                    i as f64,
+                    s.min_rtt_ms.unwrap_or(f64::NAN),
+                    s.max_rtt_ms.unwrap_or(f64::NAN),
+                ])
+                .unwrap();
+            }
+        }
+        let mut rtts: Vec<f64> = lat.iter().filter_map(|s| s.min_rtt_ms).collect();
+        rtts.sort_by(f64::total_cmp);
+        let n = rtts.len();
+        let cdf: Vec<(f64, f64)> = rtts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n as f64))
+            .collect();
+        (buf, cdf_to_csv("rtt_ms", &cdf))
+    };
+    let (rows_a, cdf_a) = render();
+    let (rows_b, cdf_b) = render();
+    assert_eq!(rows_a, rows_b, "CsvWriter output differed between runs");
+    assert_eq!(cdf_a.into_bytes(), cdf_b.into_bytes());
+    assert!(!rows_a.is_empty());
 }
