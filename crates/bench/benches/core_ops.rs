@@ -8,6 +8,7 @@
 //! (JSON lines, per-iteration ns) into `LEO_BENCH_DIR` or the cwd.
 
 use leo_atmo::{AttenuationModel, Climatology, SlantPath};
+use leo_bench::{finish_run, init_run};
 use leo_core::{ExperimentScale, Mode, StudyContext};
 use leo_flow::FlowSim;
 use leo_geo::{deg_to_rad, GeoPoint};
@@ -65,6 +66,7 @@ fn bench_attenuation(h: &mut Harness) {
 }
 
 fn main() {
+    init_run("core_ops");
     let mut h = Harness::new("core_ops");
     bench_snapshot_build(&mut h);
     bench_propagation(&mut h);
@@ -72,4 +74,5 @@ fn main() {
     bench_maxmin(&mut h);
     bench_attenuation(&mut h);
     h.finish().expect("write BENCH_core_ops.json");
+    finish_run("core_ops", &ExperimentScale::Tiny.config());
 }

@@ -6,6 +6,7 @@
 //! Runs on the in-tree `leo_util::bench` harness (`harness = false`);
 //! writes `BENCH_figures.json` into `LEO_BENCH_DIR` or the cwd.
 
+use leo_bench::{finish_run, init_run};
 use leo_core::experiments::latency::latency_study;
 use leo_core::experiments::throughput::throughput;
 use leo_core::experiments::weather::weather_study;
@@ -47,9 +48,11 @@ fn bench_fig6(h: &mut Harness) {
 }
 
 fn main() {
+    init_run("figures");
     let mut h = Harness::new("figures");
     bench_fig2(&mut h);
     bench_fig4(&mut h);
     bench_fig6(&mut h);
     h.finish().expect("write BENCH_figures.json");
+    finish_run("figures", &ExperimentScale::Tiny.config());
 }

@@ -1,0 +1,47 @@
+//! Telemetry overhead microbench: what a span enter/exit, a counter
+//! increment, and a histogram sample cost with logging disabled (the
+//! default — one relaxed atomic load on every probe) versus enabled at
+//! `info` (JSONL emission for spans, atomic updates for the rest).
+//!
+//! Runs on the in-tree harness (`harness = false`); writes
+//! `BENCH_telemetry.json` into `LEO_BENCH_DIR` or the cwd. The numbers
+//! back the instrumentation policy: probes stay on hot paths
+//! (`dijkstra`, `solve`, packet events) because the disabled cost is a
+//! few nanoseconds.
+
+use leo_util::bench::Harness;
+use leo_util::span;
+use leo_util::telemetry::{self, Counter, Histogram, Level, RunManifest};
+
+static PROBE_COUNTER: Counter = Counter::new("bench_probe_counter");
+static PROBE_HIST: Histogram = Histogram::new("bench_probe_hist");
+
+fn main() {
+    let mut h = Harness::new("telemetry");
+
+    // --- Disabled: the cost every production run pays by default. ---
+    telemetry::set_level(Level::Off);
+    h.bench("span_disabled", || {
+        let _s = span!("probe_span");
+    });
+    h.bench("counter_add_disabled", || PROBE_COUNTER.add(1));
+    h.bench("hist_record_disabled", || PROBE_HIST.record(1234));
+
+    // --- Enabled at info, sink to a scratch dir. Spans pay the JSONL
+    // emission; counters/histograms stay lock-free atomics. ---
+    let dir = std::env::temp_dir().join("leo_bench_telemetry_scratch");
+    telemetry::set_level(Level::Info);
+    telemetry::init_at(&dir, "telemetry_overhead").expect("open telemetry sink");
+    h.bench("span_enabled_info", || {
+        let _s = span!("probe_span");
+    });
+    h.bench("counter_add_enabled", || PROBE_COUNTER.add(1));
+    h.bench("hist_record_enabled", || PROBE_HIST.record(1234));
+
+    // Close the sink cleanly, then drop the scratch log.
+    telemetry::finish_run(&RunManifest::new("telemetry_overhead", 0, 0, 1));
+    telemetry::set_level(Level::Off);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    h.finish().expect("write BENCH_telemetry.json");
+}

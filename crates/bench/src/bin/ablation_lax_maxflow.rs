@@ -4,13 +4,15 @@
 //! overstates what a network with real source→destination demands can
 //! carry — which is why the paper rejects it (§3).
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::throughput::{lax_maxflow_gbps, throughput};
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("ablation_lax_maxflow");
     let ctx = StudyContext::build(scale.config());
 
     let mut rows = Vec::new();
@@ -39,5 +41,6 @@ fn main() {
         w.row(&[m, format!("{s:.3}"), format!("{l:.3}")]).unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("ablation_lax_maxflow", &ctx.config);
 }

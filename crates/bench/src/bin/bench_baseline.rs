@@ -8,12 +8,14 @@
 //!
 //! Run: `cargo run -p leo-bench --release --bin bench_baseline`
 
+use leo_bench::{finish_run, init_run};
 use leo_core::experiments::latency::latency_study;
 use leo_core::experiments::throughput::throughput;
 use leo_core::{ExperimentScale, Mode, StudyContext};
 use leo_util::bench::Harness;
 
 fn main() {
+    init_run("bench_baseline");
     let ctx = StudyContext::build(ExperimentScale::Tiny.config());
     let mut h = Harness::new("seed");
     h.bench("fig2_latency_study_tiny", || {
@@ -27,4 +29,5 @@ fn main() {
         (bp, hy)
     });
     h.finish().expect("write BENCH_seed.json");
+    finish_run("bench_baseline", &ctx.config);
 }

@@ -3,13 +3,15 @@
 //! per-beam links under increasing cross-traffic load. The paper's §4
 //! QoE point, made concrete with `leo-packetsim`.
 
-use leo_bench::{config_with_cities, print_table, results_dir, scale_from_args};
+use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::packet_delay::packet_delay_study;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("ext_packet_delay");
     let ctx = StudyContext::build(config_with_cities(scale, 340));
     let (src, dst) = ("New York", "London");
     let loads = [0.3, 0.6, 0.8, 0.95];
@@ -40,7 +42,7 @@ fn main() {
         &["mode", "load", "hops", "mean (ms)", "p99 (ms)", "jitter (ms)", "loss"],
         &rows,
     );
-    println!("\nBP's longer store-and-forward chains accumulate more queueing variance (§4 QoE)");
+    diag!("BP's longer store-and-forward chains accumulate more queueing variance (§4 QoE)");
 
     let path = results_dir().join("ext_packet_delay.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
@@ -59,5 +61,6 @@ fn main() {
         .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("ext_packet_delay", &ctx.config);
 }

@@ -3,15 +3,17 @@
 //! (BP vs hybrid) and the Starlink pass-duration statistics behind the
 //! paper's "each satellite is reachable for a few minutes" (§2).
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::churn::churn_study;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
 use leo_geo::GeoPoint;
 use leo_orbit::{find_passes, pass_stats};
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("ext_path_churn");
     let ctx = StudyContext::build(scale.config());
 
     let mut rows = Vec::new();
@@ -37,13 +39,13 @@ fn main() {
     let gt = GeoPoint::from_degrees(40.7, -74.0);
     let passes = find_passes(&ctx.constellation, gt, 0.0, 4.0 * 3600.0, 15.0);
     let st = pass_stats(&passes, 0.0, 4.0 * 3600.0);
-    println!(
-        "\nStarlink passes over New York (4 h scan): {} passes, mean {:.1} min, max {:.1} min",
+    diag!(
+        "Starlink passes over New York (4 h scan): {} passes, mean {:.1} min, max {:.1} min",
         st.count,
         st.mean_duration_s / 60.0,
         st.max_duration_s / 60.0
     );
-    println!("paper §2: \"each satellite is reachable from a GT for a few minutes\"");
+    diag!("paper §2: \"each satellite is reachable from a GT for a few minutes\"");
 
     let path = results_dir().join("ext_path_churn.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
@@ -58,5 +60,6 @@ fn main() {
         .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("ext_path_churn", &ctx.config);
 }

@@ -3,13 +3,15 @@
 //! pairs vs sequential congestion-aware routing, compared on max link
 //! utilization and the latency each scheme pays.
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::routing::{route_all, RoutingScheme};
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("ext_routing_ablation");
     let ctx = StudyContext::build(scale.config());
     let schemes = [
         RoutingScheme::ShortestDisjoint,
@@ -36,8 +38,8 @@ fn main() {
         &["mode", "scheme", "max utilization", "mean delay (ms)", "flows"],
         &rows,
     );
-    println!(
-        "\ncongestion-aware routing trades delay for lower peak utilization — \
+    diag!(
+        "congestion-aware routing trades delay for lower peak utilization — \
          exactly the tradeoff the paper predicts for 'superior routing schemes' (§5)"
     );
 
@@ -56,5 +58,6 @@ fn main() {
         .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("ext_routing_ablation", &ctx.config);
 }

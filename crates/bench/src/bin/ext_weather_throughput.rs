@@ -4,13 +4,15 @@
 //! the DVB-S2 MODCOD ladder, and max-min throughput is recomputed.
 //! BP's all-radio paths lose more than hybrid's two-radio-hop paths.
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::weather_throughput::weathered_throughput;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("ext_weather_throughput");
     let ctx = StudyContext::build(scale.config());
 
     let seeds = [11u64, 22, 33];
@@ -34,8 +36,8 @@ fn main() {
         &["mode", "weather seed", "clear Gbps", "weathered Gbps", "retention"],
         &rows,
     );
-    println!(
-        "\nISLs are weather-immune, so hybrid retains more of its clear-sky \
+    diag!(
+        "ISLs are weather-immune, so hybrid retains more of its clear-sky \
          throughput than BP on every realization"
     );
 
@@ -54,5 +56,6 @@ fn main() {
         .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("ext_weather_throughput", &ctx.config);
 }

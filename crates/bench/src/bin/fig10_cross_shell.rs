@@ -2,14 +2,16 @@
 //! "transition point" lets the path switch shells (no cross-shell ISLs
 //! exist), cutting latency below what either shell's ISLs alone achieve.
 
-use leo_bench::{config_with_cities, print_table, results_dir, scale_from_args};
+use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::cross_shell::{cross_shell_study, two_shell_context};
 use leo_core::output::CsvWriter;
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig10_cross_shell");
     let ctx = two_shell_context(config_with_cities(scale, 340));
-    eprintln!(
+    diag!(
         "fig10: {} satellites across {} shells",
         ctx.num_satellites(),
         ctx.constellation.shells().len()
@@ -41,8 +43,8 @@ fn main() {
     if !gains.is_empty() {
         let max = gains.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let cross = rows.iter().filter(|r| r.hybrid_shells_used > 1).count();
-        println!(
-            "\nmax hybrid gain: {max:.1} ms; snapshots using >1 shell: {cross}/{}",
+        diag!(
+            "max hybrid gain: {max:.1} ms; snapshots using >1 shell: {cross}/{}",
             rows.len()
         );
     }
@@ -62,5 +64,6 @@ fn main() {
         .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig10_cross_shell", &ctx.config);
 }

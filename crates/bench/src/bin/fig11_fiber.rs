@@ -2,13 +2,15 @@
 //! of 5 fiber-connected nearby cities multiplies its reachable satellites
 //! and aggregate up/down capacity for a sub-millisecond fiber detour.
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::fiber::{fiber_augmentation, paris_satellite_sites};
 use leo_core::output::CsvWriter;
 use leo_core::StudyContext;
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig11_fiber");
     let ctx = StudyContext::build(scale.config());
     let (paris, sites) = paris_satellite_sites();
 
@@ -37,7 +39,7 @@ fn main() {
         .map(|(_, f)| f.augmented_capacity_gbps / f.metro_capacity_gbps.max(1e-9))
         .sum::<f64>()
         / csv.len() as f64;
-    println!("\naverage capacity multiplier: {avg_ratio:.1}x");
+    diag!("average capacity multiplier: {avg_ratio:.1}x");
 
     let path = results_dir().join("fig11_fiber.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
@@ -62,5 +64,6 @@ fn main() {
         .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig11_fiber", &ctx.config);
 }

@@ -1,11 +1,12 @@
 //! Fig. 2 — minimum RTT (a) and RTT variation (b) CDFs across city pairs,
 //! BP vs hybrid, plus the §1/§4 headline summary numbers.
 
-use leo_bench::{config_with_cities, print_table, results_dir, scale_from_args};
+use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::latency::{latency_study, summarize, PairStats};
 use leo_core::metrics::Distribution;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
+use leo_util::diag;
 
 fn cdf_rows(stats: &[PairStats]) -> (Distribution, Distribution) {
     let mins: Vec<f64> = stats.iter().filter_map(|s| s.min_rtt_ms).collect();
@@ -18,8 +19,9 @@ fn cdf_rows(stats: &[PairStats]) -> (Distribution, Distribution) {
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig2_latency");
     let ctx = StudyContext::build(config_with_cities(scale, 340));
-    eprintln!(
+    diag!(
         "fig2: {} cities, {} pairs, {} snapshots, {} relays",
         ctx.ground.cities.len(),
         ctx.pairs.len(),
@@ -118,5 +120,6 @@ fn main() {
         }
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig2_latency", &ctx.config);
 }

@@ -2,13 +2,15 @@
 //! availability over the sparse South Atlantic, inflating its RTT by up
 //! to ~100 ms while congesting the busy North Atlantic corridor.
 
-use leo_bench::{config_with_cities, print_table, results_dir, scale_from_args};
+use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::latency::pair_timeseries;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig3_path_variability");
     let ctx = StudyContext::build(config_with_cities(scale, 340));
     let (src, dst) = ("Maceió", "Durban");
 
@@ -49,8 +51,8 @@ fn main() {
     };
     let (bmin, bmax) = range(&bp_rtts);
     let (hmin, hmax) = range(&hy_rtts);
-    println!(
-        "\nBP RTT range {:.1}-{:.1} ms (inflation {:.1} ms; paper: ~100 ms) | hybrid {:.1}-{:.1} ms ({:.1} ms)",
+    diag!(
+        "BP RTT range {:.1}-{:.1} ms (inflation {:.1} ms; paper: ~100 ms) | hybrid {:.1}-{:.1} ms ({:.1} ms)",
         bmin, bmax, bmax - bmin, hmin, hmax, hmax - hmin,
     );
 
@@ -70,5 +72,6 @@ fn main() {
         .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig3_path_variability", &ctx.config);
 }

@@ -2,15 +2,17 @@
 //! {BP, hybrid} × {k=1, k=4}, plus the §5 disconnected-satellite
 //! statistic (pass `--disconnected`).
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::throughput::{
     disconnected_satellite_fraction, throughput,
 };
 use leo_core::output::CsvWriter;
 use leo_core::{ConstellationKind, Mode, StudyContext};
+use leo_util::diag;
 
 fn main() {
     let (scale, rest) = scale_from_args();
+    init_run("fig4_throughput");
     let want_disconnected = rest.iter().any(|a| a == "--disconnected");
     let t_s = 0.0;
 
@@ -20,7 +22,7 @@ fn main() {
         let mut cfg = scale.config();
         cfg.constellation = kind;
         let ctx = StudyContext::build(cfg);
-        eprintln!(
+        diag!(
             "fig4: {:?}: {} sats, {} pairs, {} relays",
             kind,
             ctx.num_satellites(),
@@ -50,8 +52,8 @@ fn main() {
         }
         // Paper's headline ratios for this constellation.
         let (bp1, bp4, hy1, hy4) = (per_kind[0], per_kind[1], per_kind[2], per_kind[3]);
-        println!(
-            "\n{kind:?}: hybrid/BP at k=1: {:.2}x (paper >2.5x) | k=4: {:.2}x (paper >3.1x) | multipath gain hybrid {:.2}x BP {:.2}x",
+        diag!(
+            "{kind:?}: hybrid/BP at k=1: {:.2}x (paper >2.5x) | k=4: {:.2}x (paper >3.1x) | multipath gain hybrid {:.2}x BP {:.2}x",
             hy1 / bp1.max(1e-9),
             hy4 / bp4.max(1e-9),
             hy4 / hy1.max(1e-9),
@@ -64,7 +66,7 @@ fn main() {
                 fr.iter().copied().fold(f64::INFINITY, f64::min),
                 fr.iter().copied().fold(f64::NEG_INFINITY, f64::max),
             );
-            println!(
+            diag!(
                 "Starlink BP disconnected satellites across day: {:.1}%-{:.1}% (paper: 25.1%-31.5%)",
                 lo * 100.0,
                 hi * 100.0
@@ -84,5 +86,6 @@ fn main() {
         w.row(&[c, m, k.to_string(), format!("{g:.3}")]).unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig4_throughput", &scale.config());
 }

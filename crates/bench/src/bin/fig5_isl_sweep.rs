@@ -2,13 +2,15 @@
 //! to 5× the 20 Gbps GT-link capacity. The paper: even 0.5× yields 2.2×
 //! BP's throughput; gains flatten past ~3× under shortest-path routing.
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::throughput::isl_capacity_sweep;
 use leo_core::output::CsvWriter;
 use leo_core::StudyContext;
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig5_isl_sweep");
     let ctx = StudyContext::build(scale.config());
     let ratios = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0];
     let rows = isl_capacity_sweep(&ctx, 0.0, 4, &ratios);
@@ -37,5 +39,6 @@ fn main() {
         w.num_row(&[r, g]).unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig5_isl_sweep", &ctx.config);
 }

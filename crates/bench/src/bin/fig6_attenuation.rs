@@ -2,16 +2,18 @@
 //! attenuation, BP vs ISL connectivity. The paper: the median with ISLs
 //! is more than 1 dB lower (≈11 % more received power).
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::weather::weather_study;
 use leo_core::metrics::Distribution;
 use leo_core::output::CsvWriter;
 use leo_core::StudyContext;
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig6_attenuation");
     let ctx = StudyContext::build(scale.config());
-    eprintln!(
+    diag!(
         "fig6: {} pairs x {} snapshots",
         ctx.pairs.len(),
         ctx.config.snapshot_times_s.len()
@@ -37,8 +39,8 @@ fn main() {
         &rows,
     );
     let gap = bp.median() - isl.median();
-    println!(
-        "\nmedian gap: {:.2} dB (paper: >1 dB, i.e. ~{:.0}% received-power difference)",
+    diag!(
+        "median gap: {:.2} dB (paper: >1 dB, i.e. ~{:.0}% received-power difference)",
         gap,
         (1.0 - 10f64.powf(-gap / 10.0)) * 100.0
     );
@@ -53,5 +55,6 @@ fn main() {
         }
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig6_attenuation", &ctx.config);
 }

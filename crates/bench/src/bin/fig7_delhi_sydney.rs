@@ -3,14 +3,16 @@
 //! the entire region. Dumps the path hops and the regional attenuation
 //! heat-map raster.
 
-use leo_bench::{config_with_cities, print_table, results_dir, scale_from_args};
+use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::weather::attenuation_raster;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, NodeKind, StudyContext};
 use leo_graph::{dijkstra, extract_path};
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig7_delhi_sydney");
     let ctx = StudyContext::build(config_with_cities(scale, 340));
     let src = ctx.ground.city_index("Delhi").expect("Delhi loaded");
     let dst = ctx.ground.city_index("Sydney").expect("Sydney loaded");
@@ -51,9 +53,9 @@ fn main() {
                     .filter(|&&n| snap.nodes[n as usize].is_ground())
                     .count()
                     - 2;
-                println!("intermediate ground hops: {ground_hops} (paper's example: 2 aircraft + 4 GTs)");
+                diag!("intermediate ground hops: {ground_hops} (paper's example: 2 aircraft + 4 GTs)");
             }
-            None => println!("{mode:?}: no path at t=0"),
+            None => diag!("{mode:?}: no path at t=0"),
         }
     }
 
@@ -68,6 +70,7 @@ fn main() {
     w.flush().unwrap();
     let max = raster.iter().map(|r| r.2).fold(f64::NEG_INFINITY, f64::max);
     let min = raster.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
-    println!("\nraster: {} cells, attenuation {:.2}-{:.2} dB", raster.len(), min, max);
-    eprintln!("wrote {}", path.display());
+    diag!("raster: {} cells, attenuation {:.2}-{:.2} dB", raster.len(), min, max);
+    diag!("wrote {}", path.display());
+    finish_run("fig7_delhi_sydney", &ctx.config);
 }

@@ -2,13 +2,15 @@
 //! path. The paper: at 1 % of the time, BP ≈ 5 dB vs ISL ≈ 2.2 dB, a
 //! 39 % received-power advantage for ISLs.
 
-use leo_bench::{config_with_cities, print_table, results_dir, scale_from_args};
+use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::weather::exceedance_curve;
 use leo_core::output::CsvWriter;
 use leo_core::StudyContext;
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig8_exceedance");
     let ctx = StudyContext::build(config_with_cities(scale, 340));
     let curve = exceedance_curve(&ctx, "Delhi", "Sydney", 0.0)
         .expect("Delhi-Sydney must be routable at t=0");
@@ -34,8 +36,8 @@ fn main() {
         &rows,
     );
     let idx = curve.p_percent.iter().position(|&p| p == 1.0).unwrap();
-    println!(
-        "\nat 1%: BP {:.2} dB vs ISL {:.2} dB (paper: 5 dB vs 2.2 dB)",
+    diag!(
+        "at 1%: BP {:.2} dB vs ISL {:.2} dB (paper: 5 dB vs 2.2 dB)",
         curve.bp_db[idx], curve.isl_db[idx]
     );
 
@@ -47,5 +49,6 @@ fn main() {
             .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig8_exceedance", &ctx.config);
 }

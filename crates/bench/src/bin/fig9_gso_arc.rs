@@ -2,13 +2,15 @@
 //! satellites that remain usable, swept over GT latitude (Starlink's 22°
 //! separation, 40° full-deployment minimum elevation).
 
-use leo_bench::{print_table, results_dir, scale_from_args};
+use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
 use leo_core::experiments::gso_arc::gso_sweep;
 use leo_core::output::CsvWriter;
 use leo_core::StudyContext;
+use leo_util::diag;
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("fig9_gso_arc");
     let ctx = StudyContext::build(scale.config());
     let lats: Vec<f64> = (0..=60).step_by(5).map(|l| l as f64).collect();
     let rows = gso_sweep(&ctx, &lats, 40.0, 22.0, 0.0);
@@ -32,8 +34,8 @@ fn main() {
         &["lat", "usable sky", "usable visible sats"],
         &table,
     );
-    println!(
-        "\nat the Equator only small elevation regions remain usable; \
+    diag!(
+        "at the Equator only small elevation regions remain usable; \
          mid-latitudes are barely affected — BP's cross-Equatorial relays all sit in the constrained band"
     );
 
@@ -46,5 +48,6 @@ fn main() {
             .unwrap();
     }
     w.flush().unwrap();
-    eprintln!("wrote {}", path.display());
+    diag!("wrote {}", path.display());
+    finish_run("fig9_gso_arc", &ctx.config);
 }

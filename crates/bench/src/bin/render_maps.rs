@@ -7,11 +7,12 @@
 //! * `map_fig7_delhi_sydney.svg` — Fig. 7: the BP and ISL paths over the
 //!   tropical attenuation heat-map.
 
-use leo_bench::{config_with_cities, results_dir, scale_from_args};
+use leo_bench::{config_with_cities, finish_run, init_run, results_dir, scale_from_args};
 use leo_core::experiments::weather::attenuation_raster;
 use leo_core::viz::{draw_snapshot_path, MapCanvas};
 use leo_core::{Mode, StudyContext};
 use leo_graph::{dijkstra, extract_path};
+use leo_util::diag;
 
 fn path_nodes(
     ctx: &StudyContext,
@@ -26,6 +27,7 @@ fn path_nodes(
 
 fn main() {
     let (scale, _) = scale_from_args();
+    init_run("render_maps");
     let ctx = StudyContext::build(config_with_cities(scale, 340));
     let dir = results_dir();
 
@@ -48,7 +50,7 @@ fn main() {
         canvas.marker(ctx.ground.cities[dst].pos, 4.0, "#222", Some("London"));
         let path = dir.join("map_fig1_bp_vs_isl.svg");
         canvas.save(&path).expect("write svg");
-        eprintln!("wrote {}", path.display());
+        diag!("wrote {}", path.display());
     }
 
     // --- Fig. 3: Maceió–Durban BP at two snapshots ---
@@ -70,7 +72,7 @@ fn main() {
         canvas.marker(ctx.ground.cities[dst].pos, 4.0, "#222", Some("Durban"));
         let path = dir.join("map_fig3_maceio_durban.svg");
         canvas.save(&path).expect("write svg");
-        eprintln!("wrote {}", path.display());
+        diag!("wrote {}", path.display());
     }
 
     // --- Fig. 7: Delhi–Sydney over the attenuation heat-map ---
@@ -94,6 +96,7 @@ fn main() {
         canvas.marker(ctx.ground.cities[dst].pos, 4.0, "#222", Some("Sydney"));
         let path = dir.join("map_fig7_delhi_sydney.svg");
         canvas.save(&path).expect("write svg");
-        eprintln!("wrote {}", path.display());
+        diag!("wrote {}", path.display());
     }
+    finish_run("render_maps", &ctx.config);
 }

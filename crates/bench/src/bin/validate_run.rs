@@ -1,0 +1,67 @@
+//! Validate a telemetry run log (`RUN_<label>.jsonl`): every line must
+//! parse as a known event type, the first must be `run_start`, and the
+//! last must be the run manifest with its provenance fields. CI runs
+//! this against a real figure run so schema drift fails the build.
+//!
+//! Usage: `validate_run <path/to/RUN_label.jsonl>` — exits 0 and prints
+//! a one-line summary on success, exits 1 with the offending line on
+//! failure.
+
+use leo_util::telemetry::{validate_event_line, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_run: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        fail("usage: validate_run <RUN_label.jsonl>");
+    });
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        fail(&format!("{path}: empty run log"));
+    }
+
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let ty = validate_event_line(line)
+            .unwrap_or_else(|e| fail(&format!("{path}:{}: {e}\n  {line}", i + 1)));
+        match counts.iter_mut().find(|(t, _)| *t == ty) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((ty, 1)),
+        }
+        if i == 0 && ty != "run_start" {
+            fail(&format!("{path}: first event is `{ty}`, expected `run_start`"));
+        }
+        if i + 1 == lines.len() && ty != "manifest" {
+            fail(&format!("{path}: last event is `{ty}`, expected `manifest`"));
+        }
+        if ty == "manifest" && i + 1 != lines.len() {
+            fail(&format!("{path}:{}: manifest before end of log", i + 1));
+        }
+    }
+
+    // The manifest's provenance fields, beyond schema validity.
+    let manifest = Json::parse(lines[lines.len() - 1]).unwrap();
+    let hash = manifest
+        .get("config_hash")
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| fail("manifest: missing config_hash"));
+    if !hash.starts_with("0x") || hash.len() != 18 {
+        fail(&format!("manifest: config_hash `{hash}` is not a 0x-prefixed 64-bit hex hash"));
+    }
+    for key in ["seed", "threads", "wall_ns"] {
+        if manifest.get(key).and_then(Json::as_num).is_none() {
+            fail(&format!("manifest: missing numeric field `{key}`"));
+        }
+    }
+    if !matches!(manifest.get("phases"), Some(Json::Obj(_))) {
+        fail("manifest: missing `phases` object");
+    }
+
+    let summary: Vec<String> = counts.iter().map(|(t, n)| format!("{n} {t}")).collect();
+    println!("{path}: ok ({} events: {})", lines.len(), summary.join(", "));
+}

@@ -7,6 +7,7 @@
 //! as CSV under `results/`.
 
 use leo_core::{ExperimentScale, StudyConfig};
+use leo_util::telemetry;
 use std::path::PathBuf;
 
 /// Parse `--scale <tiny|bench|paper>` from `std::env::args`, defaulting
@@ -37,6 +38,28 @@ pub fn config_with_cities(scale: ExperimentScale, min_cities: usize) -> StudyCon
     let mut cfg = scale.config();
     cfg.num_cities = cfg.num_cities.max(min_cities);
     cfg
+}
+
+/// Open the telemetry run log for a figure binary.
+///
+/// No-op (returns `None`) unless `LEO_LOG=info|debug` is set; when
+/// logging, events stream to `RUN_<label>.jsonl` under `LEO_LOG_DIR`
+/// (default: the working directory).
+pub fn init_run(label: &str) -> Option<PathBuf> {
+    telemetry::init(label)
+}
+
+/// Close the telemetry run with a provenance manifest: FNV-1a hash of
+/// the config's canonical kv string, its RNG seed, and the machine's
+/// resolved worker count (the bins all fan out with `threads = 0` =
+/// one per core). No-op when telemetry is disabled.
+pub fn finish_run(label: &str, cfg: &StudyConfig) -> Option<PathBuf> {
+    let hash = telemetry::fnv1a_64(cfg.to_kv_string().as_bytes());
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let manifest = telemetry::RunManifest::new(label, hash, cfg.seed, threads)
+        .with("cities", cfg.num_cities)
+        .with("pairs", cfg.num_pairs);
+    telemetry::finish_run(&manifest)
 }
 
 /// Directory where figure CSVs land (`results/`, created on demand).

@@ -12,6 +12,14 @@ use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, NodeKind};
 use leo_geo::GeoPoint;
 use leo_graph::GraphBuilder;
 use leo_util::buf::{ByteBuf, ReadBytes};
+use leo_util::telemetry::Counter;
+
+/// Telemetry: snapshots encoded / bytes produced.
+static CODEC_ENCODES: Counter = Counter::new("codec_snapshots_encoded");
+static CODEC_BYTES_ENCODED: Counter = Counter::new("codec_bytes_encoded");
+/// Telemetry: snapshots decoded / bytes consumed (successful decodes).
+static CODEC_DECODES: Counter = Counter::new("codec_snapshots_decoded");
+static CODEC_BYTES_DECODED: Counter = Counter::new("codec_bytes_decoded");
 
 /// Magic bytes identifying a snapshot blob.
 const MAGIC: &[u8; 4] = b"LEOS";
@@ -119,7 +127,10 @@ pub fn encode_snapshot(snap: &NetworkSnapshot) -> Vec<u8> {
             }
         }
     }
-    buf.into_vec()
+    let out = buf.into_vec();
+    CODEC_ENCODES.add(1);
+    CODEC_BYTES_ENCODED.add(out.len() as u64);
+    out
 }
 
 macro_rules! need {
@@ -132,6 +143,7 @@ macro_rules! need {
 
 /// Deserialize a snapshot blob produced by [`encode_snapshot`].
 pub fn decode_snapshot(mut buf: &[u8]) -> Result<NetworkSnapshot, CodecError> {
+    let total_len = buf.len();
     need!(buf, 4);
     let mut magic = [0u8; 4];
     buf.copy_to_slice(&mut magic);
@@ -230,6 +242,8 @@ pub fn decode_snapshot(mut buf: &[u8]) -> Result<NetworkSnapshot, CodecError> {
         edges.push(kind);
     }
 
+    CODEC_DECODES.add(1);
+    CODEC_BYTES_DECODED.add(total_len as u64);
     Ok(NetworkSnapshot {
         t_s,
         mode,

@@ -10,6 +10,7 @@
 use crate::par::parallel_map;
 use crate::snapshot::{Mode, StudyContext};
 use leo_graph::{dijkstra, extract_path};
+use leo_util::span;
 
 /// Churn statistics for one connectivity mode.
 #[derive(Debug, Clone)]
@@ -28,6 +29,11 @@ pub struct ChurnStats {
 
 /// Measure path churn across the configured snapshots.
 pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats {
+    let _span = span!(
+        "churn_study",
+        mode = format!("{mode:?}"),
+        snapshots = ctx.config.snapshot_times_s.len(),
+    );
     let times = ctx.config.snapshot_times_s.clone();
     // Per snapshot, per pair: (node-sequence hash, rtt).
     let per_snap: Vec<Vec<Option<(u64, f64)>>> = parallel_map(&times, threads, |&t| {

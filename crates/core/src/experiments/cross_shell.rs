@@ -11,6 +11,7 @@ use crate::config::{ConstellationKind, StudyConfig};
 use crate::par::parallel_map;
 use crate::snapshot::{Mode, NodeKind, StudyContext};
 use leo_graph::{dijkstra, extract_path};
+use leo_util::span;
 
 /// One snapshot of the cross-shell comparison.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +42,7 @@ pub fn cross_shell_study(
     dst_name: &str,
     threads: usize,
 ) -> Vec<CrossShellRow> {
+    let _span = span!("cross_shell_study", src = src_name, dst = dst_name);
     let src = ctx
         .ground
         .city_index(src_name)

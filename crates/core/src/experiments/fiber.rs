@@ -10,6 +10,7 @@ use crate::snapshot::StudyContext;
 use leo_geo::{great_circle_distance_m, GeoPoint, SPEED_OF_LIGHT_M_S};
 use leo_orbit::visibility::subpoint_index;
 use leo_orbit::{visible_satellites, VisibilityParams};
+use leo_util::span;
 use std::collections::HashSet;
 
 /// Speed of light in fiber ≈ 2/3 c.
@@ -56,6 +57,7 @@ pub fn fiber_augmentation(
     satellites_sites: &[(&str, GeoPoint)],
     t_s: f64,
 ) -> FiberAugmentation {
+    let _span = span!("fiber_augmentation", sites = satellites_sites.len(), t_s = t_s);
     let snap = ctx.constellation.positions_at(t_s);
     let index = subpoint_index(&snap);
     let params = VisibilityParams {

@@ -11,6 +11,7 @@ use leo_geo::deg_to_rad;
 use leo_orbit::gso::{gso_compliant, usable_sky_fraction};
 use leo_orbit::visibility::subpoint_index;
 use leo_orbit::{visible_satellites, VisibilityParams};
+use leo_util::span;
 
 /// One row of the Fig. 9 sweep.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +41,7 @@ pub fn gso_sweep(
     separation_deg: f64,
     t_s: f64,
 ) -> Vec<GsoRow> {
+    let _span = span!("gso_sweep", latitudes = latitudes_deg.len(), t_s = t_s);
     let e = deg_to_rad(min_elevation_deg);
     let sep = deg_to_rad(separation_deg);
     let params = VisibilityParams {

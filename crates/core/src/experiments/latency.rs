@@ -10,6 +10,7 @@ use crate::par::parallel_map;
 use crate::snapshot::{Mode, NodeKind, StudyContext};
 use leo_data::traffic::CityPair;
 use leo_graph::{dijkstra, extract_path};
+use leo_util::span;
 use std::collections::HashMap;
 
 /// Per-pair latency statistics across the simulated day.
@@ -42,6 +43,12 @@ impl PairStats {
 /// Run the latency study for one connectivity mode over all configured
 /// snapshots. `threads = 0` uses all cores.
 pub fn latency_study(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<PairStats> {
+    let _span = span!(
+        "latency_study",
+        mode = format!("{mode:?}"),
+        snapshots = ctx.config.snapshot_times_s.len(),
+        pairs = ctx.pairs.len(),
+    );
     let times = ctx.config.snapshot_times_s.clone();
     // Per snapshot: Vec<Option<rtt_ms>> indexed like ctx.pairs.
     let per_snapshot: Vec<Vec<Option<f64>>> =
@@ -171,6 +178,7 @@ pub fn pair_timeseries(
     mode: Mode,
     threads: usize,
 ) -> Vec<PathSnapshot> {
+    let _span = span!("pair_timeseries", src = src_name, dst = dst_name, mode = format!("{mode:?}"));
     let src = ctx
         .ground
         .city_index(src_name)

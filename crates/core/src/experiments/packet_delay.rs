@@ -11,6 +11,7 @@
 use crate::snapshot::{Mode, StudyContext};
 use leo_graph::{dijkstra, extract_path};
 use leo_packetsim::{FlowSpec, PacketSim};
+use leo_util::span;
 
 /// Packet-level results for one mode at one load level.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +49,13 @@ pub fn packet_delay_study(
     duration_s: f64,
 ) -> Option<PacketDelayResult> {
     assert!((0.0..1.0).contains(&load));
+    let _span = span!(
+        "packet_delay_study",
+        src = src_name,
+        dst = dst_name,
+        mode = format!("{mode:?}"),
+        load = load,
+    );
     let src = ctx.ground.city_index(src_name)?;
     let dst = ctx.ground.city_index(dst_name)?;
     let snap = ctx.snapshot(t_s, mode);

@@ -10,6 +10,7 @@
 
 use crate::snapshot::{Mode, StudyContext};
 use leo_graph::{dijkstra_with_mask, extract_path, k_edge_disjoint_paths, suurballe, Path};
+use leo_util::span;
 
 /// Which path-selection scheme to evaluate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,13 @@ pub struct RoutingOutcome {
 /// Route every pair under `scheme` with `k` sub-flows of unit demand and
 /// measure link utilizations and path delays.
 pub fn route_all(ctx: &StudyContext, t_s: f64, mode: Mode, k: usize, scheme: RoutingScheme) -> RoutingOutcome {
+    let _span = span!(
+        "route_all",
+        t_s = t_s,
+        mode = format!("{mode:?}"),
+        k = k,
+        scheme = format!("{scheme:?}"),
+    );
     let snap = ctx.snapshot(t_s, mode);
     let ne = snap.graph.num_edges();
     let mut load = vec![0.0f64; ne];

@@ -11,6 +11,7 @@ use crate::par::parallel_map;
 use crate::snapshot::{Mode, NetworkSnapshot, StudyContext};
 use leo_flow::FlowSim;
 use leo_graph::{component_sizes, connected_components, k_edge_disjoint_paths, max_flow, FlowNetwork};
+use leo_util::span;
 
 /// Outcome of one throughput evaluation.
 #[derive(Debug, Clone)]
@@ -38,6 +39,13 @@ pub fn throughput_with_isl_capacity(
     isl_gbps: f64,
 ) -> ThroughputResult {
     assert!(k >= 1);
+    let _span = span!(
+        "throughput",
+        t_s = t_s,
+        mode = format!("{mode:?}"),
+        k = k,
+        isl_gbps = isl_gbps,
+    );
     let snap = ctx.snapshot(t_s, mode);
     // Path-finding per pair is read-only on the snapshot: parallelize.
     let paths_per_pair = parallel_map(&ctx.pairs, 0, |pair| {
@@ -85,6 +93,7 @@ pub fn isl_capacity_sweep(
     k: usize,
     ratios: &[f64],
 ) -> Vec<(f64, f64)> {
+    let _span = span!("isl_capacity_sweep", t_s = t_s, k = k, ratios = ratios.len());
     let gt = ctx.config.network.gt_link_gbps;
     let mut out = Vec::with_capacity(ratios.len() + 1);
     let bp = throughput(ctx, t_s, Mode::BpOnly, k);
@@ -105,6 +114,11 @@ pub fn disconnected_satellite_fraction(
     mode: Mode,
     threads: usize,
 ) -> Vec<f64> {
+    let _span = span!(
+        "disconnected_satellite_fraction",
+        mode = format!("{mode:?}"),
+        snapshots = ctx.config.snapshot_times_s.len(),
+    );
     let times = ctx.config.snapshot_times_s.clone();
     parallel_map(&times, threads, |&t| {
         let snap = ctx.snapshot(t, mode);
@@ -135,6 +149,7 @@ pub fn disconnected_fraction_of(snap: &NetworkSnapshot) -> f64 {
 /// Comparing this against [`throughput`] shows how much the lax model
 /// overstates network capacity.
 pub fn lax_maxflow_gbps(ctx: &StudyContext, t_s: f64, mode: Mode) -> f64 {
+    let _span = span!("lax_maxflow", t_s = t_s, mode = format!("{mode:?}"));
     let snap = ctx.snapshot(t_s, mode);
     let n = snap.graph.num_nodes();
     let s = n as u32; // super source

@@ -12,6 +12,7 @@ use crate::par::parallel_map;
 use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, StudyContext};
 use leo_atmo::{AttenuationModel, Climatology, SlantPath, WeatherProcess};
 use leo_graph::{dijkstra, extract_path, Path};
+use leo_util::span;
 
 /// Attenuation of one link of a path at a point in time / exceedance.
 fn link_attenuation_db(
@@ -96,6 +97,12 @@ impl WeatherStudy {
 /// the stochastic weather process, then take the 99.5th percentile across
 /// time per pair.
 pub fn weather_study(ctx: &StudyContext, weather_seed: u64, threads: usize) -> WeatherStudy {
+    let _span = span!(
+        "weather_study",
+        weather_seed = weather_seed,
+        snapshots = ctx.config.snapshot_times_s.len(),
+        pairs = ctx.pairs.len(),
+    );
     let model = AttenuationModel::new(Climatology::synthetic());
     let weather = WeatherProcess::new(weather_seed);
     let up = ctx.config.network.uplink_ghz;
@@ -168,6 +175,7 @@ pub fn exceedance_curve(
     dst_name: &str,
     t_s: f64,
 ) -> Option<ExceedanceCurve> {
+    let _span = span!("exceedance_curve", src = src_name, dst = dst_name, t_s = t_s);
     let model = AttenuationModel::new(Climatology::synthetic());
     let up = ctx.config.network.uplink_ghz;
     let down = ctx.config.network.downlink_ghz;
@@ -207,6 +215,7 @@ pub fn attenuation_raster(
     p_percent: f64,
 ) -> Vec<(f64, f64, f64)> {
     assert!(step_deg > 0.0);
+    let _span = span!("attenuation_raster", step_deg = step_deg, p_percent = p_percent);
     let model = AttenuationModel::new(Climatology::synthetic());
     let mut out = Vec::new();
     let mut lat = lat_range.0;

@@ -13,6 +13,7 @@ use crate::snapshot::{EdgeKind, Mode, StudyContext};
 use leo_atmo::{AttenuationModel, Climatology, LinkBudget, SlantPath, WeatherProcess};
 use leo_flow::FlowSim;
 use leo_graph::k_edge_disjoint_paths;
+use leo_util::span;
 
 /// Throughput under one weather realization.
 #[derive(Debug, Clone, Copy)]
@@ -43,6 +44,13 @@ pub fn weathered_throughput(
     k: usize,
     weather_seed: u64,
 ) -> WeatheredThroughput {
+    let _span = span!(
+        "weathered_throughput",
+        t_s = t_s,
+        mode = format!("{mode:?}"),
+        k = k,
+        weather_seed = weather_seed,
+    );
     let snap = ctx.snapshot(t_s, mode);
     let model = AttenuationModel::new(Climatology::synthetic());
     let weather = WeatherProcess::new(weather_seed);

@@ -11,6 +11,12 @@ use leo_orbit::{
     isl_line_of_sight, plus_grid_isls, visible_satellites, Constellation, IslLink,
     VisibilityParams,
 };
+use leo_util::telemetry::Counter;
+use leo_util::{debug_span, span};
+
+/// Telemetry: snapshots frozen across all experiments (the unit of work
+/// the pipeline fans out over).
+static SNAPSHOTS_BUILT: Counter = Counter::new("snapshots_built");
 
 /// Connectivity mode of a snapshot (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,6 +89,7 @@ pub struct StudyContext {
 impl StudyContext {
     /// Assemble the full study context from a configuration.
     pub fn build(config: StudyConfig) -> Self {
+        let _span = span!("study_context_build", constellation = config.constellation.name());
         let constellation = config.constellation.constellation();
         let ground = GroundSegment::build(&config);
         let flights = FlightSchedule::new(config.flight_density);
@@ -124,6 +131,8 @@ impl StudyContext {
     /// radio and laser links propagate at `c`), so shortest paths are
     /// lowest-latency paths and `2 × weight` is RTT.
     pub fn snapshot(&self, t_s: f64, mode: Mode) -> NetworkSnapshot {
+        let _span = debug_span!("snapshot", t_s = t_s, mode = format!("{mode:?}"));
+        SNAPSHOTS_BUILT.add(1);
         let sat_positions = self.constellation.positions_at(t_s);
         let s = self.num_satellites();
 

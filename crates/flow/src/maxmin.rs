@@ -1,5 +1,19 @@
 //! Progressive-filling max-min fair allocation.
 
+use leo_util::telemetry::{Counter, Histogram};
+
+/// Telemetry: number of [`FlowSim::solve`] invocations.
+static MAXMIN_SOLVES: Counter = Counter::new("maxmin_solves");
+/// Telemetry: total progressive-filling rounds across solves.
+static MAXMIN_ROUNDS: Counter = Counter::new("maxmin_rounds");
+/// Telemetry: flows frozen at a saturated bottleneck with a positive
+/// rate (flows frozen at rate 0 crossed an already-exhausted link).
+static MAXMIN_SATURATED_FLOWS: Counter = Counter::new("maxmin_saturated_flows");
+/// Telemetry: flows that ended with rate 0 (zero-capacity bottleneck).
+static MAXMIN_STARVED_FLOWS: Counter = Counter::new("maxmin_starved_flows");
+/// Telemetry: rounds-per-solve distribution.
+static MAXMIN_ROUNDS_HIST: Histogram = Histogram::new("maxmin_rounds_per_solve");
+
 /// Identifier of a capacitated link.
 pub type LinkId = u32;
 
@@ -143,6 +157,13 @@ impl FlowSim {
             // Compact the active set.
             active.retain(|&l| occurrences[l as usize] > 0);
         }
+
+        MAXMIN_SOLVES.add(1);
+        MAXMIN_ROUNDS.add(rounds as u64);
+        MAXMIN_ROUNDS_HIST.record(rounds as u64);
+        let starved = rates.iter().filter(|&&r| r <= 0.0).count() as u64;
+        MAXMIN_STARVED_FLOWS.add(starved);
+        MAXMIN_SATURATED_FLOWS.add(nf as u64 - starved);
 
         let mut link_utilization = vec![0.0f64; nl];
         for (f, path) in self.paths.iter().enumerate() {

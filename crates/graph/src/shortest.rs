@@ -1,8 +1,14 @@
 //! Single-source shortest paths (Dijkstra) with optional edge masks.
 
 use crate::graph::{EdgeId, Graph, NodeId};
+use leo_util::telemetry::Counter;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Telemetry: total Dijkstra runs (plain + masked) across the process.
+static DIJKSTRA_CALLS: Counter = Counter::new("dijkstra_calls");
+/// Telemetry: nodes settled across all Dijkstra runs.
+static DIJKSTRA_SETTLED: Counter = Counter::new("dijkstra_nodes_settled");
 
 /// Result of a single-source Dijkstra run.
 #[derive(Debug, Clone)]
@@ -100,6 +106,8 @@ fn dijkstra_impl(
     if let Some(d) = disabled {
         assert_eq!(d.len(), g.num_edges(), "mask length must equal edge count");
     }
+    DIJKSTRA_CALLS.add(1);
+    let mut settled_count = 0u64;
     let mut dist = vec![f64::INFINITY; n];
     let mut parent_edge = vec![EdgeId::MAX; n];
     let mut parent_node = vec![NodeId::MAX; n];
@@ -115,6 +123,7 @@ fn dijkstra_impl(
             continue;
         }
         settled[u as usize] = true;
+        settled_count += 1;
         if target == Some(u) {
             break;
         }
@@ -136,6 +145,7 @@ fn dijkstra_impl(
             }
         }
     }
+    DIJKSTRA_SETTLED.add(settled_count);
     ShortestPaths {
         source,
         dist,

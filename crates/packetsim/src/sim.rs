@@ -2,7 +2,17 @@
 
 use crate::event::{Event, EventQueue};
 use crate::metrics::{FlowAccumulator, FlowReport};
+use leo_util::telemetry::{Counter, Histogram};
 use std::collections::VecDeque;
+
+/// Telemetry: simulator runs.
+static SIM_RUNS: Counter = Counter::new("packetsim_runs");
+/// Telemetry: total events processed across runs.
+static SIM_EVENTS: Counter = Counter::new("packetsim_events");
+/// Telemetry: packets dropped at full queues, across runs.
+static SIM_DROPS: Counter = Counter::new("packetsim_drops");
+/// Telemetry: queue depth (bytes) observed at each enqueue.
+static SIM_QUEUE_BYTES: Histogram = Histogram::new("packetsim_queue_bytes");
 
 /// Identifier of a unidirectional link.
 pub type LinkId = u32;
@@ -184,9 +194,11 @@ impl PacketSim {
                     if link.busy {
                         if link.queued_bytes + bytes > link.queue_limit_bytes {
                             acc[flow as usize].dropped += 1;
+                            SIM_DROPS.add(1);
                         } else {
                             link.queued_bytes += bytes;
                             link.queue.push_back((flow, seq, hop, sent_s));
+                            SIM_QUEUE_BYTES.record(link.queued_bytes);
                         }
                     } else {
                         // Transmit immediately.
@@ -226,6 +238,8 @@ impl PacketSim {
                 }
             }
         }
+        SIM_RUNS.add(1);
+        SIM_EVENTS.add(events);
         SimReport {
             flows: acc.into_iter().map(FlowAccumulator::finish).collect(),
             events_processed: events,

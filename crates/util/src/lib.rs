@@ -8,6 +8,8 @@
 //! * [`config`] — `key = value` sectioned config text (replaces `serde`)
 //! * [`check`] — seeded property-testing harness (replaces `proptest`)
 //! * [`bench`] — warmup + median/p95 timing harness (replaces `criterion`)
+//! * [`telemetry`] — spans/counters/histograms + JSONL run manifests
+//!   (replaces `tracing`/`metrics`-style observability stacks)
 //!
 //! The workspace policy (see DESIGN.md "Hermetic build") is that
 //! `[workspace.dependencies]` names only `path` crates, so
@@ -22,5 +24,6 @@ pub mod buf;
 pub mod check;
 pub mod config;
 pub mod rng;
+pub mod telemetry;
 
 pub use rng::Rng64;

@@ -6,6 +6,9 @@
 #    before cargo even runs, so a registry dep can't sneak back in.
 # 2. Offline release build + full test suite (`--offline` makes cargo
 #    error out instead of touching the network).
+# 3. Telemetry schema guard: one Tiny figure run with LEO_LOG=info must
+#    produce a RUN_*.jsonl in which every line is a known event type and
+#    the final record is the run manifest (validate_run checks both).
 #
 # Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -33,5 +36,14 @@ cargo build --release --offline
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline
+
+echo "== telemetry schema: Tiny fig2 run under LEO_LOG=info =="
+log_dir=$(mktemp -d)
+trap 'rm -rf "$log_dir"' EXIT
+LEO_LOG=info LEO_LOG_DIR="$log_dir" \
+    cargo run -q --release --offline -p leo-bench --bin fig2_latency -- --scale tiny \
+    > /dev/null
+cargo run -q --release --offline -p leo-bench --bin validate_run -- \
+    "$log_dir/RUN_fig2_latency.jsonl"
 
 echo "tier-1 verify passed"
