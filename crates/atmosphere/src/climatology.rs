@@ -31,36 +31,132 @@ struct Region {
 /// Wet (rainier than the zonal mean) and dry anomaly regions.
 const REGIONS: &[Region] = &[
     // Monsoon Asia.
-    Region { lat: 22.0, lon: 80.0, s_lat: 9.0, s_lon: 16.0, amp: 45.0 },
+    Region {
+        lat: 22.0,
+        lon: 80.0,
+        s_lat: 9.0,
+        s_lon: 16.0,
+        amp: 45.0,
+    },
     // Bay of Bengal / Indochina.
-    Region { lat: 15.0, lon: 98.0, s_lat: 8.0, s_lon: 12.0, amp: 35.0 },
+    Region {
+        lat: 15.0,
+        lon: 98.0,
+        s_lat: 8.0,
+        s_lon: 12.0,
+        amp: 35.0,
+    },
     // Maritime Continent (Indonesia/Malaysia/PNG).
-    Region { lat: -2.0, lon: 115.0, s_lat: 10.0, s_lon: 25.0, amp: 45.0 },
+    Region {
+        lat: -2.0,
+        lon: 115.0,
+        s_lat: 10.0,
+        s_lon: 25.0,
+        amp: 45.0,
+    },
     // Congo basin.
-    Region { lat: 0.0, lon: 22.0, s_lat: 8.0, s_lon: 12.0, amp: 35.0 },
+    Region {
+        lat: 0.0,
+        lon: 22.0,
+        s_lat: 8.0,
+        s_lon: 12.0,
+        amp: 35.0,
+    },
     // Amazon basin.
-    Region { lat: -4.0, lon: -62.0, s_lat: 9.0, s_lon: 14.0, amp: 35.0 },
+    Region {
+        lat: -4.0,
+        lon: -62.0,
+        s_lat: 9.0,
+        s_lon: 14.0,
+        amp: 35.0,
+    },
     // Caribbean / Gulf.
-    Region { lat: 15.0, lon: -75.0, s_lat: 8.0, s_lon: 14.0, amp: 22.0 },
+    Region {
+        lat: 15.0,
+        lon: -75.0,
+        s_lat: 8.0,
+        s_lon: 14.0,
+        amp: 22.0,
+    },
     // SE US / Florida convection.
-    Region { lat: 29.0, lon: -84.0, s_lat: 6.0, s_lon: 10.0, amp: 18.0 },
+    Region {
+        lat: 29.0,
+        lon: -84.0,
+        s_lat: 6.0,
+        s_lon: 10.0,
+        amp: 18.0,
+    },
     // West Pacific warm pool.
-    Region { lat: 8.0, lon: 150.0, s_lat: 10.0, s_lon: 25.0, amp: 28.0 },
+    Region {
+        lat: 8.0,
+        lon: 150.0,
+        s_lat: 10.0,
+        s_lon: 25.0,
+        amp: 28.0,
+    },
     // East Brazil coast.
-    Region { lat: -8.0, lon: -35.0, s_lat: 6.0, s_lon: 8.0, amp: 15.0 },
+    Region {
+        lat: -8.0,
+        lon: -35.0,
+        s_lat: 6.0,
+        s_lon: 8.0,
+        amp: 15.0,
+    },
     // Dry: Sahara & Arabia.
-    Region { lat: 23.0, lon: 10.0, s_lat: 10.0, s_lon: 25.0, amp: -28.0 },
-    Region { lat: 24.0, lon: 45.0, s_lat: 9.0, s_lon: 14.0, amp: -25.0 },
+    Region {
+        lat: 23.0,
+        lon: 10.0,
+        s_lat: 10.0,
+        s_lon: 25.0,
+        amp: -28.0,
+    },
+    Region {
+        lat: 24.0,
+        lon: 45.0,
+        s_lat: 9.0,
+        s_lon: 14.0,
+        amp: -25.0,
+    },
     // Dry: Atacama / Peru coast.
-    Region { lat: -22.0, lon: -70.0, s_lat: 8.0, s_lon: 7.0, amp: -22.0 },
+    Region {
+        lat: -22.0,
+        lon: -70.0,
+        s_lat: 8.0,
+        s_lon: 7.0,
+        amp: -22.0,
+    },
     // Dry: Australian interior.
-    Region { lat: -25.0, lon: 134.0, s_lat: 9.0, s_lon: 14.0, amp: -22.0 },
+    Region {
+        lat: -25.0,
+        lon: 134.0,
+        s_lat: 9.0,
+        s_lon: 14.0,
+        amp: -22.0,
+    },
     // Dry: Kalahari / Namib.
-    Region { lat: -24.0, lon: 18.0, s_lat: 7.0, s_lon: 10.0, amp: -18.0 },
+    Region {
+        lat: -24.0,
+        lon: 18.0,
+        s_lat: 7.0,
+        s_lon: 10.0,
+        amp: -18.0,
+    },
     // Dry: central Asia.
-    Region { lat: 42.0, lon: 65.0, s_lat: 9.0, s_lon: 20.0, amp: -15.0 },
+    Region {
+        lat: 42.0,
+        lon: 65.0,
+        s_lat: 9.0,
+        s_lon: 20.0,
+        amp: -15.0,
+    },
     // Dry: US southwest / Mexico interior.
-    Region { lat: 32.0, lon: -110.0, s_lat: 7.0, s_lon: 12.0, amp: -15.0 },
+    Region {
+        lat: 32.0,
+        lon: -110.0,
+        s_lat: 7.0,
+        s_lon: 12.0,
+        amp: -15.0,
+    },
 ];
 
 fn gauss(x: f64, mu: f64, sigma: f64) -> f64 {
@@ -109,7 +205,9 @@ impl Climatology {
             - 6.0 * gauss(lat, -25.0, 8.0)
             - 8.0 * gauss(lat.abs(), 90.0, 25.0);
         for reg in REGIONS {
-            r += reg.amp * gauss(lat, reg.lat, reg.s_lat) * gauss(dlon_deg(lon, reg.lon), 0.0, reg.s_lon);
+            r += reg.amp
+                * gauss(lat, reg.lat, reg.s_lat)
+                * gauss(dlon_deg(lon, reg.lon), 0.0, reg.s_lon);
         }
         r.clamp(4.0, 140.0)
     }
@@ -207,6 +305,9 @@ mod tests {
         let c = Climatology::synthetic();
         let a = c.rain_rate_001(p(0.0, 179.9));
         let b = c.rain_rate_001(p(0.0, -179.9));
-        assert!((a - b).abs() < 1.0, "discontinuity at date line: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1.0,
+            "discontinuity at date line: {a} vs {b}"
+        );
     }
 }

@@ -18,9 +18,7 @@ pub fn liquid_water_specific_coefficient(frequency_ghz: f64, temp_k: f64) -> f64
     let fs = 39.8 * fp; // GHz
     let e_im = f * (e0 - e1) / (fp * (1.0 + (f / fp).powi(2)))
         + f * (e1 - e2) / (fs * (1.0 + (f / fs).powi(2)));
-    let e_re = (e0 - e1) / (1.0 + (f / fp).powi(2))
-        + (e1 - e2) / (1.0 + (f / fs).powi(2))
-        + e2;
+    let e_re = (e0 - e1) / (1.0 + (f / fp).powi(2)) + (e1 - e2) / (1.0 + (f / fs).powi(2)) + e2;
     let eta = (2.0 + e_re) / e_im;
     0.819 * f / (e_im * (1.0 + eta * eta))
 }

@@ -12,7 +12,8 @@ fn oxygen_specific_db_km(f: f64) -> f64 {
 /// Specific attenuation of water vapour, dB/km, for vapour density `rho`
 /// (g/m³), `f` ≤ 350 GHz.
 fn water_vapour_specific_db_km(f: f64, rho: f64) -> f64 {
-    (0.050 + 0.0021 * rho
+    (0.050
+        + 0.0021 * rho
         + 3.6 / ((f - 22.2).powi(2) + 8.5)
         + 10.6 / ((f - 183.3).powi(2) + 9.0)
         + 8.9 / ((f - 325.4).powi(2) + 26.3))
@@ -42,7 +43,7 @@ pub fn gaseous_attenuation_db(
     assert!(vapour_density_g_m3 >= 0.0);
     let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
     let h_o = 6.0; // km, oxygen equivalent height
-    // Vapour equivalent height grows mildly near the 22 GHz line.
+                   // Vapour equivalent height grows mildly near the 22 GHz line.
     let f = frequency_ghz;
     let h_w = 1.6 * (1.0 + 3.0 / ((f - 22.2).powi(2) + 5.0));
     let zenith =

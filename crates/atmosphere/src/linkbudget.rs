@@ -103,15 +103,51 @@ pub struct ModCod {
 /// ascending robustness requirement.
 pub fn modcod_ladder() -> &'static [ModCod] {
     &[
-        ModCod { name: "QPSK 1/4", bits_per_hz: 0.49, min_cn_db: -2.35 },
-        ModCod { name: "QPSK 1/2", bits_per_hz: 0.99, min_cn_db: 1.00 },
-        ModCod { name: "QPSK 3/4", bits_per_hz: 1.49, min_cn_db: 4.03 },
-        ModCod { name: "8PSK 3/5", bits_per_hz: 1.78, min_cn_db: 5.50 },
-        ModCod { name: "8PSK 3/4", bits_per_hz: 2.23, min_cn_db: 7.91 },
-        ModCod { name: "16APSK 3/4", bits_per_hz: 2.97, min_cn_db: 10.21 },
-        ModCod { name: "16APSK 8/9", bits_per_hz: 3.52, min_cn_db: 12.89 },
-        ModCod { name: "32APSK 4/5", bits_per_hz: 3.95, min_cn_db: 14.28 },
-        ModCod { name: "32APSK 9/10", bits_per_hz: 4.45, min_cn_db: 16.05 },
+        ModCod {
+            name: "QPSK 1/4",
+            bits_per_hz: 0.49,
+            min_cn_db: -2.35,
+        },
+        ModCod {
+            name: "QPSK 1/2",
+            bits_per_hz: 0.99,
+            min_cn_db: 1.00,
+        },
+        ModCod {
+            name: "QPSK 3/4",
+            bits_per_hz: 1.49,
+            min_cn_db: 4.03,
+        },
+        ModCod {
+            name: "8PSK 3/5",
+            bits_per_hz: 1.78,
+            min_cn_db: 5.50,
+        },
+        ModCod {
+            name: "8PSK 3/4",
+            bits_per_hz: 2.23,
+            min_cn_db: 7.91,
+        },
+        ModCod {
+            name: "16APSK 3/4",
+            bits_per_hz: 2.97,
+            min_cn_db: 10.21,
+        },
+        ModCod {
+            name: "16APSK 8/9",
+            bits_per_hz: 3.52,
+            min_cn_db: 12.89,
+        },
+        ModCod {
+            name: "32APSK 4/5",
+            bits_per_hz: 3.95,
+            min_cn_db: 14.28,
+        },
+        ModCod {
+            name: "32APSK 9/10",
+            bits_per_hz: 4.45,
+            min_cn_db: 16.05,
+        },
     ]
 }
 

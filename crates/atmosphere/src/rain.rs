@@ -131,8 +131,7 @@ pub fn rain_attenuation_db(
 
     // Horizontal reduction factor at 0.01%.
     let r001 = 1.0
-        / (1.0 + 0.78 * (lg * gamma_r / frequency_ghz).sqrt()
-            - 0.38 * (1.0 - (-2.0 * lg).exp()));
+        / (1.0 + 0.78 * (lg * gamma_r / frequency_ghz).sqrt() - 0.38 * (1.0 - (-2.0 * lg).exp()));
 
     // Vertical adjustment factor at 0.01%.
     let zeta = (hr - hs_km).atan2(lg * r001); // radians
@@ -165,8 +164,7 @@ pub fn rain_attenuation_db(
     } else {
         -0.005 * (phi_deg - 36.0) + 1.8 - 4.25 * sin_t
     };
-    let exponent =
-        -(0.655 + 0.033 * p.ln() - 0.045 * a001.ln() - beta * (1.0 - p) * sin_t);
+    let exponent = -(0.655 + 0.033 * p.ln() - 0.045 * a001.ln() - beta * (1.0 - p) * sin_t);
     (a001 * (p / 0.01).powf(exponent)).max(0.0)
 }
 

@@ -19,21 +19,20 @@ pub fn scintillation_db(
         (0.01..=50.0).contains(&p_percent),
         "scintillation percentile valid in [0.01, 50], got {p_percent}"
     );
-    assert!(frequency_ghz >= 4.0 && frequency_ghz <= 55.0);
+    assert!((4.0..=55.0).contains(&frequency_ghz));
     let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
     // Reference standard deviation.
     let sigma_ref = 3.6e-3 + 1.0e-4 * n_wet; // dB
-    // Effective path length through the turbulent layer (h_L = 1000 m).
+                                             // Effective path length through the turbulent layer (h_L = 1000 m).
     let l = 2.0 * 1000.0 / ((theta.sin().powi(2) + 2.35e-4).sqrt() + theta.sin()); // m
-    // Antenna averaging.
+                                                                                   // Antenna averaging.
     let d_eff = 0.55f64.sqrt() * antenna_m;
     let x = 1.22 * d_eff * d_eff * frequency_ghz / l;
     if x >= 7.0 {
         // Averaging wipes out scintillation for very large apertures.
         return 0.0;
     }
-    let g = (3.86 * (x * x + 1.0).powf(11.0 / 12.0)
-        * ((11.0 / 6.0) * (1.0 / x).atan()).sin()
+    let g = (3.86 * (x * x + 1.0).powf(11.0 / 12.0) * ((11.0 / 6.0) * (1.0 / x).atan()).sin()
         - 7.08 * x.powf(5.0 / 6.0))
     .max(0.0)
     .sqrt();

@@ -87,12 +87,7 @@ impl WeatherProcess {
     /// percentile. For the remaining mild weather (p > 5 %) the non-gas
     /// part decays smoothly towards the gaseous clear-sky floor, keeping
     /// the series continuous and monotone in weather severity.
-    pub fn attenuation_db(
-        &self,
-        model: &AttenuationModel,
-        path: &SlantPath,
-        t_s: f64,
-    ) -> f64 {
+    pub fn attenuation_db(&self, model: &AttenuationModel, path: &SlantPath, t_s: f64) -> f64 {
         let p = self.exceedance_percent(path.site, t_s);
         if p <= 5.0 {
             model.total_attenuation_db(path, p.max(0.001))

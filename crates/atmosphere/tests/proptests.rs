@@ -46,8 +46,16 @@ fn elevation_monotone() {
         let site = arb_site(g);
         let f = g.f64(10.0..30.0);
         let p = g.f64(0.05..5.0);
-        let hi = SlantPath { site, elevation_rad: deg_to_rad(70.0), frequency_ghz: f };
-        let lo = SlantPath { site, elevation_rad: deg_to_rad(15.0), frequency_ghz: f };
+        let hi = SlantPath {
+            site,
+            elevation_rad: deg_to_rad(70.0),
+            frequency_ghz: f,
+        };
+        let lo = SlantPath {
+            site,
+            elevation_rad: deg_to_rad(15.0),
+            frequency_ghz: f,
+        };
         check_assert!(
             model.total_attenuation_db(&lo, p) >= model.total_attenuation_db(&hi, p) - 1e-9
         );
@@ -91,7 +99,10 @@ fn stochastic_matches_exceedance() {
             }
         }
         let frac = exceed as f64 / n as f64 * 100.0;
-        check_assert!((frac - p_check).abs() < 1.5, "target {p_check}%, got {frac}%");
+        check_assert!(
+            (frac - p_check).abs() < 1.5,
+            "target {p_check}%, got {frac}%"
+        );
         Ok(())
     });
 }

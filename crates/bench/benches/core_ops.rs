@@ -17,7 +17,9 @@ use leo_util::bench::Harness;
 
 fn bench_snapshot_build(h: &mut Harness) {
     let ctx = StudyContext::build(ExperimentScale::Tiny.config());
-    h.bench("snapshot_build_hybrid", || ctx.snapshot(1234.0, Mode::Hybrid));
+    h.bench("snapshot_build_hybrid", || {
+        ctx.snapshot(1234.0, Mode::Hybrid)
+    });
     h.bench("snapshot_build_bp", || ctx.snapshot(1234.0, Mode::BpOnly));
 }
 
@@ -43,7 +45,9 @@ fn bench_maxmin(h: &mut Harness) {
     // waterfilling cost and is deliberately included in the measurement.
     let build = || {
         let mut sim = FlowSim::new();
-        let links: Vec<_> = (0..2000).map(|i| sim.add_link(20.0 + (i % 5) as f64)).collect();
+        let links: Vec<_> = (0..2000)
+            .map(|i| sim.add_link(20.0 + (i % 5) as f64))
+            .collect();
         for f in 0..1000u32 {
             let path: Vec<_> = (0..6)
                 .map(|h| links[(f as usize * 37 + h * 211) % links.len()])
@@ -62,7 +66,9 @@ fn bench_attenuation(h: &mut Harness) {
         elevation_rad: deg_to_rad(40.0),
         frequency_ghz: 14.25,
     };
-    h.bench("total_attenuation", || model.total_attenuation_db(&path, 0.5));
+    h.bench("total_attenuation", || {
+        model.total_attenuation_db(&path, 0.5)
+    });
 }
 
 fn main() {

@@ -1,0 +1,116 @@
+//! Routing-workspace benchmarks: the evidence for the zero-alloc
+//! `DijkstraWorkspace` + `snapshot_bundle` refactor.
+//!
+//! Three before/after pairs, each isolating one layer of the change:
+//!
+//! * `sssp_fresh_alloc` vs `sssp_workspace` — one single-source run with
+//!   per-call allocation vs warm generation-stamped buffers.
+//! * `snapshot_two_calls` vs `snapshot_bundle_2modes` — materializing
+//!   BpOnly + Hybrid with two independent orbit/visibility passes vs one
+//!   shared pass.
+//! * `inner_loop_seed` vs `inner_loop_workspace` — the fig2 per-snapshot
+//!   inner loop end to end (snapshots + per-source SSSP + per-pair RTT
+//!   reads), seed-style vs workspace-style. **This pair is the headline
+//!   number**: `scripts/ci.sh` checks seed/workspace median ≥ its
+//!   threshold, and `BENCH_routing.json` records the trajectory.
+//!
+//! `cargo bench -p leo-bench --bench routing` writes `BENCH_routing.json`
+//! (JSON lines) into `LEO_BENCH_DIR` or the cwd.
+
+use std::collections::HashMap;
+
+use leo_bench::{finish_run, init_run};
+use leo_core::{ExperimentScale, Mode, StudyContext};
+use leo_graph::{dijkstra, DijkstraWorkspace};
+use leo_util::bench::Harness;
+
+/// Seed-style grouping of pair indices by source city (what
+/// `latency.rs` rebuilt per snapshot before the refactor).
+fn group_by_src(ctx: &StudyContext) -> HashMap<u32, Vec<usize>> {
+    let mut by_src: HashMap<u32, Vec<usize>> = HashMap::new();
+    for (i, pair) in ctx.pairs.iter().enumerate() {
+        by_src.entry(pair.src).or_default().push(i);
+    }
+    by_src
+}
+
+fn bench_sssp(h: &mut Harness, ctx: &StudyContext) {
+    let snap = ctx.snapshot(0.0, Mode::Hybrid);
+    let src = snap.city_node(0);
+    h.bench("sssp_fresh_alloc", || dijkstra(&snap.graph, src));
+    let mut ws = DijkstraWorkspace::new();
+    h.bench("sssp_workspace", move || {
+        let view = ws.run(&snap.graph, src, None, None);
+        view.dist(snap.city_node(1))
+    });
+}
+
+fn bench_snapshot(h: &mut Harness, ctx: &StudyContext) {
+    h.bench("snapshot_two_calls", || {
+        let bp = ctx.snapshot(900.0, Mode::BpOnly);
+        let hy = ctx.snapshot(900.0, Mode::Hybrid);
+        bp.graph.num_edges() + hy.graph.num_edges()
+    });
+    h.bench("snapshot_bundle_2modes", || {
+        let snaps = ctx.snapshot_bundle(900.0, &[Mode::BpOnly, Mode::Hybrid]);
+        snaps.iter().map(|s| s.graph.num_edges()).sum::<usize>()
+    });
+}
+
+fn bench_inner_loop(h: &mut Harness, ctx: &StudyContext) {
+    // Seed path: two independent snapshot builds, a per-snapshot HashMap
+    // grouping, and a freshly-allocated Dijkstra per source city.
+    h.bench("inner_loop_seed", || {
+        let mut acc = 0.0f64;
+        for mode in [Mode::BpOnly, Mode::Hybrid] {
+            let snap = ctx.snapshot(1800.0, mode);
+            let by_src = group_by_src(ctx);
+            for (src, idxs) in &by_src {
+                let sp = dijkstra(&snap.graph, snap.city_node(*src as usize));
+                for &i in idxs {
+                    let d = sp.dist[snap.city_node(ctx.pairs[i].dst as usize) as usize];
+                    if d.is_finite() {
+                        acc += d;
+                    }
+                }
+            }
+        }
+        acc
+    });
+    // Workspace path: one shared orbit/visibility pass for both modes,
+    // the precomputed pair grouping, warm SSSP buffers, and multi-target
+    // early exit (matches `snapshot_rtts_on`).
+    let mut ws = DijkstraWorkspace::new();
+    let mut targets = Vec::new();
+    h.bench("inner_loop_workspace", move || {
+        let mut acc = 0.0f64;
+        for snap in ctx.snapshot_bundle(1800.0, &[Mode::BpOnly, Mode::Hybrid]) {
+            for (src, idxs) in ctx.pairs_by_src() {
+                targets.clear();
+                targets.extend(
+                    idxs.iter()
+                        .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+                );
+                let view = ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
+                for &i in idxs {
+                    let d = view.dist(snap.city_node(ctx.pairs[i].dst as usize));
+                    if d.is_finite() {
+                        acc += d;
+                    }
+                }
+            }
+        }
+        acc
+    });
+}
+
+fn main() {
+    init_run("routing");
+    let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+    let mut h = Harness::new("routing");
+    bench_sssp(&mut h, &ctx);
+    bench_snapshot(&mut h, &ctx);
+    bench_inner_loop(&mut h, &ctx);
+    h.finish().expect("write BENCH_routing.json");
+    finish_run("routing", &ExperimentScale::Tiny.config());
+}

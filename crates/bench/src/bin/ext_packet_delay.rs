@@ -3,7 +3,9 @@
 //! per-beam links under increasing cross-traffic load. The paper's §4
 //! QoE point, made concrete with `leo-packetsim`.
 
-use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
+use leo_bench::{
+    config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args,
+};
 use leo_core::experiments::packet_delay::packet_delay_study;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
@@ -39,15 +41,31 @@ fn main() {
     }
     print_table(
         &format!("Packet-level {src} -> {dst} (10 Mbit/s flow, per-beam links)"),
-        &["mode", "load", "hops", "mean (ms)", "p99 (ms)", "jitter (ms)", "loss"],
+        &[
+            "mode",
+            "load",
+            "hops",
+            "mean (ms)",
+            "p99 (ms)",
+            "jitter (ms)",
+            "loss",
+        ],
         &rows,
     );
     diag!("BP's longer store-and-forward chains accumulate more queueing variance (§4 QoE)");
 
     let path = results_dir().join("ext_packet_delay.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
-    w.row(&["mode", "load", "hops", "mean_ms", "p99_ms", "jitter_ms", "delivery"])
-        .unwrap();
+    w.row(&[
+        "mode",
+        "load",
+        "hops",
+        "mean_ms",
+        "p99_ms",
+        "jitter_ms",
+        "delivery",
+    ])
+    .unwrap();
     for r in csv {
         w.row(&[
             format!("{:?}", r.mode),

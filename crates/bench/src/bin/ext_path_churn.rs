@@ -31,7 +31,13 @@ fn main() {
     }
     print_table(
         "Path churn across snapshots",
-        &["mode", "paths changed", "mean |dRTT| (ms)", "max |dRTT| (ms)", "transitions"],
+        &[
+            "mode",
+            "paths changed",
+            "mean |dRTT| (ms)",
+            "max |dRTT| (ms)",
+            "transitions",
+        ],
         &rows,
     );
 
@@ -49,7 +55,8 @@ fn main() {
 
     let path = results_dir().join("ext_path_churn.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
-    w.row(&["mode", "change_fraction", "mean_jump_ms", "max_jump_ms"]).unwrap();
+    w.row(&["mode", "change_fraction", "mean_jump_ms", "max_jump_ms"])
+        .unwrap();
     for (m, s) in results {
         w.row(&[
             format!("{m:?}"),

@@ -35,7 +35,13 @@ fn main() {
     }
     print_table(
         "Routing ablation (k=2, unit demand per sub-flow)",
-        &["mode", "scheme", "max utilization", "mean delay (ms)", "flows"],
+        &[
+            "mode",
+            "scheme",
+            "max utilization",
+            "mean delay (ms)",
+            "flows",
+        ],
         &rows,
     );
     diag!(
@@ -45,8 +51,14 @@ fn main() {
 
     let path = results_dir().join("ext_routing_ablation.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
-    w.row(&["mode", "scheme", "max_utilization", "mean_delay_ms", "flows"])
-        .unwrap();
+    w.row(&[
+        "mode",
+        "scheme",
+        "max_utilization",
+        "mean_delay_ms",
+        "flows",
+    ])
+    .unwrap();
     for (m, s, r) in csv {
         w.row(&[
             m,

@@ -33,7 +33,13 @@ fn main() {
     }
     print_table(
         "Weather-adjusted max-min throughput (k=2)",
-        &["mode", "weather seed", "clear Gbps", "weathered Gbps", "retention"],
+        &[
+            "mode",
+            "weather seed",
+            "clear Gbps",
+            "weathered Gbps",
+            "retention",
+        ],
         &rows,
     );
     diag!(

@@ -2,7 +2,9 @@
 //! "transition point" lets the path switch shells (no cross-shell ISLs
 //! exist), cutting latency below what either shell's ISLs alone achieve.
 
-use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
+use leo_bench::{
+    config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args,
+};
 use leo_core::experiments::cross_shell::{cross_shell_study, two_shell_context};
 use leo_core::output::CsvWriter;
 use leo_util::diag;
@@ -32,7 +34,13 @@ fn main() {
         .collect();
     print_table(
         "Fig 10: Brisbane -> Tokyo, ISL-only vs hybrid (BP shell transitions)",
-        &["t(s)", "ISL-only RTT", "hybrid RTT", "shells used", "ground bounces"],
+        &[
+            "t(s)",
+            "ISL-only RTT",
+            "hybrid RTT",
+            "shells used",
+            "ground bounces",
+        ],
         &table,
     );
 
@@ -51,12 +59,19 @@ fn main() {
 
     let path = results_dir().join("fig10_cross_shell.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
-    w.row(&["t_s", "isl_only_rtt_ms", "hybrid_rtt_ms", "shells", "bounces"])
-        .unwrap();
+    w.row(&[
+        "t_s",
+        "isl_only_rtt_ms",
+        "hybrid_rtt_ms",
+        "shells",
+        "bounces",
+    ])
+    .unwrap();
     for r in rows {
         w.row(&[
             format!("{}", r.t_s),
-            r.isl_only_rtt_ms.map_or(String::new(), |v| format!("{v:.3}")),
+            r.isl_only_rtt_ms
+                .map_or(String::new(), |v| format!("{v:.3}")),
             r.hybrid_rtt_ms.map_or(String::new(), |v| format!("{v:.3}")),
             r.hybrid_shells_used.to_string(),
             r.hybrid_ground_bounces.to_string(),

@@ -31,7 +31,14 @@ fn main() {
     }
     print_table(
         "Fig 11: Paris + 5 distributed GTs over fiber",
-        &["t(s)", "metro sats", "augmented sats", "metro Gbps", "augmented Gbps", "fiber detour (ms)"],
+        &[
+            "t(s)",
+            "metro sats",
+            "augmented sats",
+            "metro Gbps",
+            "augmented Gbps",
+            "fiber detour (ms)",
+        ],
         &rows,
     );
     let avg_ratio: f64 = csv

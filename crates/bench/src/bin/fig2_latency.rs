@@ -1,8 +1,10 @@
 //! Fig. 2 — minimum RTT (a) and RTT variation (b) CDFs across city pairs,
 //! BP vs hybrid, plus the §1/§4 headline summary numbers.
 
-use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
-use leo_core::experiments::latency::{latency_study, summarize, PairStats};
+use leo_bench::{
+    config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args,
+};
+use leo_core::experiments::latency::{latency_studies, summarize, PairStats};
 use leo_core::metrics::Distribution;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
@@ -29,8 +31,10 @@ fn main() {
         ctx.ground.relays.len()
     );
 
-    let bp = latency_study(&ctx, Mode::BpOnly, 0);
-    let hy = latency_study(&ctx, Mode::Hybrid, 0);
+    // One shared orbit/visibility pass per snapshot covers both modes.
+    let mut studies = latency_studies(&ctx, &[Mode::BpOnly, Mode::Hybrid], 0);
+    let hy = studies.pop().expect("hybrid study");
+    let bp = studies.pop().expect("bp study");
     let (bp_min, bp_var) = cdf_rows(&bp);
     let (hy_min, hy_var) = cdf_rows(&hy);
 
@@ -46,7 +50,11 @@ fn main() {
             ]
         })
         .collect();
-    print_table("Fig 2(a): min RTT across pairs (ms)", &["pct", "BP", "hybrid"], &rows);
+    print_table(
+        "Fig 2(a): min RTT across pairs (ms)",
+        &["pct", "BP", "hybrid"],
+        &rows,
+    );
 
     // Fig. 2(b): RTT variation distribution.
     let rows: Vec<Vec<String>> = pcts

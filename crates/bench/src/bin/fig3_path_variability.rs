@@ -2,7 +2,9 @@
 //! availability over the sparse South Atlantic, inflating its RTT by up
 //! to ~100 ms while congesting the busy North Atlantic corridor.
 
-use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
+use leo_bench::{
+    config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args,
+};
 use leo_core::experiments::latency::pair_timeseries;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
@@ -33,7 +35,14 @@ fn main() {
         .collect();
     print_table(
         &format!("Fig 3: {src} -> {dst} over the day"),
-        &["t(s)", "BP RTT(ms)", "hops", "aircraft", "relays", "hybrid RTT(ms)"],
+        &[
+            "t(s)",
+            "BP RTT(ms)",
+            "hops",
+            "aircraft",
+            "relays",
+            "hybrid RTT(ms)",
+        ],
         &rows,
     );
 
@@ -58,8 +67,15 @@ fn main() {
 
     let path = results_dir().join("fig3_maceio_durban.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
-    w.row(&["t_s", "bp_rtt_ms", "bp_hops", "bp_aircraft", "bp_relays", "hybrid_rtt_ms"])
-        .unwrap();
+    w.row(&[
+        "t_s",
+        "bp_rtt_ms",
+        "bp_hops",
+        "bp_aircraft",
+        "bp_relays",
+        "hybrid_rtt_ms",
+    ])
+    .unwrap();
     for (b, h) in bp.iter().zip(&hy) {
         w.row(&[
             format!("{}", b.t_s),

@@ -3,9 +3,7 @@
 //! statistic (pass `--disconnected`).
 
 use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
-use leo_core::experiments::throughput::{
-    disconnected_satellite_fraction, throughput,
-};
+use leo_core::experiments::throughput::{disconnected_satellite_fraction, throughput};
 use leo_core::output::CsvWriter;
 use leo_core::{ConstellationKind, Mode, StudyContext};
 use leo_util::diag;
@@ -75,7 +73,14 @@ fn main() {
     }
     print_table(
         "Fig 4: aggregate throughput (Gbps)",
-        &["constellation", "mode", "k", "Gbps", "routed pairs", "flows"],
+        &[
+            "constellation",
+            "mode",
+            "k",
+            "Gbps",
+            "routed pairs",
+            "flows",
+        ],
         &rows,
     );
 

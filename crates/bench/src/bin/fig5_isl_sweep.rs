@@ -20,7 +20,11 @@ fn main() {
         .iter()
         .map(|&(r, g)| {
             vec![
-                if r == 0.0 { "BP (no ISL)".into() } else { format!("{r}x") },
+                if r == 0.0 {
+                    "BP (no ISL)".into()
+                } else {
+                    format!("{r}x")
+                },
                 format!("{g:.1}"),
                 format!("{:.2}x", g / bp.max(1e-9)),
             ]

@@ -3,7 +3,9 @@
 //! the entire region. Dumps the path hops and the regional attenuation
 //! heat-map raster.
 
-use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
+use leo_bench::{
+    config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args,
+};
 use leo_core::experiments::weather::attenuation_raster;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, NodeKind, StudyContext};
@@ -25,9 +27,7 @@ fn main() {
                 let mut rows = Vec::new();
                 for &n in &p.nodes {
                     let (kind, pos) = match snap.nodes[n as usize] {
-                        NodeKind::Satellite(id) => {
-                            (format!("sat {id}"), None)
-                        }
+                        NodeKind::Satellite(id) => (format!("sat {id}"), None),
                         NodeKind::City(i) => (
                             format!("city {}", ctx.ground.cities[i as usize].name),
                             snap.ground_position(n),
@@ -37,13 +37,13 @@ fn main() {
                             (format!("aircraft {id}"), snap.ground_position(n))
                         }
                     };
-                    rows.push(vec![
-                        kind,
-                        pos.map_or(String::new(), |g| format!("{g}")),
-                    ]);
+                    rows.push(vec![kind, pos.map_or(String::new(), |g| format!("{g}"))]);
                 }
                 print_table(
-                    &format!("Fig 7: Delhi->Sydney {mode:?} path ({:.1} ms RTT)", leo_core::rtt_ms(p.total_weight)),
+                    &format!(
+                        "Fig 7: Delhi->Sydney {mode:?} path ({:.1} ms RTT)",
+                        leo_core::rtt_ms(p.total_weight)
+                    ),
                     &["hop", "ground position"],
                     &rows,
                 );
@@ -53,7 +53,9 @@ fn main() {
                     .filter(|&&n| snap.nodes[n as usize].is_ground())
                     .count()
                     - 2;
-                diag!("intermediate ground hops: {ground_hops} (paper's example: 2 aircraft + 4 GTs)");
+                diag!(
+                    "intermediate ground hops: {ground_hops} (paper's example: 2 aircraft + 4 GTs)"
+                );
             }
             None => diag!("{mode:?}: no path at t=0"),
         }
@@ -70,7 +72,12 @@ fn main() {
     w.flush().unwrap();
     let max = raster.iter().map(|r| r.2).fold(f64::NEG_INFINITY, f64::max);
     let min = raster.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
-    diag!("raster: {} cells, attenuation {:.2}-{:.2} dB", raster.len(), min, max);
+    diag!(
+        "raster: {} cells, attenuation {:.2}-{:.2} dB",
+        raster.len(),
+        min,
+        max
+    );
     diag!("wrote {}", path.display());
     finish_run("fig7_delhi_sydney", &ctx.config);
 }

@@ -2,7 +2,9 @@
 //! path. The paper: at 1 % of the time, BP ≈ 5 dB vs ISL ≈ 2.2 dB, a
 //! 39 % received-power advantage for ISLs.
 
-use leo_bench::{config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args};
+use leo_bench::{
+    config_with_cities, finish_run, init_run, print_table, results_dir, scale_from_args,
+};
 use leo_core::experiments::weather::exceedance_curve;
 use leo_core::output::CsvWriter;
 use leo_core::StudyContext;
@@ -38,7 +40,8 @@ fn main() {
     let idx = curve.p_percent.iter().position(|&p| p == 1.0).unwrap();
     diag!(
         "at 1%: BP {:.2} dB vs ISL {:.2} dB (paper: 5 dB vs 2.2 dB)",
-        curve.bp_db[idx], curve.isl_db[idx]
+        curve.bp_db[idx],
+        curve.isl_db[idx]
     );
 
     let path = results_dir().join("fig8_exceedance.csv");

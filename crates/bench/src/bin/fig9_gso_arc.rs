@@ -41,11 +41,19 @@ fn main() {
 
     let path = results_dir().join("fig9_gso_arc.csv");
     let mut w = CsvWriter::create(&path).expect("create csv");
-    w.row(&["lat_deg", "usable_sky_fraction", "usable_satellite_fraction"])
-        .unwrap();
+    w.row(&[
+        "lat_deg",
+        "usable_sky_fraction",
+        "usable_satellite_fraction",
+    ])
+    .unwrap();
     for r in rows {
-        w.num_row(&[r.lat_deg, r.usable_sky_fraction, r.usable_satellite_fraction])
-            .unwrap();
+        w.num_row(&[
+            r.lat_deg,
+            r.usable_sky_fraction,
+            r.usable_satellite_fraction,
+        ])
+        .unwrap();
     }
     w.flush().unwrap();
     diag!("wrote {}", path.display());

@@ -38,9 +38,10 @@ fn main() {
         let mut canvas = MapCanvas::new(1200.0);
         canvas.title("Fig 1 style: ISL path (solid) vs bent-pipe path (dashed)");
         let sats = ctx.constellation.positions_at(0.0);
-        for (mode, color, dashed) in
-            [(Mode::Hybrid, "#b22222", false), (Mode::BpOnly, "#1f4e9c", true)]
-        {
+        for (mode, color, dashed) in [
+            (Mode::Hybrid, "#b22222", false),
+            (Mode::BpOnly, "#1f4e9c", true),
+        ] {
             let snap = ctx.snapshot(0.0, mode);
             if let Some(nodes) = path_nodes(&ctx, &snap, src, dst) {
                 draw_snapshot_path(&mut canvas, &snap, &sats, &nodes, color, dashed);
@@ -84,9 +85,10 @@ fn main() {
         let raster = attenuation_raster(&ctx, (-45.0, 40.0), (55.0, 165.0), 2.5, 0.5);
         canvas.heatmap(&raster, 2.5);
         let sats = ctx.constellation.positions_at(0.0);
-        for (mode, color, dashed) in
-            [(Mode::IslOnly, "#b22222", false), (Mode::BpOnly, "#1f4e9c", true)]
-        {
+        for (mode, color, dashed) in [
+            (Mode::IslOnly, "#b22222", false),
+            (Mode::BpOnly, "#1f4e9c", true),
+        ] {
             let snap = ctx.snapshot(0.0, mode);
             if let Some(nodes) = path_nodes(&ctx, &snap, src, dst) {
                 draw_snapshot_path(&mut canvas, &snap, &sats, &nodes, color, dashed);

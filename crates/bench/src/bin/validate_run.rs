@@ -34,10 +34,14 @@ fn main() {
             None => counts.push((ty, 1)),
         }
         if i == 0 && ty != "run_start" {
-            fail(&format!("{path}: first event is `{ty}`, expected `run_start`"));
+            fail(&format!(
+                "{path}: first event is `{ty}`, expected `run_start`"
+            ));
         }
         if i + 1 == lines.len() && ty != "manifest" {
-            fail(&format!("{path}: last event is `{ty}`, expected `manifest`"));
+            fail(&format!(
+                "{path}: last event is `{ty}`, expected `manifest`"
+            ));
         }
         if ty == "manifest" && i + 1 != lines.len() {
             fail(&format!("{path}:{}: manifest before end of log", i + 1));
@@ -51,7 +55,9 @@ fn main() {
         .and_then(Json::as_str)
         .unwrap_or_else(|| fail("manifest: missing config_hash"));
     if !hash.starts_with("0x") || hash.len() != 18 {
-        fail(&format!("manifest: config_hash `{hash}` is not a 0x-prefixed 64-bit hex hash"));
+        fail(&format!(
+            "manifest: config_hash `{hash}` is not a 0x-prefixed 64-bit hex hash"
+        ));
     }
     for key in ["seed", "threads", "wall_ns"] {
         if manifest.get(key).and_then(Json::as_num).is_none() {
@@ -63,5 +69,9 @@ fn main() {
     }
 
     let summary: Vec<String> = counts.iter().map(|(t, n)| format!("{n} {t}")).collect();
-    println!("{path}: ok ({} events: {})", lines.len(), summary.join(", "));
+    println!(
+        "{path}: ok ({} events: {})",
+        lines.len(),
+        summary.join(", ")
+    );
 }

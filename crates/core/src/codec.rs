@@ -346,7 +346,9 @@ mod tests {
         assert!(CodecError::Truncated.to_string().contains("truncated"));
         assert!(CodecError::BadMagic.to_string().contains("magic"));
         assert!(CodecError::UnsupportedVersion(7).to_string().contains('7'));
-        assert!(CodecError::Invalid("edge weight").to_string().contains("edge weight"));
+        assert!(CodecError::Invalid("edge weight")
+            .to_string()
+            .contains("edge weight"));
     }
 
     #[test]

@@ -23,10 +23,9 @@ impl ConstellationKind {
         match self {
             Self::Starlink => Constellation::starlink(),
             Self::Kuiper => Constellation::kuiper(),
-            Self::StarlinkPlusPolar => Constellation::new(
-                vec![Shell::starlink_phase1(), Shell::polar_shell()],
-                25.0,
-            ),
+            Self::StarlinkPlusPolar => {
+                Constellation::new(vec![Shell::starlink_phase1(), Shell::polar_shell()], 25.0)
+            }
         }
     }
 
@@ -280,14 +279,21 @@ mod tests {
 
     #[test]
     fn parse_scale() {
-        assert_eq!(ExperimentScale::parse("paper"), Some(ExperimentScale::Paper));
+        assert_eq!(
+            ExperimentScale::parse("paper"),
+            Some(ExperimentScale::Paper)
+        );
         assert_eq!(ExperimentScale::parse("TINY"), Some(ExperimentScale::Tiny));
         assert_eq!(ExperimentScale::parse("nope"), None);
     }
 
     #[test]
     fn kv_roundtrip_all_scales() {
-        for scale in [ExperimentScale::Tiny, ExperimentScale::Bench, ExperimentScale::Paper] {
+        for scale in [
+            ExperimentScale::Tiny,
+            ExperimentScale::Bench,
+            ExperimentScale::Paper,
+        ] {
             let cfg = scale.config();
             let text = cfg.to_kv_string();
             let back = StudyConfig::from_kv_str(&text).expect("parse back");
@@ -343,10 +349,18 @@ mod tests {
 
     #[test]
     fn constellation_kinds_instantiate() {
-        assert_eq!(ConstellationKind::Starlink.constellation().num_satellites(), 1584);
-        assert_eq!(ConstellationKind::Kuiper.constellation().num_satellites(), 1156);
         assert_eq!(
-            ConstellationKind::StarlinkPlusPolar.constellation().num_satellites(),
+            ConstellationKind::Starlink.constellation().num_satellites(),
+            1584
+        );
+        assert_eq!(
+            ConstellationKind::Kuiper.constellation().num_satellites(),
+            1156
+        );
+        assert_eq!(
+            ConstellationKind::StarlinkPlusPolar
+                .constellation()
+                .num_satellites(),
             1584 + 720
         );
     }

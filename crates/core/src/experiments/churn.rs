@@ -9,7 +9,7 @@
 
 use crate::par::parallel_map;
 use crate::snapshot::{Mode, StudyContext};
-use leo_graph::{dijkstra, extract_path};
+use leo_graph::with_thread_workspace;
 use leo_util::span;
 
 /// Churn statistics for one connectivity mode.
@@ -38,20 +38,24 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
     // Per snapshot, per pair: (node-sequence hash, rtt).
     let per_snap: Vec<Vec<Option<(u64, f64)>>> = parallel_map(&times, threads, |&t| {
         let snap = ctx.snapshot(t, mode);
-        let mut by_src: std::collections::HashMap<u32, Vec<usize>> = Default::default();
-        for (i, p) in ctx.pairs.iter().enumerate() {
-            by_src.entry(p.src).or_default().push(i);
-        }
         let mut out = vec![None; ctx.pairs.len()];
-        for (src, idxs) in by_src {
-            let sp = dijkstra(&snap.graph, snap.city_node(src as usize));
-            for i in idxs {
-                let d = snap.city_node(ctx.pairs[i].dst as usize);
-                if let Some(path) = extract_path(&sp, d) {
-                    out[i] = Some((hash_nodes(&path.nodes), crate::rtt_ms(path.total_weight)));
+        let mut targets = Vec::new();
+        with_thread_workspace(|ws| {
+            for (src, idxs) in ctx.pairs_by_src() {
+                targets.clear();
+                targets.extend(
+                    idxs.iter()
+                        .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+                );
+                let view = ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
+                for &i in idxs {
+                    let d = snap.city_node(ctx.pairs[i].dst as usize);
+                    if let Some(path) = view.extract_path(d) {
+                        out[i] = Some((hash_nodes(&path.nodes), crate::rtt_ms(path.total_weight)));
+                    }
                 }
             }
-        }
+        });
         out
     });
 
@@ -78,7 +82,11 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
         } else {
             changes as f64 / transitions as f64
         },
-        mean_jump_ms: if changes == 0 { 0.0 } else { jump_sum / changes as f64 },
+        mean_jump_ms: if changes == 0 {
+            0.0
+        } else {
+            jump_sum / changes as f64
+        },
         max_jump_ms: jump_max,
         transitions,
     }

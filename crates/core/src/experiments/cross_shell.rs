@@ -10,7 +10,7 @@
 use crate::config::{ConstellationKind, StudyConfig};
 use crate::par::parallel_map;
 use crate::snapshot::{Mode, NodeKind, StudyContext};
-use leo_graph::{dijkstra, extract_path};
+use leo_graph::with_thread_workspace;
 use leo_util::span;
 
 /// One snapshot of the cross-shell comparison.
@@ -53,13 +53,28 @@ pub fn cross_shell_study(
         .unwrap_or_else(|| panic!("unknown city {dst_name}"));
     let times = ctx.config.snapshot_times_s.clone();
     parallel_map(&times, threads, |&t| {
-        let isl_snap = ctx.snapshot(t, Mode::IslOnly);
-        let sp = dijkstra(&isl_snap.graph, isl_snap.city_node(src));
-        let isl_rtt = sp.dist[isl_snap.city_node(dst) as usize];
-
-        let hy_snap = ctx.snapshot(t, Mode::Hybrid);
-        let sp2 = dijkstra(&hy_snap.graph, hy_snap.city_node(src));
-        let hybrid_path = extract_path(&sp2, hy_snap.city_node(dst));
+        // One shared orbit/visibility pass for both connectivity modes.
+        let snaps = ctx.snapshot_bundle(t, &[Mode::IslOnly, Mode::Hybrid]);
+        let (isl_snap, hy_snap) = (&snaps[0], &snaps[1]);
+        let (isl_rtt, hybrid_path) = with_thread_workspace(|ws| {
+            let isl_rtt = ws
+                .run(
+                    &isl_snap.graph,
+                    isl_snap.city_node(src),
+                    None,
+                    Some(isl_snap.city_node(dst)),
+                )
+                .dist(isl_snap.city_node(dst));
+            let hybrid_path = ws
+                .run(
+                    &hy_snap.graph,
+                    hy_snap.city_node(src),
+                    None,
+                    Some(hy_snap.city_node(dst)),
+                )
+                .extract_path(hy_snap.city_node(dst));
+            (isl_rtt, hybrid_path)
+        });
         let (hybrid_rtt, shells, bounces) = match &hybrid_path {
             Some(p) => {
                 let mut shell_set = std::collections::HashSet::new();

@@ -57,7 +57,11 @@ pub fn fiber_augmentation(
     satellites_sites: &[(&str, GeoPoint)],
     t_s: f64,
 ) -> FiberAugmentation {
-    let _span = span!("fiber_augmentation", sites = satellites_sites.len(), t_s = t_s);
+    let _span = span!(
+        "fiber_augmentation",
+        sites = satellites_sites.len(),
+        t_s = t_s
+    );
     let snap = ctx.constellation.positions_at(t_s);
     let index = subpoint_index(&snap);
     let params = VisibilityParams {

@@ -7,11 +7,10 @@
 
 use crate::metrics::Distribution;
 use crate::par::parallel_map;
-use crate::snapshot::{Mode, NodeKind, StudyContext};
+use crate::snapshot::{Mode, NetworkSnapshot, NodeKind, StudyContext};
 use leo_data::traffic::CityPair;
-use leo_graph::{dijkstra, extract_path};
+use leo_graph::with_thread_workspace;
 use leo_util::span;
-use std::collections::HashMap;
 
 /// Per-pair latency statistics across the simulated day.
 #[derive(Debug, Clone)]
@@ -43,42 +42,77 @@ impl PairStats {
 /// Run the latency study for one connectivity mode over all configured
 /// snapshots. `threads = 0` uses all cores.
 pub fn latency_study(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<PairStats> {
+    latency_studies(ctx, &[mode], threads)
+        .pop()
+        .expect("one mode requested")
+}
+
+/// Run the latency study for several modes at once, sharing the
+/// per-timestep orbit/visibility pass across them (via
+/// [`StudyContext::snapshot_bundle`]) and reusing one warm
+/// [`DijkstraWorkspace`] per `parallel_map` worker. Returns one
+/// `Vec<PairStats>` per entry of `modes`, in order.
+///
+/// [`DijkstraWorkspace`]: leo_graph::DijkstraWorkspace
+pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Vec<Vec<PairStats>> {
     let _span = span!(
         "latency_study",
-        mode = format!("{mode:?}"),
+        modes = format!("{modes:?}"),
         snapshots = ctx.config.snapshot_times_s.len(),
         pairs = ctx.pairs.len(),
     );
     let times = ctx.config.snapshot_times_s.clone();
-    // Per snapshot: Vec<Option<rtt_ms>> indexed like ctx.pairs.
-    let per_snapshot: Vec<Vec<Option<f64>>> =
-        parallel_map(&times, threads, |&t| snapshot_rtts(ctx, t, mode));
-    aggregate(ctx, &per_snapshot)
+    // Per snapshot time, per mode: Vec<Option<rtt_ms>> indexed like
+    // ctx.pairs.
+    let per_time: Vec<Vec<Vec<Option<f64>>>> = parallel_map(&times, threads, |&t| {
+        ctx.snapshot_bundle(t, modes)
+            .iter()
+            .map(|snap| snapshot_rtts_on(ctx, snap))
+            .collect()
+    });
+    modes
+        .iter()
+        .enumerate()
+        .map(|(mi, _)| {
+            let per_snapshot: Vec<&Vec<Option<f64>>> = per_time.iter().map(|v| &v[mi]).collect();
+            aggregate(ctx, &per_snapshot)
+        })
+        .collect()
 }
 
 /// RTTs (ms) for all pairs at one snapshot.
 pub fn snapshot_rtts(ctx: &StudyContext, t_s: f64, mode: Mode) -> Vec<Option<f64>> {
-    let snap = ctx.snapshot(t_s, mode);
-    // Group pair indices by source city.
-    let mut by_src: HashMap<u32, Vec<usize>> = HashMap::new();
-    for (i, p) in ctx.pairs.iter().enumerate() {
-        by_src.entry(p.src).or_default().push(i);
-    }
+    snapshot_rtts_on(ctx, &ctx.snapshot(t_s, mode))
+}
+
+/// RTTs (ms) for all pairs on an already-built snapshot: one Dijkstra
+/// per unique source city, on this thread's warm workspace.
+pub fn snapshot_rtts_on(ctx: &StudyContext, snap: &NetworkSnapshot) -> Vec<Option<f64>> {
     let mut out = vec![None; ctx.pairs.len()];
-    for (src, pair_idxs) in by_src {
-        let sp = dijkstra(&snap.graph, snap.city_node(src as usize));
-        for i in pair_idxs {
-            let dst_node = snap.city_node(ctx.pairs[i].dst as usize);
-            let d = sp.dist[dst_node as usize];
-            if d.is_finite() {
-                out[i] = Some(crate::rtt_ms(d));
+    let mut targets = Vec::new();
+    with_thread_workspace(|ws| {
+        for (src, pair_idxs) in ctx.pairs_by_src() {
+            targets.clear();
+            targets.extend(
+                pair_idxs
+                    .iter()
+                    .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+            );
+            // Early exit once this source's destinations are settled —
+            // the far side of the constellation never needs visiting.
+            let view = ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
+            for &i in pair_idxs {
+                let d = view.dist(snap.city_node(ctx.pairs[i].dst as usize));
+                if d.is_finite() {
+                    out[i] = Some(crate::rtt_ms(d));
+                }
             }
         }
-    }
+    });
     out
 }
 
-fn aggregate(ctx: &StudyContext, per_snapshot: &[Vec<Option<f64>>]) -> Vec<PairStats> {
+fn aggregate(ctx: &StudyContext, per_snapshot: &[&Vec<Option<f64>>]) -> Vec<PairStats> {
     let total = per_snapshot.len();
     ctx.pairs
         .iter()
@@ -130,7 +164,10 @@ pub fn summarize(bp: &[PairStats], hybrid: &[PairStats]) -> LatencySummary {
     assert_eq!(bp.len(), hybrid.len());
     let var = |stats: &[PairStats]| -> Distribution {
         Distribution::from_samples(
-            &stats.iter().filter_map(PairStats::variation_ms).collect::<Vec<_>>(),
+            &stats
+                .iter()
+                .filter_map(PairStats::variation_ms)
+                .collect::<Vec<_>>(),
         )
     };
     let bp_var = var(bp);
@@ -178,7 +215,12 @@ pub fn pair_timeseries(
     mode: Mode,
     threads: usize,
 ) -> Vec<PathSnapshot> {
-    let _span = span!("pair_timeseries", src = src_name, dst = dst_name, mode = format!("{mode:?}"));
+    let _span = span!(
+        "pair_timeseries",
+        src = src_name,
+        dst = dst_name,
+        mode = format!("{mode:?}")
+    );
     let src = ctx
         .ground
         .city_index(src_name)
@@ -190,8 +232,16 @@ pub fn pair_timeseries(
     let times = ctx.config.snapshot_times_s.clone();
     parallel_map(&times, threads, |&t| {
         let snap = ctx.snapshot(t, mode);
-        let sp = dijkstra(&snap.graph, snap.city_node(src));
-        match extract_path(&sp, snap.city_node(dst)) {
+        let path = with_thread_workspace(|ws| {
+            ws.run(
+                &snap.graph,
+                snap.city_node(src),
+                None,
+                Some(snap.city_node(dst)),
+            )
+            .extract_path(snap.city_node(dst))
+        });
+        match path {
             Some(p) => {
                 let mut aircraft = 0;
                 let mut relays = 0;

@@ -9,7 +9,7 @@
 //! and loss with `leo-packetsim`.
 
 use crate::snapshot::{Mode, StudyContext};
-use leo_graph::{dijkstra, extract_path};
+use leo_graph::with_thread_workspace;
 use leo_packetsim::{FlowSpec, PacketSim};
 use leo_util::span;
 
@@ -59,8 +59,15 @@ pub fn packet_delay_study(
     let src = ctx.ground.city_index(src_name)?;
     let dst = ctx.ground.city_index(dst_name)?;
     let snap = ctx.snapshot(t_s, mode);
-    let sp = dijkstra(&snap.graph, snap.city_node(src));
-    let path = extract_path(&sp, snap.city_node(dst))?;
+    let path = with_thread_workspace(|ws| {
+        ws.run(
+            &snap.graph,
+            snap.city_node(src),
+            None,
+            Some(snap.city_node(dst)),
+        )
+        .extract_path(snap.city_node(dst))
+    })?;
 
     let mut sim = PacketSim::new();
     // A user flow rides one beam/channel of each link, not the whole
@@ -134,16 +141,20 @@ mod tests {
         assert!(r.delivery_ratio > 0.999);
         // One-way hybrid NY-London ≈ 21 ms propagation; queueing adds
         // little at 10% load.
-        assert!(r.mean_delay_ms > 15.0 && r.mean_delay_ms < 35.0, "{}", r.mean_delay_ms);
+        assert!(
+            r.mean_delay_ms > 15.0 && r.mean_delay_ms < 35.0,
+            "{}",
+            r.mean_delay_ms
+        );
     }
 
     #[test]
     fn load_inflates_tail_delay_and_jitter() {
         let c = ctx();
-        let light = packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.1, 0.2)
-            .unwrap();
-        let heavy = packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.9, 0.2)
-            .unwrap();
+        let light =
+            packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.1, 0.2).unwrap();
+        let heavy =
+            packet_delay_study(&c, "New York", "London", 0.0, Mode::Hybrid, 0.9, 0.2).unwrap();
         assert!(heavy.p99_delay_ms >= light.p99_delay_ms);
         assert!(heavy.jitter_ms >= light.jitter_ms);
     }

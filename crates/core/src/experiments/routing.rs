@@ -9,7 +9,9 @@
 //! schemes can be compared on the same snapshot.
 
 use crate::snapshot::{Mode, StudyContext};
-use leo_graph::{dijkstra_with_mask, extract_path, k_edge_disjoint_paths, suurballe, Path};
+use leo_graph::{
+    k_edge_disjoint_paths_with, suurballe_with, with_thread_workspace, DijkstraWorkspace, Path,
+};
 use leo_util::span;
 
 /// Which path-selection scheme to evaluate.
@@ -40,7 +42,13 @@ pub struct RoutingOutcome {
 
 /// Route every pair under `scheme` with `k` sub-flows of unit demand and
 /// measure link utilizations and path delays.
-pub fn route_all(ctx: &StudyContext, t_s: f64, mode: Mode, k: usize, scheme: RoutingScheme) -> RoutingOutcome {
+pub fn route_all(
+    ctx: &StudyContext,
+    t_s: f64,
+    mode: Mode,
+    k: usize,
+    scheme: RoutingScheme,
+) -> RoutingOutcome {
     let _span = span!(
         "route_all",
         t_s = t_s,
@@ -57,28 +65,32 @@ pub fn route_all(ctx: &StudyContext, t_s: f64, mode: Mode, k: usize, scheme: Rou
     let mut delays_ms = Vec::new();
     let mut flows = 0usize;
 
-    for pair in &ctx.pairs {
-        let s = snap.city_node(pair.src as usize);
-        let d = snap.city_node(pair.dst as usize);
-        let paths: Vec<Path> = match scheme {
-            RoutingScheme::ShortestDisjoint => k_edge_disjoint_paths(&snap.graph, s, d, k, None),
-            RoutingScheme::SuurballePair => {
-                let mut p = suurballe(&snap.graph, s, d);
-                p.truncate(k.min(2));
-                p
+    with_thread_workspace(|ws| {
+        for pair in &ctx.pairs {
+            let s = snap.city_node(pair.src as usize);
+            let d = snap.city_node(pair.dst as usize);
+            let paths: Vec<Path> = match scheme {
+                RoutingScheme::ShortestDisjoint => {
+                    k_edge_disjoint_paths_with(&snap.graph, s, d, k, None, ws)
+                }
+                RoutingScheme::SuurballePair => {
+                    let mut p = suurballe_with(&snap.graph, s, d, ws);
+                    p.truncate(k.min(2));
+                    p
+                }
+                RoutingScheme::CongestionAware => {
+                    congestion_aware_paths(&snap.graph, s, d, k, &load, &cap, ws)
+                }
+            };
+            for p in &paths {
+                for &e in &p.edges {
+                    load[e as usize] += 1.0;
+                }
+                delays_ms.push(crate::rtt_ms(p.total_weight) / 2.0);
+                flows += 1;
             }
-            RoutingScheme::CongestionAware => {
-                congestion_aware_paths(&snap.graph, s, d, k, &load, &cap)
-            }
-        };
-        for p in &paths {
-            for &e in &p.edges {
-                load[e as usize] += 1.0;
-            }
-            delays_ms.push(crate::rtt_ms(p.total_weight) / 2.0);
-            flows += 1;
         }
-    }
+    });
     let max_utilization = load
         .iter()
         .zip(&cap)
@@ -109,6 +121,7 @@ fn congestion_aware_paths(
     k: usize,
     load: &[f64],
     cap: &[f64],
+    ws: &mut DijkstraWorkspace,
 ) -> Vec<Path> {
     // Build an adjusted graph once per pair.
     let mut b = leo_graph::GraphBuilder::new(g.num_nodes());
@@ -122,11 +135,11 @@ fn congestion_aware_paths(
         b.add_edge(u, v, w * (1.0 + 4.0 * util * util));
     }
     let adjusted = b.build();
-    let mut mask = vec![false; g.num_edges()];
+    let mut mask = ws.take_mask(g.num_edges());
     let mut out = Vec::with_capacity(k);
     for _ in 0..k {
-        let sp = dijkstra_with_mask(&adjusted, s, &mask, Some(d));
-        match extract_path(&sp, d) {
+        let found = ws.run(&adjusted, s, Some(&mask), Some(d)).extract_path(d);
+        match found {
             Some(p) => {
                 for &e in &p.edges {
                     mask[e as usize] = true;
@@ -205,7 +218,11 @@ mod tests {
             RoutingScheme::CongestionAware,
         ] {
             let r = route_all(&c, 0.0, Mode::Hybrid, 2, scheme);
-            assert!(r.flows <= c.pairs.len() * 2, "{scheme:?}: {} flows", r.flows);
+            assert!(
+                r.flows <= c.pairs.len() * 2,
+                "{scheme:?}: {} flows",
+                r.flows
+            );
         }
     }
 }

@@ -10,7 +10,10 @@
 use crate::par::parallel_map;
 use crate::snapshot::{Mode, NetworkSnapshot, StudyContext};
 use leo_flow::FlowSim;
-use leo_graph::{component_sizes, connected_components, k_edge_disjoint_paths, max_flow, FlowNetwork};
+use leo_graph::{
+    component_sizes, connected_components, k_edge_disjoint_paths_with, max_flow,
+    with_thread_workspace, FlowNetwork,
+};
 use leo_util::span;
 
 /// Outcome of one throughput evaluation.
@@ -49,13 +52,16 @@ pub fn throughput_with_isl_capacity(
     let snap = ctx.snapshot(t_s, mode);
     // Path-finding per pair is read-only on the snapshot: parallelize.
     let paths_per_pair = parallel_map(&ctx.pairs, 0, |pair| {
-        k_edge_disjoint_paths(
-            &snap.graph,
-            snap.city_node(pair.src as usize),
-            snap.city_node(pair.dst as usize),
-            k,
-            None,
-        )
+        with_thread_workspace(|ws| {
+            k_edge_disjoint_paths_with(
+                &snap.graph,
+                snap.city_node(pair.src as usize),
+                snap.city_node(pair.dst as usize),
+                k,
+                None,
+                ws,
+            )
+        })
     });
 
     let mut net_cfg = ctx.config.network;
@@ -93,7 +99,12 @@ pub fn isl_capacity_sweep(
     k: usize,
     ratios: &[f64],
 ) -> Vec<(f64, f64)> {
-    let _span = span!("isl_capacity_sweep", t_s = t_s, k = k, ratios = ratios.len());
+    let _span = span!(
+        "isl_capacity_sweep",
+        t_s = t_s,
+        k = k,
+        ratios = ratios.len()
+    );
     let gt = ctx.config.network.gt_link_gbps;
     let mut out = Vec::with_capacity(ratios.len() + 1);
     let bp = throughput(ctx, t_s, Mode::BpOnly, k);
@@ -109,11 +120,7 @@ pub fn isl_capacity_sweep(
 /// network (no GT in view) at each snapshot time, under BP.
 ///
 /// The paper reports 25.1 %–31.5 % for Starlink across a day.
-pub fn disconnected_satellite_fraction(
-    ctx: &StudyContext,
-    mode: Mode,
-    threads: usize,
-) -> Vec<f64> {
+pub fn disconnected_satellite_fraction(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<f64> {
     let _span = span!(
         "disconnected_satellite_fraction",
         mode = format!("{mode:?}"),

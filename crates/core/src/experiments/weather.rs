@@ -11,7 +11,7 @@ use crate::metrics::Distribution;
 use crate::par::parallel_map;
 use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, StudyContext};
 use leo_atmo::{AttenuationModel, Climatology, SlantPath, WeatherProcess};
-use leo_graph::{dijkstra, extract_path, Path};
+use leo_graph::{with_thread_workspace, Path};
 use leo_util::span;
 
 /// Attenuation of one link of a path at a point in time / exceedance.
@@ -25,14 +25,25 @@ fn link_attenuation_db(
     downlink_ghz: f64,
 ) -> Option<f64> {
     let e = path.edges[hop];
-    let EdgeKind::UpDown { ground, sat: _, elevation_rad } = snap.edges[e as usize] else {
+    let EdgeKind::UpDown {
+        ground,
+        sat: _,
+        elevation_rad,
+    } = snap.edges[e as usize]
+    else {
         return None; // laser ISLs are weather-immune
     };
     // Direction: if the path enters the edge at the ground node, this hop
     // transmits up; otherwise down.
     let from = path.nodes[hop];
-    let freq = if from == ground { uplink_ghz } else { downlink_ghz };
-    let site = snap.ground_position(ground).expect("ground node has position");
+    let freq = if from == ground {
+        uplink_ghz
+    } else {
+        downlink_ghz
+    };
+    let site = snap
+        .ground_position(ground)
+        .expect("ground node has position");
     let slant = SlantPath {
         site,
         elevation_rad,
@@ -113,30 +124,37 @@ pub fn weather_study(ctx: &StudyContext, weather_seed: u64, threads: usize) -> W
     let per_time: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(&times, threads, |&t| {
         let mut bp = vec![f64::NAN; ctx.pairs.len()];
         let mut isl = vec![f64::NAN; ctx.pairs.len()];
-        for (mode, out) in [(Mode::BpOnly, &mut bp), (Mode::IslOnly, &mut isl)] {
-            let snap = ctx.snapshot(t, mode);
-            // Group by source to reuse Dijkstra runs.
-            let mut by_src: std::collections::HashMap<u32, Vec<usize>> = Default::default();
-            for (i, p) in ctx.pairs.iter().enumerate() {
-                by_src.entry(p.src).or_default().push(i);
-            }
-            for (src, idxs) in by_src {
-                let sp = dijkstra(&snap.graph, snap.city_node(src as usize));
-                for i in idxs {
-                    let dst = snap.city_node(ctx.pairs[i].dst as usize);
-                    if let Some(path) = extract_path(&sp, dst) {
-                        out[i] = worst_link_db(
-                            &snap,
-                            &path,
-                            &model,
-                            AttenMode::Realized(weather, t),
-                            up,
-                            down,
-                        );
+        // One shared orbit/visibility pass materializes both modes.
+        let snaps = ctx.snapshot_bundle(t, &[Mode::BpOnly, Mode::IslOnly]);
+        let mut targets = Vec::new();
+        with_thread_workspace(|ws| {
+            for (snap, out) in snaps.iter().zip([&mut bp, &mut isl]) {
+                // One early-exit Dijkstra per unique source city, on warm
+                // buffers.
+                for (src, idxs) in ctx.pairs_by_src() {
+                    targets.clear();
+                    targets.extend(
+                        idxs.iter()
+                            .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+                    );
+                    let view =
+                        ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
+                    for &i in idxs {
+                        let dst = snap.city_node(ctx.pairs[i].dst as usize);
+                        if let Some(path) = view.extract_path(dst) {
+                            out[i] = worst_link_db(
+                                snap,
+                                &path,
+                                &model,
+                                AttenMode::Realized(weather, t),
+                                up,
+                                down,
+                            );
+                        }
                     }
                 }
             }
-        }
+        });
         (bp, isl)
     });
 
@@ -175,7 +193,12 @@ pub fn exceedance_curve(
     dst_name: &str,
     t_s: f64,
 ) -> Option<ExceedanceCurve> {
-    let _span = span!("exceedance_curve", src = src_name, dst = dst_name, t_s = t_s);
+    let _span = span!(
+        "exceedance_curve",
+        src = src_name,
+        dst = dst_name,
+        t_s = t_s
+    );
     let model = AttenuationModel::new(Climatology::synthetic());
     let up = ctx.config.network.uplink_ghz;
     let down = ctx.config.network.downlink_ghz;
@@ -183,17 +206,21 @@ pub fn exceedance_curve(
     let dst = ctx.ground.city_index(dst_name)?;
     let ps: Vec<f64> = vec![0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 3.0, 5.0];
     let mut curves: Vec<Vec<f64>> = Vec::new();
-    let mut snaps = Vec::new();
-    for mode in [Mode::BpOnly, Mode::IslOnly] {
-        let snap = ctx.snapshot(t_s, mode);
-        let sp = dijkstra(&snap.graph, snap.city_node(src));
-        let path = extract_path(&sp, snap.city_node(dst))?;
+    for snap in ctx.snapshot_bundle(t_s, &[Mode::BpOnly, Mode::IslOnly]) {
+        let path = with_thread_workspace(|ws| {
+            ws.run(
+                &snap.graph,
+                snap.city_node(src),
+                None,
+                Some(snap.city_node(dst)),
+            )
+            .extract_path(snap.city_node(dst))
+        })?;
         let vals: Vec<f64> = ps
             .iter()
             .map(|&p| worst_link_db(&snap, &path, &model, AttenMode::Exceedance(p), up, down))
             .collect();
         curves.push(vals);
-        snaps.push(snap);
     }
     let isl = curves.pop().unwrap();
     let bp = curves.pop().unwrap();
@@ -215,7 +242,11 @@ pub fn attenuation_raster(
     p_percent: f64,
 ) -> Vec<(f64, f64, f64)> {
     assert!(step_deg > 0.0);
-    let _span = span!("attenuation_raster", step_deg = step_deg, p_percent = p_percent);
+    let _span = span!(
+        "attenuation_raster",
+        step_deg = step_deg,
+        p_percent = p_percent
+    );
     let model = AttenuationModel::new(Climatology::synthetic());
     let mut out = Vec::new();
     let mut lat = lat_range.0;
@@ -224,7 +255,10 @@ pub fn attenuation_raster(
         while lon <= lon_range.1 {
             let slant = SlantPath {
                 site: leo_geo::GeoPoint::from_degrees(lat, lon),
-                elevation_rad: ctx.constellation.min_elevation_rad().max(leo_geo::deg_to_rad(40.0)),
+                elevation_rad: ctx
+                    .constellation
+                    .min_elevation_rad()
+                    .max(leo_geo::deg_to_rad(40.0)),
                 frequency_ghz: ctx.config.network.uplink_ghz,
             };
             out.push((lat, lon, model.total_attenuation_db(&slant, p_percent)));

@@ -95,7 +95,10 @@ mod tests {
                 .iter()
                 .map(|c| great_circle_distance_m(c.pos, *r))
                 .fold(f64::INFINITY, f64::min);
-            assert!(nearest <= 2_000_000.0 + 1.0, "relay {r} too remote: {nearest}");
+            assert!(
+                nearest <= 2_000_000.0 + 1.0,
+                "relay {r} too remote: {nearest}"
+            );
         }
     }
 

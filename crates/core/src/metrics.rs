@@ -84,12 +84,17 @@ impl Distribution {
         let step = (n as f64 / max_points as f64).max(1.0);
         let mut out = Vec::new();
         let mut i = 0.0;
+        let mut last_idx = None;
         while (i as usize) < n {
             let idx = i as usize;
             out.push((self.sorted[idx], (idx + 1) as f64 / n as f64));
+            last_idx = Some(idx);
             i += step;
         }
-        if out.last().map(|&(v, _)| v) != Some(self.sorted[n - 1]) {
+        // Compare by *index*, not value: when the maximum is duplicated,
+        // a decimated point can carry the max's value with a fraction
+        // below 1.0, and the curve must still close at exactly 1.0.
+        if last_idx != Some(n - 1) {
             out.push((self.sorted[n - 1], 1.0));
         }
         out
@@ -159,6 +164,27 @@ mod tests {
             assert!(w[1].0 >= w[0].0);
             assert!(w[1].1 >= w[0].1);
         }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cdf_closes_at_one_when_max_is_duplicated() {
+        // Regression: with a duplicated maximum, decimation used to emit
+        // a point carrying the max *value* at fraction < 1.0 and the
+        // value-based tail check then skipped the closing point, leaving
+        // the plotted CDF ending below 1.0.
+        let d = Distribution::from_samples(&[1.0, 2.0, 2.0]);
+        let pts = d.cdf_points(2);
+        assert_eq!(pts.last().unwrap(), &(2.0, 1.0));
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+
+        // Same shape at larger scale: heavy duplication of the max.
+        let mut samples = vec![0.0; 10];
+        samples.extend(std::iter::repeat_n(5.0, 90));
+        let d = Distribution::from_samples(&samples);
+        let pts = d.cdf_points(7);
         assert_eq!(pts.last().unwrap().1, 1.0);
     }
 

@@ -152,7 +152,9 @@ where
     });
     record_fanout(&stats);
     (
-        out.into_iter().map(|r| r.expect("all slots filled")).collect(),
+        out.into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect(),
         stats,
     )
 }
@@ -257,12 +259,20 @@ mod tests {
             x
         });
         assert_eq!(out, items);
-        assert_eq!(stats.total_items(), items.len(), "items must partition exactly");
+        assert_eq!(
+            stats.total_items(),
+            items.len(),
+            "items must partition exactly"
+        );
         assert!(stats.workers.len() <= 8);
         assert!(!stats.workers.is_empty());
         for (w, s) in stats.workers.iter().enumerate() {
             if s.items > 0 {
-                assert!(s.busy_ns > 0, "worker {w} processed {} items in 0 ns", s.items);
+                assert!(
+                    s.busy_ns > 0,
+                    "worker {w} processed {} items in 0 ns",
+                    s.items
+                );
             }
         }
         assert!(stats.imbalance() >= 1.0 || stats.total_busy_ns() == 0);

@@ -8,8 +8,7 @@ use leo_data::traffic::{sample_city_pairs, CityPair};
 use leo_geo::{elevation_angle_rad, GeoPoint, SPEED_OF_LIGHT_M_S};
 use leo_graph::{EdgeId, Graph, GraphBuilder, NodeId};
 use leo_orbit::{
-    isl_line_of_sight, plus_grid_isls, visible_satellites, Constellation, IslLink,
-    VisibilityParams,
+    isl_line_of_sight, plus_grid_isls, visible_satellites, Constellation, IslLink, VisibilityParams,
 };
 use leo_util::telemetry::Counter;
 use leo_util::{debug_span, span};
@@ -17,6 +16,11 @@ use leo_util::{debug_span, span};
 /// Telemetry: snapshots frozen across all experiments (the unit of work
 /// the pipeline fans out over).
 static SNAPSHOTS_BUILT: Counter = Counter::new("snapshots_built");
+/// Telemetry: snapshots materialized from a shared per-timestep
+/// position/visibility pass beyond the first — every count here is one
+/// `positions_at` + sub-point index + visibility sweep that
+/// [`StudyContext::snapshot_bundle`] did *not* redo.
+static VISIBILITY_SHARED_MODES: Counter = Counter::new("visibility_shared_modes");
 
 /// Connectivity mode of a snapshot (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,12 +88,26 @@ pub struct StudyContext {
     pub pairs: Vec<CityPair>,
     /// Static +Grid ISL topology (per shell, constellation-wide ids).
     isls: Vec<IslLink>,
+    /// Node-table prefix shared by every snapshot: satellites, then
+    /// cities (built once instead of per snapshot call).
+    static_nodes: Vec<NodeKind>,
+    /// Static relay node kinds (appended after cities in non-ISL-only
+    /// snapshots).
+    relay_nodes: Vec<NodeKind>,
+    /// City positions — the ground-position prefix of every snapshot.
+    city_positions: Vec<GeoPoint>,
+    /// Pair indices grouped by source city, sorted by source id (the
+    /// Dijkstra fan-out unit: one SSSP per entry per snapshot).
+    pairs_by_src: Vec<(u32, Vec<usize>)>,
 }
 
 impl StudyContext {
     /// Assemble the full study context from a configuration.
     pub fn build(config: StudyConfig) -> Self {
-        let _span = span!("study_context_build", constellation = config.constellation.name());
+        let _span = span!(
+            "study_context_build",
+            constellation = config.constellation.name()
+        );
         let constellation = config.constellation.constellation();
         let ground = GroundSegment::build(&config);
         let flights = FlightSchedule::new(config.flight_density);
@@ -103,6 +121,24 @@ impl StudyContext {
         for (i, shell) in constellation.shells().iter().enumerate() {
             isls.extend(plus_grid_isls(shell, constellation.shell_offset(i)));
         }
+        let s = constellation.num_satellites();
+        let mut static_nodes = Vec::with_capacity(s + ground.cities.len());
+        for sat in 0..s as u32 {
+            static_nodes.push(NodeKind::Satellite(sat));
+        }
+        for i in 0..ground.cities.len() as u32 {
+            static_nodes.push(NodeKind::City(i));
+        }
+        let relay_nodes: Vec<NodeKind> = (0..ground.relays.len() as u32)
+            .map(NodeKind::Relay)
+            .collect();
+        let city_positions: Vec<GeoPoint> = ground.cities.iter().map(|c| c.pos).collect();
+        let mut grouped: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+        for (i, p) in pairs.iter().enumerate() {
+            grouped.entry(p.src).or_default().push(i);
+        }
+        let mut pairs_by_src: Vec<(u32, Vec<usize>)> = grouped.into_iter().collect();
+        pairs_by_src.sort_unstable_by_key(|(src, _)| *src);
         Self {
             config,
             constellation,
@@ -110,7 +146,18 @@ impl StudyContext {
             flights,
             pairs,
             isls,
+            static_nodes,
+            relay_nodes,
+            city_positions,
+            pairs_by_src,
         }
+    }
+
+    /// Pair indices grouped by source city, sorted by source id — the
+    /// per-snapshot Dijkstra fan-out (one SSSP per entry), precomputed
+    /// once instead of rebuilt per snapshot by every experiment.
+    pub fn pairs_by_src(&self) -> &[(u32, Vec<usize>)] {
+        &self.pairs_by_src
     }
 
     /// Number of satellites (node ids `0..S` in every snapshot).
@@ -130,54 +177,69 @@ impl StudyContext {
     /// Edge weights are one-way propagation delays in **seconds** (both
     /// radio and laser links propagate at `c`), so shortest paths are
     /// lowest-latency paths and `2 × weight` is RTT.
+    ///
+    /// Building several modes at the same `t_s`? Use
+    /// [`StudyContext::snapshot_bundle`], which shares the expensive
+    /// per-timestep work (orbit propagation, the sub-point spatial index,
+    /// and every GT visibility query) across them.
     pub fn snapshot(&self, t_s: f64, mode: Mode) -> NetworkSnapshot {
-        let _span = debug_span!("snapshot", t_s = t_s, mode = format!("{mode:?}"));
-        SNAPSHOTS_BUILT.add(1);
+        self.snapshot_bundle(t_s, &[mode])
+            .pop()
+            .expect("one mode requested")
+    }
+
+    /// Freeze the network at `t_s` under each of `modes`, computing
+    /// satellite positions, the sub-point [`SphereGrid`] index, ISL
+    /// line-of-sight, and GT visibility **once** and materializing every
+    /// requested mode from that shared pass. Returns one snapshot per
+    /// entry of `modes`, in order (duplicates allowed).
+    ///
+    /// Byte-identical to building each mode via [`StudyContext::snapshot`]
+    /// separately — the shared pass performs the same floating-point
+    /// operations in the same order.
+    ///
+    /// [`SphereGrid`]: leo_geo::SphereGrid
+    pub fn snapshot_bundle(&self, t_s: f64, modes: &[Mode]) -> Vec<NetworkSnapshot> {
+        if modes.is_empty() {
+            return Vec::new();
+        }
+        let _span = debug_span!("snapshot_bundle", t_s = t_s, modes = modes.len());
+        SNAPSHOTS_BUILT.add(modes.len() as u64);
+        VISIBILITY_SHARED_MODES.add(modes.len() as u64 - 1);
         let sat_positions = self.constellation.positions_at(t_s);
         let s = self.num_satellites();
+        let num_cities = self.ground.cities.len();
 
-        // --- Node table ---
-        let mut nodes: Vec<NodeKind> = Vec::with_capacity(s + self.ground.cities.len());
-        let mut ground_positions: Vec<GeoPoint> = Vec::new();
-        for sat in 0..s as u32 {
-            nodes.push(NodeKind::Satellite(sat));
-        }
-        for (i, c) in self.ground.cities.iter().enumerate() {
-            nodes.push(NodeKind::City(i as u32));
-            ground_positions.push(c.pos);
-        }
-        let aircraft = if mode != Mode::IslOnly {
-            for (i, r) in self.ground.relays.iter().enumerate() {
-                nodes.push(NodeKind::Relay(i as u32));
-                ground_positions.push(*r);
-            }
+        let needs_full_ground = modes.iter().any(|&m| m != Mode::IslOnly);
+        let needs_isls = modes.iter().any(|&m| m != Mode::BpOnly);
+
+        // --- Union ground-point set: cities, then relays + aircraft ---
+        let mut ground_positions: Vec<GeoPoint> = self.city_positions.clone();
+        let aircraft = if needs_full_ground {
             let aircraft = self.flights.relays_at(t_s);
-            for a in &aircraft {
-                nodes.push(NodeKind::Aircraft(a.id));
-                ground_positions.push(a.pos);
-            }
-            aircraft.len()
+            ground_positions.extend(self.ground.relays.iter().copied());
+            ground_positions.extend(aircraft.iter().map(|a| a.pos));
+            aircraft
         } else {
-            0
+            Vec::new()
         };
 
-        let mut builder = GraphBuilder::new(nodes.len());
-        let mut edges: Vec<EdgeKind> = Vec::new();
+        // --- Shared ISL materialization (identical for every non-BP mode) ---
+        let isl_links: Vec<(NodeId, NodeId, f64)> = if needs_isls {
+            self.isls
+                .iter()
+                .filter_map(|l| {
+                    let pa = &sat_positions.positions[l.a as usize];
+                    let pb = &sat_positions.positions[l.b as usize];
+                    isl_line_of_sight(pa, pb, self.config.network.isl_clearance_m)
+                        .then(|| (l.a, l.b, pa.distance(pb) / SPEED_OF_LIGHT_M_S))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
-        // --- ISL edges ---
-        if mode != Mode::BpOnly {
-            for l in &self.isls {
-                let pa = &sat_positions.positions[l.a as usize];
-                let pb = &sat_positions.positions[l.b as usize];
-                if isl_line_of_sight(pa, pb, self.config.network.isl_clearance_m) {
-                    let delay = pa.distance(pb) / SPEED_OF_LIGHT_M_S;
-                    builder.add_edge(l.a, l.b, delay);
-                    edges.push(EdgeKind::Isl);
-                }
-            }
-        }
-
-        // --- GT–satellite edges ---
+        // --- Shared GT visibility: one query per union ground point ---
         let index = leo_orbit::visibility::subpoint_index(&sat_positions);
         let params = VisibilityParams {
             min_elevation_rad: self.constellation.min_elevation_rad(),
@@ -185,34 +247,84 @@ impl StudyContext {
         };
         let mut scratch = Vec::new();
         let mut visible = Vec::new();
-        for (gi, gpos) in ground_positions.iter().enumerate() {
-            let ground_node = (s + gi) as NodeId;
-            visible_satellites(*gpos, &sat_positions, &index, &params, &mut scratch, &mut visible);
-            for &sat in &visible {
-                let spos = &sat_positions.positions[sat as usize];
-                let slant = leo_geo::slant_range_m(*gpos, spos);
-                let delay = slant / SPEED_OF_LIGHT_M_S;
-                builder.add_edge(ground_node, sat, delay);
-                edges.push(EdgeKind::UpDown {
-                    ground: ground_node,
-                    sat,
-                    elevation_rad: elevation_angle_rad(*gpos, spos),
-                });
-            }
-        }
+        // Per ground point: (satellite, one-way delay s, elevation rad).
+        let gt_links: Vec<Vec<(u32, f64, f64)>> = ground_positions
+            .iter()
+            .map(|gpos| {
+                visible_satellites(
+                    *gpos,
+                    &sat_positions,
+                    &index,
+                    &params,
+                    &mut scratch,
+                    &mut visible,
+                );
+                visible
+                    .iter()
+                    .map(|&sat| {
+                        let spos = &sat_positions.positions[sat as usize];
+                        let delay = leo_geo::slant_range_m(*gpos, spos) / SPEED_OF_LIGHT_M_S;
+                        (sat, delay, elevation_angle_rad(*gpos, spos))
+                    })
+                    .collect()
+            })
+            .collect();
 
-        let graph = builder.build();
-        debug_assert_eq!(graph.num_edges(), edges.len());
-        NetworkSnapshot {
-            t_s,
-            mode,
-            graph,
-            nodes,
-            edges,
-            ground_positions,
-            num_satellites: s,
-            num_aircraft: aircraft,
-        }
+        // --- Materialize each requested mode from the shared pass ---
+        modes
+            .iter()
+            .map(|&mode| {
+                let num_ground = if mode == Mode::IslOnly {
+                    num_cities
+                } else {
+                    ground_positions.len()
+                };
+                let mut nodes = Vec::with_capacity(s + num_ground);
+                nodes.extend_from_slice(&self.static_nodes);
+                if mode != Mode::IslOnly {
+                    nodes.extend_from_slice(&self.relay_nodes);
+                    nodes.extend(aircraft.iter().map(|a| NodeKind::Aircraft(a.id)));
+                }
+                debug_assert_eq!(nodes.len(), s + num_ground);
+
+                let mut builder = GraphBuilder::new(nodes.len());
+                let mut edges: Vec<EdgeKind> = Vec::new();
+                if mode != Mode::BpOnly {
+                    for &(a, b, delay) in &isl_links {
+                        builder.add_edge(a, b, delay);
+                        edges.push(EdgeKind::Isl);
+                    }
+                }
+                for (gi, links) in gt_links.iter().take(num_ground).enumerate() {
+                    let ground_node = (s + gi) as NodeId;
+                    for &(sat, delay, elevation_rad) in links {
+                        builder.add_edge(ground_node, sat, delay);
+                        edges.push(EdgeKind::UpDown {
+                            ground: ground_node,
+                            sat,
+                            elevation_rad,
+                        });
+                    }
+                }
+
+                let graph = builder.build();
+                debug_assert_eq!(graph.num_edges(), edges.len());
+                NetworkSnapshot {
+                    t_s,
+                    mode,
+                    graph,
+                    nodes,
+                    edges,
+                    ground_positions: ground_positions[..num_ground].to_vec(),
+                    num_satellites: s,
+                    num_aircraft: if mode == Mode::IslOnly {
+                        0
+                    } else {
+                        aircraft.len()
+                    },
+                }
+            })
+            .collect()
     }
 }
 
@@ -287,14 +399,21 @@ mod tests {
     fn bp_mode_has_no_isls() {
         let c = ctx();
         let snap = c.snapshot(0.0, Mode::BpOnly);
-        assert!(snap.edges.iter().all(|e| matches!(e, EdgeKind::UpDown { .. })));
+        assert!(snap
+            .edges
+            .iter()
+            .all(|e| matches!(e, EdgeKind::UpDown { .. })));
     }
 
     #[test]
     fn hybrid_has_both_kinds() {
         let c = ctx();
         let snap = c.snapshot(0.0, Mode::Hybrid);
-        let isls = snap.edges.iter().filter(|e| matches!(e, EdgeKind::Isl)).count();
+        let isls = snap
+            .edges
+            .iter()
+            .filter(|e| matches!(e, EdgeKind::Isl))
+            .count();
         let radio = snap.edges.len() - isls;
         // +Grid: 2 links/satellite; a handful can be suppressed by the
         // 80 km clearance rule.
@@ -317,8 +436,16 @@ mod tests {
     fn bp_includes_relays_and_aircraft() {
         let c = ctx();
         let snap = c.snapshot(30_000.0, Mode::BpOnly);
-        let relays = snap.nodes.iter().filter(|n| matches!(n, NodeKind::Relay(_))).count();
-        let aircraft = snap.nodes.iter().filter(|n| matches!(n, NodeKind::Aircraft(_))).count();
+        let relays = snap
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::Relay(_)))
+            .count();
+        let aircraft = snap
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::Aircraft(_)))
+            .count();
         assert_eq!(relays, c.ground.relays.len());
         assert_eq!(aircraft, snap.num_aircraft);
         assert!(aircraft > 0, "some aircraft should be over water mid-day");
@@ -340,7 +467,12 @@ mod tests {
         let c = ctx();
         let snap = c.snapshot(0.0, Mode::Hybrid);
         for (e, kind) in snap.edges.iter().enumerate() {
-            if let EdgeKind::UpDown { ground, sat, elevation_rad } = kind {
+            if let EdgeKind::UpDown {
+                ground,
+                sat,
+                elevation_rad,
+            } = kind
+            {
                 let (u, v, _) = snap.graph.edge(e as EdgeId);
                 assert!(
                     (u == *ground && v == *sat) || (u == *sat && v == *ground),
@@ -378,8 +510,78 @@ mod tests {
         let c = ctx();
         let a = c.snapshot(0.0, Mode::Hybrid);
         let b = c.snapshot(900.0, Mode::Hybrid);
-        // Same node count (cities/relays static, aircraft counts may vary
-        // slightly), but edge sets differ as satellites move.
-        assert_ne!(a.graph.num_edges(), b.graph.num_edges());
+        // Compare the edge *endpoint sets*, not raw edge counts — counts
+        // can coincide by chance at other scales/seeds even though the
+        // satellites moved. 15 minutes of orbital motion must change
+        // which GT–satellite links exist.
+        let endpoints = |s: &NetworkSnapshot| -> std::collections::HashSet<(NodeId, NodeId)> {
+            (0..s.graph.num_edges() as EdgeId)
+                .map(|e| {
+                    let (u, v, _) = s.graph.edge(e);
+                    (u.min(v), u.max(v))
+                })
+                .collect()
+        };
+        assert_ne!(endpoints(&a), endpoints(&b));
+    }
+
+    #[test]
+    fn bundle_matches_individual_snapshots() {
+        // The shared-pass bundle must be indistinguishable from building
+        // each mode separately — same nodes, same edges in the same
+        // order, bit-identical weights.
+        let c = ctx();
+        for t in [0.0, 30_000.0] {
+            let modes = [Mode::BpOnly, Mode::Hybrid, Mode::IslOnly];
+            let bundle = c.snapshot_bundle(t, &modes);
+            assert_eq!(bundle.len(), modes.len());
+            for (snap, &mode) in bundle.iter().zip(&modes) {
+                let solo = c.snapshot(t, mode);
+                assert_eq!(snap.mode, mode);
+                assert_eq!(snap.nodes, solo.nodes, "{mode:?} node table");
+                assert_eq!(snap.edges, solo.edges, "{mode:?} edge metadata");
+                assert_eq!(snap.num_aircraft, solo.num_aircraft);
+                assert_eq!(snap.ground_positions.len(), solo.ground_positions.len());
+                assert_eq!(snap.graph.num_edges(), solo.graph.num_edges());
+                for e in 0..snap.graph.num_edges() as EdgeId {
+                    let (u1, v1, w1) = snap.graph.edge(e);
+                    let (u2, v2, w2) = solo.graph.edge(e);
+                    assert_eq!((u1, v1), (u2, v2));
+                    assert_eq!(
+                        w1.to_bits(),
+                        w2.to_bits(),
+                        "edge {e} weight must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_empty_and_duplicate_modes() {
+        let c = ctx();
+        assert!(c.snapshot_bundle(0.0, &[]).is_empty());
+        let twice = c.snapshot_bundle(0.0, &[Mode::Hybrid, Mode::Hybrid]);
+        assert_eq!(twice.len(), 2);
+        assert_eq!(twice[0].graph.num_edges(), twice[1].graph.num_edges());
+    }
+
+    #[test]
+    fn pairs_by_src_covers_all_pairs_once() {
+        let c = ctx();
+        let mut seen = vec![false; c.pairs.len()];
+        let mut prev_src = None;
+        for (src, idxs) in c.pairs_by_src() {
+            if let Some(p) = prev_src {
+                assert!(*src > p, "sources must be strictly increasing");
+            }
+            prev_src = Some(*src);
+            for &i in idxs {
+                assert_eq!(c.pairs[i].src, *src);
+                assert!(!seen[i], "pair {i} listed twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every pair must appear");
     }
 }

@@ -57,7 +57,8 @@ impl MapCanvas {
             let mut lon = -180.0 + step / 2.0;
             while lon < 180.0 {
                 if leo_data::is_land(GeoPoint::from_degrees(lat, lon)) {
-                    let (x, y) = self.project(GeoPoint::from_degrees(lat + step / 2.0, lon - step / 2.0));
+                    let (x, y) =
+                        self.project(GeoPoint::from_degrees(lat + step / 2.0, lon - step / 2.0));
                     let _ = write!(
                         rects,
                         r##"<rect x="{:.1}" y="{:.1}" width="{:.2}" height="{:.2}"/>"##,
@@ -161,7 +162,10 @@ impl MapCanvas {
         let mut rects = String::new();
         for &(lat, lon, v) in cells {
             let t = (v - min) / span;
-            let (x, y) = self.project(GeoPoint::from_degrees(lat + cell_deg / 2.0, lon - cell_deg / 2.0));
+            let (x, y) = self.project(GeoPoint::from_degrees(
+                lat + cell_deg / 2.0,
+                lon - cell_deg / 2.0,
+            ));
             let _ = write!(
                 rects,
                 r##"<rect x="{x:.1}" y="{y:.1}" width="{cw:.2}" height="{ch:.2}" fill="rgb(220,{:.0},40)" opacity="{:.2}"/>"##,
@@ -204,7 +208,9 @@ impl MapCanvas {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// Render a snapshot path (by node sequence) onto a canvas: ground hops
@@ -243,7 +249,12 @@ mod tests {
     fn svg_is_well_formed() {
         let mut c = MapCanvas::new(400.0);
         c.title("test map");
-        c.marker(GeoPoint::from_degrees(47.4, 8.5), 3.0, "#cc0000", Some("Zurich"));
+        c.marker(
+            GeoPoint::from_degrees(47.4, 8.5),
+            3.0,
+            "#cc0000",
+            Some("Zurich"),
+        );
         c.polyline(
             &[
                 GeoPoint::from_degrees(40.7, -74.0),

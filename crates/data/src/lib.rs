@@ -23,6 +23,6 @@ pub mod landmask;
 pub mod traffic;
 
 pub use cities::{city_by_name, load_cities, City};
-pub use flights::{FlightSchedule, Aircraft};
+pub use flights::{Aircraft, FlightSchedule};
 pub use landmask::is_land;
 pub use traffic::{sample_city_pairs, CityPair};

@@ -71,10 +71,7 @@ mod tests {
         let pairs = sample_city_pairs(&cities, 500, 2_000_000.0, 9);
         assert_eq!(pairs.len(), 500);
         for p in &pairs {
-            let d = great_circle_distance_m(
-                cities[p.src as usize].pos,
-                cities[p.dst as usize].pos,
-            );
+            let d = great_circle_distance_m(cities[p.src as usize].pos, cities[p.dst as usize].pos);
             assert!(d > 2_000_000.0, "pair too close: {d}");
         }
     }
@@ -115,10 +112,7 @@ mod tests {
         // Half the Earth's circumference: almost nothing qualifies.
         let pairs = sample_city_pairs(&cities, 100, 19_000_000.0, 3);
         for p in &pairs {
-            let d = great_circle_distance_m(
-                cities[p.src as usize].pos,
-                cities[p.dst as usize].pos,
-            );
+            let d = great_circle_distance_m(cities[p.src as usize].pos, cities[p.dst as usize].pos);
             assert!(d > 19_000_000.0);
         }
     }

@@ -37,10 +37,7 @@ fn pairs_respect_floor() {
         let pairs = sample_city_pairs(&cities, 150, floor_km * 1000.0, seed);
         for p in &pairs {
             check_assert!(p.src < p.dst);
-            let d = great_circle_distance_m(
-                cities[p.src as usize].pos,
-                cities[p.dst as usize].pos,
-            );
+            let d = great_circle_distance_m(cities[p.src as usize].pos, cities[p.dst as usize].pos);
             check_assert!(d > floor_km * 1000.0);
         }
         Ok(())

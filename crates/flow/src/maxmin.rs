@@ -32,6 +32,11 @@ pub struct Allocation {
     pub link_utilization: Vec<f64>,
     /// Number of progressive-filling rounds performed.
     pub rounds: usize,
+    /// The 1-based round at which each flow froze at its bottleneck.
+    /// Progressive filling freezes flows in non-decreasing rate order, so
+    /// `freeze_round[a] < freeze_round[b]` implies `rates[a] <= rates[b]`
+    /// (up to fp error) — a testable invariant of the algorithm.
+    pub freeze_round: Vec<u32>,
 }
 
 impl Allocation {
@@ -101,6 +106,7 @@ impl FlowSim {
         let mut remaining = self.capacity.clone();
         let mut rates = vec![0.0f64; nf];
         let mut frozen = vec![false; nf];
+        let mut freeze_round = vec![0u32; nf];
 
         // Per-link: how many path-occurrences of unfrozen flows cross it,
         // and which flows those are (built once; entries of frozen flows
@@ -144,6 +150,7 @@ impl FlowSim {
                     continue;
                 }
                 frozen[fi] = true;
+                freeze_round[fi] = rounds as u32;
                 unfrozen_left -= 1;
                 // A flow crossing the bottleneck k times gets k shares? No:
                 // the flow's rate is the fair share; each crossing consumes
@@ -176,6 +183,7 @@ impl FlowSim {
             rates,
             link_utilization,
             rounds,
+            freeze_round,
         }
     }
 }

@@ -103,6 +103,42 @@ fn min_rate_monotone_under_added_flow() {
     });
 }
 
+/// Progressive filling freezes flows in non-decreasing rate order: a flow
+/// frozen in an earlier round never has a higher rate than one frozen
+/// later. (The per-round fair share is the minimum over active links and
+/// can only grow as saturated links leave the active set.)
+#[test]
+fn rates_monotone_across_freeze_rounds() {
+    check("rates_monotone_across_freeze_rounds", |g| {
+        let (caps, flows) = arb_instance(g);
+        let sim = build(&caps, &flows);
+        let a = sim.solve();
+        check_assert!(a.freeze_round.len() == a.rates.len());
+        // Every flow freezes in some round, and rounds are 1-based.
+        for (f, &r) in a.freeze_round.iter().enumerate() {
+            check_assert!(
+                r >= 1 && r as usize <= a.rounds,
+                "flow {f} froze in round {r} of {}",
+                a.rounds
+            );
+        }
+        let mut order: Vec<usize> = (0..a.rates.len()).collect();
+        order.sort_by_key(|&f| a.freeze_round[f]);
+        for w in order.windows(2) {
+            let (early, late) = (w[0], w[1]);
+            check_assert!(
+                a.rates[early] <= a.rates[late] + 1e-9,
+                "flow {early} (round {}, rate {}) outranks flow {late} (round {}, rate {})",
+                a.freeze_round[early],
+                a.rates[early],
+                a.freeze_round[late],
+                a.rates[late]
+            );
+        }
+        Ok(())
+    });
+}
+
 /// Scaling all capacities scales the allocation.
 #[test]
 fn allocation_scales_with_capacity() {

@@ -26,6 +26,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // A typo-guard on literal constants is intentionally a constant
+    // assertion.
+    #[allow(clippy::assertions_on_constants)]
     fn constants_sane() {
         assert!(EARTH_RADIUS_M > 6.3e6 && EARTH_RADIUS_M < 6.4e6);
         assert!(SPEED_OF_LIGHT_M_S > 2.99e8 && SPEED_OF_LIGHT_M_S < 3.0e8);

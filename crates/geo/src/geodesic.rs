@@ -118,7 +118,10 @@ mod tests {
         let m = intermediate_point(a, b, 0.5);
         let da = great_circle_distance_m(a, m);
         let db = great_circle_distance_m(m, b);
-        assert!((da - db).abs() < 1.0, "midpoint not equidistant: {da} vs {db}");
+        assert!(
+            (da - db).abs() < 1.0,
+            "midpoint not equidistant: {da} vs {db}"
+        );
     }
 
     #[test]

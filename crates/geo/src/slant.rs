@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn starlink_coverage_radius_matches_paper() {
         let r_km = coverage_radius_m(550_000.0, deg_to_rad(25.0)) / 1000.0;
-        assert!((r_km - 941.0).abs() < 5.0, "got {r_km} km, paper says 941 km");
+        assert!(
+            (r_km - 941.0).abs() < 5.0,
+            "got {r_km} km, paper says 941 km"
+        );
     }
 
     #[test]

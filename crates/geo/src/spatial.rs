@@ -160,11 +160,7 @@ mod tests {
     use super::*;
     use crate::destination_point;
 
-    fn brute_force(
-        items: &[(u32, GeoPoint)],
-        center: GeoPoint,
-        radius_m: f64,
-    ) -> Vec<u32> {
+    fn brute_force(items: &[(u32, GeoPoint)], center: GeoPoint, radius_m: f64) -> Vec<u32> {
         let ang = radius_m / EARTH_RADIUS_M;
         let mut v: Vec<u32> = items
             .iter()

@@ -62,7 +62,11 @@ fn interpolation_is_proportional() {
         check_assume!(total > 1.0);
         let m = intermediate_point(a, b, f);
         let da = great_circle_distance_m(a, m);
-        check_assert!((da - f * total).abs() < 1.0, "da={da}, expected {}", f * total);
+        check_assert!(
+            (da - f * total).abs() < 1.0,
+            "da={da}, expected {}",
+            f * total
+        );
         Ok(())
     });
 }

@@ -9,7 +9,7 @@
 //! them independently.
 
 use crate::graph::{Graph, NodeId};
-use crate::shortest::{dijkstra_with_mask, extract_path, Path};
+use crate::shortest::{DijkstraWorkspace, Path};
 
 /// Find up to `k` edge-disjoint paths from `source` to `target`, shortest
 /// first, by iteratively removing used edges.
@@ -24,17 +24,37 @@ pub fn k_edge_disjoint_paths(
     k: usize,
     disabled: Option<&[bool]>,
 ) -> Vec<Path> {
-    let mut mask = match disabled {
-        Some(d) => {
-            assert_eq!(d.len(), g.num_edges());
-            d.to_vec()
-        }
-        None => vec![false; g.num_edges()],
-    };
+    k_edge_disjoint_paths_with(
+        g,
+        source,
+        target,
+        k,
+        disabled,
+        &mut DijkstraWorkspace::new(),
+    )
+}
+
+/// [`k_edge_disjoint_paths`] reusing the caller's warm workspace: all
+/// SSSP buffers and the working edge mask are amortized across calls.
+pub fn k_edge_disjoint_paths_with(
+    g: &Graph,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    disabled: Option<&[bool]>,
+    ws: &mut DijkstraWorkspace,
+) -> Vec<Path> {
+    let mut mask = ws.take_mask(g.num_edges());
+    if let Some(d) = disabled {
+        assert_eq!(d.len(), g.num_edges());
+        mask.copy_from_slice(d);
+    }
     let mut out = Vec::with_capacity(k);
     for _ in 0..k {
-        let sp = dijkstra_with_mask(g, source, &mask, Some(target));
-        match extract_path(&sp, target) {
+        let found = ws
+            .run(g, source, Some(&mask), Some(target))
+            .extract_path(target);
+        match found {
             Some(p) => {
                 for &e in &p.edges {
                     mask[e as usize] = true;
@@ -44,6 +64,7 @@ pub fn k_edge_disjoint_paths(
             None => break,
         }
     }
+    ws.put_mask(mask);
     out
 }
 
@@ -121,6 +142,18 @@ mod tests {
         let g = b.build();
         let paths = k_edge_disjoint_paths(&g, 0, 4, 4, None);
         assert_eq!(paths.len(), 1, "bridge edge allows only one disjoint path");
+    }
+
+    #[test]
+    fn warm_workspace_matches_fresh() {
+        let g = two_route();
+        let mut ws = DijkstraWorkspace::new();
+        for target in [3u32, 2, 1] {
+            let fresh = k_edge_disjoint_paths(&g, 0, target, 4, None);
+            let warm = k_edge_disjoint_paths_with(&g, 0, target, 4, None, &mut ws);
+            assert_eq!(fresh, warm);
+        }
+        assert!(ws.runs() >= 3);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 //! * [`Graph`] — a compact CSR adjacency structure with stable edge ids,
 //!   built once per snapshot.
 //! * [`dijkstra`] / [`dijkstra_with_mask`] — single-source shortest paths
-//!   (the latency experiments run one SSSP per unique source city).
+//!   (the latency experiments run one SSSP per unique source city), and
+//!   [`DijkstraWorkspace`] — reusable generation-stamped buffers so hot
+//!   loops pay O(touched) reset instead of per-call allocation (the
+//!   `_with` variants of every multi-path routine accept one).
 //! * [`k_edge_disjoint_paths`] — the iterative shortest-path/edge-removal
 //!   scheme used for the throughput experiments' `k` sub-flows per pair.
 //! * [`connected_components`] — for the "fraction of satellites entirely
@@ -25,17 +28,20 @@
 //! per snapshot.
 
 mod components;
-mod suurballe;
-mod yen;
 mod disjoint;
 mod graph;
 mod maxflow;
 mod shortest;
+mod suurballe;
+mod yen;
 
 pub use components::{component_sizes, connected_components};
-pub use disjoint::k_edge_disjoint_paths;
-pub use suurballe::suurballe;
-pub use yen::yen_k_shortest;
+pub use disjoint::{k_edge_disjoint_paths, k_edge_disjoint_paths_with};
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use maxflow::{max_flow, FlowNetwork};
-pub use shortest::{dijkstra, dijkstra_with_mask, extract_path, Path, ShortestPaths};
+pub use shortest::{
+    dijkstra, dijkstra_with_mask, extract_path, with_thread_workspace, DijkstraWorkspace, Path,
+    ShortestPaths, SsspView,
+};
+pub use suurballe::{suurballe, suurballe_with};
+pub use yen::{yen_k_shortest, yen_k_shortest_with};

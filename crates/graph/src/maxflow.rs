@@ -110,14 +110,7 @@ pub fn max_flow(net: &mut FlowNetwork, s: u32, t: u32) -> f64 {
     total
 }
 
-fn dfs(
-    net: &mut FlowNetwork,
-    u: u32,
-    t: u32,
-    limit: f64,
-    level: &[i32],
-    it: &mut [u32],
-) -> f64 {
+fn dfs(net: &mut FlowNetwork, u: u32, t: u32, limit: f64, level: &[i32], it: &mut [u32]) -> f64 {
     if u == t {
         return limit;
     }
@@ -125,14 +118,7 @@ fn dfs(
         let a = it[u as usize];
         let v = net.to[a as usize];
         if net.cap[a as usize] > FlowNetwork::EPS && level[v as usize] == level[u as usize] + 1 {
-            let pushed = dfs(
-                net,
-                v,
-                t,
-                limit.min(net.cap[a as usize]),
-                level,
-                it,
-            );
+            let pushed = dfs(net, v, t, limit.min(net.cap[a as usize]), level, it);
             if pushed > FlowNetwork::EPS {
                 net.cap[a as usize] -= pushed;
                 net.cap[(a ^ 1) as usize] += pushed;

@@ -15,7 +15,7 @@
 //! cancel when the two arc-sets are merged.
 
 use crate::graph::{EdgeId, Graph, NodeId};
-use crate::shortest::{dijkstra, extract_path, Path};
+use crate::shortest::{DijkstraWorkspace, Path};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -27,13 +27,28 @@ use std::collections::BinaryHeap;
 /// [`EdgeId`]s. The combined weight is optimal over all edge-disjoint
 /// pairs.
 pub fn suurballe(g: &Graph, source: NodeId, target: NodeId) -> Vec<Path> {
+    suurballe_with(g, source, target, &mut DijkstraWorkspace::new())
+}
+
+/// [`suurballe`] reusing the caller's warm workspace for the first
+/// (potential-building) SSSP and the potentials buffer; the residual
+/// reduced-cost search keeps its own small local state.
+pub fn suurballe_with(
+    g: &Graph,
+    source: NodeId,
+    target: NodeId,
+    ws: &mut DijkstraWorkspace,
+) -> Vec<Path> {
     assert_ne!(source, target, "source and target must differ");
-    // 1. Shortest-path tree from the source for potentials.
-    let sp1 = dijkstra(g, source);
-    let Some(first) = extract_path(&sp1, target) else {
+    // 1. Shortest-path tree from the source for potentials. Full run (no
+    // early exit), so every reachable node's distance is exact.
+    let first = ws.run(g, source, None, None).extract_path(target);
+    let Some(first) = first else {
         return Vec::new();
     };
-    let pot = &sp1.dist;
+    let mut pot_buf = ws.take_dist_buf();
+    ws.view().write_dists(&mut pot_buf);
+    let pot = &pot_buf;
 
     // Arc usage of the first path, keyed by (edge, direction): direction
     // 0 = from the lower endpoint, 1 = from the higher one.
@@ -106,6 +121,7 @@ pub fn suurballe(g: &Graph, source: NodeId, target: NodeId) -> Vec<Path> {
         }
     }
     if !dist[target as usize].is_finite() {
+        ws.put_dist_buf(pot_buf);
         return vec![first];
     }
 
@@ -135,8 +151,7 @@ pub fn suurballe(g: &Graph, source: NodeId, target: NodeId) -> Vec<Path> {
     }
 
     // Build per-node outgoing arc lists from the merged set.
-    let mut out: std::collections::HashMap<NodeId, Vec<(NodeId, EdgeId, f64)>> =
-        Default::default();
+    let mut out: std::collections::HashMap<NodeId, Vec<(NodeId, EdgeId, f64)>> = Default::default();
     for (&(e, dir), &count) in &arcs {
         let (u, v, w) = g.edge(e);
         let (from, to) = if dir == 0 { (u, v) } else { (v, u) };
@@ -171,6 +186,7 @@ pub fn suurballe(g: &Graph, source: NodeId, target: NodeId) -> Vec<Path> {
     };
     let mut paths: Vec<Path> = (0..2).filter_map(|_| peel()).collect();
     paths.sort_by(|a, b| a.total_weight.total_cmp(&b.total_weight));
+    ws.put_dist_buf(pot_buf);
     paths
 }
 
@@ -238,6 +254,17 @@ mod tests {
         let paths = suurballe(&g, 0, 2);
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn warm_workspace_matches_fresh() {
+        let g = trap();
+        let mut ws = DijkstraWorkspace::new();
+        for (s, t) in [(0u32, 3u32), (1, 2), (0, 3)] {
+            let fresh = suurballe(&g, s, t);
+            let warm = suurballe_with(&g, s, t, &mut ws);
+            assert_eq!(fresh, warm);
+        }
     }
 
     #[test]

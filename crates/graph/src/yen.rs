@@ -7,18 +7,32 @@
 //! share edges.
 
 use crate::graph::{Graph, NodeId};
-use crate::shortest::{dijkstra_with_mask, extract_path, Path};
+use crate::shortest::{DijkstraWorkspace, Path};
 
 /// The up-to-`k` shortest loopless paths from `source` to `target`,
 /// ordered by total weight (ties broken deterministically by node
 /// sequence).
 pub fn yen_k_shortest(g: &Graph, source: NodeId, target: NodeId, k: usize) -> Vec<Path> {
+    yen_k_shortest_with(g, source, target, k, &mut DijkstraWorkspace::new())
+}
+
+/// [`yen_k_shortest`] reusing the caller's warm workspace: the SSSP
+/// buffers and the spur-node edge mask are amortized across the many
+/// Dijkstra runs this algorithm makes.
+pub fn yen_k_shortest_with(
+    g: &Graph,
+    source: NodeId,
+    target: NodeId,
+    k: usize,
+    ws: &mut DijkstraWorkspace,
+) -> Vec<Path> {
     if k == 0 {
         return Vec::new();
     }
-    let no_mask = vec![false; g.num_edges()];
-    let sp = dijkstra_with_mask(g, source, &no_mask, Some(target));
-    let Some(first) = extract_path(&sp, target) else {
+    let mut disabled = ws.take_mask(g.num_edges());
+    let first = ws.run(g, source, None, Some(target)).extract_path(target);
+    let Some(first) = first else {
+        ws.put_mask(disabled);
         return Vec::new();
     };
     let mut confirmed: Vec<Path> = vec![first];
@@ -33,12 +47,9 @@ pub fn yen_k_shortest(g: &Graph, source: NodeId, target: NodeId, k: usize) -> Ve
             let spur_node = last.nodes[spur_idx];
             let root_nodes = &last.nodes[..=spur_idx];
             let root_edges = &last.edges[..spur_idx];
-            let root_weight: f64 = root_edges
-                .iter()
-                .map(|&e| g.edge(e).2)
-                .sum();
+            let root_weight: f64 = root_edges.iter().map(|&e| g.edge(e).2).sum();
 
-            let mut disabled = vec![false; g.num_edges()];
+            disabled.fill(false);
             // Remove edges that would recreate an already-confirmed path
             // sharing this root.
             for p in confirmed.iter().chain(candidates.iter()) {
@@ -56,8 +67,10 @@ pub fn yen_k_shortest(g: &Graph, source: NodeId, target: NodeId, k: usize) -> Ve
                 }
             }
 
-            let sp = dijkstra_with_mask(g, spur_node, &disabled, Some(target));
-            if let Some(spur_path) = extract_path(&sp, target) {
+            let spur = ws
+                .run(g, spur_node, Some(&disabled), Some(target))
+                .extract_path(target);
+            if let Some(spur_path) = spur {
                 let mut nodes = root_nodes.to_vec();
                 nodes.extend_from_slice(&spur_path.nodes[1..]);
                 let mut edges = root_edges.to_vec();
@@ -85,6 +98,7 @@ pub fn yen_k_shortest(g: &Graph, source: NodeId, target: NodeId, k: usize) -> Ve
         });
         confirmed.push(candidates.remove(0));
     }
+    ws.put_mask(disabled);
     confirmed
 }
 
@@ -161,6 +175,17 @@ mod tests {
         assert_eq!(ps.len(), 2);
         assert_eq!(ps[0].total_weight, 2.0);
         assert_eq!(ps[1].total_weight, 5.0);
+    }
+
+    #[test]
+    fn warm_workspace_matches_fresh() {
+        let g = sample();
+        let mut ws = DijkstraWorkspace::new();
+        for k in [1usize, 3, 6] {
+            let fresh = yen_k_shortest(&g, 0, 5, k);
+            let warm = yen_k_shortest_with(&g, 0, 5, k, &mut ws);
+            assert_eq!(fresh, warm);
+        }
     }
 
     #[test]

@@ -9,9 +9,7 @@ use leo_util::{check_assert, check_assert_eq};
 /// random extra edges with random weights.
 fn arb_graph(g: &mut Gen) -> Graph {
     let n = g.usize(2..40);
-    let extra = g.vec(0..120, |g| {
-        (g.u32(0..40), g.u32(0..40), g.f64(0.1..100.0))
-    });
+    let extra = g.vec(0..120, |g| (g.u32(0..40), g.u32(0..40), g.f64(0.1..100.0)));
     let mut b = GraphBuilder::new(n);
     // Chain keeps most graphs connected so paths usually exist.
     for i in 1..n as u32 {
@@ -58,8 +56,7 @@ fn dijkstra_matches_bellman_ford() {
         let g = arb_graph(gen);
         let sp = dijkstra(&g, 0);
         let reference = bellman_ford(&g, 0);
-        for v in 0..g.num_nodes() {
-            let (a, b) = (sp.dist[v], reference[v]);
+        for (v, (&a, &b)) in sp.dist.iter().zip(&reference).enumerate() {
             if a.is_finite() || b.is_finite() {
                 check_assert!((a - b).abs() < 1e-9, "node {v}: {a} vs {b}");
             }
@@ -104,7 +101,10 @@ fn disjoint_paths_invariants() {
         let mut used = std::collections::HashSet::new();
         let mut prev = 0.0;
         for p in &paths {
-            check_assert!(p.total_weight >= prev - 1e-9, "weights must be non-decreasing");
+            check_assert!(
+                p.total_weight >= prev - 1e-9,
+                "weights must be non-decreasing"
+            );
             prev = p.total_weight;
             for &e in &p.edges {
                 check_assert!(used.insert(e), "edge {e} reused across paths");
@@ -131,6 +131,71 @@ fn components_consistent_with_reachability() {
         }
         let sizes = component_sizes(&labels);
         check_assert_eq!(sizes.iter().sum::<usize>(), g.num_nodes());
+        Ok(())
+    });
+}
+
+/// One warm `DijkstraWorkspace` reused across random graphs and sources
+/// (with and without masks, with and without early-exit targets) agrees
+/// exactly with fresh-allocation runs.
+#[test]
+fn workspace_matches_fresh_allocation() {
+    let mut ws = DijkstraWorkspace::new();
+    check("workspace_matches_fresh_allocation", |gen| {
+        let g = arb_graph(gen);
+        let n = g.num_nodes() as u32;
+        let source = gen.u32(0..40) % n;
+        let masked = gen.bool();
+        let mask: Vec<bool> = (0..g.num_edges()).map(|_| masked && gen.bool()).collect();
+        let target = if gen.bool() {
+            Some(gen.u32(0..40) % n)
+        } else {
+            None
+        };
+        let fresh = dijkstra_with_mask(&g, source, &mask, target);
+        let view = ws.run(&g, source, Some(&mask), target);
+        for v in 0..n {
+            check_assert_eq!(view.dist(v), fresh.dist[v as usize]);
+            check_assert_eq!(view.reached(v), fresh.reached(v));
+            check_assert_eq!(
+                view.extract_path(v).map(|p| (p.nodes, p.edges)),
+                extract_path(&fresh, v).map(|p| (p.nodes, p.edges))
+            );
+        }
+        let materialized = view.to_shortest_paths();
+        check_assert_eq!(materialized.dist, fresh.dist);
+        check_assert_eq!(materialized.parent_edge, fresh.parent_edge);
+        check_assert_eq!(materialized.parent_node, fresh.parent_node);
+        Ok(())
+    });
+}
+
+/// Early-exit runs never report a distance that disagrees with the full
+/// run: every node an early-exited run claims reached has the true
+/// shortest distance, and the target itself always does.
+#[test]
+fn early_exit_distances_are_never_stale() {
+    check("early_exit_distances_are_never_stale", |gen| {
+        let g = arb_graph(gen);
+        let n = g.num_nodes() as u32;
+        let target = gen.u32(0..40) % n;
+        let mask = vec![false; g.num_edges()];
+        let early = dijkstra_with_mask(&g, 0, &mask, Some(target));
+        let full = dijkstra(&g, 0);
+        check_assert!(
+            (early.dist[target as usize] - full.dist[target as usize]).abs() < 1e-12
+                || (!early.reached(target) && !full.reached(target))
+        );
+        for v in 0..n {
+            if early.reached(v) {
+                check_assert!(
+                    (early.dist[v as usize] - full.dist[v as usize]).abs() < 1e-12,
+                    "node {v}: early {} vs full {}",
+                    early.dist[v as usize],
+                    full.dist[v as usize]
+                );
+            }
+        }
         Ok(())
     });
 }

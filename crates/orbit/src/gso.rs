@@ -33,16 +33,15 @@ pub fn gso_separation_rad(gt: GeoPoint, sat: &Ecef) -> Option<f64> {
     }
     let mut best: Option<f64> = None;
     for k in 0..GSO_ARC_SAMPLES {
-        let lon = std::f64::consts::TAU * (k as f64) / (GSO_ARC_SAMPLES as f64)
-            - std::f64::consts::PI;
+        let lon =
+            std::f64::consts::TAU * (k as f64) / (GSO_ARC_SAMPLES as f64) - std::f64::consts::PI;
         let gso = Ecef::from_geo(GeoPoint::new(0.0, lon), GSO_ALTITUDE_M);
         let to_gso = g.to_vector(&gso);
         // Horizon test: elevation of the GSO point must be ≥ 0.
         if g.dot(&to_gso) < 0.0 {
             continue;
         }
-        let cosang =
-            (to_sat.dot(&to_gso) / (sat_norm * to_gso.norm())).clamp(-1.0, 1.0);
+        let cosang = (to_sat.dot(&to_gso) / (sat_norm * to_gso.norm())).clamp(-1.0, 1.0);
         let ang = cosang.acos();
         best = Some(match best {
             Some(b) if b <= ang => b,
@@ -81,8 +80,7 @@ pub fn usable_sky_fraction(
     let n_az = 72;
     for ei in 0..n_el {
         let frac = (ei as f64 + 0.5) / n_el as f64;
-        let elev = min_elevation_rad
-            + frac * (std::f64::consts::FRAC_PI_2 - min_elevation_rad);
+        let elev = min_elevation_rad + frac * (std::f64::consts::FRAC_PI_2 - min_elevation_rad);
         let weight = elev.cos();
         for ai in 0..n_az {
             let az = std::f64::consts::TAU * (ai as f64) / (n_az as f64);
@@ -143,7 +141,11 @@ mod tests {
         let gt = GeoPoint::from_degrees(0.0, 0.0);
         let gso_sat = Ecef::from_geo(GeoPoint::from_degrees(0.0, 0.0), GSO_ALTITUDE_M);
         let sep = gso_separation_rad(gt, &gso_sat).unwrap();
-        assert!(sep < deg_to_rad(1.5), "sep = {} deg", leo_geo::rad_to_deg(sep));
+        assert!(
+            sep < deg_to_rad(1.5),
+            "sep = {} deg",
+            leo_geo::rad_to_deg(sep)
+        );
     }
 
     #[test]
@@ -156,7 +158,10 @@ mod tests {
         let gt = GeoPoint::from_degrees(0.0, 0.0);
         let leo_overhead = Ecef::from_geo(gt, 550_000.0);
         let sep = gso_separation_rad(gt, &leo_overhead).unwrap();
-        assert!(sep < deg_to_rad(2.0), "overhead LEO aligns with GSO at equator");
+        assert!(
+            sep < deg_to_rad(2.0),
+            "overhead LEO aligns with GSO at equator"
+        );
     }
 
     #[test]
@@ -177,12 +182,18 @@ mod tests {
             f_eq < f_mid,
             "equator {f_eq} should be more constrained than 45N {f_mid}"
         );
-        assert!(f_eq < 0.7, "equator must lose a sizable sky fraction: {f_eq}");
+        assert!(
+            f_eq < 0.7,
+            "equator must lose a sizable sky fraction: {f_eq}"
+        );
         // At 45°N the arc still reaches ~38° elevation in the southern sky,
         // so some loss remains — but far less than at the Equator.
         assert!(f_mid > 0.75, "mid latitudes mostly unconstrained: {f_mid}");
         let f_high = usable_sky_fraction(deg_to_rad(65.0), e, sep, 550_000.0);
-        assert!(f_high > 0.95, "high latitudes nearly unconstrained: {f_high}");
+        assert!(
+            f_high > 0.95,
+            "high latitudes nearly unconstrained: {f_high}"
+        );
     }
 
     #[test]

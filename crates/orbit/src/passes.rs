@@ -53,17 +53,17 @@ pub fn find_passes(
     for i in 0..=steps {
         let t = (t_start + i as f64 * step_s).min(t_end);
         let snap = constellation.positions_at(t);
-        for sat in 0..n {
+        for (sat, open) in open_since.iter_mut().enumerate() {
             let vis = visible_at_elevation(gt, &snap.positions[sat], min_elev);
-            match (vis, open_since[sat]) {
-                (true, None) => open_since[sat] = Some(t),
+            match (vis, *open) {
+                (true, None) => *open = Some(t),
                 (false, Some(rise)) => {
                     passes.push(Pass {
                         satellite: sat as SatelliteId,
                         rise_s: rise,
                         set_s: t - step_s,
                     });
-                    open_since[sat] = None;
+                    *open = None;
                 }
                 _ => {}
             }
@@ -126,7 +126,11 @@ mod tests {
         let gt = GeoPoint::from_degrees(40.7, -74.0);
         let passes = find_passes(&c, gt, 0.0, 3.0 * 3600.0, 15.0);
         let stats = pass_stats(&passes, 0.0, 3.0 * 3600.0);
-        assert!(stats.count > 20, "NYC sees many Starlink passes: {}", stats.count);
+        assert!(
+            stats.count > 20,
+            "NYC sees many Starlink passes: {}",
+            stats.count
+        );
         assert!(
             stats.mean_duration_s > 60.0 && stats.mean_duration_s < 600.0,
             "mean pass {} s should be a few minutes",
@@ -179,9 +183,21 @@ mod tests {
     #[test]
     fn stats_exclude_clipped_windows() {
         let passes = vec![
-            Pass { satellite: 0, rise_s: 0.0, set_s: 100.0 },   // clipped at start
-            Pass { satellite: 1, rise_s: 50.0, set_s: 150.0 },  // interior
-            Pass { satellite: 2, rise_s: 900.0, set_s: 1000.0 }, // clipped at end
+            Pass {
+                satellite: 0,
+                rise_s: 0.0,
+                set_s: 100.0,
+            }, // clipped at start
+            Pass {
+                satellite: 1,
+                rise_s: 50.0,
+                set_s: 150.0,
+            }, // interior
+            Pass {
+                satellite: 2,
+                rise_s: 900.0,
+                set_s: 1000.0,
+            }, // clipped at end
         ];
         let s = pass_stats(&passes, 0.0, 1000.0);
         assert_eq!(s.count, 1);

@@ -54,7 +54,11 @@ pub fn visible_satellites(
     out.clear();
     index.query_radius(gt, params.query_radius_m(), scratch);
     for &id in scratch.iter() {
-        if visible_at_elevation(gt, &snapshot.positions[id as usize], params.min_elevation_rad) {
+        if visible_at_elevation(
+            gt,
+            &snapshot.positions[id as usize],
+            params.min_elevation_rad,
+        ) {
             out.push(id);
         }
     }
@@ -97,7 +101,10 @@ mod tests {
         let gt = GeoPoint::from_degrees(40.7, -74.0); // New York
         let (mut scratch, mut out) = (Vec::new(), Vec::new());
         visible_satellites(gt, &snap, &index, &params, &mut scratch, &mut out);
-        assert!(!out.is_empty(), "NYC must see at least one Starlink satellite");
+        assert!(
+            !out.is_empty(),
+            "NYC must see at least one Starlink satellite"
+        );
         assert!(out.len() < 60, "but not an absurd number: {}", out.len());
     }
 

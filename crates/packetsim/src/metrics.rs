@@ -89,8 +89,10 @@ mod tests {
 
     #[test]
     fn constant_delay_has_zero_jitter() {
-        let mut acc = FlowAccumulator::default();
-        acc.emitted = 5;
+        let mut acc = FlowAccumulator {
+            emitted: 5,
+            ..Default::default()
+        };
         for _ in 0..5 {
             acc.record_delivery(0.010);
         }
@@ -104,8 +106,10 @@ mod tests {
 
     #[test]
     fn varying_delay_produces_jitter() {
-        let mut acc = FlowAccumulator::default();
-        acc.emitted = 4;
+        let mut acc = FlowAccumulator {
+            emitted: 4,
+            ..Default::default()
+        };
         for d in [0.010, 0.020, 0.010, 0.020] {
             acc.record_delivery(d);
         }
@@ -125,8 +129,10 @@ mod tests {
 
     #[test]
     fn percentiles_ordered() {
-        let mut acc = FlowAccumulator::default();
-        acc.emitted = 100;
+        let mut acc = FlowAccumulator {
+            emitted: 100,
+            ..Default::default()
+        };
         for i in 0..100 {
             acc.record_delivery(0.001 * (i as f64 + 1.0));
         }

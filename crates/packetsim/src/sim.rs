@@ -44,8 +44,21 @@ pub struct FlowSpec {
 
 impl FlowSpec {
     /// A smooth constant-bit-rate flow.
-    pub fn cbr(path: Vec<LinkId>, rate_bps: f64, packet_bytes: u32, start_s: f64, stop_s: f64) -> Self {
-        Self { path, rate_bps, packet_bytes, start_s, stop_s, burst: None }
+    pub fn cbr(
+        path: Vec<LinkId>,
+        rate_bps: f64,
+        packet_bytes: u32,
+        start_s: f64,
+        stop_s: f64,
+    ) -> Self {
+        Self {
+            path,
+            rate_bps,
+            packet_bytes,
+            start_s,
+            stop_s,
+            burst: None,
+        }
     }
 
     /// Time of the emission after one at `now`, honoring burst shaping.
@@ -142,8 +155,11 @@ impl PacketSim {
     /// `until_s`, and return per-flow statistics.
     pub fn run(mut self, until_s: f64) -> SimReport {
         let mut queue = EventQueue::default();
-        let mut acc: Vec<FlowAccumulator> =
-            self.flows.iter().map(|_| FlowAccumulator::default()).collect();
+        let mut acc: Vec<FlowAccumulator> = self
+            .flows
+            .iter()
+            .map(|_| FlowAccumulator::default())
+            .collect();
         for (f, spec) in self.flows.iter().enumerate() {
             if spec.start_s < spec.stop_s {
                 queue.push(spec.start_s, Event::FlowEmit { flow: f as u32 });
@@ -320,7 +336,11 @@ mod tests {
         assert_eq!(f.emitted, f.delivered);
         // 10 kbit at 10 Mbit/s = 1 ms serialization + 5 ms propagation.
         assert!((f.mean_delay_s - 0.006).abs() < 1e-9, "{}", f.mean_delay_s);
-        assert!(f.jitter_s < 1e-15, "uncontended CBR has no jitter: {}", f.jitter_s);
+        assert!(
+            f.jitter_s < 1e-15,
+            "uncontended CBR has no jitter: {}",
+            f.jitter_s
+        );
     }
 
     #[test]

@@ -55,8 +55,14 @@ impl BenchResult {
         format!(
             "{{\"label\":\"{}\",\"bench\":\"{}\",\"iters_per_sample\":{},\"samples\":{},\
              \"min_ns\":{:.1},\"mean_ns\":{:.1},\"median_ns\":{:.1},\"p95_ns\":{:.1}}}",
-            label, self.name, self.iters_per_sample, self.samples,
-            self.min_ns, self.mean_ns, self.median_ns, self.p95_ns,
+            label,
+            self.name,
+            self.iters_per_sample,
+            self.samples,
+            self.min_ns,
+            self.mean_ns,
+            self.median_ns,
+            self.p95_ns,
         )
     }
 }

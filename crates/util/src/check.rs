@@ -138,13 +138,16 @@ pub fn check(name: &str, f: impl FnMut(&mut Gen) -> CaseResult) {
 pub fn check_with(name: &str, cases: usize, mut f: impl FnMut(&mut Gen) -> CaseResult) {
     // Replay mode: run exactly the requested case.
     if let Ok(v) = std::env::var("LEO_CHECK_SEED") {
-        let seed = parse_seed(&v)
-            .unwrap_or_else(|| panic!("LEO_CHECK_SEED `{v}` is not a (hex) integer"));
+        let seed =
+            parse_seed(&v).unwrap_or_else(|| panic!("LEO_CHECK_SEED `{v}` is not a (hex) integer"));
         let mut gen = Gen::from_seed(seed);
         match f(&mut gen) {
             Ok(()) => return,
             Err(e) if e.skip => panic!("property `{name}`: seed {seed:#018X} is a skipped case"),
-            Err(e) => panic!("property `{name}` failed (replayed seed {seed:#018X}): {}", e.message),
+            Err(e) => panic!(
+                "property `{name}` failed (replayed seed {seed:#018X}): {}",
+                e.message
+            ),
         }
     }
 
@@ -156,8 +159,8 @@ pub fn check_with(name: &str, cases: usize, mut f: impl FnMut(&mut Gen) -> CaseR
         assert!(
             attempt < max_attempts,
             "property `{name}`: skipped {} of {attempt} generated cases — \
-             the assumptions veto almost everything"
-            , attempt - executed
+             the assumptions veto almost everything",
+            attempt - executed
         );
         let case_seed = mix64(base ^ attempt as u64);
         let mut gen = Gen::from_seed(case_seed);
@@ -328,7 +331,10 @@ mod tests {
     fn seed_parsing() {
         assert_eq!(parse_seed("0x10"), Some(16));
         assert_eq!(parse_seed("42"), Some(42));
-        assert_eq!(parse_seed("0xDEADBEEFDEADBEEF"), Some(0xDEAD_BEEF_DEAD_BEEF));
+        assert_eq!(
+            parse_seed("0xDEADBEEFDEADBEEF"),
+            Some(0xDEAD_BEEF_DEAD_BEEF)
+        );
         assert_eq!(parse_seed("nope"), None);
     }
 }

@@ -64,7 +64,11 @@ impl Display for KvError {
             KvError::Missing { section, key } => {
                 write!(f, "missing key `{key}` in section [{section}]")
             }
-            KvError::BadValue { section, key, value } => {
+            KvError::BadValue {
+                section,
+                key,
+                value,
+            } => {
                 write!(f, "bad value `{value}` for `{key}` in section [{section}]")
             }
         }
@@ -99,11 +103,7 @@ impl KvDoc {
             let Some((k, v)) = line.split_once('=') else {
                 return Err(KvError::Malformed { line: i + 1 });
             };
-            entries.push((
-                section.clone(),
-                k.trim().to_string(),
-                v.trim().to_string(),
-            ));
+            entries.push((section.clone(), k.trim().to_string(), v.trim().to_string()));
         }
         Ok(KvDoc { entries })
     }

@@ -97,7 +97,11 @@ fn level_slow() -> u8 {
 #[inline]
 pub fn level() -> Level {
     let raw = LEVEL.load(Ordering::Relaxed);
-    let raw = if raw == LEVEL_UNSET { level_slow() } else { raw };
+    let raw = if raw == LEVEL_UNSET {
+        level_slow()
+    } else {
+        raw
+    };
     match raw {
         1 => Level::Info,
         2 => Level::Debug,
@@ -290,7 +294,9 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(inner) = self.armed.take() else { return };
+        let Some(inner) = self.armed.take() else {
+            return;
+        };
         let dur_ns = inner.start.elapsed().as_nanos() as u64;
         SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         {
@@ -503,10 +509,12 @@ pub fn bucket_index(v: u64) -> usize {
 impl Histogram {
     /// A new histogram; use in a `static`.
     pub const fn new(name: &'static str) -> Histogram {
-        const ZERO: AtomicU64 = AtomicU64::new(0);
+        // An inline-const repeat element: each array slot gets its own
+        // fresh AtomicU64 (a named const here would trip
+        // `declare_interior_mutable_const`).
         Histogram {
             name,
-            buckets: [ZERO; HIST_BUCKETS],
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             min: AtomicU64::new(u64::MAX),
@@ -882,9 +890,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = b
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                             16,
@@ -1126,7 +1132,10 @@ mod tests {
         }
         assert_eq!(C.get(), 0, "disabled counter must not accumulate");
         assert_eq!(H.count(), 0, "disabled histogram must not accumulate");
-        assert!(PHASES.lock().unwrap().is_empty(), "disabled span must not aggregate");
+        assert!(
+            PHASES.lock().unwrap().is_empty(),
+            "disabled span must not aggregate"
+        );
         // init refuses to create a file when off.
         let dir = std::env::temp_dir().join("leo_telemetry_disabled");
         let _ = std::fs::remove_dir_all(&dir);
@@ -1162,7 +1171,10 @@ mod tests {
             validate_event_line(l).unwrap_or_else(|e| panic!("line failed: {e}\n{l}"));
         }
         assert_eq!(validate_event_line(lines[0]).unwrap(), "run_start");
-        assert_eq!(validate_event_line(lines.last().unwrap()).unwrap(), "manifest");
+        assert_eq!(
+            validate_event_line(lines.last().unwrap()).unwrap(),
+            "manifest"
+        );
         // Inner span closes before outer and nests one deeper; the outer
         // duration dominates the inner.
         let spans: Vec<Json> = lines

@@ -33,10 +33,7 @@ fn main() {
     for (a, b) in ROUTES {
         let ia = ctx.ground.city_index(a).expect("city");
         let ib = ctx.ground.city_index(b).expect("city");
-        let d = great_circle_distance_m(
-            ctx.ground.cities[ia].pos,
-            ctx.ground.cities[ib].pos,
-        );
+        let d = great_circle_distance_m(ctx.ground.cities[ia].pos, ctx.ground.cities[ib].pos);
         // The physical floor: RTT along the geodesic at c in vacuum.
         let c_limit_ms = 2.0 * d / SPEED_OF_LIGHT_M_S * 1000.0;
         let min_rtt = |mode| {
@@ -52,8 +49,16 @@ fn main() {
             format!("{a} -> {b}"),
             d / 1000.0,
             c_limit_ms,
-            if bp.is_finite() { format!("{bp:.1}") } else { "-".into() },
-            if hy.is_finite() { format!("{hy:.1}") } else { "-".into() },
+            if bp.is_finite() {
+                format!("{bp:.1}")
+            } else {
+                "-".into()
+            },
+            if hy.is_finite() {
+                format!("{hy:.1}")
+            } else {
+                "-".into()
+            },
         );
     }
     println!("\nhybrid paths ride ISLs near the geodesic at c; BP zig-zags through whatever relays exist.");

@@ -6,9 +6,16 @@
 #    before cargo even runs, so a registry dep can't sneak back in.
 # 2. Offline release build + full test suite (`--offline` makes cargo
 #    error out instead of touching the network).
-# 3. Telemetry schema guard: one Tiny figure run with LEO_LOG=info must
+# 3. Style gates: rustfmt (check mode) and clippy with -D warnings —
+#    the tree must be lint-clean, not just compiling.
+# 4. Telemetry schema guard: one Tiny figure run with LEO_LOG=info must
 #    produce a RUN_*.jsonl in which every line is a known event type and
 #    the final record is the run manifest (validate_run checks both).
+# 5. Routing-bench smoke: run benches/routing.rs and require the
+#    workspace+bundle inner loop to beat the seed path by >= 1.1x
+#    (the committed BENCH_routing.json shows ~1.7x; the smoke threshold
+#    is loose to tolerate CI noise but loud when the optimisation
+#    regresses to parity).
 #
 # Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -37,6 +44,12 @@ cargo build --release --offline
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --offline --all-targets -- -D warnings =="
+cargo clippy -q --offline --all-targets -- -D warnings
+
 echo "== telemetry schema: Tiny fig2 run under LEO_LOG=info =="
 log_dir=$(mktemp -d)
 trap 'rm -rf "$log_dir"' EXIT
@@ -45,5 +58,25 @@ LEO_LOG=info LEO_LOG_DIR="$log_dir" \
     > /dev/null
 cargo run -q --release --offline -p leo-bench --bin validate_run -- \
     "$log_dir/RUN_fig2_latency.jsonl"
+
+echo "== routing bench smoke: workspace inner loop must beat seed path =="
+LEO_LOG=off LEO_BENCH_DIR="$log_dir" \
+    cargo bench -q --offline -p leo-bench --bench routing > /dev/null
+awk -F'"median_ns":' '
+    /"bench":"inner_loop_seed"/      { split($2, a, /[,}]/); seed = a[1] }
+    /"bench":"inner_loop_workspace"/ { split($2, a, /[,}]/); ws = a[1] }
+    END {
+        if (seed == "" || ws == "" || ws <= 0) {
+            print "ERROR: inner_loop benches missing from BENCH_routing.json" > "/dev/stderr"
+            exit 1
+        }
+        ratio = seed / ws
+        printf "inner loop: seed %d ns vs workspace %d ns  (%.2fx)\n", seed, ws, ratio
+        if (ratio < 1.1) {
+            printf "ERROR: workspace speedup %.2fx below 1.1x smoke floor\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }
+' "$log_dir/BENCH_routing.json"
 
 echo "tier-1 verify passed"

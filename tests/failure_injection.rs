@@ -22,7 +22,9 @@ fn killing_the_shortest_path_leaves_alternatives() {
             snap.city_node(p.dst as usize),
         );
         let sp = dijkstra(&snap.graph, s);
-        let Some(best) = extract_path(&sp, d) else { continue };
+        let Some(best) = extract_path(&sp, d) else {
+            continue;
+        };
         // Disable every edge of the best path.
         let mut disabled = vec![false; snap.graph.num_edges()];
         for &e in &best.edges {

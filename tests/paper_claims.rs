@@ -37,7 +37,10 @@ fn claim_latency_stability() {
         s.bp_max_variation_ms > s.hybrid_max_variation_ms,
         "BP worst-case variation must exceed hybrid's"
     );
-    assert!(s.max_min_rtt_gap_ms > 0.0, "some pair must benefit from ISLs");
+    assert!(
+        s.max_min_rtt_gap_ms > 0.0,
+        "some pair must benefit from ISLs"
+    );
 }
 
 /// §5 / Fig. 4: hybrid throughput beats BP substantially (paper ≥2.5×
@@ -123,7 +126,6 @@ fn claim_delhi_sydney_exceedance() {
 #[test]
 fn claim_gso_equator_pain() {
     let ctx = small();
-    let rows =
-        leo_core::experiments::gso_arc::gso_sweep(&ctx, &[0.0, 45.0], 40.0, 22.0, 0.0);
+    let rows = leo_core::experiments::gso_arc::gso_sweep(&ctx, &[0.0, 45.0], 40.0, 22.0, 0.0);
     assert!(rows[0].usable_sky_fraction + 0.2 < rows[1].usable_sky_fraction);
 }

@@ -48,10 +48,17 @@ fn bp_paths_alternate_ground_and_satellite() {
             for w in path.nodes.windows(2) {
                 let a_ground = snap.nodes[w[0] as usize].is_ground();
                 let b_ground = snap.nodes[w[1] as usize].is_ground();
-                assert_ne!(a_ground, b_ground, "BP hop must cross ground/space boundary");
+                assert_ne!(
+                    a_ground, b_ground,
+                    "BP hop must cross ground/space boundary"
+                );
             }
             // Odd hop count: up, (down,up)*, down.
-            assert_eq!(path.num_hops() % 2, 0, "BP path has even hops (up+down pairs)");
+            assert_eq!(
+                path.num_hops() % 2,
+                0,
+                "BP path has even hops (up+down pairs)"
+            );
             checked += 1;
         }
     }
@@ -87,9 +94,8 @@ fn aircraft_participate_in_bp_routing() {
     cfg.num_cities = 340;
     cfg.flight_density = 1.0;
     let ctx = StudyContext::build(cfg);
-    let ts = leo_core::experiments::latency::pair_timeseries(
-        &ctx, "Maceió", "Durban", Mode::BpOnly, 0,
-    );
+    let ts =
+        leo_core::experiments::latency::pair_timeseries(&ctx, "Maceió", "Durban", Mode::BpOnly, 0);
     let with_aircraft = ts.iter().filter(|p| p.aircraft_hops > 0).count();
     assert!(
         with_aircraft > 0,

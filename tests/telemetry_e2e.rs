@@ -11,9 +11,7 @@
 use leo_core::experiments::latency::latency_study;
 use leo_core::experiments::throughput::throughput;
 use leo_core::{ExperimentScale, Mode, StudyContext};
-use leo_util::telemetry::{
-    self, fnv1a_64, validate_event_line, Json, Level, RunManifest,
-};
+use leo_util::telemetry::{self, fnv1a_64, validate_event_line, Json, Level, RunManifest};
 
 #[test]
 fn tiny_study_produces_valid_run_log_with_manifest() {
@@ -86,11 +84,35 @@ fn tiny_study_produces_valid_run_log_with_manifest() {
     let phases = m.get("phases").expect("manifest has phases");
     let latency_phase = phases.get("latency_study").expect("latency_study phase");
     assert_eq!(latency_phase.get("count").and_then(Json::as_num), Some(2.0));
-    assert!(latency_phase.get("total_ns").and_then(Json::as_num).unwrap() > 0.0);
+    assert!(
+        latency_phase
+            .get("total_ns")
+            .and_then(Json::as_num)
+            .unwrap()
+            > 0.0
+    );
     let counters = m.get("counters").expect("manifest has counters");
-    assert!(counters.get("dijkstra_calls").and_then(Json::as_num).unwrap() > 0.0);
-    assert!(counters.get("snapshots_built").and_then(Json::as_num).unwrap() >= 4.0);
-    assert!(counters.get("maxmin_solves").and_then(Json::as_num).unwrap() >= 1.0);
+    assert!(
+        counters
+            .get("dijkstra_calls")
+            .and_then(Json::as_num)
+            .unwrap()
+            > 0.0
+    );
+    assert!(
+        counters
+            .get("snapshots_built")
+            .and_then(Json::as_num)
+            .unwrap()
+            >= 4.0
+    );
+    assert!(
+        counters
+            .get("maxmin_solves")
+            .and_then(Json::as_num)
+            .unwrap()
+            >= 1.0
+    );
 
     // Every timestamp falls inside the run window: at or after the
     // run_start stamp, at or before the manifest's wall clock. (Span
