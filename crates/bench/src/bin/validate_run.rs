@@ -3,9 +3,15 @@
 //! last must be the run manifest with its provenance fields. CI runs
 //! this against a real figure run so schema drift fails the build.
 //!
-//! Usage: `validate_run <path/to/RUN_label.jsonl>` — exits 0 and prints
-//! a one-line summary on success, exits 1 with the offending line on
-//! failure.
+//! Usage: `validate_run [--require-lint-clean] <path/to/RUN_label.jsonl>`
+//! — exits 0 and prints a one-line summary on success, exits 1 with the
+//! offending line on failure.
+//!
+//! The manifest's `lint_clean` field records whether the producing tree
+//! passed `leo-lint --deny` (set by the bins from `LEO_LINT_CLEAN`). A
+//! manifest saying `"false"` always fails validation; under
+//! `--require-lint-clean` (the CI lane), anything but `"true"` fails —
+//! results from an unlinted tree don't count as reproducible evidence.
 
 use leo_util::telemetry::{validate_event_line, Json};
 
@@ -15,8 +21,16 @@ fn fail(msg: &str) -> ! {
 }
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| {
-        fail("usage: validate_run <RUN_label.jsonl>");
+    let mut require_lint_clean = false;
+    let mut path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--require-lint-clean" => require_lint_clean = true,
+            _ => path = Some(arg),
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        fail("usage: validate_run [--require-lint-clean] <RUN_label.jsonl>");
     });
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
@@ -66,6 +80,17 @@ fn main() {
     }
     if !matches!(manifest.get("phases"), Some(Json::Obj(_))) {
         fail("manifest: missing `phases` object");
+    }
+    let lint_clean = manifest.get("lint_clean").and_then(Json::as_str);
+    if lint_clean == Some("false") {
+        fail("manifest: lint_clean is \"false\" — the producing tree failed leo-lint");
+    }
+    if require_lint_clean && lint_clean != Some("true") {
+        fail(&format!(
+            "manifest: --require-lint-clean needs lint_clean=\"true\", got {:?} \
+             (run under LEO_LINT_CLEAN=1 after `leo-lint --deny` passes)",
+            lint_clean.unwrap_or("<absent>")
+        ));
     }
 
     let summary: Vec<String> = counts.iter().map(|(t, n)| format!("{n} {t}")).collect();

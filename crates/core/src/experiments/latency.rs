@@ -44,6 +44,7 @@ impl PairStats {
 pub fn latency_study(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<PairStats> {
     latency_studies(ctx, &[mode], threads)
         .pop()
+        // lint: allow(unwrap-in-lib) latency_studies returns one entry per requested mode, and one mode was passed
         .expect("one mode requested")
 }
 

@@ -43,6 +43,7 @@ fn link_attenuation_db(
     };
     let site = snap
         .ground_position(ground)
+        // lint: allow(unwrap-in-lib) UpDown edges reference a ground node with a position by snapshot construction
         .expect("ground node has position");
     let slant = SlantPath {
         site,
@@ -222,8 +223,8 @@ pub fn exceedance_curve(
             .collect();
         curves.push(vals);
     }
-    let isl = curves.pop().unwrap();
-    let bp = curves.pop().unwrap();
+    let isl = curves.pop()?;
+    let bp = curves.pop()?;
     Some(ExceedanceCurve {
         p_percent: ps,
         bp_db: bp,
@@ -307,7 +308,11 @@ mod tests {
         }
         // At every exceedance level, the BP worst link is at least as bad:
         // the BP path adds tropical intermediate hops (Fig. 7's story).
-        let idx_1pct = curve.p_percent.iter().position(|&p| p == 1.0).unwrap();
+        let idx_1pct = curve
+            .p_percent
+            .iter()
+            .position(|&p| p.to_bits() == 1.0f64.to_bits())
+            .unwrap();
         assert!(
             curve.bp_db[idx_1pct] >= curve.isl_db[idx_1pct] - 1e-9,
             "BP {} dB vs ISL {} dB at 1%",

@@ -104,6 +104,7 @@ where
     }
     .min(n);
     if threads <= 1 {
+        // lint: allow(wall-clock) feeds the busy_ns telemetry field only, which determinism comparisons exclude
         let t0 = Instant::now();
         let out: Vec<R> = items.iter().map(&f).collect();
         let stats = ParStats {
@@ -130,6 +131,7 @@ where
                         if i >= n {
                             break;
                         }
+                        // lint: allow(wall-clock) feeds the busy_ns telemetry field only, which determinism comparisons exclude
                         let t0 = Instant::now();
                         let r = f(&items[i]);
                         busy_ns += t0.elapsed().as_nanos() as u64;
@@ -140,6 +142,7 @@ where
             })
             .collect();
         for w in workers {
+            // lint: allow(unwrap-in-lib) re-raising a worker panic on the coordinating thread is the intended failure mode
             let (local, busy_ns) = w.join().expect("worker panicked");
             stats.workers.push(WorkerStats {
                 items: local.len(),
@@ -153,6 +156,7 @@ where
     record_fanout(&stats);
     (
         out.into_iter()
+            // lint: allow(unwrap-in-lib) the atomic cursor hands each index to exactly one worker, so every slot is written
             .map(|r| r.expect("all slots filled"))
             .collect(),
         stats,

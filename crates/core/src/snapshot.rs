@@ -133,12 +133,19 @@ impl StudyContext {
             .map(NodeKind::Relay)
             .collect();
         let city_positions: Vec<GeoPoint> = ground.cities.iter().map(|c| c.pos).collect();
-        let mut grouped: std::collections::HashMap<u32, Vec<usize>> = Default::default();
-        for (i, p) in pairs.iter().enumerate() {
-            grouped.entry(p.src).or_default().push(i);
+        // Group by source via a stable sort (keeps pair order within a
+        // source) — no hash-order dependence anywhere near the routing
+        // fan-out.
+        let mut by_src: Vec<(u32, usize)> =
+            pairs.iter().enumerate().map(|(i, p)| (p.src, i)).collect();
+        by_src.sort_by_key(|&(src, _)| src);
+        let mut pairs_by_src: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (src, i) in by_src {
+            match pairs_by_src.last_mut() {
+                Some((s, v)) if *s == src => v.push(i),
+                _ => pairs_by_src.push((src, vec![i])),
+            }
         }
-        let mut pairs_by_src: Vec<(u32, Vec<usize>)> = grouped.into_iter().collect();
-        pairs_by_src.sort_unstable_by_key(|(src, _)| *src);
         Self {
             config,
             constellation,
@@ -185,6 +192,7 @@ impl StudyContext {
     pub fn snapshot(&self, t_s: f64, mode: Mode) -> NetworkSnapshot {
         self.snapshot_bundle(t_s, &[mode])
             .pop()
+            // lint: allow(unwrap-in-lib) snapshot_bundle returns one snapshot per requested mode, and one mode was passed
             .expect("one mode requested")
     }
 

@@ -126,44 +126,17 @@ impl FlowSim {
         let mut active: Vec<LinkId> = (0..nl as u32)
             .filter(|&l| occurrences[l as usize] > 0)
             .collect();
-        let mut rounds = 0usize;
-        let mut unfrozen_left = nf;
-
-        while unfrozen_left > 0 && !active.is_empty() {
-            rounds += 1;
-            // Find the most-congested link: minimal remaining / occurrences.
-            let mut best_link = active[0];
-            let mut best_share = f64::INFINITY;
-            for &l in &active {
-                let share = remaining[l as usize] / occurrences[l as usize] as f64;
-                if share < best_share {
-                    best_share = share;
-                    best_link = l;
-                }
-            }
-            let share = best_share.max(0.0);
-            // Freeze every unfrozen flow crossing the bottleneck.
-            let flows_here = std::mem::take(&mut link_flows[best_link as usize]);
-            for f in flows_here {
-                let fi = f as usize;
-                if frozen[fi] {
-                    continue;
-                }
-                frozen[fi] = true;
-                freeze_round[fi] = rounds as u32;
-                unfrozen_left -= 1;
-                // A flow crossing the bottleneck k times gets k shares? No:
-                // the flow's rate is the fair share; each crossing consumes
-                // it. Rate = share (the binding constraint).
-                rates[fi] = share;
-                for &l in &self.paths[fi] {
-                    remaining[l as usize] = (remaining[l as usize] - share).max(0.0);
-                    occurrences[l as usize] -= 1;
-                }
-            }
-            // Compact the active set.
-            active.retain(|&l| occurrences[l as usize] > 0);
-        }
+        let rounds = progressive_fill(
+            &self.paths,
+            &mut remaining,
+            &mut occurrences,
+            &mut link_flows,
+            &mut active,
+            &mut frozen,
+            &mut freeze_round,
+            &mut rates,
+            nf,
+        );
 
         MAXMIN_SOLVES.add(1);
         MAXMIN_ROUNDS.add(rounds as u64);
@@ -186,6 +159,63 @@ impl FlowSim {
             freeze_round,
         }
     }
+}
+
+/// Progressive-filling inner loop: each round finds the most-congested
+/// link (minimal fair share) and freezes every unfrozen flow crossing
+/// it at that share. Runs once per [`FlowSim::solve`] but over every
+/// link × round, so it works entirely in the buffers `solve` set up.
+/// Returns the number of rounds.
+// lint: hot-path
+#[allow(clippy::too_many_arguments)]
+fn progressive_fill(
+    paths: &[Vec<LinkId>],
+    remaining: &mut [f64],
+    occurrences: &mut [u32],
+    link_flows: &mut [Vec<FlowId>],
+    active: &mut Vec<LinkId>,
+    frozen: &mut [bool],
+    freeze_round: &mut [u32],
+    rates: &mut [f64],
+    mut unfrozen_left: usize,
+) -> usize {
+    let mut rounds = 0usize;
+    while unfrozen_left > 0 && !active.is_empty() {
+        rounds += 1;
+        // Find the most-congested link: minimal remaining / occurrences.
+        let mut best_link = active[0];
+        let mut best_share = f64::INFINITY;
+        for &l in active.iter() {
+            let share = remaining[l as usize] / occurrences[l as usize] as f64;
+            if share < best_share {
+                best_share = share;
+                best_link = l;
+            }
+        }
+        let share = best_share.max(0.0);
+        // Freeze every unfrozen flow crossing the bottleneck.
+        let flows_here = std::mem::take(&mut link_flows[best_link as usize]);
+        for f in flows_here {
+            let fi = f as usize;
+            if frozen[fi] {
+                continue;
+            }
+            frozen[fi] = true;
+            freeze_round[fi] = rounds as u32;
+            unfrozen_left -= 1;
+            // A flow crossing the bottleneck k times gets k shares? No:
+            // the flow's rate is the fair share; each crossing consumes
+            // it. Rate = share (the binding constraint).
+            rates[fi] = share;
+            for &l in &paths[fi] {
+                remaining[l as usize] = (remaining[l as usize] - share).max(0.0);
+                occurrences[l as usize] -= 1;
+            }
+        }
+        // Compact the active set.
+        active.retain(|&l| occurrences[l as usize] > 0);
+    }
+    rounds
 }
 
 #[cfg(test)]

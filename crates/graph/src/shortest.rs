@@ -210,6 +210,7 @@ impl DijkstraWorkspace {
         )
     }
 
+    // lint: hot-path
     fn run_core(
         &mut self,
         g: &Graph,

@@ -127,12 +127,16 @@ pub fn suurballe_with(
 
     // 3. Merge: arcs of P1 plus arcs of P2, with opposite arcs of the
     // same edge cancelling; then peel two paths off the merged arc set.
-    let mut arcs: std::collections::HashMap<(EdgeId, u8), u32> = Default::default();
-    for &k in &p1_arcs {
-        *arcs.entry(k).or_default() += 1;
+    // A BTreeMap keyed by (edge, direction) keeps every downstream
+    // traversal in sorted-key order — the peeled path composition must
+    // not depend on hash iteration order.
+    let mut arcs: std::collections::BTreeMap<(EdgeId, u8), u32> = Default::default();
+    for (i, &e) in first.edges.iter().enumerate() {
+        *arcs.entry(arc_key(first.nodes[i], e)).or_default() += 1;
     }
     let mut v = target;
     while v != source {
+        // lint: allow(unwrap-in-lib) dist[target] is finite, so every node on the parent chain was settled with a parent
         let (p, e) = parent[v as usize].expect("reached node has parent");
         let key = arc_key(p, e);
         let (eu, ev, _) = g.edge(e);
@@ -150,8 +154,11 @@ pub fn suurballe_with(
         v = p;
     }
 
-    // Build per-node outgoing arc lists from the merged set.
-    let mut out: std::collections::HashMap<NodeId, Vec<(NodeId, EdgeId, f64)>> = Default::default();
+    // Build per-node outgoing arc lists from the merged set, in sorted
+    // arc order (deterministic: `peel` pops these lists, so their order
+    // decides how the two paths share the merged arcs).
+    let mut out: std::collections::BTreeMap<NodeId, Vec<(NodeId, EdgeId, f64)>> =
+        Default::default();
     for (&(e, dir), &count) in &arcs {
         let (u, v, w) = g.edge(e);
         let (from, to) = if dir == 0 { (u, v) } else { (v, u) };

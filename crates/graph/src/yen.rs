@@ -41,7 +41,9 @@ pub fn yen_k_shortest_with(
     let mut candidates: Vec<Path> = Vec::new();
 
     while confirmed.len() < k {
-        let last = confirmed.last().unwrap().clone();
+        let Some(last) = confirmed.last().cloned() else {
+            break; // unreachable: `confirmed` starts non-empty and only grows
+        };
         // Each node of the previous path (except target) is a spur node.
         for spur_idx in 0..last.nodes.len() - 1 {
             let spur_node = last.nodes[spur_idx];

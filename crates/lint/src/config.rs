@@ -1,0 +1,130 @@
+//! `lint.toml` — per-rule path scoping in the workspace's hermetic
+//! `key = value` config dialect (parsed with [`leo_util::config::KvDoc`],
+//! not actual TOML; the name keeps the conventional spelling).
+//!
+//! ```text
+//! [run]
+//! exclude = crates/lint/tests/fixtures
+//!
+//! [wall-clock]
+//! allow = crates/util/src/bench.rs,crates/util/src/telemetry.rs
+//!
+//! [unordered-iter]
+//! paths = crates/core/src,crates/graph/src
+//! ```
+//!
+//! All paths are workspace-relative prefixes with forward slashes.
+//! Every key is optional; compiled-in defaults (matching this repo's
+//! layout) apply when the file or a key is absent.
+
+use leo_util::config::KvDoc;
+
+/// Parsed lint configuration.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// Path prefixes excluded from all linting (fixture corpora).
+    pub exclude: Vec<String>,
+    /// Files allowed to read the wall clock (the telemetry/bench core).
+    pub wall_clock_allow: Vec<String>,
+    /// Result-path prefixes where `unordered-iter` applies.
+    pub unordered_iter_paths: Vec<String>,
+    /// Files allowed to print from library code (the telemetry sink and
+    /// bench reporter).
+    pub print_allow: Vec<String>,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig {
+            exclude: vec!["crates/lint/tests/fixtures".into()],
+            wall_clock_allow: vec![
+                "crates/util/src/bench.rs".into(),
+                "crates/util/src/telemetry.rs".into(),
+            ],
+            unordered_iter_paths: vec![
+                "crates/core/src".into(),
+                "crates/graph/src".into(),
+                "crates/flow/src".into(),
+                "crates/data/src".into(),
+                "crates/orbit/src".into(),
+                "crates/packetsim/src".into(),
+                "crates/bench/src".into(),
+            ],
+            print_allow: vec![
+                "crates/util/src/bench.rs".into(),
+                "crates/util/src/telemetry.rs".into(),
+            ],
+        }
+    }
+}
+
+impl LintConfig {
+    /// Parse config text; absent keys keep their defaults.
+    pub fn parse(text: &str) -> Result<LintConfig, String> {
+        let doc = KvDoc::parse(text).map_err(|e| format!("lint config: {e}"))?;
+        let mut cfg = LintConfig::default();
+        let list = |section: &str, key: &str, into: &mut Vec<String>| {
+            if let Some(v) = doc.get(section, key) {
+                *into = v
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+        };
+        list("run", "exclude", &mut cfg.exclude);
+        list("wall-clock", "allow", &mut cfg.wall_clock_allow);
+        list("unordered-iter", "paths", &mut cfg.unordered_iter_paths);
+        list("print-in-lib", "allow", &mut cfg.print_allow);
+        Ok(cfg)
+    }
+
+    /// Does `path` fall under any prefix in `prefixes`?
+    pub fn path_matches(path: &str, prefixes: &[String]) -> bool {
+        prefixes.iter().any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// Is `path` excluded from linting entirely?
+    pub fn is_excluded(&self, path: &str) -> bool {
+        Self::path_matches(path, &self.exclude)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_repo_layout() {
+        let cfg = LintConfig::default();
+        assert!(cfg.is_excluded("crates/lint/tests/fixtures/wall-clock/bad.rs"));
+        assert!(LintConfig::path_matches(
+            "crates/util/src/telemetry.rs",
+            &cfg.wall_clock_allow
+        ));
+        assert!(LintConfig::path_matches(
+            "crates/core/src/experiments/latency.rs",
+            &cfg.unordered_iter_paths
+        ));
+        assert!(!LintConfig::path_matches(
+            "crates/geo/src/ecef.rs",
+            &cfg.unordered_iter_paths
+        ));
+    }
+
+    #[test]
+    fn parse_overrides_and_keeps_defaults() {
+        let cfg =
+            LintConfig::parse("[run]\nexclude = a/b , c/d\n[unordered-iter]\npaths = only/here\n")
+                .unwrap();
+        assert_eq!(cfg.exclude, vec!["a/b", "c/d"]);
+        assert_eq!(cfg.unordered_iter_paths, vec!["only/here"]);
+        // Untouched section keeps its default.
+        assert_eq!(cfg.wall_clock_allow.len(), 2);
+    }
+
+    #[test]
+    fn malformed_config_errors() {
+        assert!(LintConfig::parse("not a kv line\n").is_err());
+    }
+}

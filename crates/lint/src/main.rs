@@ -1,0 +1,130 @@
+//! `leo-lint` — workspace static analysis driver.
+//!
+//! ```text
+//! leo-lint [--deny] [--jsonl] [--root DIR] [--config FILE] [--rules] [PATH…]
+//! ```
+//!
+//! Walks `--root` (default: the current directory) for `.rs` files,
+//! applies every rule, prints `file:line` diagnostics (human form, or
+//! one JSON object per line with `--jsonl`) plus a summary that counts
+//! applied suppressions. `PATH…` arguments restrict linting to files
+//! under those workspace-relative prefixes.
+//!
+//! Exit codes: `0` clean (or findings without `--deny`), `1` findings
+//! under `--deny` (the CI lane), `2` usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use leo_lint::config::LintConfig;
+use leo_lint::rules::all_rules;
+use leo_lint::Linter;
+
+struct Args {
+    deny: bool,
+    jsonl: bool,
+    list_rules: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    filters: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        jsonl: false,
+        list_rules: false,
+        root: PathBuf::from("."),
+        config: None,
+        filters: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => args.deny = true,
+            "--jsonl" => args.jsonl = true,
+            "--rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: leo-lint [--deny] [--jsonl] [--root DIR] [--config FILE] \
+                     [--rules] [PATH...]"
+                );
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path => args.filters.push(path.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn load_config(args: &Args) -> Result<LintConfig, String> {
+    let path = match &args.config {
+        Some(p) => p.clone(),
+        None => {
+            let default = args.root.join("lint.toml");
+            if !default.is_file() {
+                return Ok(LintConfig::default());
+            }
+            default
+        }
+    };
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    LintConfig::parse(&text)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("leo-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for rule in all_rules() {
+            println!("{:<20} {}", rule.name(), rule.rationale());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let cfg = match load_config(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("leo-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let linter = Linter::new(cfg);
+    let report = match linter.run(&args.root, &args.filters) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("leo-lint: walking {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.jsonl {
+        for d in &report.diagnostics {
+            println!("{}", d.jsonl());
+        }
+        println!("{}", report.summary_jsonl());
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.human());
+        }
+        println!("{}", report.summary_human());
+    }
+
+    if args.deny && !report.diagnostics.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,103 @@
+//! `float-fastmath`: bare `==`/`!=` against a float literal in test
+//! code.
+//!
+//! Determinism tests in this workspace compare floats *exactly* — by
+//! design — but a bare `x == 0.5` silently loses that intent the day
+//! someone builds with non-default float semantics, and gives no
+//! diagnostic output when it fails. Compare bit patterns
+//! (`x.to_bits() == 0.5f64.to_bits()`), use `assert_eq!` (which prints
+//! both sides), or document the exactness invariant with a suppression.
+//!
+//! Scope note: `assert_eq!(x, 0.5)` is deliberately *not* flagged —
+//! the golden-value determinism suites pin exact values on purpose and
+//! the macro reports both operands on failure.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct FloatFastmath;
+
+impl Rule for FloatFastmath {
+    fn name(&self) -> &'static str {
+        "float-fastmath"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "bare float equality in tests hides exactness intent; compare bits or assert_eq"
+    }
+
+    fn check(&self, file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        let toks = &file.toks;
+        for i in 1..toks.len() {
+            let t = &toks[i];
+            if (t.text != "==" && t.text != "!=") || !file.in_test_code(i) {
+                continue;
+            }
+            let lhs_float = toks[i - 1].kind == TokKind::Float;
+            // RHS may be negated: `x == -1.0`.
+            let mut r = i + 1;
+            if toks.get(r).map(|n| n.text.as_str()) == Some("-") {
+                r += 1;
+            }
+            // A float literal used as a method receiver
+            // (`1.0f64.to_bits()`) is not a bare comparison operand.
+            let rhs_float = toks.get(r).map(|n| n.kind) == Some(TokKind::Float)
+                && toks.get(r + 1).map(|n| n.text.as_str()) != Some(".");
+            if lhs_float || rhs_float {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "bare `{}` against a float literal in test code — compare \
+                         `.to_bits()`, use `assert_eq!`, or document the exactness invariant",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        FloatFastmath.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_bare_float_eq_in_tests_only() {
+        let src = "fn t() { assert!(x == 0.5); assert!(y != -1.0); }";
+        assert_eq!(run("crates/x/tests/it.rs", src).len(), 2);
+        // Same code in lib (non-test) is out of scope for this rule.
+        assert!(run("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn to_bits_and_int_eq_are_fine() {
+        assert!(run(
+            "crates/x/tests/it.rs",
+            "fn t() { assert!(x.to_bits() == y.to_bits()); \
+             assert!(p.to_bits() == 1.0f64.to_bits()); assert!(n == 3); }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_in_lib_is_in_scope() {
+        let d = run(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod t { fn g() { assert!(p == 1.0); } }",
+        );
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! `hot-path-alloc`: allocation inside functions annotated
+//! `// lint: hot-path`.
+//!
+//! The routing/flow inner loops (Dijkstra's `run_core`, progressive
+//! filling) are pre-allocated-workspace code: one allocation per call
+//! multiplied by thousands of snapshot×pair invocations is exactly the
+//! regression class PR 3 eliminated. The annotation makes the contract
+//! machine-checked instead of a comment that silently rots.
+//!
+//! Flagged inside an annotated fn body: `Vec::new`, `Vec::with_capacity`,
+//! `String::new`/`with_capacity`, `Box::new`, `HashMap`/`HashSet`/
+//! `BTreeMap`/`BTreeSet` constructors, `vec![…]`, `format!`, and the
+//! allocating adapters `.collect()`, `.clone()`, `.cloned()`,
+//! `.to_vec()`, `.to_owned()`, `.to_string()`.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::{Directive, SourceFile};
+
+/// See module docs.
+pub struct HotPathAlloc;
+
+const CTOR_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
+];
+const CTOR_FNS: &[&str] = &["new", "with_capacity", "from"];
+const ALLOC_METHODS: &[&str] = &[
+    "collect",
+    "clone",
+    "cloned",
+    "to_vec",
+    "to_owned",
+    "to_string",
+];
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+impl Rule for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "fns marked `lint: hot-path` are zero-alloc inner loops; keep them that way"
+    }
+
+    fn check(&self, file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        for d in &file.directives {
+            let Directive::HotPath { line } = d else {
+                continue;
+            };
+            let Some((body_start, body_end)) = fn_body_after(file, *line) else {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: *line,
+                    msg: "`lint: hot-path` directive is not followed by a `fn`".into(),
+                });
+                continue;
+            };
+            scan_body(self, file, body_start, body_end, out);
+        }
+    }
+}
+
+/// Token range `(start, end)` of the body of the first `fn` after
+/// `line`, exclusive of the outer braces.
+fn fn_body_after(file: &SourceFile, line: u32) -> Option<(usize, usize)> {
+    let toks = &file.toks;
+    let fn_idx = toks
+        .iter()
+        .position(|t| t.line > line && t.text == "fn" && t.is_ident())?;
+    let mut depth = 0usize;
+    let mut start = None;
+    for (k, t) in toks.iter().enumerate().skip(fn_idx) {
+        match t.text.as_str() {
+            "{" => {
+                if depth == 0 {
+                    start = Some(k + 1);
+                }
+                depth += 1;
+            }
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((start?, k));
+                }
+            }
+            // `fn f();` (trait method) has no body to patrol.
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+fn scan_body(
+    rule: &HotPathAlloc,
+    file: &SourceFile,
+    start: usize,
+    end: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let toks = &file.toks;
+    let mut diag = |line: u32, what: String| {
+        out.push(Diagnostic {
+            rule: rule.name(),
+            path: file.path.clone(),
+            line,
+            msg: format!(
+                "{what} allocates inside a `lint: hot-path` fn — hoist into the \
+                          pre-allocated workspace"
+            ),
+        });
+    };
+    let mut i = start;
+    while i < end {
+        let t = &toks[i];
+        // `Vec::new(`-style constructors.
+        if CTOR_TYPES.contains(&t.text.as_str())
+            && i + 2 < end
+            && toks[i + 1].text == "::"
+            && CTOR_FNS.contains(&toks[i + 2].text.as_str())
+        {
+            diag(t.line, format!("`{}::{}`", t.text, toks[i + 2].text));
+            i += 3;
+            continue;
+        }
+        // `vec![…]` / `format!(…)`.
+        if ALLOC_MACROS.contains(&t.text.as_str())
+            && t.is_ident()
+            && i + 1 < end
+            && toks[i + 1].text == "!"
+        {
+            diag(t.line, format!("`{}!`", t.text));
+            i += 2;
+            continue;
+        }
+        // `.collect(` / `.collect::<…>(` / `.clone(` etc.
+        if t.text == "."
+            && i + 1 < end
+            && ALLOC_METHODS.contains(&toks[i + 1].text.as_str())
+            && matches!(
+                toks.get(i + 2).map(|n| n.text.as_str()),
+                Some("(") | Some("::")
+            )
+        {
+            diag(toks[i + 1].line, format!("`.{}()`", toks[i + 1].text));
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/graph/src/hot.rs", src);
+        let mut out = Vec::new();
+        HotPathAlloc.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_allocs_only_inside_annotated_fn() {
+        let src = "
+fn cold() { let v = Vec::new(); }
+// lint: hot-path
+fn hot(ws: &mut Ws) {
+    let v: Vec<u32> = Vec::new();
+    let s = x.to_vec();
+    let c: Vec<_> = it.collect::<Vec<_>>();
+    let m = format!(\"x\");
+}
+fn also_cold() { let v = vec![1]; }
+";
+        let d = run(src);
+        assert_eq!(d.len(), 4, "{d:#?}");
+        assert!(d.iter().all(|x| (5..=8).contains(&x.line)));
+    }
+
+    #[test]
+    fn zero_alloc_body_is_clean_and_dangling_directive_flagged() {
+        assert!(run("// lint: hot-path\nfn hot(ws: &mut Ws) { ws.dist[0] = 0.0; }").is_empty());
+        let d = run("// lint: hot-path\nconst X: u32 = 1;");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("not followed by a `fn`"));
+    }
+}

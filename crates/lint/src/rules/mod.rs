@@ -1,0 +1,98 @@
+//! The rule framework and registry.
+//!
+//! A rule is a pure function over one analyzed [`SourceFile`]: it
+//! appends [`Diagnostic`]s and never does IO. Suppression handling
+//! lives in the runner ([`crate::Linter`]), not in rules — every rule
+//! stays suppressible by the same `// lint: allow(<rule>) <reason>`
+//! mechanism without per-rule code.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+mod float_fastmath;
+mod hot_path_alloc;
+mod print_in_lib;
+mod unordered_iter;
+mod unsafe_undocumented;
+mod unseeded_rng;
+mod unwrap_in_lib;
+mod wall_clock;
+
+pub use float_fastmath::FloatFastmath;
+pub use hot_path_alloc::HotPathAlloc;
+pub use print_in_lib::PrintInLib;
+pub use unordered_iter::UnorderedIter;
+pub use unsafe_undocumented::UnsafeUndocumented;
+pub use unseeded_rng::UnseededRng;
+pub use unwrap_in_lib::UnwrapInLib;
+pub use wall_clock::WallClock;
+
+/// A source-level invariant check.
+pub trait Rule {
+    /// Kebab-case rule name — the key used in `lint: allow(<name>)`
+    /// suppressions and `lint.toml` sections.
+    fn name(&self) -> &'static str;
+    /// One line on what the rule enforces and why (shown by `--rules`).
+    fn rationale(&self) -> &'static str;
+    /// Append diagnostics for `file` to `out`.
+    fn check(&self, file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>);
+}
+
+/// Every shipped rule, in stable order.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(WallClock),
+        Box::new(UnorderedIter),
+        Box::new(UnseededRng),
+        Box::new(UnwrapInLib),
+        Box::new(HotPathAlloc),
+        Box::new(UnsafeUndocumented),
+        Box::new(FloatFastmath),
+        Box::new(PrintInLib),
+    ]
+}
+
+/// Names of every shipped rule plus the two meta-diagnostics the runner
+/// itself can emit (`bare-allow`, `bad-directive`). Used to reject
+/// `allow(...)` of rules that do not exist.
+pub fn known_rule_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    names.push("bare-allow");
+    names.push("bad-directive");
+    names
+}
+
+/// Do tokens starting at `i` match `texts` exactly?
+pub(crate) fn seq_matches(file: &SourceFile, i: usize, texts: &[&str]) -> bool {
+    file.toks.len() >= i + texts.len()
+        && texts
+            .iter()
+            .enumerate()
+            .all(|(k, t)| file.toks[i + k].text == *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_kebab() {
+        let rules = all_rules();
+        let mut names: Vec<&str> = rules.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate rule names");
+        for n in names {
+            assert!(
+                n.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "rule name `{n}` is not kebab-case"
+            );
+        }
+        assert_eq!(rules.len(), 8, "the shipped rule set");
+        for r in rules {
+            assert!(!r.rationale().is_empty());
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! `print-in-lib`: `println!`/`eprintln!`/`print!`/`eprint!`/`dbg!` in
+//! library code.
+//!
+//! Bins own stdout (it is often the data channel — CSV to a pipe);
+//! libraries writing to it corrupt that stream, and stray `dbg!` is
+//! debug residue. Library-side reporting goes through
+//! `leo_util::telemetry` (levelled, sink-controlled) instead. The
+//! telemetry/bench reporter files themselves are allowlisted — printing
+//! is their job.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct PrintInLib;
+
+const PRINT_MACROS: &[&str] = &["println", "print", "eprintln", "eprint", "dbg"];
+
+impl Rule for PrintInLib {
+    fn name(&self) -> &'static str {
+        "print-in-lib"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "libraries must not write to stdio; that belongs to bins and telemetry"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Lib || LintConfig::path_matches(&file.path, &cfg.print_allow) {
+            return;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if PRINT_MACROS.contains(&t.text.as_str())
+                && t.is_ident()
+                && file.toks.get(i + 1).map(|n| n.text.as_str()) == Some("!")
+                && !file.in_test_code(i)
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "`{}!` in library code — route through `leo_util::telemetry` \
+                         (or move the printing into the bin)",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        PrintInLib.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_prints_in_lib_not_bin() {
+        let src = "fn f() { println!(\"x\"); eprintln!(\"y\"); dbg!(z); }";
+        assert_eq!(run("crates/x/src/lib.rs", src).len(), 3);
+        assert!(run("crates/x/src/bin/tool.rs", src).is_empty());
+        assert!(run("crates/x/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allowlist_and_tests_exempt() {
+        let src = "fn f() { println!(\"x\"); }";
+        assert!(run("crates/util/src/bench.rs", src).is_empty());
+        assert!(run(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod t { fn g() { println!(\"x\"); } }"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! `unordered-iter`: iterating a `HashMap`/`HashSet` in a module on a
+//! result path (CSV/JSONL-producing crates).
+//!
+//! Hash iteration order is randomized per process; anything it feeds —
+//! output rows, adjacency lists, accumulation order of floats — can
+//! differ run to run. On result paths, collect keys and sort first, or
+//! use a `BTreeMap`/sorted `Vec`.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct UnorderedIter;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+impl Rule for UnorderedIter {
+    fn name(&self) -> &'static str {
+        "unordered-iter"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "hash iteration order is nondeterministic and must not reach result paths"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        if !LintConfig::path_matches(&file.path, &cfg.unordered_iter_paths) {
+            return;
+        }
+        let toks = &file.toks;
+        // Pass 1: names bound to a HashMap/HashSet by `let` or a
+        // `name: [&][mut] path::HashMap<…>` type ascription.
+        let mut tracked: Vec<String> = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.text != "HashMap" && t.text != "HashSet" {
+                continue;
+            }
+            // `let [mut] name … = … HashMap::new()` — scan back for `let`.
+            let lo = i.saturating_sub(12);
+            for j in (lo..i).rev() {
+                if toks[j].text == ";" || toks[j].text == "{" || toks[j].text == "}" {
+                    break;
+                }
+                if toks[j].text == "let" {
+                    let mut k = j + 1;
+                    if k < toks.len() && toks[k].text == "mut" {
+                        k += 1;
+                    }
+                    if k < toks.len() && toks[k].is_ident() {
+                        tracked.push(toks[k].text.clone());
+                    }
+                    break;
+                }
+            }
+            // `name : [&]['a] [mut] [seg ::]* HashMap` — walk back over
+            // the type prefix to the `:`.
+            let mut j = i;
+            let mut steps = 0;
+            while j > 0 && steps < 8 {
+                let prev = &toks[j - 1];
+                if prev.text == "::"
+                    || prev.text == "&"
+                    || prev.text == "mut"
+                    || prev.is_lifetime()
+                    || (prev.is_ident() && toks[j].text == "::")
+                {
+                    j -= 1;
+                    steps += 1;
+                } else {
+                    break;
+                }
+            }
+            if j >= 2 && toks[j - 1].text == ":" && toks[j - 2].is_ident() {
+                tracked.push(toks[j - 2].text.clone());
+            }
+        }
+        tracked.sort_unstable();
+        tracked.dedup();
+        if tracked.is_empty() {
+            return;
+        }
+
+        // Pass 2: iteration over tracked names.
+        for i in 0..toks.len() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            let t = &toks[i];
+            // `name.iter()` and friends.
+            if t.is_ident()
+                && tracked.iter().any(|n| n == &t.text)
+                && i + 3 < toks.len()
+                && toks[i + 1].text == "."
+                && ITER_METHODS.contains(&toks[i + 2].text.as_str())
+                && toks[i + 3].text == "("
+            {
+                out.push(self.diag(file, t.line, &t.text, &toks[i + 2].text));
+            }
+            // `for pat in [&][mut] name {`.
+            if t.text == "for" {
+                let hi = (i + 16).min(toks.len());
+                let Some(j) = (i + 1..hi).find(|&j| toks[j].text == "in") else {
+                    continue;
+                };
+                let mut k = j + 1;
+                while k < toks.len() && (toks[k].text == "&" || toks[k].text == "mut") {
+                    k += 1;
+                }
+                if k + 1 < toks.len()
+                    && toks[k].is_ident()
+                    && tracked.iter().any(|n| n == &toks[k].text)
+                    && toks[k + 1].text == "{"
+                    && !file.in_test_code(k)
+                {
+                    out.push(self.diag(file, toks[k].line, &toks[k].text, "for"));
+                }
+            }
+        }
+    }
+}
+
+impl UnorderedIter {
+    fn diag(&self, file: &SourceFile, line: u32, name: &str, how: &str) -> Diagnostic {
+        Diagnostic {
+            rule: self.name(),
+            path: file.path.clone(),
+            line,
+            msg: format!(
+                "iteration (`{how}`) over unordered hash collection `{name}` on a \
+                 result path — collect and sort keys before consuming"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        let mut out = Vec::new();
+        UnorderedIter.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_let_bound_map_iteration() {
+        let d = run("fn f() { let mut m: HashMap<u32, u32> = HashMap::new(); \
+                     for (k, v) in &m { emit(k, v); } }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("`m`"));
+    }
+
+    #[test]
+    fn flags_param_typed_set_methods() {
+        let d = run("fn f(seen: &HashSet<u32>) -> Vec<u32> { seen.iter().copied().collect() }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].msg.contains("`seen`"));
+    }
+
+    #[test]
+    fn ignores_insert_len_and_out_of_scope_paths() {
+        assert!(run("fn f() { let mut m = HashMap::new(); m.insert(1, 2); m.len(); }").is_empty());
+        let f = SourceFile::parse(
+            "crates/geo/src/x.rs",
+            "fn f(m: &HashMap<u32, u32>) { for (k, v) in m.iter() {} }",
+        );
+        let mut out = Vec::new();
+        UnorderedIter.check(&f, &LintConfig::default(), &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fully_qualified_type_still_tracks() {
+        let d = run("fn f(m: &std::collections::HashMap<u32, u32>) { for x in &m {} }");
+        assert_eq!(d.len(), 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! `unsafe-undocumented`: every `unsafe` must carry a `// SAFETY:`
+//! comment on its line or one of the few lines above it.
+//!
+//! The workspace is almost entirely safe Rust; the rare `unsafe` (UTF-8
+//! byte-wise scanning in the telemetry JSON parser) is only auditable
+//! if the invariant it relies on is written down where the block is.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct UnsafeUndocumented;
+
+/// How many lines above the `unsafe` token the *end* of the comment run
+/// may sit (allows an attribute or signature line in between).
+const LOOKBACK_LINES: u32 = 2;
+
+impl Rule for UnsafeUndocumented {
+    fn name(&self) -> &'static str {
+        "unsafe-undocumented"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "every unsafe block needs its invariant written down as `// SAFETY:`"
+    }
+
+    fn check(&self, file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        for t in &file.toks {
+            if t.text != "unsafe" || !t.is_ident() {
+                continue;
+            }
+            // Walk up through the contiguous comment run above the
+            // `unsafe` line (a SAFETY block may be many lines long), with
+            // a small slack so an attribute line does not break it.
+            let mut lo = t.line.saturating_sub(LOOKBACK_LINES);
+            while lo > 1
+                && file
+                    .comments
+                    .iter()
+                    .any(|c| c.line == lo - 1 && !c.trailing)
+            {
+                lo -= 1;
+            }
+            let documented = file.comments.iter().any(|c| {
+                c.line >= lo && c.line <= t.line && c.text.trim_start().starts_with("SAFETY:")
+            });
+            if !documented {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: "`unsafe` without a preceding `// SAFETY:` comment stating the \
+                          invariant it relies on"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        UnsafeUndocumented.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_unsafe_flagged() {
+        let d = run("fn f(b: &[u8]) { let x = unsafe { *b.get_unchecked(0) }; }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_nearby_or_trailing() {
+        assert!(
+            run("// SAFETY: index bounds checked by caller\nfn f() { unsafe { g() } }").is_empty()
+        );
+        assert!(run("fn f() { unsafe { g() } } // SAFETY: g has no preconditions").is_empty());
+        // Comment too far above does not count.
+        let src = "// SAFETY: stale\n\n\n\n\n\nfn f() { unsafe { g() } }";
+        assert_eq!(run(src).len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! `unseeded-rng`: randomness not routed through the workspace's
+//! seeded constructors.
+//!
+//! Every random draw in this codebase must come from
+//! `leo_util::rng::Rng64::seed_from_u64` (or a stream split from it) so
+//! a run is fully determined by its `--seed`. Entropy-based
+//! constructors — and the `rand` crate itself, which the hermetic
+//! policy excludes — break replayability.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct UnseededRng;
+
+/// Identifiers whose presence means entropy-seeded randomness.
+const BANNED_IDENTS: &[&str] = &[
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "StdRng",
+    "SmallRng",
+    "RandomState",
+    "getrandom",
+];
+
+impl Rule for UnseededRng {
+    fn name(&self) -> &'static str {
+        "unseeded-rng"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "all randomness must flow from the run seed via leo_util::rng"
+    }
+
+    fn check(&self, file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        // Applies everywhere, tests included: a test drawing entropy is
+        // a flaky test.
+        for (i, t) in file.toks.iter().enumerate() {
+            if !t.is_ident() {
+                continue;
+            }
+            if BANNED_IDENTS.contains(&t.text.as_str()) {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "`{}` draws entropy-seeded randomness — construct RNGs with \
+                         `leo_util::rng::Rng64::seed_from_u64` so runs replay from the seed",
+                        t.text
+                    ),
+                });
+            } else if t.text == "rand"
+                && file.toks.get(i + 1).map(|n| n.text.as_str()) == Some("::")
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: "`rand::` path — the hermetic workspace bans the rand crate; \
+                          use `leo_util::rng`"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut out = Vec::new();
+        UnseededRng.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_entropy_constructors_even_in_tests() {
+        let d = run("fn f() { let r = thread_rng(); }");
+        assert_eq!(d.len(), 1);
+        let d = run("#[cfg(test)]\nmod t { fn g() { StdRng::from_entropy(); } }");
+        assert_eq!(d.len(), 2); // StdRng and from_entropy both flagged
+    }
+
+    #[test]
+    fn flags_rand_paths_but_not_the_word_random() {
+        assert_eq!(run("use rand::Rng;").len(), 1);
+        assert!(run("fn f() { let randomize = 1; let rand_like = 2; }").is_empty());
+        assert!(run("fn f() { let r = Rng64::seed_from_u64(42); }").is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! `unwrap-in-lib`: `.unwrap()` / `.expect(…)` in library code.
+//!
+//! Library crates are the reusable substrate under every figure bin and
+//! the future service layer; a panic there takes down whatever embeds
+//! it with no context. Return a typed/contextful error instead, or —
+//! where the invariant is locally provable — document it with
+//! `// lint: allow(unwrap-in-lib) <why it cannot fail>`.
+//!
+//! Bins may unwrap (fail-fast CLIs), and test code is exempt (panics
+//! are the assertion mechanism).
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::Rule;
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct UnwrapInLib;
+
+impl Rule for UnwrapInLib {
+    fn name(&self) -> &'static str {
+        "unwrap-in-lib"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "library code must not panic without context; bins and tests may"
+    }
+
+    fn check(&self, file: &SourceFile, _cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        let toks = &file.toks;
+        for i in 1..toks.len() {
+            let t = &toks[i];
+            if (t.text == "unwrap" || t.text == "expect")
+                && t.is_ident()
+                && toks[i - 1].text == "."
+                && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+                && !file.in_test_code(i)
+            {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: format!(
+                        "`.{}()` in library code — return a contextful error, or prove \
+                         the invariant and document with `lint: allow(unwrap-in-lib)`",
+                        t.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        UnwrapInLib.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_unwrap_and_expect_in_lib_only() {
+        let src = "fn f() { x.unwrap(); y.expect(\"msg\"); }";
+        assert_eq!(run("crates/x/src/lib.rs", src).len(), 2);
+        assert!(run("crates/x/src/bin/tool.rs", src).is_empty());
+        assert!(run("crates/x/tests/it.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_mod_and_non_method_uses_exempt() {
+        assert!(run(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }"
+        )
+        .is_empty());
+        // A fn named unwrap being *defined* is not a call site.
+        assert!(run("crates/x/src/lib.rs", "fn unwrap() {}").is_empty());
+        assert!(run("crates/x/src/lib.rs", "fn f() { x.unwrap_or(0); }").is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! `wall-clock`: `Instant::now()` / `SystemTime` outside the
+//! telemetry/bench allowlist.
+//!
+//! Experiment code must be a pure function of its inputs so reruns are
+//! reproducible; the only legitimate clock readers are the telemetry
+//! span/bench layers, which feed measurement fields that are explicitly
+//! excluded from determinism comparisons.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::rules::{seq_matches, Rule};
+use crate::source::{FileKind, SourceFile};
+
+/// See module docs.
+pub struct WallClock;
+
+impl Rule for WallClock {
+    fn name(&self) -> &'static str {
+        "wall-clock"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "wall-clock reads outside telemetry/bench make runs irreproducible"
+    }
+
+    fn check(&self, file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+        // Benches exist to time things; allowlisted files are the clock's home.
+        if file.kind == FileKind::Bench
+            || LintConfig::path_matches(&file.path, &cfg.wall_clock_allow)
+        {
+            return;
+        }
+        for (i, t) in file.toks.iter().enumerate() {
+            if file.in_test_code(i) {
+                continue;
+            }
+            if seq_matches(file, i, &["Instant", "::", "now"]) {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: "`Instant::now()` outside the telemetry/bench allowlist — \
+                          route timing through `leo_util::telemetry` spans"
+                        .into(),
+                });
+            } else if t.text == "SystemTime" {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.path.clone(),
+                    line: t.line,
+                    msg: "`SystemTime` outside the telemetry/bench allowlist — \
+                          wall-clock time must not influence results"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        WallClock.check(&f, &LintConfig::default(), &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_instant_and_systemtime_in_lib() {
+        let d = run(
+            "crates/x/src/lib.rs",
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); }",
+        );
+        assert_eq!(d.len(), 2);
+        assert!(d[0].msg.contains("Instant::now"));
+    }
+
+    #[test]
+    fn allowlist_and_benches_and_tests_exempt() {
+        assert!(run("crates/util/src/telemetry.rs", "fn f() { Instant::now(); }").is_empty());
+        assert!(run(
+            "crates/bench/benches/routing.rs",
+            "fn f() { Instant::now(); }"
+        )
+        .is_empty());
+        assert!(run(
+            "crates/x/src/lib.rs",
+            "#[cfg(test)]\nmod tests { fn t() { Instant::now(); } }"
+        )
+        .is_empty());
+    }
+}

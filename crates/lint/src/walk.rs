@@ -1,0 +1,53 @@
+//! Deterministic workspace walker: every `.rs` file under the root,
+//! sorted by relative path, skipping build output and VCS internals.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "results", "node_modules"];
+
+/// Collect workspace-relative (forward-slash) paths of all `.rs` files
+/// under `root`, sorted.
+pub fn rs_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_sorted_and_skips_target() {
+        // The test runs with CWD = crates/lint; its own sources are a
+        // stable corpus.
+        let files = rs_files(Path::new("src")).unwrap();
+        assert!(files.contains(&"lexer.rs".to_string()));
+        assert!(files.contains(&"rules/mod.rs".to_string()));
+        let mut sorted = files.clone();
+        sorted.sort_unstable();
+        assert_eq!(files, sorted);
+        assert!(files.iter().all(|f| !f.starts_with("target/")));
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end tests of the `leo-lint` binary: exit codes, output
+//! forms, suppression accounting, and the real workspace staying clean
+//! under `--deny`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_leo-lint"))
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+fn run(args: &[&str]) -> Output {
+    let mut cmd = bin();
+    cmd.args(args);
+    cmd.output().expect("spawn leo-lint")
+}
+
+/// A throwaway tree with one violating lib file.
+fn bad_tree(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("crates/x/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(v: &[u32]) -> u32 {\n    println!(\"{}\", v.len());\n    *v.first().unwrap()\n}\n",
+    )
+    .expect("write fixture");
+    root
+}
+
+#[test]
+fn findings_exit_zero_without_deny_and_one_with() {
+    let root = bad_tree("cli_exit_codes");
+    let rootarg = root.to_str().expect("utf8 tmpdir");
+
+    let out = run(&["--root", rootarg]);
+    assert!(out.status.success(), "no --deny must exit 0");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("crates/x/src/lib.rs:2: [print-in-lib]"),
+        "{text}"
+    );
+    assert!(
+        text.contains("crates/x/src/lib.rs:3: [unwrap-in-lib]"),
+        "{text}"
+    );
+    assert!(text.contains("checked 1 files: 2 diagnostics"), "{text}");
+
+    let out = run(&["--root", rootarg, "--deny"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "--deny with findings must exit 1"
+    );
+}
+
+#[test]
+fn jsonl_output_parses_with_the_shared_parser() {
+    let root = bad_tree("cli_jsonl");
+    let out = run(&["--root", root.to_str().expect("utf8"), "--jsonl"]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "{text}"); // 2 diagnostics + summary
+    for l in &lines {
+        let v = leo_util::telemetry::Json::parse(l).expect("valid JSONL");
+        let ty = v.get("type").and_then(|t| t.as_str()).expect("type field");
+        assert!(ty == "diagnostic" || ty == "lint_summary");
+    }
+    let summary = leo_util::telemetry::Json::parse(lines[2]).expect("summary");
+    assert_eq!(
+        summary.get("diagnostics").and_then(|n| n.as_num()),
+        Some(2.0)
+    );
+}
+
+#[test]
+fn suppression_counting_reaches_the_cli_summary() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("cli_suppression");
+    let src = root.join("crates/x/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn f(v: &[u32]) -> u32 {\n    // lint: allow(unwrap-in-lib) caller contract: non-empty\n    *v.first().unwrap()\n}\n",
+    )
+    .expect("write fixture");
+
+    let out = run(&["--root", root.to_str().expect("utf8"), "--deny"]);
+    assert!(out.status.success(), "suppressed finding must pass --deny");
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        text.contains("suppressions applied: 1 (unwrap-in-lib×1)"),
+        "{text}"
+    );
+    assert!(text.contains("checked 1 files: 0 diagnostics"), "{text}");
+}
+
+#[test]
+fn unknown_flag_and_bad_root_exit_two() {
+    let out = run(&["--no-such-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--root", "/nonexistent/definitely/missing"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn rules_listing_names_all_eight() {
+    let out = run(&["--rules"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    for rule in [
+        "wall-clock",
+        "unordered-iter",
+        "unseeded-rng",
+        "unwrap-in-lib",
+        "hot-path-alloc",
+        "unsafe-undocumented",
+        "float-fastmath",
+        "print-in-lib",
+    ] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+    }
+}
+
+/// The acceptance criterion made executable: the real workspace passes
+/// `--deny`, so CI's lint lane cannot rot silently.
+#[test]
+fn real_workspace_is_lint_clean_under_deny() {
+    let root = workspace_root();
+    let out = run(&["--root", root.to_str().expect("utf8 root"), "--deny"]);
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(
+        out.status.success(),
+        "workspace must be lint-clean under --deny:\n{text}"
+    );
+    assert!(text.contains("0 diagnostics"), "{text}");
+}

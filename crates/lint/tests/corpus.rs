@@ -1,0 +1,158 @@
+//! Fixture corpus: one good/bad file pair per rule, run through the
+//! library API with the file kind forced (fixtures live under `tests/`
+//! on disk but pose as lib/bin/test files).
+
+use leo_lint::config::LintConfig;
+use leo_lint::source::FileKind;
+use leo_lint::{FileOutcome, Linter};
+
+fn fixture(rel: &str) -> String {
+    let path = format!("{}/tests/fixtures/{rel}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+fn check(rel: &str, presented_path: &str, kind: FileKind) -> FileOutcome {
+    Linter::new(LintConfig::default()).check_source(presented_path, &fixture(rel), Some(kind))
+}
+
+/// (rule, fixture dir, presented path, forced kind, expected bad hits)
+const CASES: &[(&str, &str, &str, FileKind, usize)] = &[
+    (
+        "wall-clock",
+        "wall-clock",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+        2,
+    ),
+    (
+        "unordered-iter",
+        "unordered-iter",
+        "crates/core/src/fixture.rs",
+        FileKind::Lib,
+        2,
+    ),
+    (
+        "unseeded-rng",
+        "unseeded-rng",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+        3,
+    ),
+    (
+        "unwrap-in-lib",
+        "unwrap-in-lib",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+        2,
+    ),
+    (
+        "hot-path-alloc",
+        "hot-path-alloc",
+        "crates/graph/src/fixture.rs",
+        FileKind::Lib,
+        3,
+    ),
+    (
+        "unsafe-undocumented",
+        "unsafe-undocumented",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+        1,
+    ),
+    (
+        "float-fastmath",
+        "float-fastmath",
+        "crates/x/tests/fixture.rs",
+        FileKind::Test,
+        2,
+    ),
+    (
+        "print-in-lib",
+        "print-in-lib",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+        3,
+    ),
+];
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    for &(rule, dir, path, kind, expected) in CASES {
+        let out = check(&format!("{dir}/bad.rs"), path, kind);
+        let hits = out.diagnostics.iter().filter(|d| d.rule == rule).count();
+        assert_eq!(
+            hits, expected,
+            "rule {rule}: expected {expected} hits on bad.rs, got {hits}: {:#?}",
+            out.diagnostics
+        );
+        // The bad fixture must not trip unrelated rules — diagnostics
+        // stay attributable.
+        assert!(
+            out.diagnostics.iter().all(|d| d.rule == rule),
+            "rule {rule}: bad.rs tripped other rules: {:#?}",
+            out.diagnostics
+        );
+    }
+}
+
+#[test]
+fn every_good_fixture_is_clean() {
+    for &(rule, dir, path, kind, _) in CASES {
+        let out = check(&format!("{dir}/good.rs"), path, kind);
+        assert!(
+            out.diagnostics.is_empty(),
+            "rule {rule}: good.rs should be clean, got {:#?}",
+            out.diagnostics
+        );
+        assert!(
+            out.suppressed.is_empty(),
+            "rule {rule}: good.rs needs no allows"
+        );
+    }
+}
+
+#[test]
+fn kind_scoping_is_part_of_the_contract() {
+    // unwrap-in-lib's bad fixture is fine when presented as a bin…
+    let out = check(
+        "unwrap-in-lib/bad.rs",
+        "crates/x/src/bin/t.rs",
+        FileKind::Bin,
+    );
+    assert!(out.diagnostics.is_empty());
+    // …and float-fastmath's bad fixture is out of scope outside tests.
+    let out = check(
+        "float-fastmath/bad.rs",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+    );
+    assert!(out.diagnostics.is_empty());
+    // wall-clock is exempt in benches (timing is their job).
+    let out = check(
+        "wall-clock/bad.rs",
+        "crates/x/benches/b.rs",
+        FileKind::Bench,
+    );
+    assert!(out.diagnostics.is_empty());
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_is_counted() {
+    let out = check(
+        "suppression/suppressed.rs",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+    );
+    assert!(out.diagnostics.is_empty(), "{:#?}", out.diagnostics);
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].0, "unwrap-in-lib");
+}
+
+#[test]
+fn bare_allow_is_flagged_and_does_not_suppress() {
+    let out = check("suppression/bare.rs", "crates/x/src/lib.rs", FileKind::Lib);
+    let rules: Vec<&str> = out.diagnostics.iter().map(|d| d.rule).collect();
+    assert!(rules.contains(&"bare-allow"), "{rules:?}");
+    assert!(rules.contains(&"unwrap-in-lib"), "{rules:?}");
+    assert!(out.suppressed.is_empty());
+}

@@ -1,0 +1,7 @@
+// Fixture: bare float equality in test code (presented as a tests/
+// file, so the whole file is test code).
+
+fn check(x: f64, p: f64) {
+    assert!(x == 0.5);
+    assert!(p != -1.0);
+}

@@ -1,0 +1,7 @@
+// Fixture: exactness intent made explicit — bit comparison (assert_eq!
+// is equally fine; it prints both operands on failure).
+
+fn check(x: f64, n: u32) {
+    assert!(x.to_bits() == 0.5f64.to_bits());
+    assert!(n == 3);
+}

@@ -1,0 +1,13 @@
+// Fixture: allocation inside an annotated hot path.
+
+// lint: hot-path
+pub fn relax_all(ws: &mut Ws, g: &Graph) -> Vec<f64> {
+    let mut extra = Vec::new();
+    for e in 0..g.num_edges() {
+        extra.push(g.weight(e));
+    }
+    let copy = extra.to_vec();
+    let label = format!("{} edges", copy.len());
+    drop(label);
+    copy
+}

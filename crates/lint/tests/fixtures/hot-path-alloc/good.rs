@@ -1,0 +1,15 @@
+// Fixture: a hot path working entirely in the pre-allocated workspace —
+// and an unannotated sibling that may allocate freely.
+
+// lint: hot-path
+pub fn relax_all(ws: &mut Ws, g: &Graph) {
+    for e in 0..g.num_edges() {
+        ws.dist[e] = ws.dist[e].min(g.weight(e));
+    }
+}
+
+pub fn setup(g: &Graph) -> Vec<f64> {
+    let mut dist = Vec::with_capacity(g.num_edges());
+    dist.resize(g.num_edges(), 0.0);
+    dist
+}

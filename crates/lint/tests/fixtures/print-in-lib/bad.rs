@@ -1,0 +1,7 @@
+// Fixture: library code writing to stdio.
+
+pub fn report(x: f64) {
+    println!("value = {x}");
+    eprintln!("warning: {x}");
+    let _ = dbg!(x);
+}

@@ -1,0 +1,5 @@
+// Fixture: library-side reporting through telemetry instead of stdio.
+
+pub fn report(x: f64) {
+    diag!("value", x = x);
+}

@@ -1,0 +1,17 @@
+// Fixture: hash-order iteration on a result path. Presented as
+// crates/core/src/fixture.rs (inside the configured result-path
+// prefixes).
+
+pub fn emit_rows(rows: &HashMap<u32, f64>, w: &mut CsvWriter) {
+    for (k, v) in rows.iter() {
+        w.row(&[k.to_string(), v.to_string()]);
+    }
+}
+
+pub fn drain_seen() {
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(3);
+    for s in &seen {
+        emit(*s);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: sorted-before-emitting — the sanctioned shape for result
+// paths. Presented as crates/core/src/fixture.rs.
+
+pub fn emit_rows(rows: &HashMap<u32, f64>, w: &mut CsvWriter) {
+    let mut keys: Vec<u32> = Vec::new();
+    rows.len();
+    for k in 0..10u32 {
+        if rows.contains_key(&k) {
+            keys.push(k);
+        }
+    }
+    keys.sort_unstable();
+    for k in keys {
+        w.row(&[k.to_string(), rows[&k].to_string()]);
+    }
+}

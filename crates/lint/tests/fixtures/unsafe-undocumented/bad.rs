@@ -1,0 +1,5 @@
+// Fixture: unsafe with no written invariant.
+
+pub fn first_byte(b: &[u8]) -> u8 {
+    unsafe { *b.get_unchecked(0) }
+}

@@ -1,0 +1,8 @@
+// Fixture: unsafe with its invariant written where the block is, in a
+// SAFETY comment that may span several lines.
+
+pub fn first_byte(b: &[u8]) -> u8 {
+    // SAFETY: callers pass non-empty slices only — enforced by the
+    // assert in the public wrapper — so index 0 is in bounds.
+    unsafe { *b.get_unchecked(0) }
+}

@@ -1,0 +1,10 @@
+// Fixture: entropy-seeded randomness — unreplayable runs.
+
+pub fn jitter() -> f64 {
+    let mut rng = thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn other() -> u64 {
+    StdRng::from_entropy().next_u64()
+}

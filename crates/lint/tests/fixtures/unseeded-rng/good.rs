@@ -1,0 +1,6 @@
+// Fixture: seed-derived randomness via the workspace RNG.
+
+pub fn jitter(seed: u64) -> f64 {
+    let mut rng = Rng64::seed_from_u64(seed);
+    rng.next_f64()
+}

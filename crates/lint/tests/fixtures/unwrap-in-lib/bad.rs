@@ -1,0 +1,9 @@
+// Fixture: panicking library code. Presented as Lib.
+
+pub fn first_city(cities: &[City]) -> &City {
+    cities.first().unwrap()
+}
+
+pub fn parse_alt(s: &str) -> f64 {
+    s.parse().expect("altitude must be numeric")
+}

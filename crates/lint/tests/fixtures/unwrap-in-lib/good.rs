@@ -1,0 +1,11 @@
+// Fixture: contextful errors instead of panics; the same code is also
+// fine in a bin (kind-scoping is part of the rule's contract, exercised
+// by the corpus test presenting this file as both kinds).
+
+pub fn first_city(cities: &[City]) -> Result<&City, String> {
+    cities.first().ok_or_else(|| "empty city list".to_string())
+}
+
+pub fn parse_alt(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|e| format!("altitude {s:?}: {e}"))
+}

@@ -1,0 +1,13 @@
+// Fixture: library code reading the wall clock outside the allowlist.
+// Presented to the linter as crates/x/src/lib.rs (Lib).
+
+pub fn timestamped_result() -> (f64, u64) {
+    let t0 = Instant::now();
+    let stamp = SystemTime::now();
+    let _ = stamp;
+    (compute(), t0.elapsed().as_nanos() as u64)
+}
+
+fn compute() -> f64 {
+    42.0
+}

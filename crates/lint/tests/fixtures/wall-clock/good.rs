@@ -1,0 +1,7 @@
+// Fixture: deterministic library code — timing belongs to telemetry
+// spans, which live in the allowlisted files.
+
+pub fn pure_result(input: f64) -> f64 {
+    let _span = span!("compute", input = input);
+    input * 2.0
+}

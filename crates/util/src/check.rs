@@ -22,7 +22,7 @@
 //! * On failure the harness panics with the property name, case number,
 //!   and the **failing case seed**; rerun just that case by setting
 //!   `LEO_CHECK_SEED=0x<seed>`.
-//! * [`check_assume!`] skips a case (like proptest's `prop_assume!`);
+//! * [`check_assume!`](crate::check_assume) skips a case (like proptest's `prop_assume!`);
 //!   skipped cases are regenerated so the configured case count is the
 //!   number of cases actually *executed*. A runaway skip rate (> 95 %)
 //!   fails loudly instead of looping forever.
@@ -41,7 +41,7 @@ pub const DEFAULT_CASES: usize = 256;
 pub struct CaseError {
     /// Human-readable description (empty for skips).
     pub message: String,
-    /// True when the case was vetoed by [`check_assume!`], not failed.
+    /// True when the case was vetoed by [`check_assume!`](crate::check_assume), not failed.
     pub skip: bool,
 }
 

@@ -7,7 +7,7 @@
 //! * [`buf`] — little-endian byte reader/writer (replaces `bytes`)
 //! * [`config`] — `key = value` sectioned config text (replaces `serde`)
 //! * [`check`] — seeded property-testing harness (replaces `proptest`)
-//! * [`bench`] — warmup + median/p95 timing harness (replaces `criterion`)
+//! * [`mod@bench`] — warmup + median/p95 timing harness (replaces `criterion`)
 //! * [`telemetry`] — spans/counters/histograms + JSONL run manifests
 //!   (replaces `tracing`/`metrics`-style observability stacks)
 //!

@@ -6,7 +6,7 @@
 //! need provenance and per-phase timing without giving up the "stdout is
 //! data" discipline of the figure harnesses. This module provides:
 //!
-//! * **structured spans** — [`span!`] RAII guards recording wall-time
+//! * **structured spans** — [`span!`](crate::span) RAII guards recording wall-time
 //!   (ns), nesting depth, and thread id, aggregated into per-phase
 //!   totals for the final manifest;
 //! * **counters & histograms** — lock-free `static` [`Counter`]s and
@@ -154,10 +154,28 @@ struct Sink {
 
 static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 
+/// Poison-tolerant locking for the telemetry registries: when an
+/// experiment thread panics while holding (or after having held) one of
+/// these locks, the guarded state is still a coherent set of counters —
+/// telemetry must keep accepting events and flush what it has rather
+/// than compound the failure with a second panic.
+trait LockRecover<T> {
+    fn lock_recover(&self) -> std::sync::MutexGuard<'_, T>;
+}
+
+impl<T> LockRecover<T> for Mutex<T> {
+    fn lock_recover(&self) -> std::sync::MutexGuard<'_, T> {
+        match self.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 /// Write one already-formatted JSON line to the sink (or stderr if no
 /// sink is installed). Callers must pass a complete JSON object.
 fn emit(line: &str) {
-    let mut guard = SINK.lock().unwrap();
+    let mut guard = SINK.lock_recover();
     match guard.as_mut() {
         Some(sink) => {
             let _ = writeln!(sink.out, "{line}");
@@ -189,7 +207,7 @@ pub fn init_at(dir: &std::path::Path, label: &str) -> Option<PathBuf> {
     std::fs::create_dir_all(dir).ok()?;
     let path = dir.join(format!("RUN_{label}.jsonl"));
     let file = std::fs::File::create(&path).ok()?;
-    let mut guard = SINK.lock().unwrap();
+    let mut guard = SINK.lock_recover();
     *guard = Some(Sink {
         out: std::io::BufWriter::new(file),
         path: path.clone(),
@@ -206,7 +224,7 @@ pub fn init_at(dir: &std::path::Path, label: &str) -> Option<PathBuf> {
 
 /// Path of the currently-open sink, if any.
 pub fn sink_path() -> Option<PathBuf> {
-    SINK.lock().unwrap().as_ref().map(|s| s.path.clone())
+    SINK.lock_recover().as_ref().map(|s| s.path.clone())
 }
 
 // ---------------------------------------------------------------------------
@@ -231,7 +249,7 @@ pub fn json_string(s: &str) -> String {
     out
 }
 
-/// One `"key":"value"` fragment (both sides escaped) for [`span!`] kv
+/// One `"key":"value"` fragment (both sides escaped) for [`span!`](crate::span) kv
 /// lists. Values are always JSON strings, keeping the schema uniform.
 pub fn json_kv(key: &str, value: &str) -> String {
     format!("{}:{}", json_string(key), json_string(value))
@@ -243,7 +261,7 @@ pub fn json_kv(key: &str, value: &str) -> String {
 /// Aggregated per-phase totals: `name → (count, total_ns, max_ns)`.
 static PHASES: Mutex<Vec<(&'static str, u64, u64, u64)>> = Mutex::new(Vec::new());
 
-/// RAII span guard; create via [`span!`] (or [`Span::enter`]).
+/// RAII span guard; create via [`span!`](crate::span) (or [`Span::enter`]).
 ///
 /// On drop (when the telemetry level is enabled) it emits a `span`
 /// event carrying wall-time ns, nesting depth, and thread id, and folds
@@ -300,7 +318,7 @@ impl Drop for Span {
         let dur_ns = inner.start.elapsed().as_nanos() as u64;
         SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         {
-            let mut phases = PHASES.lock().unwrap();
+            let mut phases = PHASES.lock_recover();
             match phases.iter_mut().find(|(n, ..)| *n == inner.name) {
                 Some(entry) => {
                     entry.1 += 1;
@@ -348,7 +366,7 @@ macro_rules! span {
     };
 }
 
-/// [`span!`] at `Debug` level, for per-snapshot / per-item scopes that
+/// [`span!`](crate::span) at `Debug` level, for per-snapshot / per-item scopes that
 /// would flood an `info` run.
 #[macro_export]
 macro_rules! debug_span {
@@ -372,7 +390,7 @@ macro_rules! debug_span {
 
 /// Human-readable diagnostics: always printed to **stderr** (stdout is
 /// reserved for figure data), and additionally recorded as a `log`
-/// JSONL event when the level is enabled. Use via [`diag!`].
+/// JSONL event when the level is enabled. Use via [`diag!`](crate::diag).
 pub fn diag_str(msg: &str) {
     eprintln!("{msg}");
     if enabled(Level::Info) {
@@ -452,7 +470,7 @@ impl Counter {
 
     #[cold]
     fn register(&'static self) {
-        let mut reg = COUNTERS.lock().unwrap();
+        let mut reg = COUNTERS.lock_recover();
         if !self.registered.swap(true, Ordering::Relaxed) {
             reg.push(self);
         }
@@ -541,7 +559,7 @@ impl Histogram {
 
     #[cold]
     fn register(&'static self) {
-        let mut reg = HISTOGRAMS.lock().unwrap();
+        let mut reg = HISTOGRAMS.lock_recover();
         if !self.registered.swap(true, Ordering::Relaxed) {
             reg.push(self);
         }
@@ -678,18 +696,18 @@ pub fn finish_run(manifest: &RunManifest) -> Option<PathBuf> {
     if !enabled(Level::Info) {
         return None;
     }
-    for c in COUNTERS.lock().unwrap().iter() {
+    for c in COUNTERS.lock_recover().iter() {
         emit(&format!(
             "{{\"type\":\"counter\",\"name\":{},\"value\":{}}}",
             json_string(c.name()),
             c.get()
         ));
     }
-    for h in HISTOGRAMS.lock().unwrap().iter() {
+    for h in HISTOGRAMS.lock_recover().iter() {
         emit(&h.json_event());
     }
 
-    let phases = PHASES.lock().unwrap();
+    let phases = PHASES.lock_recover();
     let phases_json: Vec<String> = phases
         .iter()
         .map(|(name, count, total_ns, max_ns)| {
@@ -701,14 +719,12 @@ pub fn finish_run(manifest: &RunManifest) -> Option<PathBuf> {
         .collect();
     drop(phases);
     let counters_json: Vec<String> = COUNTERS
-        .lock()
-        .unwrap()
+        .lock_recover()
         .iter()
         .map(|c| format!("{}:{}", json_string(c.name()), c.get()))
         .collect();
     let hists_json: Vec<String> = HISTOGRAMS
-        .lock()
-        .unwrap()
+        .lock_recover()
         .iter()
         .map(|h| {
             format!(
@@ -741,7 +757,7 @@ pub fn finish_run(manifest: &RunManifest) -> Option<PathBuf> {
         extra_json,
     ));
 
-    let mut guard = SINK.lock().unwrap();
+    let mut guard = SINK.lock_recover();
     if let Some(mut sink) = guard.take() {
         let _ = sink.out.flush();
         Some(sink.path)
@@ -753,11 +769,11 @@ pub fn finish_run(manifest: &RunManifest) -> Option<PathBuf> {
 /// Reset per-run aggregation state (phases; counters and histograms are
 /// zeroed in place). For tests and multi-run processes.
 pub fn reset_for_tests() {
-    PHASES.lock().unwrap().clear();
-    for c in COUNTERS.lock().unwrap().iter() {
+    PHASES.lock_recover().clear();
+    for c in COUNTERS.lock_recover().iter() {
         c.value.store(0, Ordering::Relaxed);
     }
-    for h in HISTOGRAMS.lock().unwrap().iter() {
+    for h in HISTOGRAMS.lock_recover().iter() {
         for b in &h.buckets {
             b.store(0, Ordering::Relaxed);
         }
@@ -766,7 +782,7 @@ pub fn reset_for_tests() {
         h.min.store(u64::MAX, Ordering::Relaxed);
         h.max.store(0, Ordering::Relaxed);
     }
-    *SINK.lock().unwrap() = None;
+    *SINK.lock_recover() = None;
 }
 
 // ---------------------------------------------------------------------------
@@ -904,8 +920,11 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
                 *pos += 1;
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this is safe
-                // to do bytewise: continuation bytes never equal '"' or '\\').
+                // SAFETY: `b` is the byte view of a `&str`, so it is valid
+                // UTF-8, and `utf8_len` derives the scalar's exact byte
+                // length from its lead byte — the slice is one whole scalar
+                // on a char boundary (continuation bytes never equal '"' or
+                // '\\', so the escape scanner cannot split a scalar).
                 out.push_str(unsafe {
                     std::str::from_utf8_unchecked(&b[*pos..*pos + utf8_len(b[*pos])])
                 });
@@ -1133,7 +1152,7 @@ mod tests {
         assert_eq!(C.get(), 0, "disabled counter must not accumulate");
         assert_eq!(H.count(), 0, "disabled histogram must not accumulate");
         assert!(
-            PHASES.lock().unwrap().is_empty(),
+            PHASES.lock_recover().is_empty(),
             "disabled span must not aggregate"
         );
         // init refuses to create a file when off.

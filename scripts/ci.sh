@@ -8,10 +8,18 @@
 #    error out instead of touching the network).
 # 3. Style gates: rustfmt (check mode) and clippy with -D warnings —
 #    the tree must be lint-clean, not just compiling.
-# 4. Telemetry schema guard: one Tiny figure run with LEO_LOG=info must
+# 4. Static invariants: `leo-lint --deny` must pass — the source-level
+#    rules (determinism, panic-free libs, zero-alloc hot paths; see
+#    DESIGN.md "Static invariants") with every suppression reasoned.
+# 5. Doc gate: `cargo doc` with warnings denied — broken intra-doc links
+#    and malformed doc comments fail the build.
+# 6. Telemetry schema guard: one Tiny figure run with LEO_LOG=info must
 #    produce a RUN_*.jsonl in which every line is a known event type and
 #    the final record is the run manifest (validate_run checks both).
-# 5. Routing-bench smoke: run benches/routing.rs and require the
+#    The run inherits LEO_LINT_CLEAN=1 from the lint lane, and
+#    validate_run --require-lint-clean rejects manifests that don't
+#    carry lint_clean="true".
+# 7. Routing-bench smoke: run benches/routing.rs and require the
 #    workspace+bundle inner loop to beat the seed path by >= 1.1x
 #    (the committed BENCH_routing.json shows ~1.7x; the smoke threshold
 #    is loose to tolerate CI noise but loud when the optimisation
@@ -50,6 +58,13 @@ cargo fmt --check
 echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy -q --offline --all-targets -- -D warnings
 
+echo "== static invariants: leo-lint --deny =="
+cargo run -q --release --offline -p leo-lint -- --deny
+export LEO_LINT_CLEAN=1
+
+echo "== doc gate: cargo doc --no-deps with warnings denied =="
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
+
 echo "== telemetry schema: Tiny fig2 run under LEO_LOG=info =="
 log_dir=$(mktemp -d)
 trap 'rm -rf "$log_dir"' EXIT
@@ -57,7 +72,7 @@ LEO_LOG=info LEO_LOG_DIR="$log_dir" \
     cargo run -q --release --offline -p leo-bench --bin fig2_latency -- --scale tiny \
     > /dev/null
 cargo run -q --release --offline -p leo-bench --bin validate_run -- \
-    "$log_dir/RUN_fig2_latency.jsonl"
+    --require-lint-clean "$log_dir/RUN_fig2_latency.jsonl"
 
 echo "== routing bench smoke: workspace inner loop must beat seed path =="
 LEO_LOG=off LEO_BENCH_DIR="$log_dir" \
