@@ -13,6 +13,14 @@
 //!   reads), seed-style vs workspace-style. **This pair is the headline
 //!   number**: `scripts/ci.sh` checks seed/workspace median ≥ its
 //!   threshold, and `BENCH_routing.json` records the trajectory.
+//! * `inner_loop_sweep` — the same inner loop on a warm [`TimeSweep`]
+//!   stepped 15 s per iteration, i.e. what `sweep_map`-based drivers now
+//!   run per instant after the first.
+//! * `maxflow_fresh` vs `maxflow_workspace` — one Dinic run with
+//!   per-call scratch vs a warm [`MaxFlowWorkspace`] (both pay the same
+//!   residual-network clone).
+//! * `maxmin_fresh` vs `maxmin_workspace` — one fig4-style max-min-fair
+//!   solve with per-call buffers vs a warm [`FlowWorkspace`].
 //!
 //! `cargo bench -p leo-bench --bench routing` writes `BENCH_routing.json`
 //! (JSON lines) into `LEO_BENCH_DIR` or the cwd.
@@ -20,8 +28,12 @@
 use std::collections::HashMap;
 
 use leo_bench::{finish_run, init_run};
-use leo_core::{ExperimentScale, Mode, StudyContext};
-use leo_graph::{dijkstra, DijkstraWorkspace};
+use leo_core::{ExperimentScale, Mode, StudyContext, TimeSweep};
+use leo_flow::{FlowSim, FlowWorkspace};
+use leo_graph::{
+    dijkstra, k_edge_disjoint_paths, max_flow, max_flow_with, DijkstraWorkspace, FlowNetwork,
+    MaxFlowWorkspace,
+};
 use leo_util::bench::Harness;
 
 /// Seed-style grouping of pair indices by source city (what
@@ -102,6 +114,74 @@ fn bench_inner_loop(h: &mut Harness, ctx: &StudyContext) {
         }
         acc
     });
+    // Sweep path: one warm TimeSweep stepped forward 15 s per iteration,
+    // so the snapshot build reuses SoA satellite state, cell residency,
+    // and every visibility edge whose satellite stayed in the GT's cell
+    // window — the steady-state cost of `sweep_map`-based drivers.
+    let mut sweep = TimeSweep::new(ctx, &[Mode::BpOnly, Mode::Hybrid]);
+    let mut ws = DijkstraWorkspace::new();
+    let mut targets = Vec::new();
+    let mut t = 1800.0;
+    h.bench("inner_loop_sweep", move || {
+        let mut acc = 0.0f64;
+        for snap in sweep.step(t) {
+            for (src, idxs) in ctx.pairs_by_src() {
+                targets.clear();
+                targets.extend(
+                    idxs.iter()
+                        .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+                );
+                let view = ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
+                for &i in idxs {
+                    let d = view.dist(snap.city_node(ctx.pairs[i].dst as usize));
+                    if d.is_finite() {
+                        acc += d;
+                    }
+                }
+            }
+        }
+        t += 15.0;
+        acc
+    });
+}
+
+fn bench_maxflow(h: &mut Harness, ctx: &StudyContext) {
+    // Dinic consumes residual capacities, so both sides pay one network
+    // clone per call; the pair isolates the per-call scratch allocation.
+    let snap = ctx.snapshot(900.0, Mode::Hybrid);
+    let mut base = FlowNetwork::new(snap.graph.num_nodes());
+    for e in 0..snap.graph.num_edges() as u32 {
+        let (u, v, _) = snap.graph.edge(e);
+        base.add_undirected(u, v, 1.0);
+    }
+    let (s, t) = (snap.city_node(0), snap.city_node(1));
+    h.bench("maxflow_fresh", || max_flow(&mut base.clone(), s, t));
+    let mut ws = MaxFlowWorkspace::new();
+    h.bench("maxflow_workspace", move || {
+        max_flow_with(&mut base.clone(), s, t, &mut ws)
+    });
+}
+
+fn bench_maxmin(h: &mut Harness, ctx: &StudyContext) {
+    // The fig4 flow structure: one link per snapshot edge, k=2 disjoint
+    // sub-flows per pair, solved to a max-min-fair allocation.
+    let snap = ctx.snapshot(900.0, Mode::Hybrid);
+    let mut sim = FlowSim::new();
+    for e in 0..snap.graph.num_edges() as u32 {
+        sim.add_link(snap.edge_capacity_gbps(&ctx.config.network, e));
+    }
+    for pair in &ctx.pairs {
+        let s = snap.city_node(pair.src as usize);
+        let d = snap.city_node(pair.dst as usize);
+        for p in k_edge_disjoint_paths(&snap.graph, s, d, 2, None) {
+            sim.add_flow(p.edges);
+        }
+    }
+    h.bench("maxmin_fresh", || sim.solve().aggregate);
+    let mut ws = FlowWorkspace::new();
+    h.bench("maxmin_workspace", move || {
+        sim.solve_with(&mut ws).aggregate
+    });
 }
 
 fn main() {
@@ -111,6 +191,8 @@ fn main() {
     bench_sssp(&mut h, &ctx);
     bench_snapshot(&mut h, &ctx);
     bench_inner_loop(&mut h, &ctx);
+    bench_maxflow(&mut h, &ctx);
+    bench_maxmin(&mut h, &ctx);
     h.finish().expect("write BENCH_routing.json");
     finish_run("routing", &ExperimentScale::Tiny.config());
 }

@@ -7,7 +7,6 @@
 //! shortest path changes its node sequence, and how much the RTT jumps
 //! when it does.
 
-use crate::par::parallel_map;
 use crate::snapshot::{Mode, StudyContext};
 use leo_graph::with_thread_workspace;
 use leo_util::span;
@@ -36,28 +35,31 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
     );
     let times = ctx.config.snapshot_times_s.clone();
     // Per snapshot, per pair: (node-sequence hash, rtt).
-    let per_snap: Vec<Vec<Option<(u64, f64)>>> = parallel_map(&times, threads, |&t| {
-        let snap = ctx.snapshot(t, mode);
-        let mut out = vec![None; ctx.pairs.len()];
-        let mut targets = Vec::new();
-        with_thread_workspace(|ws| {
-            for (src, idxs) in ctx.pairs_by_src() {
-                targets.clear();
-                targets.extend(
-                    idxs.iter()
-                        .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
-                );
-                let view = ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
-                for &i in idxs {
-                    let d = snap.city_node(ctx.pairs[i].dst as usize);
-                    if let Some(path) = view.extract_path(d) {
-                        out[i] = Some((hash_nodes(&path.nodes), crate::rtt_ms(path.total_weight)));
+    let per_snap: Vec<Vec<Option<(u64, f64)>>> =
+        ctx.sweep_map(&times, &[mode], threads, |_, snaps| {
+            let snap = &snaps[0];
+            let mut out = vec![None; ctx.pairs.len()];
+            let mut targets = Vec::new();
+            with_thread_workspace(|ws| {
+                for (src, idxs) in ctx.pairs_by_src() {
+                    targets.clear();
+                    targets.extend(
+                        idxs.iter()
+                            .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+                    );
+                    let view =
+                        ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
+                    for &i in idxs {
+                        let d = snap.city_node(ctx.pairs[i].dst as usize);
+                        if let Some(path) = view.extract_path(d) {
+                            out[i] =
+                                Some((hash_nodes(&path.nodes), crate::rtt_ms(path.total_weight)));
+                        }
                     }
                 }
-            }
+            });
+            out
         });
-        out
-    });
 
     let mut transitions = 0usize;
     let mut changes = 0usize;

@@ -8,7 +8,6 @@
 //! one ground bounce, cutting latency.
 
 use crate::config::{ConstellationKind, StudyConfig};
-use crate::par::parallel_map;
 use crate::snapshot::{Mode, NodeKind, StudyContext};
 use leo_graph::with_thread_workspace;
 use leo_util::span;
@@ -52,9 +51,9 @@ pub fn cross_shell_study(
         .city_index(dst_name)
         .unwrap_or_else(|| panic!("unknown city {dst_name}"));
     let times = ctx.config.snapshot_times_s.clone();
-    parallel_map(&times, threads, |&t| {
-        // One shared orbit/visibility pass for both connectivity modes.
-        let snaps = ctx.snapshot_bundle(t, &[Mode::IslOnly, Mode::Hybrid]);
+    let modes = [Mode::IslOnly, Mode::Hybrid];
+    ctx.sweep_map(&times, &modes, threads, |ti, snaps| {
+        let t = times[ti];
         let (isl_snap, hy_snap) = (&snaps[0], &snaps[1]);
         let (isl_rtt, hybrid_path) = with_thread_workspace(|ws| {
             let isl_rtt = ws

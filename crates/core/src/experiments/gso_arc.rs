@@ -7,10 +7,9 @@
 //! shrunken field of view, while ISL paths only care at the endpoints.
 
 use crate::snapshot::StudyContext;
-use leo_geo::deg_to_rad;
+use leo_geo::{batch_visible_from, deg_to_rad, Ecef, GeoPoint};
 use leo_orbit::gso::{gso_compliant, usable_sky_fraction};
-use leo_orbit::visibility::subpoint_index;
-use leo_orbit::{visible_satellites, VisibilityParams};
+use leo_orbit::{VisibilityParams, SUBPOINT_BIN_DEG};
 use leo_util::span;
 
 /// One row of the Fig. 9 sweep.
@@ -49,46 +48,62 @@ pub fn gso_sweep(
         max_altitude_m: ctx.config.constellation.max_altitude_m(),
     };
     // Spread samples over ~one orbital period so different constellation
-    // phases are seen.
+    // phases are seen. One satellite state + cell index is advanced in
+    // place across the samples instead of rebuilding per instant.
     let sample_times: Vec<f64> = (0..12).map(|i| t_s + i as f64 * 480.0).collect();
-    let snaps: Vec<_> = sample_times
-        .iter()
-        .map(|&t| {
-            let s = ctx.constellation.positions_at(t);
-            let idx = subpoint_index(&s);
-            (s, idx)
-        })
-        .collect();
-    let (mut scratch, mut visible) = (Vec::new(), Vec::new());
+    let radius_m = params.query_radius_m();
+    let mut totals = vec![0usize; latitudes_deg.len()];
+    let mut compliant = vec![0usize; latitudes_deg.len()];
+    let mut sats = ctx.constellation.positions_at(t_s);
+    let mut grid = sats.cell_grid(SUBPOINT_BIN_DEG);
+    let mut transitions = Vec::new();
+    let mut cells = Vec::new();
+    for (si, &t) in sample_times.iter().enumerate() {
+        if si > 0 {
+            sats.advance_to(&ctx.constellation, t, &mut grid, &mut transitions);
+        }
+        let (xs, ys, zs) = sats.xyz();
+        for (li, &lat) in latitudes_deg.iter().enumerate() {
+            // Count compliant vs visible satellites from a GT at (lat, 0°)
+            // — longitude is immaterial for the (zonally symmetric) arc.
+            let gt = GeoPoint::from_degrees(lat, 0.0);
+            let g = Ecef::from_geo(gt, 0.0);
+            let g_norm = g.norm();
+            grid.window_cells(gt, radius_m, &mut cells);
+            for &cell in &cells {
+                batch_visible_from(
+                    &g,
+                    g_norm,
+                    (xs, ys, zs),
+                    grid.ids(cell),
+                    e,
+                    &mut |s, _, _| {
+                        totals[li] += 1;
+                        if gso_compliant(gt, &sats.position(s as usize), sep) {
+                            compliant[li] += 1;
+                        }
+                    },
+                );
+            }
+        }
+    }
     latitudes_deg
         .iter()
-        .map(|&lat| {
+        .enumerate()
+        .map(|(li, &lat)| {
             let sky = usable_sky_fraction(
                 deg_to_rad(lat),
                 e,
                 sep,
                 ctx.config.constellation.max_altitude_m(),
             );
-            // Count compliant vs visible satellites from a GT at (lat, 0°)
-            // — longitude is immaterial for the (zonally symmetric) arc.
-            let gt = leo_geo::GeoPoint::from_degrees(lat, 0.0);
-            let mut total = 0usize;
-            let mut ok = 0usize;
-            for (snap, index) in &snaps {
-                visible_satellites(gt, snap, index, &params, &mut scratch, &mut visible);
-                total += visible.len();
-                ok += visible
-                    .iter()
-                    .filter(|&&s| gso_compliant(gt, &snap.positions[s as usize], sep))
-                    .count();
-            }
             GsoRow {
                 lat_deg: lat,
                 usable_sky_fraction: sky,
-                usable_satellite_fraction: if total == 0 {
+                usable_satellite_fraction: if totals[li] == 0 {
                     f64::NAN
                 } else {
-                    ok as f64 / total as f64
+                    compliant[li] as f64 / totals[li] as f64
                 },
             }
         })

@@ -6,7 +6,6 @@
 //! grouping means one Dijkstra per unique source city per snapshot.
 
 use crate::metrics::Distribution;
-use crate::par::parallel_map;
 use crate::snapshot::{Mode, NetworkSnapshot, NodeKind, StudyContext};
 use leo_data::traffic::CityPair;
 use leo_graph::with_thread_workspace;
@@ -49,10 +48,11 @@ pub fn latency_study(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<Pair
 }
 
 /// Run the latency study for several modes at once, sharing the
-/// per-timestep orbit/visibility pass across them (via
-/// [`StudyContext::snapshot_bundle`]) and reusing one warm
-/// [`DijkstraWorkspace`] per `parallel_map` worker. Returns one
-/// `Vec<PairStats>` per entry of `modes`, in order.
+/// per-timestep orbit/visibility pass across them and the incremental
+/// sweep state across consecutive timesteps (via
+/// [`StudyContext::sweep_map`]), reusing one warm [`DijkstraWorkspace`]
+/// per worker. Returns one `Vec<PairStats>` per entry of `modes`, in
+/// order.
 ///
 /// [`DijkstraWorkspace`]: leo_graph::DijkstraWorkspace
 pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Vec<Vec<PairStats>> {
@@ -65,8 +65,8 @@ pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Ve
     let times = ctx.config.snapshot_times_s.clone();
     // Per snapshot time, per mode: Vec<Option<rtt_ms>> indexed like
     // ctx.pairs.
-    let per_time: Vec<Vec<Vec<Option<f64>>>> = parallel_map(&times, threads, |&t| {
-        ctx.snapshot_bundle(t, modes)
+    let per_time: Vec<Vec<Vec<Option<f64>>>> = ctx.sweep_map(&times, modes, threads, |_, snaps| {
+        snaps
             .iter()
             .map(|snap| snapshot_rtts_on(ctx, snap))
             .collect()
@@ -231,8 +231,9 @@ pub fn pair_timeseries(
         .city_index(dst_name)
         .unwrap_or_else(|| panic!("unknown city {dst_name}"));
     let times = ctx.config.snapshot_times_s.clone();
-    parallel_map(&times, threads, |&t| {
-        let snap = ctx.snapshot(t, mode);
+    ctx.sweep_map(&times, &[mode], threads, |i, snaps| {
+        let t = times[i];
+        let snap = &snaps[0];
         let path = with_thread_workspace(|ws| {
             ws.run(
                 &snap.graph,

@@ -8,8 +8,8 @@
 //! of prior work that the paper §3 criticizes.
 
 use crate::par::parallel_map;
-use crate::snapshot::{Mode, NetworkSnapshot, StudyContext};
-use leo_flow::FlowSim;
+use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, StudyContext};
+use leo_flow::{FlowSim, FlowWorkspace};
 use leo_graph::{
     component_sizes, connected_components, k_edge_disjoint_paths_with, max_flow,
     with_thread_workspace, FlowNetwork,
@@ -50,6 +50,33 @@ pub fn throughput_with_isl_capacity(
         isl_gbps = isl_gbps,
     );
     let snap = ctx.snapshot(t_s, mode);
+    let routed = route_flows(ctx, &snap, k, isl_gbps);
+    routed.result(&mut FlowWorkspace::new())
+}
+
+/// Routed flows over one snapshot: a [`FlowSim`] whose link ids are the
+/// snapshot's edge ids. Paths depend only on the delay graph, never on
+/// capacities, so one routing pass supports any number of re-solves
+/// under different capacity assumptions.
+struct RoutedFlows {
+    sim: FlowSim,
+    routed_pairs: usize,
+    flows: usize,
+}
+
+impl RoutedFlows {
+    fn result(&self, ws: &mut FlowWorkspace) -> ThroughputResult {
+        ThroughputResult {
+            aggregate_gbps: self.sim.solve_with(ws).aggregate,
+            routed_pairs: self.routed_pairs,
+            flows: self.flows,
+        }
+    }
+}
+
+/// Route `k` edge-disjoint shortest paths per pair and load them into a
+/// flow simulation with per-edge capacities (ISL capacity overridable).
+fn route_flows(ctx: &StudyContext, snap: &NetworkSnapshot, k: usize, isl_gbps: f64) -> RoutedFlows {
     // Path-finding per pair is read-only on the snapshot: parallelize.
     let paths_per_pair = parallel_map(&ctx.pairs, 0, |pair| {
         with_thread_workspace(|ws| {
@@ -82,9 +109,8 @@ pub fn throughput_with_isl_capacity(
             flows += 1;
         }
     }
-    let alloc = sim.solve();
-    ThroughputResult {
-        aggregate_gbps: alloc.aggregate,
+    RoutedFlows {
+        sim,
         routed_pairs,
         flows,
     }
@@ -93,6 +119,12 @@ pub fn throughput_with_isl_capacity(
 /// Fig. 5: Starlink aggregate throughput as ISL capacity sweeps over
 /// multiples of the GT-link capacity. Returns `(ratio, gbps)` rows, plus
 /// the BP-only reference as ratio 0.
+///
+/// Both snapshots come from one shared visibility pass; the hybrid flows
+/// are routed **once** and re-solved per ratio by re-setting only the
+/// ISL link capacities, on one warm [`FlowWorkspace`] — paths are
+/// delay-shortest and never depend on capacity, so the results are
+/// identical to re-routing from scratch.
 pub fn isl_capacity_sweep(
     ctx: &StudyContext,
     t_s: f64,
@@ -106,12 +138,22 @@ pub fn isl_capacity_sweep(
         ratios = ratios.len()
     );
     let gt = ctx.config.network.gt_link_gbps;
+    let mut ws = FlowWorkspace::new();
     let mut out = Vec::with_capacity(ratios.len() + 1);
-    let bp = throughput(ctx, t_s, Mode::BpOnly, k);
-    out.push((0.0, bp.aggregate_gbps));
+    let snaps = ctx.snapshot_bundle(t_s, &[Mode::BpOnly, Mode::Hybrid]);
+    let bp = route_flows(ctx, &snaps[0], k, ctx.config.network.isl_gbps);
+    out.push((0.0, bp.result(&mut ws).aggregate_gbps));
+    if ratios.is_empty() {
+        return out;
+    }
+    let mut hybrid = route_flows(ctx, &snaps[1], k, gt * ratios[0]);
     for &r in ratios {
-        let res = throughput_with_isl_capacity(ctx, t_s, Mode::Hybrid, k, gt * r);
-        out.push((r, res.aggregate_gbps));
+        for e in 0..snaps[1].edges.len() as u32 {
+            if matches!(snaps[1].edges[e as usize], EdgeKind::Isl) {
+                hybrid.sim.set_link_capacity(e, gt * r);
+            }
+        }
+        out.push((r, hybrid.result(&mut ws).aggregate_gbps));
     }
     out
 }
@@ -127,9 +169,8 @@ pub fn disconnected_satellite_fraction(ctx: &StudyContext, mode: Mode, threads: 
         snapshots = ctx.config.snapshot_times_s.len(),
     );
     let times = ctx.config.snapshot_times_s.clone();
-    parallel_map(&times, threads, |&t| {
-        let snap = ctx.snapshot(t, mode);
-        disconnected_fraction_of(&snap)
+    ctx.sweep_map(&times, &[mode], threads, |_, snaps| {
+        disconnected_fraction_of(&snaps[0])
     })
 }
 

@@ -8,7 +8,6 @@
 //! along the path), and free-space path loss is excluded by design.
 
 use crate::metrics::Distribution;
-use crate::par::parallel_map;
 use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, StudyContext};
 use leo_atmo::{AttenuationModel, Climatology, SlantPath, WeatherProcess};
 use leo_graph::{with_thread_workspace, Path};
@@ -122,42 +121,47 @@ pub fn weather_study(ctx: &StudyContext, weather_seed: u64, threads: usize) -> W
     let times = ctx.config.snapshot_times_s.clone();
 
     // per_time[t] = (bp_db per pair, isl_db per pair)
-    let per_time: Vec<(Vec<f64>, Vec<f64>)> = parallel_map(&times, threads, |&t| {
-        let mut bp = vec![f64::NAN; ctx.pairs.len()];
-        let mut isl = vec![f64::NAN; ctx.pairs.len()];
-        // One shared orbit/visibility pass materializes both modes.
-        let snaps = ctx.snapshot_bundle(t, &[Mode::BpOnly, Mode::IslOnly]);
-        let mut targets = Vec::new();
-        with_thread_workspace(|ws| {
-            for (snap, out) in snaps.iter().zip([&mut bp, &mut isl]) {
-                // One early-exit Dijkstra per unique source city, on warm
-                // buffers.
-                for (src, idxs) in ctx.pairs_by_src() {
-                    targets.clear();
-                    targets.extend(
-                        idxs.iter()
-                            .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
-                    );
-                    let view =
-                        ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
-                    for &i in idxs {
-                        let dst = snap.city_node(ctx.pairs[i].dst as usize);
-                        if let Some(path) = view.extract_path(dst) {
-                            out[i] = worst_link_db(
-                                snap,
-                                &path,
-                                &model,
-                                AttenMode::Realized(weather, t),
-                                up,
-                                down,
-                            );
+    let modes = [Mode::BpOnly, Mode::IslOnly];
+    let per_time: Vec<(Vec<f64>, Vec<f64>)> =
+        ctx.sweep_map(&times, &modes, threads, |ti, snaps| {
+            let t = times[ti];
+            let mut bp = vec![f64::NAN; ctx.pairs.len()];
+            let mut isl = vec![f64::NAN; ctx.pairs.len()];
+            let mut targets = Vec::new();
+            with_thread_workspace(|ws| {
+                for (snap, out) in snaps.iter().zip([&mut bp, &mut isl]) {
+                    // One early-exit Dijkstra per unique source city, on warm
+                    // buffers.
+                    for (src, idxs) in ctx.pairs_by_src() {
+                        targets.clear();
+                        targets.extend(
+                            idxs.iter()
+                                .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+                        );
+                        let view = ws.run_multi(
+                            &snap.graph,
+                            snap.city_node(*src as usize),
+                            None,
+                            &targets,
+                        );
+                        for &i in idxs {
+                            let dst = snap.city_node(ctx.pairs[i].dst as usize);
+                            if let Some(path) = view.extract_path(dst) {
+                                out[i] = worst_link_db(
+                                    snap,
+                                    &path,
+                                    &model,
+                                    AttenMode::Realized(weather, t),
+                                    up,
+                                    down,
+                                );
+                            }
                         }
                     }
                 }
-            }
+            });
+            (bp, isl)
         });
-        (bp, isl)
-    });
 
     // 99.5th percentile across time, per pair.
     let n = ctx.pairs.len();

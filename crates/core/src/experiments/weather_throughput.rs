@@ -11,7 +11,7 @@
 
 use crate::snapshot::{EdgeKind, Mode, StudyContext};
 use leo_atmo::{AttenuationModel, Climatology, LinkBudget, SlantPath, WeatherProcess};
-use leo_flow::FlowSim;
+use leo_flow::{FlowSim, FlowWorkspace};
 use leo_graph::k_edge_disjoint_paths;
 use leo_util::span;
 
@@ -99,28 +99,27 @@ pub fn weathered_throughput(
     }
 
     // Route once (paths don't react to weather — the conservative model),
-    // then allocate under both capacity sets.
-    let mut flows: Vec<Vec<u32>> = Vec::new();
+    // build the flow structure once, then re-solve the same flows under
+    // both capacity sets on one warm workspace.
+    let mut sim = FlowSim::new();
+    for &c in &clear_caps {
+        sim.add_link(c);
+    }
     for pair in &ctx.pairs {
         let s = snap.city_node(pair.src as usize);
         let d = snap.city_node(pair.dst as usize);
         for p in k_edge_disjoint_paths(&snap.graph, s, d, k, None) {
-            flows.push(p.edges);
+            sim.add_flow(p.edges);
         }
     }
-    let solve = |caps: &[f64]| -> f64 {
-        let mut sim = FlowSim::new();
-        for &c in caps {
-            sim.add_link(c);
-        }
-        for f in &flows {
-            sim.add_flow(f.clone());
-        }
-        sim.solve().aggregate
-    };
+    let mut ws = FlowWorkspace::new();
+    let clear_gbps = sim.solve_with(&mut ws).aggregate;
+    for (l, &c) in wet_caps.iter().enumerate() {
+        sim.set_link_capacity(l as u32, c);
+    }
     WeatheredThroughput {
-        clear_gbps: solve(&clear_caps),
-        weathered_gbps: solve(&wet_caps),
+        clear_gbps,
+        weathered_gbps: sim.solve_with(&mut ws).aggregate,
     }
 }
 

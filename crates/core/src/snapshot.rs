@@ -1,16 +1,34 @@
 //! Time-frozen network snapshots: the dynamic graph the experiments run
 //! on.
+//!
+//! Two construction paths produce [`NetworkSnapshot`]s:
+//!
+//! * [`StudyContext::snapshot`] / [`StudyContext::snapshot_bundle`] —
+//!   freeze one instant from scratch.
+//! * [`TimeSweep`] (via [`StudyContext::sweep`],
+//!   [`StudyContext::sweep_times`], or the parallel
+//!   [`StudyContext::sweep_map`]) — walk a whole time series keeping the
+//!   satellite state, the sub-point cell index, and every per-ground-point
+//!   visibility set alive between instants, so consecutive snapshots cost
+//!   an incremental update instead of a full rebuild.
+//!
+//! Both paths are **bit-identical**: a sweep step performs the same
+//! floating-point operations in the same order as a fresh
+//! `snapshot_bundle` at the same instant (`snapshot_bundle` is in fact a
+//! one-step sweep). The equivalence is enforced by tests here and by the
+//! cross-crate property tests in `tests/sweep.rs`.
 
 use crate::config::{NetworkConfig, StudyConfig};
 use crate::ground::GroundSegment;
-use leo_data::flights::FlightSchedule;
+use leo_data::flights::{Aircraft, FlightSchedule};
 use leo_data::traffic::{sample_city_pairs, CityPair};
-use leo_geo::{elevation_angle_rad, GeoPoint, SPEED_OF_LIGHT_M_S};
+use leo_geo::{CellGrid, Ecef, GeoPoint, VisibilityScan, SPEED_OF_LIGHT_M_S};
 use leo_graph::{EdgeId, Graph, GraphBuilder, NodeId};
 use leo_orbit::{
-    isl_line_of_sight, plus_grid_isls, visible_satellites, Constellation, IslLink, VisibilityParams,
+    isl_line_of_sight, plus_grid_isls, CellTransition, Constellation, ConstellationSnapshot,
+    IslLink, VisibilityParams, SUBPOINT_BIN_DEG,
 };
-use leo_util::telemetry::Counter;
+use leo_util::telemetry::{enabled, Counter, Level};
 use leo_util::{debug_span, span};
 
 /// Telemetry: snapshots frozen across all experiments (the unit of work
@@ -18,9 +36,24 @@ use leo_util::{debug_span, span};
 static SNAPSHOTS_BUILT: Counter = Counter::new("snapshots_built");
 /// Telemetry: snapshots materialized from a shared per-timestep
 /// position/visibility pass beyond the first — every count here is one
-/// `positions_at` + sub-point index + visibility sweep that
+/// position propagation + sub-point index + visibility sweep that
 /// [`StudyContext::snapshot_bundle`] did *not* redo.
 static VISIBILITY_SHARED_MODES: Counter = Counter::new("visibility_shared_modes");
+/// Telemetry: sweep steps that rebuilt satellite state from scratch (the
+/// first step of every [`TimeSweep`], including each `sweep_map` chunk).
+static SWEEP_FULL_REBUILDS: Counter = Counter::new("sweep_full_rebuilds");
+/// Telemetry: satellites relocated between sub-point cells by incremental
+/// sweep steps — the work a full index rebuild would redo for *every*
+/// satellite.
+static SWEEP_CELL_TRANSITIONS: Counter = Counter::new("sweep_cell_transitions");
+/// Telemetry: GT–satellite links whose membership persisted from the
+/// previous sweep step (only the delay/elevation weights were refreshed).
+/// Counted for static ground points (cities + relays); aircraft links are
+/// rebuilt wholesale because the aircraft themselves move.
+static SWEEP_EDGES_REUSED: Counter = Counter::new("sweep_edges_reused");
+/// Telemetry: GT–satellite links that newly appeared in a sweep step
+/// (satellite rose above the minimum elevation for that ground point).
+static SWEEP_EDGES_RECOMPUTED: Counter = Counter::new("sweep_edges_recomputed");
 
 /// Connectivity mode of a snapshot (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -186,9 +219,9 @@ impl StudyContext {
     /// lowest-latency paths and `2 × weight` is RTT.
     ///
     /// Building several modes at the same `t_s`? Use
-    /// [`StudyContext::snapshot_bundle`], which shares the expensive
-    /// per-timestep work (orbit propagation, the sub-point spatial index,
-    /// and every GT visibility query) across them.
+    /// [`StudyContext::snapshot_bundle`]. Walking a time series? Use
+    /// [`StudyContext::sweep_times`] or [`StudyContext::sweep_map`],
+    /// which additionally keep state alive *between* instants.
     pub fn snapshot(&self, t_s: f64, mode: Mode) -> NetworkSnapshot {
         self.snapshot_bundle(t_s, &[mode])
             .pop()
@@ -197,142 +230,463 @@ impl StudyContext {
     }
 
     /// Freeze the network at `t_s` under each of `modes`, computing
-    /// satellite positions, the sub-point [`SphereGrid`] index, ISL
-    /// line-of-sight, and GT visibility **once** and materializing every
-    /// requested mode from that shared pass. Returns one snapshot per
-    /// entry of `modes`, in order (duplicates allowed).
+    /// satellite positions, the sub-point cell index, ISL line-of-sight,
+    /// and GT visibility **once** and materializing every requested mode
+    /// from that shared pass. Returns one snapshot per entry of `modes`,
+    /// in order (duplicates allowed).
     ///
     /// Byte-identical to building each mode via [`StudyContext::snapshot`]
     /// separately — the shared pass performs the same floating-point
-    /// operations in the same order.
-    ///
-    /// [`SphereGrid`]: leo_geo::SphereGrid
+    /// operations in the same order. Implemented as a single-step
+    /// [`TimeSweep`].
     pub fn snapshot_bundle(&self, t_s: f64, modes: &[Mode]) -> Vec<NetworkSnapshot> {
         if modes.is_empty() {
             return Vec::new();
         }
-        let _span = debug_span!("snapshot_bundle", t_s = t_s, modes = modes.len());
-        SNAPSHOTS_BUILT.add(modes.len() as u64);
-        VISIBILITY_SHARED_MODES.add(modes.len() as u64 - 1);
-        let sat_positions = self.constellation.positions_at(t_s);
-        let s = self.num_satellites();
-        let num_cities = self.ground.cities.len();
+        let mut sweep = TimeSweep::new(self, modes);
+        sweep.step(t_s);
+        sweep.into_snapshots()
+    }
 
+    /// Walk the time series `times`, calling `f(i, snapshots)` with the
+    /// bundle for `times[i]` under `modes` (one snapshot per mode, in
+    /// order). Consecutive instants share a [`TimeSweep`], so each step
+    /// after the first is an incremental update, not a rebuild.
+    ///
+    /// The snapshot slice passed to `f` is reused between steps — clone
+    /// out anything that must outlive the call.
+    pub fn sweep_times(
+        &self,
+        times: &[f64],
+        modes: &[Mode],
+        mut f: impl FnMut(usize, &[NetworkSnapshot]),
+    ) {
+        let mut sweep = TimeSweep::new(self, modes);
+        for (i, &t) in times.iter().enumerate() {
+            f(i, sweep.step(t));
+        }
+    }
+
+    /// [`StudyContext::sweep_times`] over the arithmetic grid
+    /// `t0_s + i·dt_s` for `i in 0..n`.
+    pub fn sweep(
+        &self,
+        t0_s: f64,
+        dt_s: f64,
+        n: usize,
+        modes: &[Mode],
+        mut f: impl FnMut(usize, &[NetworkSnapshot]),
+    ) {
+        let mut sweep = TimeSweep::new(self, modes);
+        for i in 0..n {
+            f(i, sweep.step(t0_s + i as f64 * dt_s));
+        }
+    }
+
+    /// Parallel [`StudyContext::sweep_times`]: splits `times` into
+    /// `threads` contiguous chunks, runs one [`TimeSweep`] per chunk, and
+    /// returns `f(i, snapshots)` for every index in order.
+    ///
+    /// `threads == 0` means "use available parallelism", exactly like
+    /// [`crate::par::parallel_map`]. Because sweep-built snapshots are
+    /// bit-identical to fresh ones, the results do not depend on the
+    /// thread count — only the first step of each chunk pays the full
+    /// rebuild cost.
+    pub fn sweep_map<R, F>(&self, times: &[f64], modes: &[Mode], threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, &[NetworkSnapshot]) -> R + Sync,
+    {
+        let n = times.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            threads
+        }
+        .min(n);
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+        let per_chunk = crate::par::parallel_map(&ranges, threads, |&(lo, hi)| {
+            let mut sweep = TimeSweep::new(self, modes);
+            let mut out = Vec::with_capacity(hi - lo);
+            for (i, &t) in times.iter().enumerate().take(hi).skip(lo) {
+                out.push(f(i, sweep.step(t)));
+            }
+            out
+        });
+        per_chunk.into_iter().flatten().collect()
+    }
+}
+
+/// Incremental snapshot engine: walks a time series keeping satellite
+/// state, the sub-point [`CellGrid`], per-ground-point visibility sets,
+/// and all output buffers alive between instants.
+///
+/// Created by [`TimeSweep::new`]; each [`TimeSweep::step`] produces one
+/// [`NetworkSnapshot`] per requested mode. The first step propagates every
+/// satellite and builds the cell index from scratch; every later step
+/// advances the same state in place — satellites are *relocated* between
+/// cells only when their sub-point crosses a cell boundary (reported by
+/// [`ConstellationSnapshot::advance_to`]), ground-point cell windows are
+/// precomputed once, and link/edge/node vectors are recycled.
+///
+/// **Delta invariant**: the snapshots returned by step `k` of a sweep are
+/// node-for-node, edge-for-edge, and weight-bit identical to
+/// [`StudyContext::snapshot_bundle`] called fresh at the same instant.
+/// Membership of a GT–satellite link persists across steps whenever the
+/// satellite stays above the minimum elevation; its delay/elevation
+/// weights are always refreshed (satellites move every step). A full
+/// rebuild happens only on the first step of a sweep — there is no other
+/// fallback path, because the incremental update is exact.
+#[derive(Debug)]
+pub struct TimeSweep<'a> {
+    ctx: &'a StudyContext,
+    modes: Vec<Mode>,
+    needs_full_ground: bool,
+    needs_isls: bool,
+    query_radius_m: f64,
+    /// Satellite state advanced in place across steps.
+    sats: ConstellationSnapshot,
+    /// Sub-point cell index maintained incrementally alongside `sats`.
+    grid: CellGrid,
+    /// CSR copy of `grid` (`cell_ids[cell_off[c]..cell_off[c+1]]`),
+    /// re-flattened each step so the visibility loops stream two
+    /// contiguous arrays instead of one heap bucket per cell.
+    cell_off: Vec<u32>,
+    cell_ids: Vec<u32>,
+    /// Batched elevation test with the threshold trig precomputed once
+    /// per sweep.
+    vis: VisibilityScan,
+    transitions: Vec<CellTransition>,
+    started: bool,
+    /// Static ground points: cities, then relays (relays only when some
+    /// mode uses them).
+    static_ground: Vec<GeoPoint>,
+    /// Surface ECEF position + norm per static ground point, hoisted out
+    /// of the per-step visibility loops.
+    static_ecef: Vec<(Ecef, f64)>,
+    /// Cell window per static ground point as consecutive-cell segments
+    /// (see [`CellGrid::window_segments`]), precomputed once — window
+    /// geometry depends only on the grid shape, not its contents.
+    static_cells: Vec<Vec<(u32, u32)>>,
+    /// Per static ground point: (satellite, one-way delay s, elevation
+    /// rad), persisted across steps.
+    static_links: Vec<Vec<(u32, f64, f64)>>,
+    aircraft: Vec<Aircraft>,
+    air_links: Vec<Vec<(u32, f64, f64)>>,
+    air_cells: Vec<(u32, u32)>,
+    isl_links: Vec<(NodeId, NodeId, f64)>,
+    /// Previous step's visible-satellite ids for one ground point
+    /// (sorted), used for the reused/recomputed telemetry split.
+    prev_ids: Vec<u32>,
+    builder: GraphBuilder,
+    snapshots: Vec<NetworkSnapshot>,
+}
+
+impl<'a> TimeSweep<'a> {
+    /// Set up a sweep over `ctx` producing one snapshot per entry of
+    /// `modes` at every step. No orbital work happens until the first
+    /// [`TimeSweep::step`].
+    pub fn new(ctx: &'a StudyContext, modes: &[Mode]) -> Self {
         let needs_full_ground = modes.iter().any(|&m| m != Mode::IslOnly);
         let needs_isls = modes.iter().any(|&m| m != Mode::BpOnly);
-
-        // --- Union ground-point set: cities, then relays + aircraft ---
-        let mut ground_positions: Vec<GeoPoint> = self.city_positions.clone();
-        let aircraft = if needs_full_ground {
-            let aircraft = self.flights.relays_at(t_s);
-            ground_positions.extend(self.ground.relays.iter().copied());
-            ground_positions.extend(aircraft.iter().map(|a| a.pos));
-            aircraft
-        } else {
-            Vec::new()
-        };
-
-        // --- Shared ISL materialization (identical for every non-BP mode) ---
-        let isl_links: Vec<(NodeId, NodeId, f64)> = if needs_isls {
-            self.isls
-                .iter()
-                .filter_map(|l| {
-                    let pa = &sat_positions.positions[l.a as usize];
-                    let pb = &sat_positions.positions[l.b as usize];
-                    isl_line_of_sight(pa, pb, self.config.network.isl_clearance_m)
-                        .then(|| (l.a, l.b, pa.distance(pb) / SPEED_OF_LIGHT_M_S))
-                })
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        // --- Shared GT visibility: one query per union ground point ---
-        let index = leo_orbit::visibility::subpoint_index(&sat_positions);
         let params = VisibilityParams {
-            min_elevation_rad: self.constellation.min_elevation_rad(),
-            max_altitude_m: self.config.constellation.max_altitude_m(),
+            min_elevation_rad: ctx.constellation.min_elevation_rad(),
+            max_altitude_m: ctx.config.constellation.max_altitude_m(),
         };
-        let mut scratch = Vec::new();
-        let mut visible = Vec::new();
-        // Per ground point: (satellite, one-way delay s, elevation rad).
-        let gt_links: Vec<Vec<(u32, f64, f64)>> = ground_positions
+        let query_radius_m = params.query_radius_m();
+        let mut static_ground = ctx.city_positions.clone();
+        if needs_full_ground {
+            static_ground.extend(ctx.ground.relays.iter().copied());
+        }
+        let grid = CellGrid::new(SUBPOINT_BIN_DEG);
+        let static_ecef: Vec<(Ecef, f64)> = static_ground
             .iter()
-            .map(|gpos| {
-                visible_satellites(
-                    *gpos,
-                    &sat_positions,
-                    &index,
-                    &params,
-                    &mut scratch,
-                    &mut visible,
-                );
-                visible
-                    .iter()
-                    .map(|&sat| {
-                        let spos = &sat_positions.positions[sat as usize];
-                        let delay = leo_geo::slant_range_m(*gpos, spos) / SPEED_OF_LIGHT_M_S;
-                        (sat, delay, elevation_angle_rad(*gpos, spos))
-                    })
-                    .collect()
+            .map(|&g| {
+                let e = Ecef::from_geo(g, 0.0);
+                let norm = e.norm();
+                (e, norm)
             })
             .collect();
-
-        // --- Materialize each requested mode from the shared pass ---
-        modes
+        let static_cells: Vec<Vec<(u32, u32)>> = static_ground
             .iter()
-            .map(|&mode| {
-                let num_ground = if mode == Mode::IslOnly {
-                    num_cities
-                } else {
-                    ground_positions.len()
-                };
-                let mut nodes = Vec::with_capacity(s + num_ground);
-                nodes.extend_from_slice(&self.static_nodes);
-                if mode != Mode::IslOnly {
-                    nodes.extend_from_slice(&self.relay_nodes);
-                    nodes.extend(aircraft.iter().map(|a| NodeKind::Aircraft(a.id)));
-                }
-                debug_assert_eq!(nodes.len(), s + num_ground);
-
-                let mut builder = GraphBuilder::new(nodes.len());
-                let mut edges: Vec<EdgeKind> = Vec::new();
-                if mode != Mode::BpOnly {
-                    for &(a, b, delay) in &isl_links {
-                        builder.add_edge(a, b, delay);
-                        edges.push(EdgeKind::Isl);
-                    }
-                }
-                for (gi, links) in gt_links.iter().take(num_ground).enumerate() {
-                    let ground_node = (s + gi) as NodeId;
-                    for &(sat, delay, elevation_rad) in links {
-                        builder.add_edge(ground_node, sat, delay);
-                        edges.push(EdgeKind::UpDown {
-                            ground: ground_node,
-                            sat,
-                            elevation_rad,
-                        });
-                    }
-                }
-
-                let graph = builder.build();
-                debug_assert_eq!(graph.num_edges(), edges.len());
-                NetworkSnapshot {
-                    t_s,
-                    mode,
-                    graph,
-                    nodes,
-                    edges,
-                    ground_positions: ground_positions[..num_ground].to_vec(),
-                    num_satellites: s,
-                    num_aircraft: if mode == Mode::IslOnly {
-                        0
-                    } else {
-                        aircraft.len()
-                    },
-                }
+            .map(|&g| {
+                let mut segments = Vec::new();
+                grid.window_segments(g, query_radius_m, &mut segments);
+                segments
             })
-            .collect()
+            .collect();
+        let static_links = vec![Vec::new(); static_ground.len()];
+        let snapshots = modes
+            .iter()
+            .map(|&mode| NetworkSnapshot {
+                t_s: 0.0,
+                mode,
+                graph: Graph::default(),
+                nodes: Vec::new(),
+                edges: Vec::new(),
+                ground_positions: Vec::new(),
+                num_satellites: ctx.num_satellites(),
+                num_aircraft: 0,
+            })
+            .collect();
+        Self {
+            ctx,
+            modes: modes.to_vec(),
+            needs_full_ground,
+            needs_isls,
+            query_radius_m,
+            sats: ConstellationSnapshot::default(),
+            grid,
+            cell_off: Vec::new(),
+            cell_ids: Vec::new(),
+            vis: VisibilityScan::new(params.min_elevation_rad),
+            transitions: Vec::new(),
+            started: false,
+            static_ground,
+            static_ecef,
+            static_cells,
+            static_links,
+            aircraft: Vec::new(),
+            air_links: Vec::new(),
+            air_cells: Vec::new(),
+            isl_links: Vec::new(),
+            prev_ids: Vec::new(),
+            builder: GraphBuilder::new(0),
+            snapshots,
+        }
+    }
+
+    /// Advance to `t_s` and rebuild the per-mode snapshots, returning
+    /// them in `modes` order. The slice borrows the sweep's internal
+    /// buffers and is overwritten by the next step.
+    ///
+    /// Steps may be in any order and arbitrarily far apart — the
+    /// incremental update is exact regardless of `dt` (a large jump just
+    /// relocates more satellites between cells).
+    pub fn step(&mut self, t_s: f64) -> &[NetworkSnapshot] {
+        if self.modes.is_empty() {
+            return &self.snapshots;
+        }
+        let _span = debug_span!("sweep_step", t_s = t_s, modes = self.modes.len());
+        SNAPSHOTS_BUILT.add(self.modes.len() as u64);
+        VISIBILITY_SHARED_MODES.add(self.modes.len() as u64 - 1);
+        if self.started {
+            self.sats.advance_to(
+                &self.ctx.constellation,
+                t_s,
+                &mut self.grid,
+                &mut self.transitions,
+            );
+            SWEEP_CELL_TRANSITIONS.add(self.transitions.len() as u64);
+        } else {
+            self.sats = self.ctx.constellation.positions_at(t_s);
+            self.grid = self.sats.cell_grid(SUBPOINT_BIN_DEG);
+            SWEEP_FULL_REBUILDS.add(1);
+            self.started = true;
+        }
+        self.grid
+            .flatten_into(&mut self.cell_off, &mut self.cell_ids);
+        if self.needs_full_ground {
+            self.ctx
+                .flights
+                .aircraft_into(t_s, true, &mut self.aircraft);
+        } else {
+            self.aircraft.clear();
+        }
+        self.recompute_isls();
+        self.recompute_static_links();
+        self.recompute_aircraft_links();
+        for mi in 0..self.modes.len() {
+            self.assemble_mode(mi, t_s);
+        }
+        &self.snapshots
+    }
+
+    /// The snapshots produced by the most recent [`TimeSweep::step`]
+    /// (placeholders with empty graphs before the first step).
+    pub fn snapshots(&self) -> &[NetworkSnapshot] {
+        &self.snapshots
+    }
+
+    /// Consume the sweep, keeping the final step's snapshots.
+    pub fn into_snapshots(self) -> Vec<NetworkSnapshot> {
+        self.snapshots
+    }
+
+    /// Refresh ISL line-of-sight and delays against the current
+    /// satellite positions.
+    // lint: hot-path
+    fn recompute_isls(&mut self) {
+        self.isl_links.clear();
+        if !self.needs_isls {
+            return;
+        }
+        let clearance = self.ctx.config.network.isl_clearance_m;
+        for l in &self.ctx.isls {
+            let pa = self.sats.position(l.a as usize);
+            let pb = self.sats.position(l.b as usize);
+            if isl_line_of_sight(&pa, &pb, clearance) {
+                self.isl_links
+                    .push((l.a, l.b, pa.distance(&pb) / SPEED_OF_LIGHT_M_S));
+            }
+        }
+    }
+
+    /// Refresh the visibility set of every static ground point (cities +
+    /// relays) via the batched SoA elevation test over its precomputed
+    /// cell window.
+    ///
+    /// Enumerating window cells in canonical grid order with id-sorted
+    /// buckets reproduces the satellite order of a fresh
+    /// `SphereGrid::query_radius` pass exactly, and the elevation test
+    /// alone decides membership: any satellite outside the query radius
+    /// is below the minimum elevation by construction, so no great-circle
+    /// prefilter is needed.
+    // lint: hot-path
+    fn recompute_static_links(&mut self) {
+        let (xs, ys, zs) = self.sats.xyz();
+        let count = enabled(Level::Info);
+        let (mut reused, mut recomputed) = (0u64, 0u64);
+        let prev_ids = &mut self.prev_ids;
+        for (gi, links) in self.static_links.iter_mut().enumerate() {
+            if count {
+                prev_ids.clear();
+                prev_ids.extend(links.iter().map(|l| l.0));
+                prev_ids.sort_unstable();
+            }
+            links.clear();
+            let (g, g_norm) = self.static_ecef[gi];
+            let mut emit = |sat: u32, range_m: f64, elev: f64| {
+                links.push((sat, range_m / SPEED_OF_LIGHT_M_S, elev));
+            };
+            for &(a, b) in &self.static_cells[gi] {
+                let (lo, hi) = (
+                    self.cell_off[a as usize] as usize,
+                    self.cell_off[b as usize] as usize,
+                );
+                self.vis
+                    .scan(&g, g_norm, (xs, ys, zs), &self.cell_ids[lo..hi], &mut emit);
+            }
+            if count {
+                for l in links.iter() {
+                    if prev_ids.binary_search(&l.0).is_ok() {
+                        reused += 1;
+                    } else {
+                        recomputed += 1;
+                    }
+                }
+            }
+        }
+        if count {
+            SWEEP_EDGES_REUSED.add(reused);
+            SWEEP_EDGES_RECOMPUTED.add(recomputed);
+        }
+    }
+
+    /// Refresh aircraft visibility. Aircraft move between steps, so their
+    /// cell windows are recomputed per step (against the current grid
+    /// shape — contents-independent) and their links rebuilt wholesale.
+    // lint: hot-path
+    fn recompute_aircraft_links(&mut self) {
+        if self.air_links.len() < self.aircraft.len() {
+            self.air_links
+                // lint: allow(hot-path-alloc) grows once per new peak aircraft count, then recycled
+                .resize_with(self.aircraft.len(), Vec::new);
+        }
+        let (xs, ys, zs) = self.sats.xyz();
+        for (ai, a) in self.aircraft.iter().enumerate() {
+            let links = &mut self.air_links[ai];
+            links.clear();
+            let g = Ecef::from_geo(a.pos, 0.0);
+            let g_norm = g.norm();
+            self.grid
+                .window_segments(a.pos, self.query_radius_m, &mut self.air_cells);
+            let mut emit = |sat: u32, range_m: f64, elev: f64| {
+                links.push((sat, range_m / SPEED_OF_LIGHT_M_S, elev));
+            };
+            for &(ca, cb) in &self.air_cells {
+                let (lo, hi) = (
+                    self.cell_off[ca as usize] as usize,
+                    self.cell_off[cb as usize] as usize,
+                );
+                self.vis
+                    .scan(&g, g_norm, (xs, ys, zs), &self.cell_ids[lo..hi], &mut emit);
+            }
+        }
+    }
+
+    /// Rebuild snapshot `mi` (graph, node/edge tables, ground positions)
+    /// from the refreshed link sets, recycling all of its buffers.
+    // lint: hot-path
+    fn assemble_mode(&mut self, mi: usize, t_s: f64) {
+        let mode = self.modes[mi];
+        let s = self.ctx.num_satellites();
+        let num_cities = self.ctx.city_positions.len();
+        let num_static = self.static_ground.len();
+        let num_ground = if mode == Mode::IslOnly {
+            num_cities
+        } else {
+            num_static + self.aircraft.len()
+        };
+        let snap = &mut self.snapshots[mi];
+        snap.nodes.clear();
+        snap.nodes.extend_from_slice(&self.ctx.static_nodes);
+        if mode != Mode::IslOnly {
+            snap.nodes.extend_from_slice(&self.ctx.relay_nodes);
+            snap.nodes
+                .extend(self.aircraft.iter().map(|a| NodeKind::Aircraft(a.id)));
+        }
+        debug_assert_eq!(snap.nodes.len(), s + num_ground);
+
+        self.builder.reset(snap.nodes.len());
+        snap.edges.clear();
+        if mode != Mode::BpOnly {
+            for &(a, b, delay) in &self.isl_links {
+                self.builder.add_edge(a, b, delay);
+                snap.edges.push(EdgeKind::Isl);
+            }
+        }
+        for gi in 0..num_ground {
+            let ground_node = (s + gi) as NodeId;
+            let links = if gi < num_static {
+                &self.static_links[gi]
+            } else {
+                &self.air_links[gi - num_static]
+            };
+            for &(sat, delay, elevation_rad) in links {
+                self.builder.add_edge(ground_node, sat, delay);
+                snap.edges.push(EdgeKind::UpDown {
+                    ground: ground_node,
+                    sat,
+                    elevation_rad,
+                });
+            }
+        }
+        self.builder.build_into(&mut snap.graph);
+        debug_assert_eq!(snap.graph.num_edges(), snap.edges.len());
+
+        snap.ground_positions.clear();
+        snap.ground_positions
+            .extend_from_slice(&self.static_ground[..num_ground.min(num_static)]);
+        if mode != Mode::IslOnly {
+            snap.ground_positions
+                .extend(self.aircraft.iter().map(|a| a.pos));
+        }
+        snap.t_s = t_s;
+        snap.mode = mode;
+        snap.num_satellites = s;
+        snap.num_aircraft = if mode == Mode::IslOnly {
+            0
+        } else {
+            self.aircraft.len()
+        };
     }
 }
 
@@ -591,5 +945,104 @@ mod tests {
             }
         }
         assert!(seen.iter().all(|&s| s), "every pair must appear");
+    }
+
+    /// Assert two snapshots are indistinguishable: same metadata, same
+    /// node/edge tables, bit-identical graph.
+    fn assert_snapshots_identical(a: &NetworkSnapshot, b: &NetworkSnapshot, what: &str) {
+        assert_eq!(a.t_s.to_bits(), b.t_s.to_bits(), "{what}: t_s");
+        assert_eq!(a.mode, b.mode, "{what}: mode");
+        assert_eq!(a.nodes, b.nodes, "{what}: node table");
+        assert_eq!(a.edges, b.edges, "{what}: edge metadata");
+        assert_eq!(a.num_satellites, b.num_satellites, "{what}: num_satellites");
+        assert_eq!(a.num_aircraft, b.num_aircraft, "{what}: num_aircraft");
+        assert_eq!(
+            a.ground_positions.len(),
+            b.ground_positions.len(),
+            "{what}: ground positions"
+        );
+        for (pa, pb) in a.ground_positions.iter().zip(&b.ground_positions) {
+            assert_eq!(pa.lat().to_bits(), pb.lat().to_bits(), "{what}: ground lat");
+            assert_eq!(pa.lon().to_bits(), pb.lon().to_bits(), "{what}: ground lon");
+        }
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges(), "{what}: edges");
+        for e in 0..a.graph.num_edges() as EdgeId {
+            let (u1, v1, w1) = a.graph.edge(e);
+            let (u2, v2, w2) = b.graph.edge(e);
+            assert_eq!((u1, v1), (u2, v2), "{what}: edge {e} endpoints");
+            assert_eq!(w1.to_bits(), w2.to_bits(), "{what}: edge {e} weight bits");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_fresh_bundles_step_by_step() {
+        // The incremental path (advance_to + cell relocation + persisted
+        // link sets) must be indistinguishable from a fresh rebuild at
+        // every step — including irregular and large time jumps, which
+        // cross many cell boundaries.
+        let c = ctx();
+        let modes = [Mode::BpOnly, Mode::Hybrid, Mode::IslOnly];
+        let times = [0.0, 90.0, 900.0, 947.3, 30_000.0, 29_000.0];
+        let mut sweep = TimeSweep::new(&c, &modes);
+        for &t in &times {
+            let inc = sweep.step(t);
+            let fresh = c.snapshot_bundle(t, &modes);
+            assert_eq!(inc.len(), fresh.len());
+            for (i, (a, b)) in inc.iter().zip(&fresh).enumerate() {
+                assert_snapshots_identical(a, b, &format!("t={t} mode #{i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_times_and_grid_sweep_agree() {
+        let c = ctx();
+        let modes = [Mode::Hybrid];
+        let times = [100.0, 550.0, 1000.0];
+        let mut from_times: Vec<usize> = Vec::new();
+        let mut edges_times: Vec<usize> = Vec::new();
+        c.sweep_times(&times, &modes, |i, snaps| {
+            from_times.push(i);
+            edges_times.push(snaps[0].graph.num_edges());
+        });
+        let mut from_grid: Vec<usize> = Vec::new();
+        let mut edges_grid: Vec<usize> = Vec::new();
+        c.sweep(100.0, 450.0, 3, &modes, |i, snaps| {
+            from_grid.push(i);
+            edges_grid.push(snaps[0].graph.num_edges());
+        });
+        assert_eq!(from_times, vec![0, 1, 2]);
+        assert_eq!(from_times, from_grid);
+        assert_eq!(edges_times, edges_grid);
+    }
+
+    #[test]
+    fn sweep_map_is_thread_count_invariant() {
+        // Chunked parallel sweeps must produce the same results for any
+        // thread count — each chunk's first step is a full rebuild and
+        // sweep steps are bit-identical to fresh builds, so where the
+        // chunk boundaries fall cannot matter.
+        let c = ctx();
+        let modes = [Mode::Hybrid, Mode::BpOnly];
+        let times: Vec<f64> = (0..7).map(|i| i as f64 * 137.0).collect();
+        let digest = |threads: usize| -> Vec<(usize, u64)> {
+            c.sweep_map(&times, &modes, threads, |i, snaps| {
+                let mut h = 0u64;
+                for snap in snaps {
+                    for e in 0..snap.graph.num_edges() as EdgeId {
+                        let (u, v, w) = snap.graph.edge(e);
+                        h = h
+                            .wrapping_mul(1_099_511_628_211)
+                            .wrapping_add(u as u64 ^ ((v as u64) << 20) ^ w.to_bits());
+                    }
+                }
+                (i, h)
+            })
+        };
+        let one = digest(1);
+        assert_eq!(one.len(), times.len());
+        assert_eq!(one, digest(3));
+        assert_eq!(one, digest(7));
+        assert_eq!(one, digest(0));
     }
 }

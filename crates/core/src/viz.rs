@@ -229,7 +229,7 @@ pub fn draw_snapshot_path(
     for &n in nodes {
         match snap.nodes[n as usize] {
             crate::snapshot::NodeKind::Satellite(id) => {
-                route.push(constellation_positions.subpoints[id as usize]);
+                route.push(constellation_positions.subpoint(id as usize));
             }
             _ => {
                 if let Some(g) = snap.ground_position(n) {

@@ -12,7 +12,7 @@
 
 use crate::airports::airport;
 use crate::landmask::is_land;
-use leo_geo::{great_circle_distance_m, intermediate_point, GeoPoint};
+use leo_geo::{great_circle_distance_m, GeoPoint, GreatCircle};
 
 /// Cruise ground speed of a long-haul aircraft, m/s (~900 km/h).
 pub const CRUISE_SPEED_M_S: f64 = 250.0;
@@ -107,8 +107,10 @@ pub struct FlightSchedule {
 #[derive(Debug, Clone, Copy)]
 struct Leg {
     id: u64,
-    from: GeoPoint,
-    to: GeoPoint,
+    /// Route geometry, precomputed once per leg —
+    /// [`GreatCircle::point_at`] is bitwise equal to
+    /// [`leo_geo::intermediate_point`] over the same endpoints.
+    route: GreatCircle,
     depart_s: f64,
     duration_s: f64,
 }
@@ -140,8 +142,7 @@ impl FlightSchedule {
                     let depart = day * ((k as f64 + phase) / n as f64);
                     legs.push(Leg {
                         id,
-                        from,
-                        to,
+                        route: GreatCircle::new(from, to),
                         depart_s: depart,
                         duration_s: duration,
                     });
@@ -160,34 +161,47 @@ impl FlightSchedule {
     /// All aircraft in the air at time `t_s` (seconds into the day;
     /// wrapped modulo 24 h so the schedule repeats).
     pub fn aircraft_at(&self, t_s: f64) -> Vec<Aircraft> {
+        let mut out = Vec::new();
+        self.aircraft_into(t_s, false, &mut out);
+        out
+    }
+
+    /// Aircraft currently over water (the relay-eligible subset).
+    pub fn relays_at(&self, t_s: f64) -> Vec<Aircraft> {
+        let mut out = Vec::new();
+        self.aircraft_into(t_s, true, &mut out);
+        out
+    }
+
+    /// Fill `out` (cleared first) with the aircraft airborne at `t_s`, in
+    /// leg order — the allocation-free core of
+    /// [`FlightSchedule::aircraft_at`] / [`FlightSchedule::relays_at`].
+    /// With `over_water_only`, land overflights are filtered out (the
+    /// relay-eligible subset).
+    // lint: hot-path
+    pub fn aircraft_into(&self, t_s: f64, over_water_only: bool, out: &mut Vec<Aircraft>) {
         let day = 86_400.0;
         let t = t_s.rem_euclid(day);
-        let mut out = Vec::new();
+        out.clear();
         for leg in &self.legs {
             // A leg departing late yesterday may still be airborne.
             for offset in [0.0, -day] {
                 let elapsed = t - (leg.depart_s + offset);
                 if elapsed >= 0.0 && elapsed <= leg.duration_s {
                     let frac = elapsed / leg.duration_s;
-                    let pos = intermediate_point(leg.from, leg.to, frac);
-                    out.push(Aircraft {
-                        id: leg.id,
-                        pos,
-                        over_water: !is_land(pos),
-                    });
+                    let pos = leg.route.point_at(frac);
+                    let over_water = !is_land(pos);
+                    if over_water || !over_water_only {
+                        out.push(Aircraft {
+                            id: leg.id,
+                            pos,
+                            over_water,
+                        });
+                    }
                     break;
                 }
             }
         }
-        out
-    }
-
-    /// Aircraft currently over water (the relay-eligible subset).
-    pub fn relays_at(&self, t_s: f64) -> Vec<Aircraft> {
-        self.aircraft_at(t_s)
-            .into_iter()
-            .filter(|a| a.over_water)
-            .collect()
     }
 }
 

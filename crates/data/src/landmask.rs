@@ -189,6 +189,42 @@ fn point_in_poly(lat: f64, lon: f64, poly: Poly) -> bool {
     inside
 }
 
+/// Per-polygon bounding boxes `(lat_min, lat_max, lon_min, lon_max)`,
+/// computed once from the vertex tables.
+///
+/// The precheck in [`raw_is_land`] is **exact**, not approximate: for a
+/// point outside a polygon's bbox, even-odd ray casting provably returns
+/// `false`. Latitude outside the range means no edge straddles the
+/// point's parallel, so the crossing parity stays even; longitude east of
+/// the range means every straddling edge's intersection (a convex
+/// combination of two vertex longitudes) lies west of the point; and
+/// longitude west of the range means *every* straddling edge crosses the
+/// eastward ray — an even count for any closed ring.
+fn poly_bboxes() -> &'static [(f64, f64, f64, f64)] {
+    static CACHE: std::sync::OnceLock<Vec<(f64, f64, f64, f64)>> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| {
+        POLYGONS
+            .iter()
+            .map(|poly| {
+                let mut bb = (
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                    f64::INFINITY,
+                    f64::NEG_INFINITY,
+                );
+                for &(lat, lon) in *poly {
+                    bb.0 = bb.0.min(lat);
+                    bb.1 = bb.1.max(lat);
+                    bb.2 = bb.2.min(lon);
+                    bb.3 = bb.3.max(lon);
+                }
+                bb
+            })
+            .collect()
+    })
+}
+
+// lint: hot-path
 fn raw_is_land(lat: f64, lon: f64) -> bool {
     // Antarctica: everything south of 60°S counts as land.
     if lat <= -60.0 {
@@ -199,7 +235,9 @@ fn raw_is_land(lat: f64, lon: f64) -> bool {
             return true;
         }
     }
-    POLYGONS.iter().any(|p| point_in_poly(lat, lon, p))
+    POLYGONS.iter().zip(poly_bboxes()).any(|(p, bb)| {
+        lat >= bb.0 && lat <= bb.1 && lon >= bb.2 && lon <= bb.3 && point_in_poly(lat, lon, p)
+    })
 }
 
 /// True iff the point is on (or within ~0.7° of) land.

@@ -30,4 +30,4 @@
 
 mod maxmin;
 
-pub use maxmin::{Allocation, FlowId, FlowSim, LinkId};
+pub use maxmin::{Allocation, FlowId, FlowSim, FlowWorkspace, LinkId};

@@ -51,6 +51,27 @@ impl Allocation {
     }
 }
 
+/// Reusable buffers for [`FlowSim::solve_with`]: the per-link and
+/// per-flow working state of progressive filling, kept warm across
+/// solves so repeated allocations (capacity sweeps, per-snapshot
+/// throughput series) do not reallocate.
+#[derive(Debug, Clone, Default)]
+pub struct FlowWorkspace {
+    remaining: Vec<f64>,
+    occurrences: Vec<u32>,
+    link_flows: Vec<Vec<FlowId>>,
+    active: Vec<LinkId>,
+    frozen: Vec<bool>,
+    scratch: Vec<FlowId>,
+}
+
+impl FlowWorkspace {
+    /// Create an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A routed-flow network: capacitated links plus flows over fixed paths.
 #[derive(Debug, Clone, Default)]
 pub struct FlowSim {
@@ -86,6 +107,14 @@ impl FlowSim {
         (self.paths.len() - 1) as FlowId
     }
 
+    /// Replace the capacity of an existing link — lets a caller build the
+    /// link/flow structure once and re-solve under different capacity
+    /// assumptions (ISL capacity sweeps, weather-degraded links).
+    pub fn set_link_capacity(&mut self, l: LinkId, capacity: f64) {
+        assert!(capacity.is_finite() && capacity >= 0.0);
+        self.capacity[l as usize] = capacity;
+    }
+
     /// Number of links.
     pub fn num_links(&self) -> usize {
         self.capacity.len()
@@ -99,43 +128,62 @@ impl FlowSim {
     /// Compute the max-min fair allocation by progressive filling.
     ///
     /// Runs in `O(rounds × active_links + Σ path lengths)`; each round
-    /// freezes at least one flow, so `rounds ≤ num_flows`.
+    /// freezes at least one flow, so `rounds ≤ num_flows`. Allocates its
+    /// working buffers fresh; use [`FlowSim::solve_with`] to reuse a
+    /// [`FlowWorkspace`] across solves.
     pub fn solve(&self) -> Allocation {
+        self.solve_with(&mut FlowWorkspace::new())
+    }
+
+    /// [`FlowSim::solve`] on a caller-provided workspace: all per-link
+    /// and per-flow working state lives in `ws`, so a warm workspace
+    /// makes repeated solves allocation-free apart from the returned
+    /// [`Allocation`]. The result is identical to [`FlowSim::solve`].
+    pub fn solve_with(&self, ws: &mut FlowWorkspace) -> Allocation {
         let nl = self.capacity.len();
         let nf = self.paths.len();
-        let mut remaining = self.capacity.clone();
+        ws.remaining.clear();
+        ws.remaining.extend_from_slice(&self.capacity);
         let mut rates = vec![0.0f64; nf];
-        let mut frozen = vec![false; nf];
+        ws.frozen.clear();
+        ws.frozen.resize(nf, false);
         let mut freeze_round = vec![0u32; nf];
 
         // Per-link: how many path-occurrences of unfrozen flows cross it,
         // and which flows those are (built once; entries of frozen flows
         // are skipped lazily).
-        let mut occurrences = vec![0u32; nl];
-        let mut link_flows: Vec<Vec<FlowId>> = vec![Vec::new(); nl];
+        ws.occurrences.clear();
+        ws.occurrences.resize(nl, 0);
+        for v in ws.link_flows.iter_mut() {
+            v.clear();
+        }
+        if ws.link_flows.len() < nl {
+            ws.link_flows.resize_with(nl, Vec::new);
+        }
         for (f, path) in self.paths.iter().enumerate() {
             for &l in path {
-                occurrences[l as usize] += 1;
-                link_flows[l as usize].push(f as FlowId);
+                ws.occurrences[l as usize] += 1;
+                ws.link_flows[l as usize].push(f as FlowId);
             }
         }
         // A flow crossing a link twice gets two shares of it, matching the
         // "each occurrence consumes capacity" model; dedupe is the caller's
         // choice by constructing paths without repeats.
 
-        let mut active: Vec<LinkId> = (0..nl as u32)
-            .filter(|&l| occurrences[l as usize] > 0)
-            .collect();
+        ws.active.clear();
+        ws.active
+            .extend((0..nl as u32).filter(|&l| ws.occurrences[l as usize] > 0));
         let rounds = progressive_fill(
             &self.paths,
-            &mut remaining,
-            &mut occurrences,
-            &mut link_flows,
-            &mut active,
-            &mut frozen,
+            &mut ws.remaining,
+            &mut ws.occurrences,
+            &mut ws.link_flows[..nl],
+            &mut ws.active,
+            &mut ws.frozen,
             &mut freeze_round,
             &mut rates,
             nf,
+            &mut ws.scratch,
         );
 
         MAXMIN_SOLVES.add(1);
@@ -163,9 +211,9 @@ impl FlowSim {
 
 /// Progressive-filling inner loop: each round finds the most-congested
 /// link (minimal fair share) and freezes every unfrozen flow crossing
-/// it at that share. Runs once per [`FlowSim::solve`] but over every
-/// link × round, so it works entirely in the buffers `solve` set up.
-/// Returns the number of rounds.
+/// it at that share. Runs once per [`FlowSim::solve_with`] but over
+/// every link × round, so it works entirely in the buffers the caller
+/// set up. Returns the number of rounds.
 // lint: hot-path
 #[allow(clippy::too_many_arguments)]
 fn progressive_fill(
@@ -178,8 +226,10 @@ fn progressive_fill(
     freeze_round: &mut [u32],
     rates: &mut [f64],
     mut unfrozen_left: usize,
+    scratch: &mut Vec<FlowId>,
 ) -> usize {
     let mut rounds = 0usize;
+    scratch.clear();
     while unfrozen_left > 0 && !active.is_empty() {
         rounds += 1;
         // Find the most-congested link: minimal remaining / occurrences.
@@ -193,9 +243,13 @@ fn progressive_fill(
             }
         }
         let share = best_share.max(0.0);
-        // Freeze every unfrozen flow crossing the bottleneck.
-        let flows_here = std::mem::take(&mut link_flows[best_link as usize]);
-        for f in flows_here {
+        // Freeze every unfrozen flow crossing the bottleneck. Swapping
+        // through `scratch` (empty, capacity retained) instead of
+        // `mem::take` keeps the bucket's allocation alive for the next
+        // solve on this workspace; the bucket itself is never read again
+        // — the link saturates and leaves the active set below.
+        std::mem::swap(scratch, &mut link_flows[best_link as usize]);
+        for &f in scratch.iter() {
             let fi = f as usize;
             if frozen[fi] {
                 continue;
@@ -212,6 +266,7 @@ fn progressive_fill(
                 occurrences[l as usize] -= 1;
             }
         }
+        scratch.clear();
         // Compact the active set.
         active.retain(|&l| occurrences[l as usize] > 0);
     }
@@ -340,5 +395,48 @@ mod tests {
     fn rejects_empty_path() {
         let mut sim = FlowSim::new();
         sim.add_flow(vec![]);
+    }
+
+    #[test]
+    fn solve_with_matches_solve_across_reuses() {
+        // A warm workspace must give results identical to fresh buffers,
+        // including when reused across sims of different shapes.
+        let mut ws = FlowWorkspace::new();
+        for caps in [[1.0, 2.0, 4.0], [5.0, 0.5, 0.0], [3.0, 3.0, 3.0]] {
+            let mut sim = FlowSim::new();
+            let ls: Vec<_> = caps.iter().map(|&c| sim.add_link(c)).collect();
+            sim.add_flow(vec![ls[0]]);
+            sim.add_flow(vec![ls[0], ls[1]]);
+            sim.add_flow(vec![ls[1], ls[2]]);
+            sim.add_flow(vec![ls[2], ls[2]]);
+            let fresh = sim.solve();
+            let warm = sim.solve_with(&mut ws);
+            assert_eq!(fresh.rates, warm.rates, "caps {caps:?}");
+            assert_eq!(fresh.rounds, warm.rounds);
+            assert_eq!(fresh.freeze_round, warm.freeze_round);
+            assert_eq!(fresh.link_utilization, warm.link_utilization);
+        }
+    }
+
+    #[test]
+    fn set_link_capacity_resolves_same_flows() {
+        let mut sim = FlowSim::new();
+        let l = sim.add_link(10.0);
+        sim.add_flow(vec![l]);
+        sim.add_flow(vec![l]);
+        let mut ws = FlowWorkspace::new();
+        assert_eq!(sim.solve_with(&mut ws).rates, vec![5.0, 5.0]);
+        sim.set_link_capacity(l, 4.0);
+        assert_eq!(sim.solve_with(&mut ws).rates, vec![2.0, 2.0]);
+        sim.set_link_capacity(l, 0.0);
+        assert_eq!(sim.solve_with(&mut ws).aggregate, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_link_capacity_rejects_negative() {
+        let mut sim = FlowSim::new();
+        let l = sim.add_link(1.0);
+        sim.set_link_capacity(l, -1.0);
     }
 }

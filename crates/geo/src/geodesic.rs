@@ -52,6 +52,79 @@ pub fn intermediate_point(a: GeoPoint, b: GeoPoint, f: f64) -> GeoPoint {
     GeoPoint::new(z.atan2((x * x + y * y).sqrt()), y.atan2(x))
 }
 
+/// Precomputed great-circle interpolation state for one fixed endpoint
+/// pair.
+///
+/// [`GreatCircle::point_at`] replays [`intermediate_point`] bit-for-bit
+/// while hoisting every endpoint-only term out of the per-call path: the
+/// central angle and the endpoints' sines/cosines are computed once, by
+/// the same expressions `intermediate_point` evaluates, so the per-call
+/// arithmetic sees identical values in an identical order. Used to fly
+/// synthetic aircraft along fixed routes without re-deriving the route
+/// geometry every snapshot.
+#[derive(Debug, Clone, Copy)]
+pub struct GreatCircle {
+    a: GeoPoint,
+    b: GeoPoint,
+    delta: f64,
+    sin_delta: f64,
+    cos_lat_a: f64,
+    sin_lat_a: f64,
+    cos_lon_a: f64,
+    sin_lon_a: f64,
+    cos_lat_b: f64,
+    sin_lat_b: f64,
+    cos_lon_b: f64,
+    sin_lon_b: f64,
+    /// Coincident or near-antipodal endpoints: delegate to the scalar
+    /// fallback branches of [`intermediate_point`] verbatim.
+    degenerate: bool,
+}
+
+impl GreatCircle {
+    /// Precompute the route geometry from `a` to `b`.
+    pub fn new(a: GeoPoint, b: GeoPoint) -> Self {
+        let delta = a.central_angle(&b);
+        let degenerate = delta < 1e-12 || (std::f64::consts::PI - delta).abs() < 1e-9;
+        Self {
+            a,
+            b,
+            delta,
+            sin_delta: delta.sin(),
+            cos_lat_a: a.lat().cos(),
+            sin_lat_a: a.lat().sin(),
+            cos_lon_a: a.lon().cos(),
+            sin_lon_a: a.lon().sin(),
+            cos_lat_b: b.lat().cos(),
+            sin_lat_b: b.lat().sin(),
+            cos_lon_b: b.lon().cos(),
+            sin_lon_b: b.lon().sin(),
+            degenerate,
+        }
+    }
+
+    /// The route's endpoints `(a, b)`.
+    pub fn endpoints(&self) -> (GeoPoint, GeoPoint) {
+        (self.a, self.b)
+    }
+
+    /// Point at fraction `f ∈ [0, 1]` along the route — bitwise equal to
+    /// `intermediate_point(a, b, f)`.
+    // lint: hot-path
+    pub fn point_at(&self, f: f64) -> GeoPoint {
+        if self.degenerate {
+            return intermediate_point(self.a, self.b, f);
+        }
+        let f = f.clamp(0.0, 1.0);
+        let c1 = ((1.0 - f) * self.delta).sin() / self.sin_delta;
+        let c2 = (f * self.delta).sin() / self.sin_delta;
+        let x = c1 * self.cos_lat_a * self.cos_lon_a + c2 * self.cos_lat_b * self.cos_lon_b;
+        let y = c1 * self.cos_lat_a * self.sin_lon_a + c2 * self.cos_lat_b * self.sin_lon_b;
+        let z = c1 * self.sin_lat_a + c2 * self.sin_lat_b;
+        GeoPoint::new(z.atan2((x * x + y * y).sqrt()), y.atan2(x))
+    }
+}
+
 /// Destination point reached by travelling `distance_m` meters from `start`
 /// along initial bearing `bearing_rad` (clockwise from North).
 pub fn destination_point(start: GeoPoint, bearing_rad: f64, distance_m: f64) -> GeoPoint {
@@ -131,6 +204,51 @@ mod tests {
         let d = 3_000_000.0;
         let dest = destination_point(a, bearing, d);
         assert!((great_circle_distance_m(a, dest) - d).abs() < 1.0);
+    }
+
+    #[test]
+    fn great_circle_matches_intermediate_point_bitwise() {
+        let pairs = [
+            (
+                GeoPoint::from_degrees(40.7, -74.0),
+                GeoPoint::from_degrees(51.5, -0.1),
+            ),
+            (
+                GeoPoint::from_degrees(-33.9, 151.2),
+                GeoPoint::from_degrees(34.0, -118.2),
+            ),
+            (
+                GeoPoint::from_degrees(1.35, 103.99),
+                GeoPoint::from_degrees(-31.94, 115.97),
+            ),
+            // Degenerate: coincident and antipodal.
+            (
+                GeoPoint::from_degrees(10.0, 20.0),
+                GeoPoint::from_degrees(10.0, 20.0),
+            ),
+            (
+                GeoPoint::from_degrees(0.0, 0.0),
+                GeoPoint::from_degrees(0.0, 0.0).antipode(),
+            ),
+        ];
+        for (a, b) in pairs {
+            let gc = GreatCircle::new(a, b);
+            for k in 0..=20 {
+                let f = k as f64 / 20.0;
+                let fast = gc.point_at(f);
+                let slow = intermediate_point(a, b, f);
+                assert_eq!(
+                    fast.lat().to_bits(),
+                    slow.lat().to_bits(),
+                    "lat bits at f={f}"
+                );
+                assert_eq!(
+                    fast.lon().to_bits(),
+                    slow.lon().to_bits(),
+                    "lon bits at f={f}"
+                );
+            }
+        }
     }
 
     #[test]

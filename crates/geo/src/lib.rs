@@ -38,12 +38,14 @@ pub use constants::{EARTH_RADIUS_M, GSO_ALTITUDE_M, SPEED_OF_LIGHT_M_S};
 pub use ecef::Ecef;
 pub use geodesic::{
     destination_point, great_circle_distance_m, initial_bearing_rad, intermediate_point,
+    GreatCircle,
 };
 pub use point::GeoPoint;
 pub use slant::{
-    coverage_radius_m, elevation_angle_rad, max_slant_range_m, slant_range_m, visible_at_elevation,
+    batch_visible_from, coverage_radius_m, elevation_angle_rad, max_slant_range_m, slant_range_m,
+    visible_at_elevation, VisibilityScan,
 };
-pub use spatial::SphereGrid;
+pub use spatial::{CellGrid, SphereGrid};
 
 /// Convert degrees to radians.
 #[inline]

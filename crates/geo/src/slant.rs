@@ -39,6 +39,106 @@ pub fn slant_range_m(gt: GeoPoint, sat: &Ecef) -> f64 {
     Ecef::from_geo(gt, 0.0).distance(sat)
 }
 
+/// Batched visibility test over struct-of-arrays satellite positions.
+///
+/// For each candidate id, computes the elevation angle and slant range of
+/// the satellite at `(xs[id], ys[id], zs[id])` as seen from the ground
+/// point whose surface ECEF position is `g` (with `g_norm == g.norm()`
+/// precomputed), and calls `emit(id, range_m, elev_rad)` for every
+/// candidate at or above `min_elev_rad`.
+///
+/// The arithmetic replays [`elevation_angle_rad`] and [`slant_range_m`]
+/// operation-for-operation (the slant range *is* the line-of-sight vector
+/// norm both functions share), so membership, ranges, and elevations are
+/// bitwise identical to the scalar helpers — only the per-candidate
+/// `Ecef::from_geo` reconstruction of the ground point is hoisted out of
+/// the loop. Snapshot construction relies on this equivalence.
+///
+/// Internally, candidates whose cosine-of-zenith is below
+/// `sin(min_elev_rad)` by more than a safety margin are rejected with a
+/// square-compare only (no `sqrt`/`acos`). The margin (`1e-9` in cosine
+/// space) exceeds the few-ulp rounding of both tests by seven orders of
+/// magnitude, so the shortcut can only drop candidates the exact test
+/// would also reject; everything near the boundary falls through to the
+/// exact test above.
+// lint: hot-path
+pub fn batch_visible_from(
+    g: &Ecef,
+    g_norm: f64,
+    sats: (&[f64], &[f64], &[f64]),
+    candidates: &[u32],
+    min_elev_rad: f64,
+    emit: &mut impl FnMut(u32, f64, f64),
+) {
+    VisibilityScan::new(min_elev_rad).scan(g, g_norm, sats, candidates, emit)
+}
+
+/// Precomputed state for repeated [`batch_visible_from`]-style scans at a
+/// fixed minimum elevation.
+///
+/// Snapshot construction tests hundreds of ground points (each over
+/// several candidate slices) against the same elevation threshold every
+/// timestep; this hoists the threshold's `sin` out of all of them. A
+/// scan emits exactly what `batch_visible_from` emits — same membership,
+/// same bits, in candidate order — so callers may split one candidate
+/// set across any number of `scan` calls (e.g. one per spatial-index
+/// row segment) without affecting the result.
+#[derive(Debug, Clone, Copy)]
+pub struct VisibilityScan {
+    min_elev_rad: f64,
+    /// `sin(min_elev_rad)` minus the quick-reject safety margin.
+    quick: f64,
+}
+
+impl VisibilityScan {
+    /// Precompute the quick-reject threshold for `min_elev_rad`.
+    pub fn new(min_elev_rad: f64) -> Self {
+        // elev ≥ e  ⟺  cos(zenith) ≥ sin(e); quick-reject below the margin.
+        Self {
+            min_elev_rad,
+            quick: min_elev_rad.sin() - 1e-9,
+        }
+    }
+
+    /// Run the batched visibility test over one candidate slice (see
+    /// [`batch_visible_from`] for the contract). `(xs, ys, zs)` are the
+    /// parallel satellite ECEF component arrays (e.g. a constellation
+    /// snapshot's `xyz()`).
+    // lint: hot-path
+    pub fn scan(
+        &self,
+        g: &Ecef,
+        g_norm: f64,
+        (xs, ys, zs): (&[f64], &[f64], &[f64]),
+        candidates: &[u32],
+        emit: &mut impl FnMut(u32, f64, f64),
+    ) {
+        let quick = self.quick;
+        let quick_sq = (quick * g_norm) * (quick * g_norm);
+        for &id in candidates {
+            let i = id as usize;
+            let dx = xs[i] - g.x;
+            let dy = ys[i] - g.y;
+            let dz = zs[i] - g.z;
+            let range_sq = dx * dx + dy * dy + dz * dz;
+            let dot = g.x * dx + g.y * dy + g.z * dz;
+            if quick > 0.0 && range_sq > 0.0 && (dot <= 0.0 || dot * dot < quick_sq * range_sq) {
+                continue;
+            }
+            let range = range_sq.sqrt();
+            let elev = if range == 0.0 {
+                std::f64::consts::FRAC_PI_2
+            } else {
+                let cos_zenith = dot / (g_norm * range);
+                std::f64::consts::FRAC_PI_2 - cos_zenith.clamp(-1.0, 1.0).acos()
+            };
+            if elev >= self.min_elev_rad {
+                emit(id, range, elev);
+            }
+        }
+    }
+}
+
 /// Ground coverage radius (meters along the surface) of a satellite at
 /// altitude `alt_m`, for minimum elevation `min_elev_rad`.
 ///
@@ -123,6 +223,58 @@ mod tests {
         let max = max_slant_range_m(550_000.0, deg_to_rad(25.0));
         assert!(max > 550_000.0);
         assert!(max < 550_000.0 + coverage_radius_m(550_000.0, deg_to_rad(25.0)) * 1.5);
+    }
+
+    #[test]
+    fn batch_visible_matches_scalar_helpers_bitwise() {
+        let gt = GeoPoint::from_degrees(40.7, -74.0);
+        let g = Ecef::from_geo(gt, 0.0);
+        let g_norm = g.norm();
+        let min_elev = deg_to_rad(25.0);
+        let (mut xs, mut ys, mut zs) = (Vec::new(), Vec::new(), Vec::new());
+        let mut sats = Vec::new();
+        for i in 0..120 {
+            let p = GeoPoint::from_degrees(
+                40.7 + (i as f64 - 60.0) * 0.4,
+                -74.0 + (i as f64 % 17.0) * 2.5,
+            );
+            let s = Ecef::from_geo(p, 550_000.0 + (i as f64) * 100.0);
+            xs.push(s.x);
+            ys.push(s.y);
+            zs.push(s.z);
+            sats.push(s);
+        }
+        let candidates: Vec<u32> = (0..sats.len() as u32).collect();
+        let mut got = Vec::new();
+        batch_visible_from(
+            &g,
+            g_norm,
+            (&xs, &ys, &zs),
+            &candidates,
+            min_elev,
+            &mut |id, r, e| {
+                got.push((id, r, e));
+            },
+        );
+        let expect: Vec<(u32, f64, f64)> = candidates
+            .iter()
+            .filter(|&&id| visible_at_elevation(gt, &sats[id as usize], min_elev))
+            .map(|&id| {
+                (
+                    id,
+                    slant_range_m(gt, &sats[id as usize]),
+                    elevation_angle_rad(gt, &sats[id as usize]),
+                )
+            })
+            .collect();
+        assert!(!expect.is_empty(), "test must exercise visible satellites");
+        assert!(expect.len() < candidates.len(), "and invisible ones");
+        assert_eq!(got.len(), expect.len());
+        for ((gi, gr, ge), (ei, er, ee)) in got.iter().zip(&expect) {
+            assert_eq!(gi, ei);
+            assert_eq!(gr.to_bits(), er.to_bits(), "range bits for sat {gi}");
+            assert_eq!(ge.to_bits(), ee.to_bits(), "elev bits for sat {gi}");
+        }
     }
 
     #[test]

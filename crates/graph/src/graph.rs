@@ -17,6 +17,8 @@ pub struct GraphBuilder {
     num_nodes: usize,
     /// (u, v, weight) per undirected edge, in insertion order.
     edges: Vec<(NodeId, NodeId, f64)>,
+    /// CSR fill cursor, reused across [`GraphBuilder::build_into`] calls.
+    cursor: Vec<u32>,
 }
 
 impl GraphBuilder {
@@ -25,7 +27,16 @@ impl GraphBuilder {
         Self {
             num_nodes,
             edges: Vec::new(),
+            cursor: Vec::new(),
         }
+    }
+
+    /// Reset for reuse: drop all accumulated edges and adopt a new node
+    /// count, keeping the allocations. The builder behaves exactly like a
+    /// fresh [`GraphBuilder::new`] afterwards.
+    pub fn reset(&mut self, num_nodes: usize) {
+        self.num_nodes = num_nodes;
+        self.edges.clear();
     }
 
     /// Number of nodes.
@@ -58,46 +69,62 @@ impl GraphBuilder {
     }
 
     /// Freeze into an immutable CSR graph.
-    pub fn build(self) -> Graph {
+    pub fn build(mut self) -> Graph {
+        let mut g = Graph {
+            offsets: Vec::new(),
+            adj: Vec::new(),
+            edges: Vec::new(),
+        };
+        self.build_into(&mut g);
+        g
+    }
+
+    /// Freeze into `out`, overwriting its contents and reusing its
+    /// allocations — the zero-alloc path for rebuilding a graph every
+    /// instant of a time sweep. The result is element-for-element
+    /// identical to [`GraphBuilder::build`]; the builder keeps its edges
+    /// and can be rebuilt again (call [`GraphBuilder::reset`] to start a
+    /// new edge set).
+    // lint: hot-path
+    pub fn build_into(&mut self, out: &mut Graph) {
         let n = self.num_nodes;
-        let mut degree = vec![0u32; n];
+        out.offsets.clear();
+        out.offsets.resize(n + 1, 0);
         for &(u, v, _) in &self.edges {
-            degree[u as usize] += 1;
-            degree[v as usize] += 1;
+            out.offsets[u as usize + 1] += 1;
+            out.offsets[v as usize + 1] += 1;
         }
-        let mut offsets = vec![0u32; n + 1];
         for i in 0..n {
-            offsets[i + 1] = offsets[i] + degree[i];
+            out.offsets[i + 1] += out.offsets[i];
         }
-        let mut cursor = offsets[..n].to_vec();
-        let mut adj = vec![
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&out.offsets[..n]);
+        out.adj.clear();
+        out.adj.resize(
+            2 * self.edges.len(),
             HalfEdge {
                 to: 0,
                 weight: 0.0,
-                edge: 0
-            };
-            2 * self.edges.len()
-        ];
+                edge: 0,
+            },
+        );
         for (id, &(u, v, w)) in self.edges.iter().enumerate() {
             let id = id as EdgeId;
-            adj[cursor[u as usize] as usize] = HalfEdge {
+            out.adj[self.cursor[u as usize] as usize] = HalfEdge {
                 to: v,
                 weight: w,
                 edge: id,
             };
-            cursor[u as usize] += 1;
-            adj[cursor[v as usize] as usize] = HalfEdge {
+            self.cursor[u as usize] += 1;
+            out.adj[self.cursor[v as usize] as usize] = HalfEdge {
                 to: u,
                 weight: w,
                 edge: id,
             };
-            cursor[v as usize] += 1;
+            self.cursor[v as usize] += 1;
         }
-        Graph {
-            offsets,
-            adj,
-            edges: self.edges,
-        }
+        out.edges.clear();
+        out.edges.extend_from_slice(&self.edges);
     }
 }
 
@@ -119,6 +146,14 @@ pub struct Graph {
     offsets: Vec<u32>,
     adj: Vec<HalfEdge>,
     edges: Vec<(NodeId, NodeId, f64)>,
+}
+
+impl Default for Graph {
+    /// An empty zero-node graph — a valid [`GraphBuilder::build_into`]
+    /// target.
+    fn default() -> Self {
+        GraphBuilder::new(0).build()
+    }
 }
 
 impl Graph {
@@ -227,6 +262,42 @@ mod tests {
         assert_eq!(g.num_nodes(), 10);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.degree(5), 0);
+    }
+
+    #[test]
+    fn build_into_reuse_matches_fresh_build() {
+        let mut builder = GraphBuilder::new(0);
+        let mut g = Graph::default();
+        // Two rebuild rounds with different shapes through the same
+        // builder + graph: contents must match a from-scratch build.
+        for round in 0..2 {
+            let n = 5 + round * 3;
+            builder.reset(n);
+            let mut fresh = GraphBuilder::new(n);
+            for i in 0..(n as u32 - 1) {
+                let w = (i as f64) * 0.5 + round as f64;
+                builder.add_edge(i, i + 1, w);
+                fresh.add_edge(i, i + 1, w);
+            }
+            builder.add_edge(0, n as u32 - 1, 9.0);
+            fresh.add_edge(0, n as u32 - 1, 9.0);
+            builder.build_into(&mut g);
+            let f = fresh.build();
+            assert_eq!(g.num_nodes(), f.num_nodes());
+            assert_eq!(g.num_edges(), f.num_edges());
+            for u in 0..n as NodeId {
+                let (a, b) = (g.neighbors(u), f.neighbors(u));
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to, y.to);
+                    assert_eq!(x.edge, y.edge);
+                    assert_eq!(x.weight.to_bits(), y.weight.to_bits());
+                }
+            }
+            for e in 0..g.num_edges() as EdgeId {
+                assert_eq!(g.edge(e), f.edge(e));
+            }
+        }
     }
 
     #[test]

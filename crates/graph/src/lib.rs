@@ -38,7 +38,7 @@ mod yen;
 pub use components::{component_sizes, connected_components};
 pub use disjoint::{k_edge_disjoint_paths, k_edge_disjoint_paths_with};
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
-pub use maxflow::{max_flow, FlowNetwork};
+pub use maxflow::{max_flow, max_flow_with, FlowNetwork, MaxFlowWorkspace};
 pub use shortest::{
     dijkstra, dijkstra_with_mask, extract_path, with_thread_workspace, DijkstraWorkspace, Path,
     ShortestPaths, SsspView,

@@ -30,7 +30,7 @@
 //! let c = Constellation::single_shell(Shell::starlink_phase1(), 25.0);
 //! assert_eq!(c.num_satellites(), 72 * 22);
 //! let snap = c.positions_at(0.0);
-//! assert_eq!(snap.positions.len(), 1584);
+//! assert_eq!(snap.len(), 1584);
 //! ```
 
 mod constellation;
@@ -41,9 +41,11 @@ pub mod passes;
 mod shell;
 pub mod visibility;
 
-pub use constellation::{Constellation, ConstellationSnapshot};
+pub use constellation::{CellTransition, Constellation, ConstellationSnapshot};
 pub use isl::{plus_grid_isls, IslLink};
 pub use kepler::{orbital_period_s, OrbitalElements, EARTH_J2, EARTH_MU, EARTH_ROTATION_RAD_S};
 pub use passes::{find_passes, pass_stats, Pass, PassStats};
 pub use shell::{SatelliteId, Shell};
-pub use visibility::{isl_line_of_sight, subpoint_index, visible_satellites, VisibilityParams};
+pub use visibility::{
+    isl_line_of_sight, subpoint_index, visible_satellites, VisibilityParams, SUBPOINT_BIN_DEG,
+};

@@ -54,7 +54,7 @@ pub fn find_passes(
         let t = (t_start + i as f64 * step_s).min(t_end);
         let snap = constellation.positions_at(t);
         for (sat, open) in open_since.iter_mut().enumerate() {
-            let vis = visible_at_elevation(gt, &snap.positions[sat], min_elev);
+            let vis = visible_at_elevation(gt, &snap.position(sat), min_elev);
             match (vis, *open) {
                 (true, None) => *open = Some(t),
                 (false, Some(rise)) => {
@@ -174,7 +174,7 @@ mod tests {
             let snap = c.positions_at(mid);
             assert!(leo_geo::visible_at_elevation(
                 gt,
-                &snap.positions[p.satellite as usize],
+                &snap.position(p.satellite as usize),
                 c.min_elevation_rad()
             ));
         }

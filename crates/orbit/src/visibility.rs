@@ -26,14 +26,20 @@ impl VisibilityParams {
     }
 }
 
-/// Build a spatial index over a snapshot's sub-satellite points.
+/// Sub-point spatial-index bin size, degrees.
 ///
-/// Bin size of 3° keeps buckets small for 1,000–4,000-satellite shells
-/// while the ~8–10° query windows still touch only a handful of bins.
+/// 3° keeps buckets small for 1,000–4,000-satellite shells while the
+/// ~8–10° query windows still touch only a handful of bins. Shared by
+/// [`subpoint_index`] and the incremental [`leo_geo::CellGrid`] kept by
+/// [`ConstellationSnapshot::advance_to`]-based sweeps, so both indexes
+/// have identical cell geometry.
+pub const SUBPOINT_BIN_DEG: f64 = 3.0;
+
+/// Build a spatial index over a snapshot's sub-satellite points.
 pub fn subpoint_index(snapshot: &ConstellationSnapshot) -> SphereGrid {
-    let mut grid = SphereGrid::new(3.0);
-    for (i, sp) in snapshot.subpoints.iter().enumerate() {
-        grid.insert(i as u32, *sp);
+    let mut grid = SphereGrid::new(SUBPOINT_BIN_DEG);
+    for (i, sp) in snapshot.subpoints().enumerate() {
+        grid.insert(i as u32, sp);
     }
     grid
 }
@@ -56,7 +62,7 @@ pub fn visible_satellites(
     for &id in scratch.iter() {
         if visible_at_elevation(
             gt,
-            &snapshot.positions[id as usize],
+            &snapshot.position(id as usize),
             params.min_elevation_rad,
         ) {
             out.push(id);
@@ -70,6 +76,7 @@ pub fn visible_satellites(
 /// Laser ISLs must not graze the weather-affected lower atmosphere; the
 /// paper uses ~80 km as the safe lower bound. The closest approach of the
 /// segment to the Earth's centre is computed analytically.
+// lint: hot-path
 pub fn isl_line_of_sight(a: &Ecef, b: &Ecef, min_clearance_m: f64) -> bool {
     let ab = a.to_vector(b);
     let len2 = ab.dot(&ab);
@@ -80,7 +87,22 @@ pub fn isl_line_of_sight(a: &Ecef, b: &Ecef, min_clearance_m: f64) -> bool {
     let origin_to_a = Ecef::new(-a.x, -a.y, -a.z);
     let t = (origin_to_a.dot(&ab) / len2).clamp(0.0, 1.0);
     let closest = Ecef::new(a.x + t * ab.x, a.y + t * ab.y, a.z + t * ab.z);
-    closest.norm() >= EARTH_RADIUS_M + min_clearance_m
+    let limit = EARTH_RADIUS_M + min_clearance_m;
+    // Square-compare fast path: `closest.norm()` is the correctly-rounded
+    // (hence monotonic) sqrt of exactly this sum of squares, so outside a
+    // ±1e-12 relative band around `limit²` the comparison is already
+    // decided — the band dwarfs the sub-ulp rounding of the sqrt and of
+    // `limit²` by three orders of magnitude. Only near-grazing geometry
+    // (clearance within millimetres of the threshold) pays the sqrt.
+    let d2 = closest.x * closest.x + closest.y * closest.y + closest.z * closest.z;
+    let lim2 = limit * limit;
+    if d2 >= lim2 * (1.0 + 1e-12) {
+        return true;
+    }
+    if d2 <= lim2 * (1.0 - 1e-12) {
+        return false;
+    }
+    closest.norm() >= limit
 }
 
 #[cfg(test)]
@@ -138,11 +160,11 @@ mod tests {
         let (mut scratch, mut out) = (Vec::new(), Vec::new());
         visible_satellites(gt, &snap, &index, &params, &mut scratch, &mut out);
         out.sort_unstable();
-        let mut brute: Vec<u32> = (0..snap.positions.len() as u32)
+        let mut brute: Vec<u32> = (0..snap.len() as u32)
             .filter(|&i| {
                 leo_geo::visible_at_elevation(
                     gt,
-                    &snap.positions[i as usize],
+                    &snap.position(i as usize),
                     params.min_elevation_rad,
                 )
             })
@@ -158,8 +180,8 @@ mod tests {
         let links = crate::plus_grid_isls(&Shell::starlink_phase1(), 0);
         for l in links.iter().take(200) {
             assert!(isl_line_of_sight(
-                &snap.positions[l.a as usize],
-                &snap.positions[l.b as usize],
+                &snap.position(l.a as usize),
+                &snap.position(l.b as usize),
                 80_000.0,
             ));
         }

@@ -139,7 +139,7 @@ fn visibility_inside_coverage() {
         visible_satellites(gt, &snap, &index, &params, &mut scratch, &mut vis);
         let cov = leo_geo::coverage_radius_m(550_000.0, c.min_elevation_rad());
         for &s in &vis {
-            let d = gt.central_angle(&snap.subpoints[s as usize]) * EARTH_RADIUS_M;
+            let d = gt.central_angle(&snap.subpoint(s as usize)) * EARTH_RADIUS_M;
             check_assert!(d <= cov + 1_000.0, "visible sat {s} at {d} m > {cov} m");
         }
         Ok(())

@@ -219,7 +219,8 @@ macro_rules! check_assert {
     };
 }
 
-/// Equality assert with both values in the failure message.
+/// Equality assert with both values in the failure message. An optional
+/// trailing format string adds case context (like `assert_eq!`'s).
 #[macro_export]
 macro_rules! check_assert_eq {
     ($a:expr, $b:expr) => {{
@@ -231,6 +232,19 @@ macro_rules! check_assert_eq {
                 stringify!($b),
                 a,
                 b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::check::CaseError::fail(format!(
+                "assertion failed: {} == {}: {:?} vs {:?}: {}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b,
+                format!($($fmt)+)
             )));
         }
     }};

@@ -24,6 +24,10 @@
 #    (the committed BENCH_routing.json shows ~1.7x; the smoke threshold
 #    is loose to tolerate CI noise but loud when the optimisation
 #    regresses to parity).
+# 8. Snapshot-bench smoke: run benches/snapshot.rs and require a
+#    consecutive-instant TimeSweep step to beat the per-instant
+#    snapshot_bundle rebuild by >= 1.5x (committed BENCH_snapshot.json
+#    shows ~2.2x; same loose-floor rationale as the routing gate).
 #
 # Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -93,5 +97,25 @@ awk -F'"median_ns":' '
         }
     }
 ' "$log_dir/BENCH_routing.json"
+
+echo "== snapshot bench smoke: sweep step must beat per-instant rebuild =="
+LEO_LOG=off LEO_BENCH_DIR="$log_dir" \
+    cargo bench -q --offline -p leo-bench --bench snapshot > /dev/null
+awk -F'"median_ns":' '
+    /"bench":"bundle_per_instant_rebuild"/ { split($2, a, /[,}]/); rebuild = a[1] }
+    /"bench":"sweep_consecutive"/          { split($2, a, /[,}]/); sweep = a[1] }
+    END {
+        if (rebuild == "" || sweep == "" || sweep <= 0) {
+            print "ERROR: snapshot benches missing from BENCH_snapshot.json" > "/dev/stderr"
+            exit 1
+        }
+        ratio = rebuild / sweep
+        printf "snapshot: rebuild %d ns vs sweep step %d ns  (%.2fx)\n", rebuild, sweep, ratio
+        if (ratio < 1.5) {
+            printf "ERROR: sweep speedup %.2fx below 1.5x smoke floor\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }
+' "$log_dir/BENCH_snapshot.json"
 
 echo "tier-1 verify passed"
