@@ -10,8 +10,9 @@
 //! few nanoseconds.
 
 use leo_util::bench::Harness;
+use leo_util::sketch::{FixedSum, QuantileSketch};
 use leo_util::span;
-use leo_util::telemetry::{self, Counter, Histogram, Level, RunManifest};
+use leo_util::telemetry::{self, Counter, Histogram, Level, MetricSeries, RunManifest};
 
 static PROBE_COUNTER: Counter = Counter::new("bench_probe_counter");
 static PROBE_HIST: Histogram = Histogram::new("bench_probe_hist");
@@ -26,6 +27,26 @@ fn main() {
     });
     h.bench("counter_add_disabled", || PROBE_COUNTER.add(1));
     h.bench("hist_record_disabled", || PROBE_HIST.record(1234));
+    let mut series_off = MetricSeries::new("bench_probe_series");
+    h.bench("series_record_disabled", || series_off.record(12.34));
+
+    // --- Sketch primitives: what the streaming drivers pay per sample
+    // (independent of the log level once a series is recording). ---
+    let mut sketch = QuantileSketch::new();
+    let mut x = 0.0f64;
+    h.bench("sketch_record", || {
+        x += 0.7;
+        sketch.record(x);
+    });
+    let mut donor = QuantileSketch::new();
+    for i in 0..10_000u32 {
+        donor.record(0.01 * (1.0 + i as f64));
+    }
+    let mut target = QuantileSketch::new();
+    target.record(1.0);
+    h.bench("sketch_merge_10k", || target.merge(&donor));
+    let mut sum = FixedSum::new();
+    h.bench("fixed_sum_add", || sum.add(3.25));
 
     // --- Enabled at info, sink to a scratch dir. Spans pay the JSONL
     // emission; counters/histograms stay lock-free atomics. ---
@@ -37,6 +58,13 @@ fn main() {
     });
     h.bench("counter_add_enabled", || PROBE_COUNTER.add(1));
     h.bench("hist_record_enabled", || PROBE_HIST.record(1234));
+    let mut series_on = MetricSeries::new("bench_probe_series_on");
+    let mut snap_idx = 0usize;
+    h.bench("series_snapshot_emit_enabled", || {
+        series_on.record(1.5);
+        series_on.snapshot_done(snap_idx, 0.0);
+        snap_idx += 1;
+    });
 
     // Close the sink cleanly, then drop the scratch log.
     telemetry::finish_run(&RunManifest::new("telemetry_overhead", 0, 0, 1));

@@ -9,6 +9,7 @@ use leo_core::experiments::weather_throughput::weathered_throughput;
 use leo_core::output::CsvWriter;
 use leo_core::{Mode, StudyContext};
 use leo_util::diag;
+use leo_util::telemetry::Heartbeat;
 
 fn main() {
     let (scale, _) = scale_from_args();
@@ -16,11 +17,13 @@ fn main() {
     let ctx = StudyContext::build(scale.config());
 
     let seeds = [11u64, 22, 33];
+    let hb = Heartbeat::new("ext_weather_throughput", 2 * seeds.len() as u64);
     let mut rows = Vec::new();
     let mut csv = Vec::new();
     for mode in [Mode::BpOnly, Mode::Hybrid] {
         for &seed in &seeds {
             let r = weathered_throughput(&ctx, 0.0, mode, 2, seed);
+            hb.tick(1);
             rows.push(vec![
                 format!("{mode:?}"),
                 seed.to_string(),

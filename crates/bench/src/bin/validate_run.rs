@@ -41,8 +41,22 @@ fn main() {
 
     let mut counts: Vec<(&'static str, usize)> = Vec::new();
     for (i, line) in lines.iter().enumerate() {
-        let ty = validate_event_line(line)
-            .unwrap_or_else(|e| fail(&format!("{path}:{}: {e}\n  {line}", i + 1)));
+        let last = i + 1 == lines.len();
+        let ty = validate_event_line(line).unwrap_or_else(|e| {
+            if last {
+                // A malformed *final* line is almost always a run log cut
+                // off mid-write (producer crashed, was killed, or is still
+                // running) — say so instead of reporting a schema error.
+                fail(&format!(
+                    "{path}:{}: run log appears truncated — the final line \
+                     is not a complete event ({e}) and no closing manifest \
+                     was written (producer killed mid-run or still \
+                     writing?)\n  {line}",
+                    i + 1
+                ));
+            }
+            fail(&format!("{path}:{}: {e}\n  {line}", i + 1))
+        });
         match counts.iter_mut().find(|(t, _)| *t == ty) {
             Some((_, n)) => *n += 1,
             None => counts.push((ty, 1)),
@@ -52,12 +66,14 @@ fn main() {
                 "{path}: first event is `{ty}`, expected `run_start`"
             ));
         }
-        if i + 1 == lines.len() && ty != "manifest" {
+        if last && ty != "manifest" {
             fail(&format!(
-                "{path}: last event is `{ty}`, expected `manifest`"
+                "{path}: last event is `{ty}`, expected `manifest` — the \
+                 run log appears truncated (producer never reached \
+                 `finish_run`)"
             ));
         }
-        if ty == "manifest" && i + 1 != lines.len() {
+        if ty == "manifest" && !last {
             fail(&format!("{path}:{}: manifest before end of log", i + 1));
         }
     }

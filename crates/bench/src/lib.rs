@@ -65,10 +65,14 @@ pub fn finish_run(label: &str, cfg: &StudyConfig) -> Option<PathBuf> {
         Ok("0") | Ok("false") => "false",
         _ => "unknown",
     };
+    // Sample RSS once more so the recorded peak covers the full run even
+    // when no heartbeat fired near the high-water mark.
+    let _ = telemetry::rss_kb();
     let manifest = telemetry::RunManifest::new(label, hash, cfg.seed, threads)
         .with("cities", cfg.num_cities)
         .with("pairs", cfg.num_pairs)
-        .with("lint_clean", lint_clean);
+        .with("lint_clean", lint_clean)
+        .with("peak_rss_kb", telemetry::peak_rss_kb());
     telemetry::finish_run(&manifest)
 }
 

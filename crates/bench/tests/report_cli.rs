@@ -1,0 +1,147 @@
+//! CLI-level tests for `validate_run` and `leo-report`, driven through
+//! the compiled binaries (`CARGO_BIN_EXE_*`) against synthetic run logs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("leo_report_cli");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(name)
+}
+
+fn write_log(name: &str, lines: &[&str]) -> PathBuf {
+    let p = tmp(name);
+    std::fs::write(&p, lines.join("\n") + "\n").expect("write run log");
+    p
+}
+
+fn validate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_validate_run"))
+        .args(args)
+        .output()
+        .expect("spawn validate_run")
+}
+
+fn report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_leo-report"))
+        .args(args)
+        .output()
+        .expect("spawn leo-report")
+}
+
+const RUN_START: &str = r#"{"type":"run_start","label":"t","level":"info","t_ns":1}"#;
+const SERIES: &str = r#"{"type":"series","t_ns":2,"name":"m","index":0,"t_s":0,"count":2,"low":0,"sum":3,"min":1,"max":2,"sub":32,"buckets":[[2048,2]]}"#;
+const HEARTBEAT: &str = r#"{"type":"heartbeat","t_ns":3,"label":"t","done":1,"total":2,"rate_per_s":0.5,"eta_s":2,"rss_kb":3072,"peak_rss_kb":3072,"counters":{"c":3}}"#;
+const COUNTER: &str = r#"{"type":"counter","name":"c","value":3}"#;
+
+fn manifest(counter_value: u64) -> String {
+    format!(
+        r#"{{"type":"manifest","label":"t","config_hash":"0x0123456789abcdef","seed":1,"threads":2,"wall_ns":10,"level":"info","phases":{{"p":{{"count":1,"total_ns":5,"max_ns":5}}}},"counters":{{"c":{counter_value},"busy_ns":{}}},"hists":{{}},"peak_rss_kb":"3072"}}"#,
+        counter_value * 100
+    )
+}
+
+#[test]
+fn validate_accepts_series_and_heartbeat_events() {
+    let m = manifest(3);
+    let p = write_log("ok.jsonl", &[RUN_START, SERIES, HEARTBEAT, COUNTER, &m]);
+    let out = validate(&[p.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("1 series"), "{stdout}");
+    assert!(stdout.contains("1 heartbeat"), "{stdout}");
+}
+
+#[test]
+fn validate_diagnoses_truncated_final_line() {
+    // A run log cut off mid-write: the final line is half a series event.
+    let p = write_log(
+        "truncated.jsonl",
+        &[RUN_START, SERIES, r#"{"type":"series","t_ns":9,"na"#],
+    );
+    let out = validate(&[p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("truncated"),
+        "diagnostic should name truncation, got: {stderr}"
+    );
+    assert!(
+        stderr.contains("manifest"),
+        "diagnostic should mention the missing manifest, got: {stderr}"
+    );
+}
+
+#[test]
+fn validate_diagnoses_missing_manifest_on_valid_final_event() {
+    // Every line valid, but the producer never reached finish_run.
+    let p = write_log("no_manifest.jsonl", &[RUN_START, SERIES, COUNTER]);
+    let out = validate(&[p.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("truncated"), "{stderr}");
+    assert!(stderr.contains("finish_run"), "{stderr}");
+}
+
+#[test]
+fn report_single_run_renders_summaries() {
+    let m = manifest(3);
+    let p = write_log("single.jsonl", &[RUN_START, SERIES, HEARTBEAT, COUNTER, &m]);
+    let out = report(&[p.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("phases"), "{stdout}");
+    assert!(stdout.contains("counters"), "{stdout}");
+    assert!(stdout.contains("series"), "{stdout}");
+    assert!(stdout.contains("heartbeats: 1"), "{stdout}");
+    assert!(stdout.contains("3.0 MiB"), "{stdout}");
+}
+
+#[test]
+fn report_self_diff_is_clean_and_exits_zero() {
+    let m = manifest(3);
+    let a = write_log("diff_a.jsonl", &[RUN_START, SERIES, HEARTBEAT, COUNTER, &m]);
+    let b = write_log("diff_b.jsonl", &[RUN_START, SERIES, HEARTBEAT, COUNTER, &m]);
+    let out = report(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(!stdout.contains("REGRESSION"), "{stdout}");
+}
+
+#[test]
+fn report_diff_flags_deterministic_counter_change_but_not_ns_noise() {
+    let ma = manifest(3); // c=3, busy_ns=300
+    let mb = manifest(4); // c=4, busy_ns=400
+    let a = write_log("reg_a.jsonl", &[RUN_START, SERIES, &ma]);
+    let b = write_log("reg_b.jsonl", &[RUN_START, SERIES, &mb]);
+    let out = report(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "deterministic drift must fail");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    // The _ns counter drifted just as much but is informational-only.
+    assert!(stdout.contains("counter busy_ns"), "{stdout}");
+    assert!(!stdout.contains("busy_ns  REGRESSION"), "{stdout}");
+
+    // A generous threshold waves the same drift through.
+    let out = report(&[
+        "--threshold-pct",
+        "50",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+}
+
+#[test]
+fn report_asserts_peak_rss_budget() {
+    let m = manifest(3);
+    let p = write_log("rss.jsonl", &[RUN_START, HEARTBEAT, &m]);
+    // Peak is 3 MiB (3072 kB from heartbeat and manifest).
+    let ok = report(&["--assert-peak-rss-mb", "4", p.to_str().unwrap()]);
+    assert!(ok.status.success());
+    let bad = report(&["--assert-peak-rss-mb", "2", p.to_str().unwrap()]);
+    assert_eq!(bad.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&bad.stderr);
+    assert!(stderr.contains("exceeds budget"), "{stderr}");
+}

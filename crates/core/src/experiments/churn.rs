@@ -9,7 +9,9 @@
 
 use crate::snapshot::{Mode, StudyContext};
 use leo_graph::with_thread_workspace;
+use leo_util::sketch::FixedSum;
 use leo_util::span;
+use leo_util::telemetry::{Heartbeat, MetricSeries};
 
 /// Churn statistics for one connectivity mode.
 #[derive(Debug, Clone)]
@@ -26,7 +28,64 @@ pub struct ChurnStats {
     pub transitions: usize,
 }
 
+/// Per-pair streaming churn state inside one sweep chunk: the
+/// observation at the chunk's first snapshot (for stitching with the
+/// preceding chunk at merge time) and at its latest snapshot.
+#[derive(Clone, Copy)]
+struct PairChurn {
+    first: Option<(u64, f64)>,
+    prev: Option<(u64, f64)>,
+}
+
+/// Streaming accumulator for [`churn_study`].
+struct ChurnAcc {
+    /// Whether this chunk has processed at least one snapshot (an empty
+    /// chunk must not contribute a phantom all-`None` boundary).
+    started: bool,
+    pairs: Vec<PairChurn>,
+    transitions: u64,
+    changes: u64,
+    /// Fixed-point so the sum is exact and independent of both
+    /// iteration order and chunk boundaries.
+    jump_sum: FixedSum,
+    jump_max: f64,
+    series: MetricSeries,
+}
+
+/// Count one consecutive-snapshot transition for a pair.
+#[inline]
+fn count_transition(
+    prev: Option<(u64, f64)>,
+    next: Option<(u64, f64)>,
+    transitions: &mut u64,
+    changes: &mut u64,
+    jump_sum: &mut FixedSum,
+    jump_max: &mut f64,
+) -> Option<f64> {
+    let ((h0, r0), (h1, r1)) = (prev?, next?);
+    *transitions += 1;
+    if h0 == h1 {
+        return None;
+    }
+    *changes += 1;
+    let jump = (r1 - r0).abs();
+    jump_sum.add(jump);
+    *jump_max = jump_max.max(jump);
+    Some(jump)
+}
+
 /// Measure path churn across the configured snapshots.
+///
+/// **Streaming**: the sweep folds each snapshot into per-pair
+/// `{first, prev}` path observations plus running transition counters,
+/// so memory is O(pairs) instead of O(snapshots × pairs). Transitions
+/// that straddle a chunk boundary are stitched at merge time (chunks
+/// merge in time order), and `|ΔRTT|` jumps accumulate into a
+/// [`FixedSum`] so the totals are exact and identical for every thread
+/// count. Each snapshot emits a `churn_jump_ms` `series` telemetry
+/// event (boundary-stitched jumps are counted in the stats but not in
+/// the series — they surface only at merge time, after the snapshot's
+/// event has been emitted) and ticks a `churn_study` [`Heartbeat`].
 pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats {
     let _span = span!(
         "churn_study",
@@ -34,11 +93,32 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
         snapshots = ctx.config.snapshot_times_s.len(),
     );
     let times = ctx.config.snapshot_times_s.clone();
-    // Per snapshot, per pair: (node-sequence hash, rtt).
-    let per_snap: Vec<Vec<Option<(u64, f64)>>> =
-        ctx.sweep_map(&times, &[mode], threads, |_, snaps| {
+    let num_pairs = ctx.pairs.len();
+    let hb = Heartbeat::new("churn_study", times.len() as u64);
+
+    let acc = ctx.sweep_fold(
+        &times,
+        &[mode],
+        threads,
+        || ChurnAcc {
+            started: false,
+            pairs: vec![
+                PairChurn {
+                    first: None,
+                    prev: None,
+                };
+                num_pairs
+            ],
+            transitions: 0,
+            changes: 0,
+            jump_sum: FixedSum::new(),
+            jump_max: 0.0,
+            series: MetricSeries::new("churn_jump_ms"),
+        },
+        |acc, ti, snaps| {
             let snap = &snaps[0];
-            let mut out = vec![None; ctx.pairs.len()];
+            // Per snapshot, per pair: (node-sequence hash, rtt).
+            let mut obs: Vec<Option<(u64, f64)>> = vec![None; num_pairs];
             let mut targets = Vec::new();
             with_thread_workspace(|ws| {
                 for (src, idxs) in ctx.pairs_by_src() {
@@ -52,32 +132,70 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
                     for &i in idxs {
                         let d = snap.city_node(ctx.pairs[i].dst as usize);
                         if let Some(path) = view.extract_path(d) {
-                            out[i] =
+                            obs[i] =
                                 Some((hash_nodes(&path.nodes), crate::rtt_ms(path.total_weight)));
                         }
                     }
                 }
             });
-            out
-        });
-
-    let mut transitions = 0usize;
-    let mut changes = 0usize;
-    let mut jump_sum = 0.0f64;
-    let mut jump_max = 0.0f64;
-    for i in 0..ctx.pairs.len() {
-        for w in per_snap.windows(2) {
-            if let (Some((h0, r0)), Some((h1, r1))) = (w[0][i], w[1][i]) {
-                transitions += 1;
-                if h0 != h1 {
-                    changes += 1;
-                    let jump = (r1 - r0).abs();
-                    jump_sum += jump;
-                    jump_max = jump_max.max(jump);
+            let ChurnAcc {
+                started,
+                pairs,
+                transitions,
+                changes,
+                jump_sum,
+                jump_max,
+                series,
+            } = acc;
+            if *started {
+                for (p, o) in pairs.iter_mut().zip(&obs) {
+                    if let Some(jump) =
+                        count_transition(p.prev, *o, transitions, changes, jump_sum, jump_max)
+                    {
+                        series.record(jump);
+                    }
+                    p.prev = *o;
+                }
+            } else {
+                *started = true;
+                for (p, o) in pairs.iter_mut().zip(&obs) {
+                    p.first = *o;
+                    p.prev = *o;
                 }
             }
-        }
-    }
+            series.snapshot_done(ti, snap.t_s);
+            hb.tick(1);
+        },
+        |a, b| {
+            if !b.started {
+                return;
+            }
+            if !a.started {
+                *a = b;
+                return;
+            }
+            let ChurnAcc {
+                started: _,
+                pairs,
+                transitions,
+                changes,
+                jump_sum,
+                jump_max,
+                series,
+            } = a;
+            *transitions += b.transitions;
+            *changes += b.changes;
+            jump_sum.merge(&b.jump_sum);
+            *jump_max = jump_max.max(b.jump_max);
+            for (pa, pb) in pairs.iter_mut().zip(&b.pairs) {
+                count_transition(pa.prev, pb.first, transitions, changes, jump_sum, jump_max);
+                pa.prev = pb.prev;
+            }
+            series.merge(&b.series);
+        },
+    );
+
+    let (transitions, changes) = (acc.transitions as usize, acc.changes as usize);
     ChurnStats {
         path_change_fraction: if transitions == 0 {
             0.0
@@ -87,9 +205,9 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
         mean_jump_ms: if changes == 0 {
             0.0
         } else {
-            jump_sum / changes as f64
+            acc.jump_sum.value() / changes as f64
         },
-        max_jump_ms: jump_max,
+        max_jump_ms: acc.jump_max,
         transitions,
     }
 }
@@ -134,6 +252,24 @@ mod tests {
             bp.max_jump_ms,
             hy.max_jump_ms
         );
+    }
+
+    #[test]
+    fn churn_is_thread_count_invariant() {
+        // Chunk-boundary stitching + FixedSum must make the streamed
+        // stats bit-identical regardless of how the sweep is split.
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let a = churn_study(&ctx, Mode::BpOnly, 1);
+        for threads in [2, 3, 5] {
+            let b = churn_study(&ctx, Mode::BpOnly, threads);
+            assert_eq!(a.transitions, b.transitions);
+            assert_eq!(
+                a.path_change_fraction.to_bits(),
+                b.path_change_fraction.to_bits()
+            );
+            assert_eq!(a.mean_jump_ms.to_bits(), b.mean_jump_ms.to_bits());
+            assert_eq!(a.max_jump_ms.to_bits(), b.max_jump_ms.to_bits());
+        }
     }
 
     #[test]

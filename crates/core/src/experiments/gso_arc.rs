@@ -11,6 +11,7 @@ use leo_geo::{batch_visible_from, deg_to_rad, Ecef, GeoPoint};
 use leo_orbit::gso::{gso_compliant, usable_sky_fraction};
 use leo_orbit::{VisibilityParams, SUBPOINT_BIN_DEG};
 use leo_util::span;
+use leo_util::telemetry::{Heartbeat, MetricSeries};
 
 /// One row of the Fig. 9 sweep.
 #[derive(Debug, Clone, Copy)]
@@ -52,6 +53,8 @@ pub fn gso_sweep(
     // place across the samples instead of rebuilding per instant.
     let sample_times: Vec<f64> = (0..12).map(|i| t_s + i as f64 * 480.0).collect();
     let radius_m = params.query_radius_m();
+    let hb = Heartbeat::new("gso_sweep", sample_times.len() as u64);
+    let mut series = MetricSeries::new("gso_usable_satellite_fraction");
     let mut totals = vec![0usize; latitudes_deg.len()];
     let mut compliant = vec![0usize; latitudes_deg.len()];
     let mut sats = ctx.constellation.positions_at(t_s);
@@ -62,6 +65,10 @@ pub fn gso_sweep(
         if si > 0 {
             sats.advance_to(&ctx.constellation, t, &mut grid, &mut transitions);
         }
+        let (sample_totals_before, sample_compliant_before) = (
+            totals.iter().sum::<usize>(),
+            compliant.iter().sum::<usize>(),
+        );
         let (xs, ys, zs) = sats.xyz();
         for (li, &lat) in latitudes_deg.iter().enumerate() {
             // Count compliant vs visible satellites from a GT at (lat, 0°)
@@ -86,6 +93,14 @@ pub fn gso_sweep(
                 );
             }
         }
+        // Per-sample compliance fraction across all swept latitudes.
+        let dt = totals.iter().sum::<usize>() - sample_totals_before;
+        let dc = compliant.iter().sum::<usize>() - sample_compliant_before;
+        if dt > 0 {
+            series.record(dc as f64 / dt as f64);
+        }
+        series.snapshot_done(si, t);
+        hb.tick(1);
     }
     latitudes_deg
         .iter()

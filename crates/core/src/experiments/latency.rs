@@ -10,6 +10,7 @@ use crate::snapshot::{Mode, NetworkSnapshot, NodeKind, StudyContext};
 use leo_data::traffic::CityPair;
 use leo_graph::with_thread_workspace;
 use leo_util::span;
+use leo_util::telemetry::{Heartbeat, MetricSeries};
 
 /// Per-pair latency statistics across the simulated day.
 #[derive(Debug, Clone)]
@@ -49,10 +50,17 @@ pub fn latency_study(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<Pair
 
 /// Run the latency study for several modes at once, sharing the
 /// per-timestep orbit/visibility pass across them and the incremental
-/// sweep state across consecutive timesteps (via
-/// [`StudyContext::sweep_map`]), reusing one warm [`DijkstraWorkspace`]
-/// per worker. Returns one `Vec<PairStats>` per entry of `modes`, in
-/// order.
+/// sweep state across consecutive timesteps, reusing one warm
+/// [`DijkstraWorkspace`] per worker. Returns one `Vec<PairStats>` per
+/// entry of `modes`, in order.
+///
+/// **Streaming**: the sweep folds into per-pair running
+/// `{min, max, reachable}` accumulators (exact — min/max folds and
+/// counts are order-independent, so the result is bit-identical to
+/// collecting every snapshot first), holds O(pairs) state instead of
+/// O(snapshots × pairs), emits one `series` telemetry event per
+/// snapshot per mode (`rtt_ms_*`), and ticks a `latency_study`
+/// [`Heartbeat`] per snapshot.
 ///
 /// [`DijkstraWorkspace`]: leo_graph::DijkstraWorkspace
 pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Vec<Vec<PairStats>> {
@@ -63,22 +71,96 @@ pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Ve
         pairs = ctx.pairs.len(),
     );
     let times = ctx.config.snapshot_times_s.clone();
-    // Per snapshot time, per mode: Vec<Option<rtt_ms>> indexed like
-    // ctx.pairs.
-    let per_time: Vec<Vec<Vec<Option<f64>>>> = ctx.sweep_map(&times, modes, threads, |_, snaps| {
-        snaps
-            .iter()
-            .map(|snap| snapshot_rtts_on(ctx, snap))
-            .collect()
-    });
-    modes
+    let num_pairs = ctx.pairs.len();
+    let hb = Heartbeat::new("latency_study", times.len() as u64);
+
+    /// Per-mode streaming state: per-pair running aggregates plus the
+    /// telemetry series.
+    struct ModeAgg {
+        min: Vec<f64>,
+        max: Vec<f64>,
+        reachable: Vec<u32>,
+        series: MetricSeries,
+    }
+    struct Acc {
+        total: usize,
+        modes: Vec<ModeAgg>,
+    }
+
+    let acc = ctx.sweep_fold(
+        &times,
+        modes,
+        threads,
+        || Acc {
+            total: 0,
+            modes: modes
+                .iter()
+                .map(|&m| ModeAgg {
+                    min: vec![f64::INFINITY; num_pairs],
+                    max: vec![f64::NEG_INFINITY; num_pairs],
+                    reachable: vec![0; num_pairs],
+                    series: MetricSeries::new(rtt_series_name(m)),
+                })
+                .collect(),
+        },
+        |acc, i, snaps| {
+            for (mi, snap) in snaps.iter().enumerate() {
+                let rtts = snapshot_rtts_on(ctx, snap);
+                let agg = &mut acc.modes[mi];
+                for (pi, r) in rtts.iter().enumerate() {
+                    if let Some(rtt) = *r {
+                        agg.min[pi] = agg.min[pi].min(rtt);
+                        agg.max[pi] = agg.max[pi].max(rtt);
+                        agg.reachable[pi] += 1;
+                        agg.series.record(rtt);
+                    }
+                }
+                agg.series.snapshot_done(i, snap.t_s);
+            }
+            acc.total += 1;
+            hb.tick(1);
+        },
+        |a, b| {
+            a.total += b.total;
+            for (am, bm) in a.modes.iter_mut().zip(&b.modes) {
+                for pi in 0..num_pairs {
+                    am.min[pi] = am.min[pi].min(bm.min[pi]);
+                    am.max[pi] = am.max[pi].max(bm.max[pi]);
+                    am.reachable[pi] += bm.reachable[pi];
+                }
+                am.series.merge(&bm.series);
+            }
+        },
+    );
+
+    acc.modes
         .iter()
-        .enumerate()
-        .map(|(mi, _)| {
-            let per_snapshot: Vec<&Vec<Option<f64>>> = per_time.iter().map(|v| &v[mi]).collect();
-            aggregate(ctx, &per_snapshot)
+        .map(|agg| {
+            ctx.pairs
+                .iter()
+                .enumerate()
+                .map(|(pi, &pair)| {
+                    let reachable = agg.reachable[pi] as usize;
+                    PairStats {
+                        pair,
+                        min_rtt_ms: (reachable > 0).then_some(agg.min[pi]),
+                        max_rtt_ms: (reachable > 0).then_some(agg.max[pi]),
+                        reachable,
+                        total: acc.total,
+                    }
+                })
+                .collect()
         })
         .collect()
+}
+
+/// Telemetry series name for per-snapshot RTT samples under `mode`.
+fn rtt_series_name(mode: Mode) -> &'static str {
+    match mode {
+        Mode::BpOnly => "rtt_ms_bp",
+        Mode::Hybrid => "rtt_ms_hybrid",
+        Mode::IslOnly => "rtt_ms_isl",
+    }
 }
 
 /// RTTs (ms) for all pairs at one snapshot.
@@ -111,33 +193,6 @@ pub fn snapshot_rtts_on(ctx: &StudyContext, snap: &NetworkSnapshot) -> Vec<Optio
         }
     });
     out
-}
-
-fn aggregate(ctx: &StudyContext, per_snapshot: &[&Vec<Option<f64>>]) -> Vec<PairStats> {
-    let total = per_snapshot.len();
-    ctx.pairs
-        .iter()
-        .enumerate()
-        .map(|(i, &pair)| {
-            let mut min = f64::INFINITY;
-            let mut max = f64::NEG_INFINITY;
-            let mut reachable = 0;
-            for snap in per_snapshot {
-                if let Some(rtt) = snap[i] {
-                    min = min.min(rtt);
-                    max = max.max(rtt);
-                    reachable += 1;
-                }
-            }
-            PairStats {
-                pair,
-                min_rtt_ms: (reachable > 0).then_some(min),
-                max_rtt_ms: (reachable > 0).then_some(max),
-                reachable,
-                total,
-            }
-        })
-        .collect()
 }
 
 /// The headline comparison numbers of §1/§4.

@@ -15,6 +15,7 @@ use leo_graph::{
     with_thread_workspace, FlowNetwork,
 };
 use leo_util::span;
+use leo_util::telemetry::{Heartbeat, MetricSeries};
 
 /// Outcome of one throughput evaluation.
 #[derive(Debug, Clone)]
@@ -162,6 +163,12 @@ pub fn isl_capacity_sweep(
 /// network (no GT in view) at each snapshot time, under BP.
 ///
 /// The paper reports 25.1 %–31.5 % for Starlink across a day.
+///
+/// Streams through [`StudyContext::sweep_fold`]: each snapshot appends
+/// its fraction (chunks merge in time order, so the returned vector is
+/// time-ordered exactly like the old collect-then-concatenate path),
+/// emits a `disconnected_fraction` `series` telemetry event, and ticks a
+/// `disconnected_satellite_fraction` [`Heartbeat`].
 pub fn disconnected_satellite_fraction(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<f64> {
     let _span = span!(
         "disconnected_satellite_fraction",
@@ -169,9 +176,32 @@ pub fn disconnected_satellite_fraction(ctx: &StudyContext, mode: Mode, threads: 
         snapshots = ctx.config.snapshot_times_s.len(),
     );
     let times = ctx.config.snapshot_times_s.clone();
-    ctx.sweep_map(&times, &[mode], threads, |_, snaps| {
-        disconnected_fraction_of(&snaps[0])
-    })
+    let hb = Heartbeat::new("disconnected_satellite_fraction", times.len() as u64);
+    struct Acc {
+        vals: Vec<f64>,
+        series: MetricSeries,
+    }
+    let acc = ctx.sweep_fold(
+        &times,
+        &[mode],
+        threads,
+        || Acc {
+            vals: Vec::new(),
+            series: MetricSeries::new("disconnected_fraction"),
+        },
+        |acc, ti, snaps| {
+            let f = disconnected_fraction_of(&snaps[0]);
+            acc.vals.push(f);
+            acc.series.record(f);
+            acc.series.snapshot_done(ti, snaps[0].t_s);
+            hb.tick(1);
+        },
+        |a, b| {
+            a.vals.extend_from_slice(&b.vals);
+            a.series.merge(&b.series);
+        },
+    );
+    acc.vals
 }
 
 /// Fraction of satellites in components containing no ground node.

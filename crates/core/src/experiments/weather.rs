@@ -7,11 +7,12 @@
 //! regeneration at each GT is assumed (so attenuations don't multiply
 //! along the path), and free-space path loss is excluded by design.
 
-use crate::metrics::Distribution;
+use crate::metrics::{Distribution, TailQuantile};
 use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, StudyContext};
 use leo_atmo::{AttenuationModel, Climatology, SlantPath, WeatherProcess};
 use leo_graph::{with_thread_workspace, Path};
 use leo_util::span;
+use leo_util::telemetry::{Heartbeat, MetricSeries};
 
 /// Attenuation of one link of a path at a point in time / exceedance.
 fn link_attenuation_db(
@@ -107,6 +108,16 @@ impl WeatherStudy {
 /// ISL-only connectivity, evaluate realized worst-link attenuation under
 /// the stochastic weather process, then take the 99.5th percentile across
 /// time per pair.
+///
+/// **Streaming**: rather than materialising a `snapshots × pairs` matrix
+/// and sorting each pair's column at the end, the sweep folds every
+/// sample into a per-pair [`TailQuantile`] (exact upper-tail keeper whose
+/// `value()` reproduces [`Distribution::percentile`] bit-for-bit and
+/// whose merge is split-invariant, so chunked parallel sweeps give the
+/// same answer as a sequential pass). Memory is O(pairs), not
+/// O(snapshots × pairs). Each snapshot also emits `atten_db_bp` /
+/// `atten_db_isl` `series` telemetry events and ticks a `weather_study`
+/// [`Heartbeat`].
 pub fn weather_study(ctx: &StudyContext, weather_seed: u64, threads: usize) -> WeatherStudy {
     let _span = span!(
         "weather_study",
@@ -119,17 +130,42 @@ pub fn weather_study(ctx: &StudyContext, weather_seed: u64, threads: usize) -> W
     let up = ctx.config.network.uplink_ghz;
     let down = ctx.config.network.downlink_ghz;
     let times = ctx.config.snapshot_times_s.clone();
+    let num_pairs = ctx.pairs.len();
+    let num_times = times.len();
+    let hb = Heartbeat::new("weather_study", num_times as u64);
 
-    // per_time[t] = (bp_db per pair, isl_db per pair)
     let modes = [Mode::BpOnly, Mode::IslOnly];
-    let per_time: Vec<(Vec<f64>, Vec<f64>)> =
-        ctx.sweep_map(&times, &modes, threads, |ti, snaps| {
+    const SERIES_NAMES: [&str; 2] = ["atten_db_bp", "atten_db_isl"];
+
+    /// Per-pair tail trackers and telemetry series for one mode.
+    struct ModeAgg {
+        tails: Vec<TailQuantile>,
+        series: MetricSeries,
+    }
+    struct Acc {
+        modes: Vec<ModeAgg>,
+    }
+
+    let acc = ctx.sweep_fold(
+        &times,
+        &modes,
+        threads,
+        || Acc {
+            modes: SERIES_NAMES
+                .iter()
+                .map(|&name| ModeAgg {
+                    tails: (0..num_pairs)
+                        .map(|_| TailQuantile::new(99.5, num_times))
+                        .collect(),
+                    series: MetricSeries::new(name),
+                })
+                .collect(),
+        },
+        |acc, ti, snaps| {
             let t = times[ti];
-            let mut bp = vec![f64::NAN; ctx.pairs.len()];
-            let mut isl = vec![f64::NAN; ctx.pairs.len()];
             let mut targets = Vec::new();
             with_thread_workspace(|ws| {
-                for (snap, out) in snaps.iter().zip([&mut bp, &mut isl]) {
+                for (agg, snap) in acc.modes.iter_mut().zip(snaps.iter()) {
                     // One early-exit Dijkstra per unique source city, on warm
                     // buffers.
                     for (src, idxs) in ctx.pairs_by_src() {
@@ -147,7 +183,7 @@ pub fn weather_study(ctx: &StudyContext, weather_seed: u64, threads: usize) -> W
                         for &i in idxs {
                             let dst = snap.city_node(ctx.pairs[i].dst as usize);
                             if let Some(path) = view.extract_path(dst) {
-                                out[i] = worst_link_db(
+                                let db = worst_link_db(
                                     snap,
                                     &path,
                                     &model,
@@ -155,24 +191,28 @@ pub fn weather_study(ctx: &StudyContext, weather_seed: u64, threads: usize) -> W
                                     up,
                                     down,
                                 );
+                                agg.tails[i].record(db);
+                                agg.series.record(db);
                             }
                         }
                     }
+                    agg.series.snapshot_done(ti, snap.t_s);
                 }
             });
-            (bp, isl)
-        });
+            hb.tick(1);
+        },
+        |a, b| {
+            for (am, bm) in a.modes.iter_mut().zip(&b.modes) {
+                for (at, bt) in am.tails.iter_mut().zip(&bm.tails) {
+                    at.merge(bt);
+                }
+                am.series.merge(&bm.series);
+            }
+        },
+    );
 
-    // 99.5th percentile across time, per pair.
-    let n = ctx.pairs.len();
-    let mut bp_db = Vec::with_capacity(n);
-    let mut isl_db = Vec::with_capacity(n);
-    for i in 0..n {
-        let bp_series: Vec<f64> = per_time.iter().map(|(b, _)| b[i]).collect();
-        let isl_series: Vec<f64> = per_time.iter().map(|(_, s)| s[i]).collect();
-        bp_db.push(Distribution::from_samples(&bp_series).percentile(99.5));
-        isl_db.push(Distribution::from_samples(&isl_series).percentile(99.5));
-    }
+    let bp_db = acc.modes[0].tails.iter().map(|t| t.value()).collect();
+    let isl_db = acc.modes[1].tails.iter().map(|t| t.value()).collect();
     WeatherStudy { bp_db, isl_db }
 }
 

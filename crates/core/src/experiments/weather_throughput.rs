@@ -14,6 +14,7 @@ use leo_atmo::{AttenuationModel, Climatology, LinkBudget, SlantPath, WeatherProc
 use leo_flow::{FlowSim, FlowWorkspace};
 use leo_graph::k_edge_disjoint_paths;
 use leo_util::span;
+use leo_util::telemetry::MetricSeries;
 
 /// Throughput under one weather realization.
 #[derive(Debug, Clone, Copy)]
@@ -60,7 +61,11 @@ pub fn weathered_throughput(
     // lint: allow(unwrap-in-lib) modcod_ladder is a non-empty static table
     let best_eff = leo_atmo::modcod_ladder().last().unwrap().bits_per_hz;
 
-    // Per-edge capacities for both scenarios.
+    // Per-edge capacities for both scenarios. The per-GT-link MODCOD
+    // retention (wet/clear capacity ratio) streams into a `series`
+    // telemetry event so its distribution is visible in `leo-report`
+    // without storing per-edge samples.
+    let mut retention_series = MetricSeries::new("gt_link_weather_retention");
     let mut clear_caps = Vec::with_capacity(snap.edges.len());
     let mut wet_caps = Vec::with_capacity(snap.edges.len());
     for (e, kind) in snap.edges.iter().enumerate() {
@@ -92,11 +97,14 @@ pub fn weathered_throughput(
                 };
                 let cn = budget.carrier_to_noise_db(distance, a_db);
                 let eff = budget.modcod_efficiency(cn);
+                let retention = (eff / best_eff).min(1.0);
+                retention_series.record(retention);
                 clear_caps.push(nominal);
-                wet_caps.push(nominal * (eff / best_eff).min(1.0));
+                wet_caps.push(nominal * retention);
             }
         }
     }
+    retention_series.snapshot_done(0, t_s);
 
     // Route once (paths don't react to weather — the conservative model),
     // build the flow structure once, then re-solve the same flows under

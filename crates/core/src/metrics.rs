@@ -110,6 +110,132 @@ impl Distribution {
     }
 }
 
+/// An **exact** streaming upper percentile in bounded memory.
+///
+/// Keeps only the largest `K` samples (K sized from the percentile and a
+/// caller-supplied upper bound on the stream length) plus the total
+/// count, and then evaluates `p` with bit-for-bit the same
+/// interpolation as [`Distribution::percentile`] — the tracked tail
+/// always contains both order statistics the formula touches, so this is
+/// not an approximation. The weather study uses it for per-pair p99.5
+/// across a sweep: O(pairs · K) instead of O(pairs · snapshots).
+///
+/// Sizing: evaluating `p` needs the sorted global indices `⌊p/100 ·
+/// (n−1)⌋` and up, i.e. the largest `n·(1 − p/100) + p/100 + 1` samples;
+/// `K = ⌈(1 − p/100) · max_total⌉ + 2` covers every `n ≤ max_total`.
+///
+/// [`TailQuantile::merge`] is exact across arbitrary splits of the
+/// stream (an element outside a chunk's top-K is outside the global
+/// top-K), so chunked parallel sweeps are thread-count invariant.
+#[derive(Debug, Clone)]
+pub struct TailQuantile {
+    p: f64,
+    cap: usize,
+    /// The largest `≤ cap` samples seen, sorted ascending.
+    top: Vec<f64>,
+    /// Total (non-NaN) samples seen.
+    n: u64,
+}
+
+impl TailQuantile {
+    /// A tracker for percentile `p ∈ [0, 100]` over a stream of at most
+    /// `max_total` samples. (Feeding more than `max_total` samples may
+    /// make the tracked tail too short; `value` then reports the
+    /// smallest tracked sample and debug builds assert.)
+    pub fn new(p: f64, max_total: usize) -> TailQuantile {
+        let p = p.clamp(0.0, 100.0);
+        let cap = ((1.0 - p / 100.0) * max_total as f64).ceil() as usize + 2;
+        TailQuantile {
+            p,
+            cap,
+            top: Vec::new(),
+            n: 0,
+        }
+    }
+
+    /// Record one sample (NaNs are dropped, mirroring
+    /// [`Distribution::from_samples`]).
+    pub fn record(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.n += 1;
+        if self.top.len() == self.cap {
+            match self.top.first() {
+                // Full and no larger than the smallest kept sample:
+                // cannot be among the needed order statistics.
+                Some(first) if f64::total_cmp(&v, first).is_le() => return,
+                _ => {}
+            }
+        }
+        let idx = self.top.partition_point(|x| f64::total_cmp(x, &v).is_lt());
+        self.top.insert(idx, v);
+        if self.top.len() > self.cap {
+            self.top.remove(0);
+        }
+    }
+
+    /// Fold another tracker for the same percentile in (exact).
+    pub fn merge(&mut self, other: &TailQuantile) {
+        debug_assert_eq!(self.p.to_bits(), other.p.to_bits());
+        self.n += other.n;
+        let mut merged = Vec::with_capacity(self.top.len() + other.top.len());
+        let (a, b) = (&self.top, &other.top);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if f64::total_cmp(&a[i], &b[j]).is_le() {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        if merged.len() > self.cap {
+            merged.drain(..merged.len() - self.cap);
+        }
+        self.top = merged;
+    }
+
+    /// Total (non-NaN) samples recorded.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// True when no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The percentile value — identical bits to
+    /// `Distribution::from_samples(all_samples).percentile(p)`. NaN when
+    /// empty.
+    pub fn value(&self) -> f64 {
+        let n = self.n as usize;
+        if n == 0 {
+            return f64::NAN;
+        }
+        if n == 1 {
+            return self.top[0];
+        }
+        let rank = self.p / 100.0 * (n - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        let frac = rank - lo as f64;
+        let offset = n - self.top.len();
+        if lo < offset {
+            debug_assert!(
+                false,
+                "TailQuantile undersized: fed more than max_total samples"
+            );
+            return self.top[0];
+        }
+        self.top[lo - offset] * (1.0 - frac) + self.top[hi - offset] * frac
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +312,68 @@ mod tests {
         let d = Distribution::from_samples(&samples);
         let pts = d.cdf_points(7);
         assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn tail_quantile_matches_distribution_bit_for_bit() {
+        let mut rng = leo_util::Rng64::seed_from_u64(0x7a11);
+        for &(p, n) in &[
+            (99.5, 96usize),
+            (99.5, 8),
+            (95.0, 200),
+            (90.0, 7),
+            (100.0, 50),
+        ] {
+            let samples: Vec<f64> = (0..n).map(|_| rng.next_f64() * 250.0).collect();
+            let mut tq = TailQuantile::new(p, n);
+            for &v in &samples {
+                tq.record(v);
+            }
+            let exact = Distribution::from_samples(&samples).percentile(p);
+            assert_eq!(
+                tq.value().to_bits(),
+                exact.to_bits(),
+                "p{p} over {n} samples"
+            );
+            assert_eq!(tq.len(), n as u64);
+        }
+    }
+
+    #[test]
+    fn tail_quantile_merge_is_split_invariant() {
+        let mut rng = leo_util::Rng64::seed_from_u64(0xbeef);
+        let samples: Vec<f64> = (0..96).map(|_| rng.next_f64() * 40.0).collect();
+        let mut whole = TailQuantile::new(99.5, 96);
+        for &v in &samples {
+            whole.record(v);
+        }
+        for split in [1usize, 17, 48, 95] {
+            let mut a = TailQuantile::new(99.5, 96);
+            let mut b = TailQuantile::new(99.5, 96);
+            for &v in &samples[..split] {
+                a.record(v);
+            }
+            for &v in &samples[split..] {
+                b.record(v);
+            }
+            a.merge(&b);
+            assert_eq!(
+                a.value().to_bits(),
+                whole.value().to_bits(),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_quantile_nan_and_empty() {
+        let mut tq = TailQuantile::new(99.5, 10);
+        assert!(tq.is_empty());
+        assert!(tq.value().is_nan());
+        tq.record(f64::NAN);
+        assert!(tq.is_empty(), "NaN must be dropped");
+        tq.record(3.5);
+        assert_eq!(tq.value(), 3.5, "single sample returns itself");
     }
 
     #[test]

@@ -322,6 +322,65 @@ impl StudyContext {
         });
         per_chunk.into_iter().flatten().collect()
     }
+
+    /// Streaming parallel sweep: like [`StudyContext::sweep_map`], but
+    /// each chunk folds into an accumulator of type `A` instead of
+    /// collecting one result per snapshot — memory stays O(threads ·
+    /// |A|) no matter how long the time series is.
+    ///
+    /// `make` builds a fresh accumulator per chunk, `step(acc, i, snaps)`
+    /// folds snapshot `i` in, and `merge(into, from)` combines chunk
+    /// accumulators **in time order** (chunk 0 first). Snapshots are
+    /// bit-identical regardless of chunking, so the whole fold is
+    /// thread-count invariant exactly when `merge ∘ step` is associative
+    /// over chunk boundaries — true for min/max folds, integer counts,
+    /// `leo_util::sketch` types, and [`crate::metrics::TailQuantile`];
+    /// see `tests/streaming.rs` for the cross-crate pin.
+    pub fn sweep_fold<A, F, M>(
+        &self,
+        times: &[f64],
+        modes: &[Mode],
+        threads: usize,
+        make: impl Fn() -> A + Sync,
+        step: F,
+        merge: M,
+    ) -> A
+    where
+        A: Send,
+        F: Fn(&mut A, usize, &[NetworkSnapshot]) + Sync,
+        M: Fn(&mut A, A),
+    {
+        let n = times.len();
+        if n == 0 {
+            return make();
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            threads
+        }
+        .min(n);
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+        let per_chunk = crate::par::parallel_map(&ranges, threads, |&(lo, hi)| {
+            let mut sweep = TimeSweep::new(self, modes);
+            let mut acc = make();
+            for (i, &t) in times.iter().enumerate().take(hi).skip(lo) {
+                step(&mut acc, i, sweep.step(t));
+            }
+            acc
+        });
+        let mut iter = per_chunk.into_iter();
+        // lint: allow(unwrap-in-lib) n > 0 guarantees at least one chunk accumulator
+        let mut acc = iter.next().expect("at least one chunk");
+        for part in iter {
+            merge(&mut acc, part);
+        }
+        acc
+    }
 }
 
 /// Incremental snapshot engine: walks a time series keeping satellite
@@ -1044,5 +1103,40 @@ mod tests {
         assert_eq!(one, digest(3));
         assert_eq!(one, digest(7));
         assert_eq!(one, digest(0));
+    }
+
+    #[test]
+    fn sweep_fold_is_thread_count_invariant_and_covers_all_snapshots() {
+        let c = ctx();
+        let modes = [Mode::Hybrid];
+        let times: Vec<f64> = (0..7).map(|i| i as f64 * 137.0).collect();
+        // Fold an (xor-hash, count) accumulator — xor is associative and
+        // commutative, so any chunking must agree.
+        let fold = |threads: usize| -> (u64, usize) {
+            c.sweep_fold(
+                &times,
+                &modes,
+                threads,
+                || (0u64, 0usize),
+                |acc, i, snaps| {
+                    acc.0 ^= (snaps[0].graph.num_edges() as u64).wrapping_mul(0x9e37 + i as u64);
+                    acc.1 += 1;
+                },
+                |a, b| {
+                    a.0 ^= b.0;
+                    a.1 += b.1;
+                },
+            )
+        };
+        let one = fold(1);
+        assert_eq!(one.1, times.len(), "every snapshot folded exactly once");
+        assert_eq!(one, fold(3));
+        assert_eq!(one, fold(7));
+        assert_eq!(one, fold(0));
+        // Empty sweep returns the fresh accumulator.
+        assert_eq!(
+            c.sweep_fold(&[], &modes, 2, || 42u32, |_, _, _| {}, |_, _| {}),
+            42
+        );
     }
 }

@@ -10,6 +10,9 @@
 //! * [`mod@bench`] — warmup + median/p95 timing harness (replaces `criterion`)
 //! * [`telemetry`] — spans/counters/histograms + JSONL run manifests
 //!   (replaces `tracing`/`metrics`-style observability stacks)
+//! * [`sketch`] — mergeable log-bucket quantile sketch + exact
+//!   fixed-point sums for bounded-memory streaming aggregation
+//!   (replaces `hdrhistogram`-style crates)
 //!
 //! The workspace policy (see DESIGN.md "Hermetic build") is that
 //! `[workspace.dependencies]` names only `path` crates, so
@@ -24,6 +27,7 @@ pub mod buf;
 pub mod check;
 pub mod config;
 pub mod rng;
+pub mod sketch;
 pub mod telemetry;
 
 pub use rng::Rng64;

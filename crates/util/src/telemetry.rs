@@ -16,6 +16,14 @@
 //!   `LEO_LOG_DIR`, default cwd) and [`finish_run`] appends counter and
 //!   histogram records plus a final **manifest** record (config hash,
 //!   RNG seed, thread count, per-phase wall-time totals);
+//! * **streaming metric series** — [`MetricSeries`] wraps a mergeable
+//!   [`QuantileSketch`](crate::sketch::QuantileSketch) and emits one
+//!   `series` event per snapshot, so sweep drivers hold O(1) state
+//!   instead of every per-pair sample (see DESIGN.md "Streaming
+//!   telemetry");
+//! * **live heartbeats** — [`Heartbeat`] periodically emits progress
+//!   (items/s, ETA), current/peak RSS from `/proc/self/statm`, and a
+//!   counter snapshot, cadence-gated by `LEO_LOG_HEARTBEAT`;
 //! * **an env-controlled level** — `LEO_LOG=off|info|debug` (default
 //!   `off`). When disabled, every hot-path operation costs exactly one
 //!   relaxed atomic load and a predictable branch (pinned by the
@@ -28,6 +36,8 @@
 //! | `run_start` | `label`, `level`, `t_ns` |
 //! | `log` | `t_ns`, `msg` |
 //! | `span` | `t_ns`, `name`, `dur_ns`, `depth`, `thread` (+optional `kv`) |
+//! | `series` | `t_ns`, `name`, `index`, `t_s`, `count`, `low`, `sum`, `min`, `max`, `sub`, `buckets` |
+//! | `heartbeat` | `t_ns`, `label`, `done`, `total`, `rate_per_s`, `eta_s`, `rss_kb`, `peak_rss_kb`, `counters` |
 //! | `counter` | `name`, `value` |
 //! | `hist` | `name`, `count`, `sum`, `min`, `max`, `buckets` |
 //! | `manifest` | `label`, `config_hash`, `seed`, `threads`, `wall_ns`, `phases`, `counters` |
@@ -200,13 +210,44 @@ pub fn init(label: &str) -> Option<PathBuf> {
 }
 
 /// [`init`] with an explicit directory (tests; `LEO_LOG_DIR` ignored).
+///
+/// Re-running the same label in one directory must not clobber the
+/// earlier run file, so the name is collision-suffixed deterministically:
+/// `RUN_<label>.jsonl`, then `RUN_<label>-01.jsonl`, `-02`, … (a counter,
+/// not wall-clock, so reruns sort and diff predictably). Files are opened
+/// with `create_new`, so concurrent runs race safely on the counter.
 pub fn init_at(dir: &std::path::Path, label: &str) -> Option<PathBuf> {
     if !enabled(Level::Info) {
         return None;
     }
     std::fs::create_dir_all(dir).ok()?;
-    let path = dir.join(format!("RUN_{label}.jsonl"));
-    let file = std::fs::File::create(&path).ok()?;
+    let (file, path) = (0u32..100)
+        .map(|n| {
+            if n == 0 {
+                dir.join(format!("RUN_{label}.jsonl"))
+            } else {
+                dir.join(format!("RUN_{label}-{n:02}.jsonl"))
+            }
+        })
+        .find_map(|p| {
+            match std::fs::File::options()
+                .write(true)
+                .create_new(true)
+                .open(&p)
+            {
+                Ok(f) => Some(Some((f, p))),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => None,
+                // Directory unwritable etc.: give up (matches the old
+                // `.ok()?` behaviour).
+                Err(_) => Some(None),
+            }
+        })
+        // 100 collisions: recycle the base name rather than refusing to
+        // log at all.
+        .unwrap_or_else(|| {
+            let p = dir.join(format!("RUN_{label}.jsonl"));
+            std::fs::File::create(&p).ok().map(|f| (f, p))
+        })?;
     let mut guard = SINK.lock_recover();
     *guard = Some(Sink {
         out: std::io::BufWriter::new(file),
@@ -639,6 +680,244 @@ impl Histogram {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming metric series
+
+/// A named streaming metric: fixed-size sketch state that replaces
+/// "collect every per-pair sample into a `Vec`" in the experiment
+/// sweeps.
+///
+/// Usage inside a sweep fold: [`MetricSeries::record`] each sample while
+/// a snapshot is being processed, then [`MetricSeries::snapshot_done`]
+/// once per snapshot — this emits one `series` JSONL event (the
+/// snapshot's count/sum/min/max plus the inline
+/// [`QuantileSketch`](crate::sketch::QuantileSketch) buckets) and folds
+/// the snapshot into a run-level sketch. Memory is O(1) in both the
+/// sample count and the snapshot count.
+///
+/// Worker threads each own a `MetricSeries` for their chunk of the
+/// sweep; [`MetricSeries::merge`] folds chunks together exactly (sketch
+/// merge is associative and commutative), so the merged run sketch is
+/// bit-identical for every thread count.
+///
+/// When the level is `Off`, [`MetricSeries::record`] is one relaxed
+/// atomic load — the sketch is never touched.
+#[derive(Debug, Clone)]
+pub struct MetricSeries {
+    name: &'static str,
+    snap: crate::sketch::QuantileSketch,
+    run: crate::sketch::QuantileSketch,
+}
+
+impl MetricSeries {
+    /// A new, empty series.
+    pub fn new(name: &'static str) -> MetricSeries {
+        MetricSeries {
+            name,
+            snap: crate::sketch::QuantileSketch::new(),
+            run: crate::sketch::QuantileSketch::new(),
+        }
+    }
+
+    /// Series name (the `name` field of emitted `series` events).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Record one sample into the current snapshot (no-op when telemetry
+    /// is off; non-finite samples are dropped by the sketch).
+    #[inline]
+    pub fn record(&mut self, v: f64) {
+        if !enabled(Level::Info) {
+            return;
+        }
+        self.snap.record(v);
+    }
+
+    /// Close the current snapshot: emit one `series` event tagged with
+    /// the sweep `index` and simulation time `t_s`, fold the snapshot
+    /// sketch into the run sketch, and reset the snapshot sketch.
+    /// No-op when telemetry is off or no samples were recorded.
+    pub fn snapshot_done(&mut self, index: usize, t_s: f64) {
+        if !enabled(Level::Info) || self.snap.is_empty() {
+            return;
+        }
+        emit(&format!(
+            "{{\"type\":\"series\",\"t_ns\":{},\"name\":{},\"index\":{},\"t_s\":{},{}}}",
+            now_ns(),
+            json_string(self.name),
+            index,
+            t_s,
+            self.snap.to_json_fragment()
+        ));
+        self.run.merge(&self.snap);
+        self.snap = crate::sketch::QuantileSketch::new();
+    }
+
+    /// Fold another chunk's series in (exact; both run sketches merge,
+    /// and any un-closed snapshot samples merge too).
+    pub fn merge(&mut self, other: &MetricSeries) {
+        self.run.merge(&other.run);
+        self.snap.merge(&other.snap);
+    }
+
+    /// The run-level sketch (all snapshots closed so far).
+    pub fn run_sketch(&self) -> &crate::sketch::QuantileSketch {
+        &self.run
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeats & RSS
+
+/// Peak resident set size observed by any [`rss_kb`] call, in KiB.
+static PEAK_RSS_KB: AtomicU64 = AtomicU64::new(0);
+
+/// Current resident set size in KiB from `/proc/self/statm` (Linux);
+/// `None` where procfs is unavailable. Every successful read also
+/// updates [`peak_rss_kb`].
+pub fn rss_kb() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/statm").ok()?;
+    // statm fields are in pages; field 1 (0-based) is resident.
+    let pages: u64 = text.split_whitespace().nth(1)?.parse().ok()?;
+    let kb = pages * (page_size_bytes() / 1024);
+    PEAK_RSS_KB.fetch_max(kb, Ordering::Relaxed);
+    Some(kb)
+}
+
+/// Largest RSS seen by any [`rss_kb`] call so far (KiB; 0 if never read).
+pub fn peak_rss_kb() -> u64 {
+    PEAK_RSS_KB.load(Ordering::Relaxed)
+}
+
+fn page_size_bytes() -> u64 {
+    // The kernels this workspace targets use 4 KiB pages; procfs offers
+    // no portable page-size file and we avoid libc, so this is fixed.
+    4096
+}
+
+/// Default heartbeat cadence when `LEO_LOG_HEARTBEAT` is unset, seconds.
+const HEARTBEAT_DEFAULT_S: f64 = 10.0;
+
+/// A progress heartbeat for long sweeps: emits periodic `heartbeat`
+/// JSONL events carrying throughput (items/s), ETA, current and peak
+/// RSS, and a snapshot of every registered [`Counter`] (so sweep-cache
+/// counters like `sweep_edges_reused` are visible mid-run).
+///
+/// Cadence comes from the `LEO_LOG_HEARTBEAT` env var: seconds between
+/// events (fractions allowed), `0` = every tick, `off` = never. Unset
+/// defaults to 10 s. Heartbeats also require `LEO_LOG` at `info` or
+/// higher — with telemetry off, [`Heartbeat::tick`] is one relaxed load.
+///
+/// The handle is cheaply cloneable (`Arc` inside) so parallel sweep
+/// chunks share one progress count.
+#[derive(Clone)]
+pub struct Heartbeat {
+    inner: std::sync::Arc<HeartbeatInner>,
+}
+
+struct HeartbeatInner {
+    label: String,
+    total: u64,
+    done: AtomicU64,
+    start_ns: u64,
+    last_emit_ns: AtomicU64,
+    /// Nanoseconds between events; `None` = disabled.
+    cadence_ns: Option<u64>,
+}
+
+impl Heartbeat {
+    /// A heartbeat for a sweep of `total` items (0 = unknown; ETA is
+    /// then reported as 0).
+    pub fn new(label: &str, total: u64) -> Heartbeat {
+        let cadence_ns = if enabled(Level::Info) {
+            match std::env::var("LEO_LOG_HEARTBEAT") {
+                Err(_) => Some((HEARTBEAT_DEFAULT_S * 1e9) as u64),
+                Ok(v) if v.trim().eq_ignore_ascii_case("off") => None,
+                Ok(v) => v
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s >= 0.0)
+                    .map(|s| (s * 1e9) as u64),
+            }
+        } else {
+            None
+        };
+        let now = now_ns();
+        Heartbeat {
+            inner: std::sync::Arc::new(HeartbeatInner {
+                label: label.to_string(),
+                total,
+                done: AtomicU64::new(0),
+                start_ns: now,
+                last_emit_ns: AtomicU64::new(now),
+                cadence_ns,
+            }),
+        }
+    }
+
+    /// Report `n` items finished; emits a `heartbeat` event when the
+    /// cadence has elapsed (first tick past each cadence boundary wins
+    /// via compare-exchange, so concurrent chunks emit exactly once).
+    #[inline]
+    pub fn tick(&self, n: u64) {
+        if !enabled(Level::Info) {
+            return;
+        }
+        let done = self.inner.done.fetch_add(n, Ordering::Relaxed) + n;
+        let Some(cadence) = self.inner.cadence_ns else {
+            return;
+        };
+        let now = now_ns();
+        let last = self.inner.last_emit_ns.load(Ordering::Relaxed);
+        if now.saturating_sub(last) >= cadence
+            && self
+                .inner
+                .last_emit_ns
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.emit_event(done, now);
+        }
+    }
+
+    /// Items reported done so far.
+    pub fn done(&self) -> u64 {
+        self.inner.done.load(Ordering::Relaxed)
+    }
+
+    #[cold]
+    fn emit_event(&self, done: u64, now: u64) {
+        let elapsed_s = now.saturating_sub(self.inner.start_ns) as f64 / 1e9;
+        let rate = if elapsed_s > 0.0 {
+            done as f64 / elapsed_s
+        } else {
+            0.0
+        };
+        let eta_s = if rate > 0.0 && self.inner.total > done {
+            (self.inner.total - done) as f64 / rate
+        } else {
+            0.0
+        };
+        let rss = rss_kb().unwrap_or(0);
+        let counters: Vec<String> = COUNTERS
+            .lock_recover()
+            .iter()
+            .map(|c| format!("{}:{}", json_string(c.name()), c.get()))
+            .collect();
+        emit(&format!(
+            "{{\"type\":\"heartbeat\",\"t_ns\":{now},\"label\":{},\"done\":{done},\"total\":{},\
+             \"rate_per_s\":{rate},\"eta_s\":{eta_s},\"rss_kb\":{rss},\"peak_rss_kb\":{},\
+             \"counters\":{{{}}}}}",
+            json_string(&self.inner.label),
+            self.inner.total,
+            peak_rss_kb(),
+            counters.join(",")
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Run manifest
 
 /// Provenance of one run, written as the final JSONL record by
@@ -999,7 +1278,16 @@ fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
 }
 
 /// Every event type a `RUN_*.jsonl` file may contain.
-pub const EVENT_TYPES: &[&str] = &["run_start", "log", "span", "counter", "hist", "manifest"];
+pub const EVENT_TYPES: &[&str] = &[
+    "run_start",
+    "log",
+    "span",
+    "series",
+    "heartbeat",
+    "counter",
+    "hist",
+    "manifest",
+];
 
 /// Validate one JSONL event line against the documented schema.
 ///
@@ -1051,6 +1339,30 @@ pub fn validate_event_line(line: &str) -> Result<&'static str, String> {
             require_str(&["name"])?;
             require_num(&["t_ns", "dur_ns", "depth", "thread"])?;
             Ok("span")
+        }
+        "series" => {
+            require_str(&["name"])?;
+            require_num(&[
+                "t_ns", "index", "t_s", "count", "low", "sum", "min", "max", "sub",
+            ])?;
+            match v.get("buckets") {
+                Some(Json::Arr(_)) => Ok("series"),
+                _ => Err("series: missing array field `buckets`".into()),
+            }
+        }
+        "heartbeat" => {
+            require_str(&["label"])?;
+            require_num(&[
+                "t_ns",
+                "done",
+                "total",
+                "rate_per_s",
+                "eta_s",
+                "rss_kb",
+                "peak_rss_kb",
+            ])?;
+            require_obj(&["counters"])?;
+            Ok("heartbeat")
         }
         "counter" => {
             require_str(&["name"])?;
@@ -1307,6 +1619,162 @@ mod tests {
             validate_event_line(r#"{"type":"log","t_ns":5,"msg":"hello"}"#).unwrap(),
             "log"
         );
+    }
+
+    #[test]
+    fn init_at_suffixes_instead_of_clobbering() {
+        let _g = lock();
+        set_level(Level::Info);
+        reset_for_tests();
+        let dir = std::env::temp_dir().join("leo_telemetry_collide");
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = init_at(&dir, "clash").expect("first sink");
+        assert!(first.ends_with("RUN_clash.jsonl"));
+        finish_run(&RunManifest::new("clash", 0, 0, 1));
+        let first_len = std::fs::metadata(&first).unwrap().len();
+        assert!(first_len > 0);
+        // Second run in the same dir: new file, first untouched.
+        let second = init_at(&dir, "clash").expect("second sink");
+        assert!(second.ends_with("RUN_clash-01.jsonl"), "{second:?}");
+        finish_run(&RunManifest::new("clash", 0, 0, 1));
+        assert_eq!(std::fs::metadata(&first).unwrap().len(), first_len);
+        let third = init_at(&dir, "clash").expect("third sink");
+        assert!(third.ends_with("RUN_clash-02.jsonl"), "{third:?}");
+        finish_run(&RunManifest::new("clash", 0, 0, 1));
+        set_level(Level::Off);
+        let _ = std::fs::remove_dir_all(&dir);
+        reset_for_tests();
+    }
+
+    #[test]
+    fn metric_series_emits_valid_events_and_merges() {
+        let _g = lock();
+        set_level(Level::Info);
+        reset_for_tests();
+        let dir = std::env::temp_dir().join("leo_telemetry_series");
+        let _ = std::fs::remove_dir_all(&dir);
+        init_at(&dir, "series").expect("sink");
+        let mut a = MetricSeries::new("rtt_ms");
+        let mut b = MetricSeries::new("rtt_ms");
+        for v in [10.0, 20.0, 30.0] {
+            a.record(v);
+        }
+        a.snapshot_done(0, 0.0);
+        for v in [40.0, 50.0] {
+            b.record(v);
+        }
+        b.snapshot_done(1, 900.0);
+        a.merge(&b);
+        assert_eq!(a.run_sketch().count(), 5);
+        assert_eq!(a.run_sketch().min(), 10.0);
+        assert_eq!(a.run_sketch().max(), 50.0);
+        let path = finish_run(&RunManifest::new("series", 0, 0, 1)).expect("path");
+        set_level(Level::Off);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut series_lines = 0;
+        let mut rebuilt = crate::sketch::QuantileSketch::new();
+        for l in text.lines() {
+            if validate_event_line(l).unwrap() == "series" {
+                series_lines += 1;
+                let v = Json::parse(l).unwrap();
+                assert_eq!(v.get("name").unwrap().as_str(), Some("rtt_ms"));
+                rebuilt.merge(&crate::sketch::QuantileSketch::from_json(&v).unwrap());
+            }
+        }
+        assert_eq!(series_lines, 2);
+        // The file's merged series matches the in-process run sketch.
+        assert_eq!(rebuilt.count(), 5);
+        assert_eq!(rebuilt.min().to_bits(), a.run_sketch().min().to_bits());
+        assert_eq!(rebuilt.max().to_bits(), a.run_sketch().max().to_bits());
+        assert_eq!(rebuilt.nonzero_buckets(), a.run_sketch().nonzero_buckets());
+        let _ = std::fs::remove_dir_all(&dir);
+        reset_for_tests();
+    }
+
+    #[test]
+    fn metric_series_disabled_records_nothing() {
+        let _g = lock();
+        set_level(Level::Off);
+        let mut s = MetricSeries::new("noop");
+        s.record(1.0);
+        s.snapshot_done(0, 0.0);
+        assert!(s.run_sketch().is_empty());
+    }
+
+    #[test]
+    fn heartbeat_emits_on_every_tick_at_zero_cadence() {
+        let _g = lock();
+        set_level(Level::Info);
+        reset_for_tests();
+        let dir = std::env::temp_dir().join("leo_telemetry_heartbeat");
+        let _ = std::fs::remove_dir_all(&dir);
+        init_at(&dir, "hb").expect("sink");
+        std::env::set_var("LEO_LOG_HEARTBEAT", "0");
+        let hb = Heartbeat::new("hb_test", 10);
+        std::env::remove_var("LEO_LOG_HEARTBEAT");
+        for _ in 0..4 {
+            hb.tick(1);
+        }
+        assert_eq!(hb.done(), 4);
+        let path = finish_run(&RunManifest::new("hb", 0, 0, 1)).expect("path");
+        set_level(Level::Off);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let beats: Vec<Json> = text
+            .lines()
+            .filter(|l| validate_event_line(l).unwrap() == "heartbeat")
+            .map(|l| Json::parse(l).unwrap())
+            .collect();
+        assert!(!beats.is_empty(), "zero cadence must emit heartbeats");
+        let last = beats.last().unwrap();
+        assert_eq!(last.get("label").unwrap().as_str(), Some("hb_test"));
+        assert_eq!(last.get("total").unwrap().as_num(), Some(10.0));
+        // On Linux the statm read works and peak tracks current.
+        if rss_kb().is_some() {
+            let rss = last.get("rss_kb").unwrap().as_num().unwrap();
+            assert!(rss > 0.0);
+            assert!(peak_rss_kb() as f64 >= rss);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        reset_for_tests();
+    }
+
+    #[test]
+    fn heartbeat_off_cadence_never_emits() {
+        let _g = lock();
+        set_level(Level::Info);
+        reset_for_tests();
+        std::env::set_var("LEO_LOG_HEARTBEAT", "off");
+        let hb = Heartbeat::new("silent", 5);
+        std::env::remove_var("LEO_LOG_HEARTBEAT");
+        assert!(hb.inner.cadence_ns.is_none());
+        hb.tick(5);
+        assert_eq!(hb.done(), 5);
+        set_level(Level::Off);
+        reset_for_tests();
+    }
+
+    #[test]
+    fn validator_accepts_series_and_heartbeat() {
+        assert_eq!(
+            validate_event_line(
+                r#"{"type":"series","t_ns":1,"name":"m","index":0,"t_s":0,"count":2,"low":0,"sum":3,"min":1,"max":2,"sub":32,"buckets":[[2048,2]]}"#
+            )
+            .unwrap(),
+            "series"
+        );
+        assert_eq!(
+            validate_event_line(
+                r#"{"type":"heartbeat","t_ns":1,"label":"x","done":1,"total":2,"rate_per_s":0.5,"eta_s":2,"rss_kb":100,"peak_rss_kb":100,"counters":{"c":1}}"#
+            )
+            .unwrap(),
+            "heartbeat"
+        );
+        // Missing sketch payload fields fail.
+        assert!(
+            validate_event_line(r#"{"type":"series","t_ns":1,"name":"m","index":0,"t_s":0}"#)
+                .is_err()
+        );
+        assert!(validate_event_line(r#"{"type":"heartbeat","t_ns":1,"label":"x"}"#).is_err());
     }
 
     #[test]

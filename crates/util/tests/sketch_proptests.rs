@@ -1,0 +1,202 @@
+//! Property tests for `leo_util::sketch` on the in-tree `check` harness
+//! (referenced by the module docs of `crates/util/src/sketch.rs`).
+//!
+//! The two load-bearing guarantees of the streaming telemetry pipeline:
+//!
+//! 1. **Merge is exact and associative** — folding per-chunk sketches in
+//!    any grouping (and any order) produces the same sketch as a single
+//!    sequential stream, so `sweep_fold` results cannot depend on thread
+//!    count.
+//! 2. **Rank error is bounded** — any quantile read off a sketch is
+//!    within `QuantileSketch::RELATIVE_ERROR` (1/64, relative) of the
+//!    exact order statistic of the recorded samples.
+
+use leo_util::check::{check, Gen};
+use leo_util::sketch::{FixedSum, QuantileSketch, MIN_TRACKABLE};
+use leo_util::telemetry::Json;
+use leo_util::{check_assert, check_assert_eq, check_assume};
+
+/// A positive sample spanning ~12 decades, always comfortably above the
+/// sketch's underflow threshold.
+fn positive_sample(g: &mut Gen) -> f64 {
+    let mantissa = g.f64(0.1..10.0);
+    let exponent = g.u32(0..13) as i32 - 6;
+    mantissa * 10f64.powi(exponent)
+}
+
+/// A sample that may also be zero, negative, or sub-trackable (all of
+/// which land in the underflow `low` count).
+fn any_sample(g: &mut Gen) -> f64 {
+    match g.u32(0..10) {
+        0 => 0.0,
+        1 => -positive_sample(g),
+        2 => MIN_TRACKABLE / 2.0,
+        _ => positive_sample(g),
+    }
+}
+
+fn sketch_of(vals: &[f64]) -> QuantileSketch {
+    let mut s = QuantileSketch::new();
+    for &v in vals {
+        s.record(v);
+    }
+    s
+}
+
+/// Serialized fragments are bit-exact (count, low, sum, min, max, every
+/// bucket), so string equality is the strongest possible sketch equality.
+fn frag(s: &QuantileSketch) -> String {
+    s.to_json_fragment()
+}
+
+#[test]
+fn merge_is_associative_and_matches_single_stream() {
+    check("sketch_merge_associative", |g| {
+        let a = g.vec(0..40, any_sample);
+        let b = g.vec(0..40, any_sample);
+        let c = g.vec(0..40, any_sample);
+        let whole: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+
+        // (a ∪ b) ∪ c
+        let mut left = sketch_of(&a);
+        left.merge(&sketch_of(&b));
+        left.merge(&sketch_of(&c));
+        // a ∪ (b ∪ c)
+        let mut right_tail = sketch_of(&b);
+        right_tail.merge(&sketch_of(&c));
+        let mut right = sketch_of(&a);
+        right.merge(&right_tail);
+
+        check_assert_eq!(frag(&left), frag(&right));
+        check_assert_eq!(frag(&left), frag(&sketch_of(&whole)));
+        Ok(())
+    });
+}
+
+#[test]
+fn merge_commutes_on_distribution() {
+    // min/max/count/low/buckets are fully order-independent; the fixed-
+    // point sum makes even `sum` exact under reordering.
+    check("sketch_merge_commutes", |g| {
+        let a = g.vec(1..50, any_sample);
+        let b = g.vec(1..50, any_sample);
+        let mut ab = sketch_of(&a);
+        ab.merge(&sketch_of(&b));
+        let mut ba = sketch_of(&b);
+        ba.merge(&sketch_of(&a));
+        check_assert_eq!(frag(&ab), frag(&ba));
+        Ok(())
+    });
+}
+
+#[test]
+fn quantiles_stay_within_rank_error_bound() {
+    check("sketch_rank_error_bound", |g| {
+        let mut vals = g.vec(1..300, positive_sample);
+        let q = g.f64(0.0..1.0);
+        let s = sketch_of(&vals);
+        vals.sort_by(f64::total_cmp);
+
+        let n = vals.len();
+        let rank = ((q * n as f64).ceil() as usize).max(1) - 1;
+        let truth = vals[rank];
+        let est = s.quantile(q);
+        check_assert!(
+            (est - truth).abs() <= truth * QuantileSketch::RELATIVE_ERROR,
+            "n={n} q={q}: est {est} vs exact {truth}"
+        );
+        // Exact invariants, not just bounded ones.
+        check_assert_eq!(s.count(), n as u64);
+        check_assert_eq!(s.min().to_bits(), vals[0].to_bits());
+        check_assert_eq!(s.max().to_bits(), vals[n - 1].to_bits());
+        Ok(())
+    });
+}
+
+#[test]
+fn merged_quantiles_match_sequential_sketch_exactly() {
+    // Split a stream at an arbitrary point: the merged sketch must give
+    // bit-identical quantiles to the sequential sketch (this is the
+    // thread-count-invariance guarantee of the streaming drivers).
+    check("sketch_split_invariant_quantiles", |g| {
+        let vals = g.vec(2..200, positive_sample);
+        let cut = g.usize(1..vals.len());
+        let mut split = sketch_of(&vals[..cut]);
+        split.merge(&sketch_of(&vals[cut..]));
+        let seq = sketch_of(&vals);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            check_assert_eq!(
+                split.quantile(q).to_bits(),
+                seq.quantile(q).to_bits(),
+                "q={q}"
+            );
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn json_roundtrip_is_lossless() {
+    check("sketch_json_roundtrip", |g| {
+        let vals = g.vec(0..60, any_sample);
+        let s = sketch_of(&vals);
+        let json = format!("{{{}}}", s.to_json_fragment());
+        let parsed = Json::parse(&json).map_err(leo_util::check::CaseError::fail)?;
+        let back = QuantileSketch::from_json(&parsed).map_err(leo_util::check::CaseError::fail)?;
+        check_assert_eq!(frag(&s), frag(&back));
+        Ok(())
+    });
+}
+
+#[test]
+fn fixed_sum_is_order_and_split_invariant() {
+    check("fixed_sum_invariance", |g| {
+        let vals = g.vec(1..100, |g| {
+            let v = positive_sample(g);
+            if g.bool() {
+                -v
+            } else {
+                v
+            }
+        });
+        let mut forward = FixedSum::new();
+        for &v in &vals {
+            forward.add(v);
+        }
+        let mut reverse = FixedSum::new();
+        for &v in vals.iter().rev() {
+            reverse.add(v);
+        }
+        let cut = g.usize(0..vals.len());
+        let mut split = FixedSum::new();
+        for &v in &vals[..cut] {
+            split.add(v);
+        }
+        let mut tail = FixedSum::new();
+        for &v in &vals[cut..] {
+            tail.add(v);
+        }
+        split.merge(&tail);
+        check_assert_eq!(forward.value().to_bits(), reverse.value().to_bits());
+        check_assert_eq!(forward.value().to_bits(), split.value().to_bits());
+        Ok(())
+    });
+}
+
+#[test]
+fn cdf_points_are_monotone_and_consistent_with_quantiles() {
+    check("sketch_cdf_monotone", |g| {
+        let vals = g.vec(1..150, positive_sample);
+        let s = sketch_of(&vals);
+        let pts = s.cdf_points(50);
+        check_assume!(!pts.is_empty());
+        for w in pts.windows(2) {
+            check_assert!(w[0].0 <= w[1].0, "values must be nondecreasing");
+            check_assert!(w[0].1 <= w[1].1, "fractions must be nondecreasing");
+        }
+        let last = pts[pts.len() - 1];
+        check_assert_eq!(last.1.to_bits(), 1.0f64.to_bits());
+        check_assert!(last.0 >= s.max() * (1.0 - QuantileSketch::RELATIVE_ERROR));
+        Ok(())
+    });
+}

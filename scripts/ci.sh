@@ -19,12 +19,29 @@
 #    The run inherits LEO_LINT_CLEAN=1 from the lint lane, and
 #    validate_run --require-lint-clean rejects manifests that don't
 #    carry lint_clean="true".
-# 7. Routing-bench smoke: run benches/routing.rs and require the
+# 7. leo-report lane: run the Tiny fig2 a second time into the same
+#    log dir (exercising the RUN_*.jsonl collision suffix — the second
+#    run must land in RUN_fig2_latency-01.jsonl), then A/B-diff the two
+#    runs with leo-report. Identical configs ⇒ every deterministic
+#    quantity (counters, series stats) must match exactly; only wall
+#    times may drift, and those are informational. The lane also
+#    exercises --assert-peak-rss-mb on the second run with a generous
+#    Tiny budget.
+# 8. Paper-scale RSS smoke (opt-in: LEO_CI_PAPER_SMOKE=1, ~40 min on
+#    one core): run the full 96-snapshot paper-scale fig2 under
+#    heartbeats and require peak RSS under a fixed 512 MiB budget.
+#    The streaming drivers hold per-snapshot samples only inside
+#    fixed-size sketches, so memory is O(1) in snapshot count —
+#    observed peak is ~140 MiB (dominated by the constellation and
+#    visibility state, not by samples); the budget is loose for
+#    machine-to-machine noise but fails loudly if anyone reintroduces
+#    per-sample Vec accumulation.
+# 9. Routing-bench smoke: run benches/routing.rs and require the
 #    workspace+bundle inner loop to beat the seed path by >= 1.1x
 #    (the committed BENCH_routing.json shows ~1.7x; the smoke threshold
 #    is loose to tolerate CI noise but loud when the optimisation
 #    regresses to parity).
-# 8. Snapshot-bench smoke: run benches/snapshot.rs and require a
+# 10. Snapshot-bench smoke: run benches/snapshot.rs and require a
 #    consecutive-instant TimeSweep step to beat the per-instant
 #    snapshot_bundle rebuild by >= 1.5x (committed BENCH_snapshot.json
 #    shows ~2.2x; same loose-floor rationale as the routing gate).
@@ -71,12 +88,36 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
 
 echo "== telemetry schema: Tiny fig2 run under LEO_LOG=info =="
 log_dir=$(mktemp -d)
-trap 'rm -rf "$log_dir"' EXIT
+trap 'rm -rf "$log_dir" "${paper_dir:-}"' EXIT
 LEO_LOG=info LEO_LOG_DIR="$log_dir" \
     cargo run -q --release --offline -p leo-bench --bin fig2_latency -- --scale tiny \
     > /dev/null
 cargo run -q --release --offline -p leo-bench --bin validate_run -- \
     --require-lint-clean "$log_dir/RUN_fig2_latency.jsonl"
+
+echo "== leo-report: second Tiny fig2 run, collision suffix, empty self-diff =="
+LEO_LOG=info LEO_LOG_DIR="$log_dir" \
+    cargo run -q --release --offline -p leo-bench --bin fig2_latency -- --scale tiny \
+    > /dev/null
+if [ ! -f "$log_dir/RUN_fig2_latency-01.jsonl" ]; then
+    echo "ERROR: second run did not land in RUN_fig2_latency-01.jsonl" >&2
+    ls "$log_dir" >&2
+    exit 1
+fi
+cargo run -q --release --offline -p leo-bench --bin leo-report -- \
+    --assert-peak-rss-mb 64 \
+    "$log_dir/RUN_fig2_latency.jsonl" "$log_dir/RUN_fig2_latency-01.jsonl"
+
+if [ "${LEO_CI_PAPER_SMOKE:-0}" = "1" ]; then
+    echo "== paper-scale fig2 RSS smoke: peak RSS must stay under 512 MiB =="
+    paper_dir=$(mktemp -d)
+    LEO_LOG=info LEO_LOG_HEARTBEAT=30 LEO_LOG_DIR="$paper_dir" \
+        cargo run -q --release --offline -p leo-bench --bin fig2_latency -- --scale paper \
+        > /dev/null
+    cargo run -q --release --offline -p leo-bench --bin leo-report -- \
+        --assert-peak-rss-mb 512 "$paper_dir/RUN_fig2_latency.jsonl"
+    rm -rf "$paper_dir"
+fi
 
 echo "== routing bench smoke: workspace inner loop must beat seed path =="
 LEO_LOG=off LEO_BENCH_DIR="$log_dir" \
