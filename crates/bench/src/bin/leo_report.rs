@@ -297,12 +297,32 @@ fn find_series<'r>(run: &'r Run, n: &str) -> Option<&'r (String, u64, QuantileSk
     run.series.iter().find(|(sn, _, _)| sn == n)
 }
 
-fn rel_delta_pct(a: f64, b: f64) -> f64 {
+/// How one quantity moved between runs. Relative percent is undefined
+/// for a zero baseline (division by zero) and for a quantity present in
+/// only one run — those cases are reported as an absolute delta / "n/a"
+/// with a deterministic verdict instead of a NaN/inf percent.
+#[derive(Clone, Copy)]
+enum DeltaKind {
+    /// Bit-equal (or absent from both runs).
+    Exact,
+    /// Both present, nonzero baseline: relative percent.
+    RelPct(f64),
+    /// Zero baseline, nonzero change: absolute delta.
+    AbsFromZero(f64),
+    /// Present in exactly one run.
+    OneSided,
+}
+
+fn delta_kind(a: f64, b: f64) -> DeltaKind {
     if a == b || (a.is_nan() && b.is_nan()) {
-        return 0.0;
+        DeltaKind::Exact
+    } else if a.is_nan() || b.is_nan() {
+        DeltaKind::OneSided
+    } else if a == 0.0 {
+        DeltaKind::AbsFromZero(b)
+    } else {
+        DeltaKind::RelPct((b - a).abs() / a.abs() * 100.0)
     }
-    let denom = a.abs().max(1e-12);
-    (b - a).abs() / denom * 100.0
 }
 
 fn collect_diff_rows(a: &Run, b: &Run) -> Vec<DiffRow> {
@@ -396,22 +416,42 @@ fn report_diff(a: &Run, b: &Run, threshold_pct: f64) -> usize {
     let mut regressions = 0usize;
     let mut table = Vec::new();
     for r in &rows {
-        let delta = rel_delta_pct(r.a, r.b);
+        let kind = delta_kind(r.a, r.b);
+        let delta_str = match kind {
+            DeltaKind::Exact => "0.000%".to_string(),
+            DeltaKind::RelPct(p) => format!("{p:.3}%"),
+            DeltaKind::AbsFromZero(d) => format!("{d:+} (abs, zero baseline)"),
+            DeltaKind::OneSided => "n/a".to_string(),
+        };
         let verdict = if r.informational {
             "info".to_string()
-        } else if delta > threshold_pct {
-            regressions += 1;
-            "REGRESSION".to_string()
-        } else if delta > 0.0 {
-            "ok (within threshold)".to_string()
         } else {
-            continue; // exact matches stay out of the table
+            match kind {
+                DeltaKind::Exact => continue, // exact matches stay out of the table
+                // A deterministic quantity that appears from (or
+                // vanishes to) nothing can't be waved through by any
+                // relative threshold — always a regression, reported
+                // with its absolute movement.
+                DeltaKind::AbsFromZero(_) => {
+                    regressions += 1;
+                    "REGRESSION (zero baseline)".to_string()
+                }
+                DeltaKind::OneSided => {
+                    regressions += 1;
+                    "REGRESSION (one run only)".to_string()
+                }
+                DeltaKind::RelPct(p) if p > threshold_pct => {
+                    regressions += 1;
+                    "REGRESSION".to_string()
+                }
+                DeltaKind::RelPct(_) => "ok (within threshold)".to_string(),
+            }
         };
         table.push(vec![
             r.name.clone(),
             format!("{}", r.a),
             format!("{}", r.b),
-            format!("{delta:.3}%"),
+            delta_str,
             verdict,
         ]);
     }

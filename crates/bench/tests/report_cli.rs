@@ -134,6 +134,47 @@ fn report_diff_flags_deterministic_counter_change_but_not_ns_noise() {
 }
 
 #[test]
+fn report_diff_zero_baseline_counter_is_deterministic_regression() {
+    // Regression: a 0 → n counter used to divide by the zero baseline
+    // and print an astronomical junk percent. It must now report the
+    // absolute delta and a deterministic REGRESSION verdict that no
+    // --threshold-pct can wave through.
+    let ma = manifest(0); // c=0
+    let mb = manifest(4); // c=4
+    let a = write_log("zero_a.jsonl", &[RUN_START, SERIES, &ma]);
+    let b = write_log("zero_b.jsonl", &[RUN_START, SERIES, &mb]);
+    let out = report(&[
+        "--threshold-pct",
+        "1000000",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "zero baseline must regress");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION (zero baseline)"), "{stdout}");
+    assert!(stdout.contains("+4 (abs, zero baseline)"), "{stdout}");
+    assert!(!stdout.contains("NaN%"), "{stdout}");
+    assert!(!stdout.contains("inf%"), "{stdout}");
+}
+
+#[test]
+fn report_diff_one_sided_counter_is_deterministic_regression() {
+    // A deterministic counter present in only one run used to produce a
+    // NaN percent that compared false against every threshold and was
+    // silently dropped from the table.
+    let ma = manifest(3);
+    let mb = r#"{"type":"manifest","label":"t","config_hash":"0x0123456789abcdef","seed":1,"threads":2,"wall_ns":10,"level":"info","phases":{"p":{"count":1,"total_ns":5,"max_ns":5}},"counters":{"c":3,"busy_ns":300,"extra":7},"hists":{},"peak_rss_kb":"3072"}"#.to_string();
+    let a = write_log("oneside_a.jsonl", &[RUN_START, SERIES, &ma]);
+    let b = write_log("oneside_b.jsonl", &[RUN_START, SERIES, &mb]);
+    let out = report(&[a.to_str().unwrap(), b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "one-sided counter must regress");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counter extra"), "{stdout}");
+    assert!(stdout.contains("REGRESSION (one run only)"), "{stdout}");
+    assert!(!stdout.contains("NaN%"), "{stdout}");
+}
+
+#[test]
 fn report_asserts_peak_rss_budget() {
     let m = manifest(3);
     let p = write_log("rss.jsonl", &[RUN_START, HEARTBEAT, &m]);

@@ -7,6 +7,7 @@
 //! shortest path changes its node sequence, and how much the RTT jumps
 //! when it does.
 
+use crate::experiments::spt::SourceSptPool;
 use crate::snapshot::{Mode, StudyContext};
 use leo_graph::with_thread_workspace;
 use leo_util::sketch::FixedSum;
@@ -50,6 +51,8 @@ struct ChurnAcc {
     jump_sum: FixedSum,
     jump_max: f64,
     series: MetricSeries,
+    /// Incremental trees, one per source city (budget permitting).
+    spt: Option<SourceSptPool>,
 }
 
 /// Count one consecutive-snapshot transition for a pair.
@@ -86,6 +89,11 @@ fn count_transition(
 /// event (boundary-stitched jumps are counted in the stats but not in
 /// the series — they surface only at merge time, after the snapshot's
 /// event has been emitted) and ticks a `churn_study` [`Heartbeat`].
+///
+/// **Delta path**: when the pair set fits [`SourceSptPool`]'s budget,
+/// per-source shortest-path trees are repaired from the sweep's edge
+/// deltas instead of re-running Dijkstra per snapshot; path hashes and
+/// RTTs are bit-identical either way.
 pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats {
     let _span = span!(
         "churn_study",
@@ -94,9 +102,10 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
     );
     let times = ctx.config.snapshot_times_s.clone();
     let num_pairs = ctx.pairs.len();
+    let pooled = SourceSptPool::fits(ctx, 1);
     let hb = Heartbeat::new("churn_study", times.len() as u64);
 
-    let acc = ctx.sweep_fold(
+    let acc = ctx.sweep_fold_deltas(
         &times,
         &[mode],
         threads,
@@ -114,30 +123,53 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
             jump_sum: FixedSum::new(),
             jump_max: 0.0,
             series: MetricSeries::new("churn_jump_ms"),
+            spt: pooled.then(|| SourceSptPool::new(ctx)),
         },
-        |acc, ti, snaps| {
+        |acc, ti, snaps, deltas| {
             let snap = &snaps[0];
             // Per snapshot, per pair: (node-sequence hash, rtt).
             let mut obs: Vec<Option<(u64, f64)>> = vec![None; num_pairs];
-            let mut targets = Vec::new();
-            with_thread_workspace(|ws| {
-                for (src, idxs) in ctx.pairs_by_src() {
-                    targets.clear();
-                    targets.extend(
-                        idxs.iter()
-                            .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
-                    );
-                    let view =
-                        ws.run_multi(&snap.graph, snap.city_node(*src as usize), None, &targets);
+            if let Some(pool) = acc.spt.as_mut() {
+                // Delta path: repair each source's tree and read paths
+                // off its canonical parents — bit-identical to the
+                // `run_multi` fallback below (equivalence contract).
+                for (si, (src, idxs)) in ctx.pairs_by_src().iter().enumerate() {
+                    let spt = pool.tree(si, snap.city_node(*src as usize), snap, &deltas[0]);
                     for &i in idxs {
                         let d = snap.city_node(ctx.pairs[i].dst as usize);
-                        if let Some(path) = view.extract_path(d) {
+                        if let Some(path) = spt.extract_path(d) {
                             obs[i] =
                                 Some((hash_nodes(&path.nodes), crate::rtt_ms(path.total_weight)));
                         }
                     }
                 }
-            });
+            } else {
+                let mut targets = Vec::new();
+                with_thread_workspace(|ws| {
+                    for (src, idxs) in ctx.pairs_by_src() {
+                        targets.clear();
+                        targets.extend(
+                            idxs.iter()
+                                .map(|&i| snap.city_node(ctx.pairs[i].dst as usize)),
+                        );
+                        let view = ws.run_multi(
+                            &snap.graph,
+                            snap.city_node(*src as usize),
+                            None,
+                            &targets,
+                        );
+                        for &i in idxs {
+                            let d = snap.city_node(ctx.pairs[i].dst as usize);
+                            if let Some(path) = view.extract_path(d) {
+                                obs[i] = Some((
+                                    hash_nodes(&path.nodes),
+                                    crate::rtt_ms(path.total_weight),
+                                ));
+                            }
+                        }
+                    }
+                });
+            }
             let ChurnAcc {
                 started,
                 pairs,
@@ -146,6 +178,7 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
                 jump_sum,
                 jump_max,
                 series,
+                spt: _,
             } = acc;
             if *started {
                 for (p, o) in pairs.iter_mut().zip(&obs) {
@@ -182,6 +215,7 @@ pub fn churn_study(ctx: &StudyContext, mode: Mode, threads: usize) -> ChurnStats
                 jump_sum,
                 jump_max,
                 series,
+                spt: _,
             } = a;
             *transitions += b.transitions;
             *changes += b.changes;

@@ -5,8 +5,9 @@
 //! (Fig. 2a) and the max-minus-min RTT range (Fig. 2b). The per-source
 //! grouping means one Dijkstra per unique source city per snapshot.
 
+use crate::experiments::spt::SourceSptPool;
 use crate::metrics::Distribution;
-use crate::snapshot::{Mode, NetworkSnapshot, NodeKind, StudyContext};
+use crate::snapshot::{EdgeDelta, Mode, NetworkSnapshot, NodeKind, StudyContext};
 use leo_data::traffic::CityPair;
 use leo_graph::with_thread_workspace;
 use leo_util::span;
@@ -62,6 +63,12 @@ pub fn latency_study(ctx: &StudyContext, mode: Mode, threads: usize) -> Vec<Pair
 /// snapshot per mode (`rtt_ms_*`), and ticks a `latency_study`
 /// [`Heartbeat`] per snapshot.
 ///
+/// **Delta path**: when the study fits [`SourceSptPool`]'s budget, each
+/// (mode, source) keeps an incremental shortest-path tree repaired from
+/// the sweep's [`EdgeDelta`]s instead of re-running Dijkstra per
+/// snapshot — bit-identical RTTs by the `SptWorkspace` equivalence
+/// contract, so results are indistinguishable from the fallback.
+///
 /// [`DijkstraWorkspace`]: leo_graph::DijkstraWorkspace
 pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Vec<Vec<PairStats>> {
     let _span = span!(
@@ -72,22 +79,24 @@ pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Ve
     );
     let times = ctx.config.snapshot_times_s.clone();
     let num_pairs = ctx.pairs.len();
+    let pooled = SourceSptPool::fits(ctx, modes.len());
     let hb = Heartbeat::new("latency_study", times.len() as u64);
 
     /// Per-mode streaming state: per-pair running aggregates plus the
-    /// telemetry series.
+    /// telemetry series and (budget permitting) the resident trees.
     struct ModeAgg {
         min: Vec<f64>,
         max: Vec<f64>,
         reachable: Vec<u32>,
         series: MetricSeries,
+        spt: Option<SourceSptPool>,
     }
     struct Acc {
         total: usize,
         modes: Vec<ModeAgg>,
     }
 
-    let acc = ctx.sweep_fold(
+    let acc = ctx.sweep_fold_deltas(
         &times,
         modes,
         threads,
@@ -100,13 +109,17 @@ pub fn latency_studies(ctx: &StudyContext, modes: &[Mode], threads: usize) -> Ve
                     max: vec![f64::NEG_INFINITY; num_pairs],
                     reachable: vec![0; num_pairs],
                     series: MetricSeries::new(rtt_series_name(m)),
+                    spt: pooled.then(|| SourceSptPool::new(ctx)),
                 })
                 .collect(),
         },
-        |acc, i, snaps| {
+        |acc, i, snaps, deltas| {
             for (mi, snap) in snaps.iter().enumerate() {
-                let rtts = snapshot_rtts_on(ctx, snap);
                 let agg = &mut acc.modes[mi];
+                let rtts = match agg.spt.as_mut() {
+                    Some(pool) => snapshot_rtts_spt(ctx, snap, &deltas[mi], pool),
+                    None => snapshot_rtts_on(ctx, snap),
+                };
                 for (pi, r) in rtts.iter().enumerate() {
                     if let Some(rtt) = *r {
                         agg.min[pi] = agg.min[pi].min(rtt);
@@ -192,6 +205,30 @@ pub fn snapshot_rtts_on(ctx: &StudyContext, snap: &NetworkSnapshot) -> Vec<Optio
             }
         }
     });
+    out
+}
+
+/// RTTs (ms) for all pairs on a snapshot via pooled incremental
+/// shortest-path trees: each source pays a delta repair instead of a
+/// fresh Dijkstra. Bit-identical to [`snapshot_rtts_on`] — repaired
+/// distances match fresh runs exactly, and `run_multi`'s early exit
+/// settles every queried target at its true distance.
+pub fn snapshot_rtts_spt(
+    ctx: &StudyContext,
+    snap: &NetworkSnapshot,
+    delta: &EdgeDelta,
+    pool: &mut SourceSptPool,
+) -> Vec<Option<f64>> {
+    let mut out = vec![None; ctx.pairs.len()];
+    for (si, (src, pair_idxs)) in ctx.pairs_by_src().iter().enumerate() {
+        let spt = pool.tree(si, snap.city_node(*src as usize), snap, delta);
+        for &i in pair_idxs {
+            let d = spt.dist(snap.city_node(ctx.pairs[i].dst as usize));
+            if d.is_finite() {
+                out[i] = Some(crate::rtt_ms(d));
+            }
+        }
+    }
     out
 }
 

@@ -1,0 +1,122 @@
+//! Delta-driven incremental shortest-path trees for per-source sweeps.
+//!
+//! The fig2 latency and churn drivers run one SSSP per unique source
+//! city per snapshot. With [`StudyContext::sweep_fold_deltas`] supplying
+//! per-mode [`EdgeDelta`]s, each source can instead keep a
+//! [`SptWorkspace`] alive across consecutive snapshots and repair it —
+//! bit-identical distances and parents (the workspace's equivalence
+//! contract), at a fraction of a fresh Dijkstra when membership churn
+//! is small.
+//!
+//! Keeping every tree resident costs
+//! `modes × sources × nodes` node-entries per chunk accumulator, so
+//! pooling is budgeted: [`SourceSptPool::fits`] gates it on an estimate
+//! against [`SourceSptPool::ENTRY_BUDGET`], and callers fall back to
+//! the early-exit `run_multi` path (also output-identical) when the
+//! study is too large — protecting the paper-scale memory envelope.
+//!
+//! [`StudyContext::sweep_fold_deltas`]: crate::snapshot::StudyContext::sweep_fold_deltas
+//! [`EdgeDelta`]: crate::snapshot::EdgeDelta
+
+use crate::snapshot::{EdgeDelta, NetworkSnapshot, StudyContext};
+use leo_graph::{NodeId, SptWorkspace};
+
+/// One mode's pool of incremental shortest-path trees: one
+/// [`SptWorkspace`] per entry of [`StudyContext::pairs_by_src`], in
+/// order.
+///
+/// Edge-delta ids are mode-scoped, so a pool must only ever see one
+/// mode's snapshots and deltas — studies over several modes keep one
+/// pool per mode.
+pub struct SourceSptPool {
+    spts: Vec<SptWorkspace>,
+}
+
+impl SourceSptPool {
+    /// Node-entry budget per chunk accumulator (~17 bytes/entry of
+    /// resident tree state, so ~25 MiB per sweep chunk). Tiny and Bench
+    /// fig2 studies pool comfortably; Paper scale (≈1000 sources ×
+    /// thousands of nodes × 2 modes) exceeds it and falls back.
+    pub const ENTRY_BUDGET: usize = 1_500_000;
+
+    /// Whether a `num_modes`-mode study over `ctx`'s pair set fits the
+    /// pooling budget. The node count is estimated from satellites,
+    /// cities, and relays (aircraft add a few percent — this is a
+    /// sizing heuristic, not a correctness bound).
+    pub fn fits(ctx: &StudyContext, num_modes: usize) -> bool {
+        let approx_nodes = ctx.num_satellites() + ctx.config.num_cities + ctx.ground.relays.len();
+        num_modes
+            .saturating_mul(ctx.pairs_by_src().len())
+            .saturating_mul(approx_nodes)
+            <= Self::ENTRY_BUDGET
+    }
+
+    /// An empty pool with one cold tree per unique source city.
+    pub fn new(ctx: &StudyContext) -> Self {
+        Self {
+            spts: (0..ctx.pairs_by_src().len())
+                .map(|_| SptWorkspace::new())
+                .collect(),
+        }
+    }
+
+    /// The tree rooted at source-group `si`'s city node, brought up to
+    /// date for `snap`: repaired from `delta` when the tree is warm and
+    /// the delta is incremental, rebuilt from scratch otherwise (first
+    /// step of a chunk, or a `full` delta).
+    pub fn tree(
+        &mut self,
+        si: usize,
+        source: NodeId,
+        snap: &NetworkSnapshot,
+        delta: &EdgeDelta,
+    ) -> &SptWorkspace {
+        let spt = &mut self.spts[si];
+        if !delta.full && spt.is_ready() && spt.source() == source {
+            spt.apply(&snap.graph, &delta.removed, &delta.reweighted);
+        } else {
+            spt.rebuild(&snap.graph, source);
+        }
+        spt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+    use crate::snapshot::{Mode, TimeSweep};
+
+    #[test]
+    fn tiny_fits_budget_and_paper_scale_does_not() {
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        assert!(SourceSptPool::fits(&ctx, 2));
+        // An absurd mode multiplicity blows any budget — the gate must
+        // actually gate.
+        assert!(!SourceSptPool::fits(&ctx, 100_000));
+    }
+
+    #[test]
+    fn pooled_trees_match_fresh_dijkstra_across_sweep() {
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let modes = [Mode::Hybrid];
+        let mut sweep = TimeSweep::new(&ctx, &modes);
+        let mut pool = SourceSptPool::new(&ctx);
+        for t in [0.0, 15.0, 90.0, 900.0] {
+            let (snaps, deltas) = sweep.step_with_deltas(t);
+            let snap = &snaps[0];
+            for (si, (src, _)) in ctx.pairs_by_src().iter().enumerate() {
+                let source = snap.city_node(*src as usize);
+                let spt = pool.tree(si, source, snap, &deltas[0]);
+                let fresh = leo_graph::dijkstra(&snap.graph, source);
+                for v in 0..snap.graph.num_nodes() {
+                    assert_eq!(
+                        spt.dist(v as NodeId).to_bits(),
+                        fresh.dist[v].to_bits(),
+                        "t={t} src={src} node {v}"
+                    );
+                }
+            }
+        }
+    }
+}

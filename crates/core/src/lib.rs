@@ -42,7 +42,7 @@ pub mod viz;
 
 pub use config::{ConstellationKind, ExperimentScale, NetworkConfig, StudyConfig};
 pub use ground::GroundSegment;
-pub use snapshot::{EdgeKind, Mode, NetworkSnapshot, NodeKind, StudyContext, TimeSweep};
+pub use snapshot::{EdgeDelta, EdgeKind, Mode, NetworkSnapshot, NodeKind, StudyContext, TimeSweep};
 
 /// Round-trip time (milliseconds) of a one-way propagation delay in
 /// seconds — the unit the paper's figures use.

@@ -48,12 +48,57 @@ static SWEEP_FULL_REBUILDS: Counter = Counter::new("sweep_full_rebuilds");
 static SWEEP_CELL_TRANSITIONS: Counter = Counter::new("sweep_cell_transitions");
 /// Telemetry: GT–satellite links whose membership persisted from the
 /// previous sweep step (only the delay/elevation weights were refreshed).
-/// Counted for static ground points (cities + relays); aircraft links are
-/// rebuilt wholesale because the aircraft themselves move.
+/// Counted for static ground points (cities + relays); aircraft links
+/// are always recomputed because the aircraft themselves move.
 static SWEEP_EDGES_REUSED: Counter = Counter::new("sweep_edges_reused");
 /// Telemetry: GT–satellite links that newly appeared in a sweep step
 /// (satellite rose above the minimum elevation for that ground point).
 static SWEEP_EDGES_RECOMPUTED: Counter = Counter::new("sweep_edges_recomputed");
+
+/// How one mode's edge set changed between two consecutive
+/// [`TimeSweep`] steps.
+///
+/// Edge ids are **positional** (insertion order into the
+/// [`GraphBuilder`]), so a persisted link generally changes id between
+/// steps; the delta carries the mapping:
+///
+/// * `reweighted` — links whose endpoints persisted, as
+///   `(old id, new id)` pairs. Their weight is always refreshed
+///   (satellites move every step), so *every* surviving edge appears
+///   here — sweep deltas have no "unchanged" class.
+/// * `removed` — old ids whose link vanished (satellite set below the
+///   minimum elevation, ISL lost line of sight, aircraft stepped).
+/// * `added` — new ids that have no old counterpart.
+/// * `full` — true when no previous step exists to diff against (the
+///   first step of a sweep or chunk): the id vectors are empty and
+///   consumers must rebuild their derived state from the snapshot.
+///
+/// Aircraft relays move themselves, but while the aircraft census is
+/// unchanged between steps their node ids are stable and their links
+/// pair by satellite id like any ground point. Only a census change
+/// (takeoff / landing shifts the node-table tail) degrades aircraft
+/// links to a wholesale `removed` + `added` diff (`num_nodes` carries
+/// the new node count).
+///
+/// The exact shape [`leo_graph::SptWorkspace::apply`] consumes:
+/// `apply(&snap.graph, &delta.removed, &delta.reweighted)` repairs a
+/// shortest-path tree to bit-identity with a fresh Dijkstra run. The
+/// replay invariant — old edge set transformed by the delta equals the
+/// new snapshot's edge set exactly — is pinned by the property suite in
+/// `tests/sweep.rs`.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeDelta {
+    /// No previous step to diff against; id vectors are empty.
+    pub full: bool,
+    /// Node count of the new snapshot's graph.
+    pub num_nodes: usize,
+    /// New-graph ids of edges with no old counterpart.
+    pub added: Vec<EdgeId>,
+    /// Old-graph ids of edges that vanished.
+    pub removed: Vec<EdgeId>,
+    /// `(old id, new id)` for links whose endpoints persisted.
+    pub reweighted: Vec<(EdgeId, EdgeId)>,
+}
 
 /// Connectivity mode of a snapshot (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -381,6 +426,78 @@ impl StudyContext {
         }
         acc
     }
+
+    /// [`StudyContext::sweep_times`] with per-mode [`EdgeDelta`]s:
+    /// `f(i, snapshots, deltas)` receives, alongside each bundle, how
+    /// every mode's edge set changed since the previous step (`full` on
+    /// step 0). Both slices are reused between steps.
+    pub fn sweep_deltas(
+        &self,
+        times: &[f64],
+        modes: &[Mode],
+        mut f: impl FnMut(usize, &[NetworkSnapshot], &[EdgeDelta]),
+    ) {
+        let mut sweep = TimeSweep::new(self, modes);
+        for (i, &t) in times.iter().enumerate() {
+            let (snaps, deltas) = sweep.step_with_deltas(t);
+            f(i, snaps, deltas);
+        }
+    }
+
+    /// [`StudyContext::sweep_fold`] with per-mode [`EdgeDelta`]s — the
+    /// streaming parallel sweep for delta-consuming accumulators (e.g.
+    /// per-source [`leo_graph::SptWorkspace`]s). Each chunk's first step
+    /// carries `full = true` deltas, so accumulators rebuild derived
+    /// state at chunk starts and repair incrementally inside the chunk;
+    /// because repaired state is bit-identical to a fresh rebuild, the
+    /// fold stays thread-count invariant under the same associativity
+    /// condition as `sweep_fold`.
+    pub fn sweep_fold_deltas<A, F, M>(
+        &self,
+        times: &[f64],
+        modes: &[Mode],
+        threads: usize,
+        make: impl Fn() -> A + Sync,
+        step: F,
+        merge: M,
+    ) -> A
+    where
+        A: Send,
+        F: Fn(&mut A, usize, &[NetworkSnapshot], &[EdgeDelta]) + Sync,
+        M: Fn(&mut A, A),
+    {
+        let n = times.len();
+        if n == 0 {
+            return make();
+        }
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            threads
+        }
+        .min(n);
+        let chunk = n.div_ceil(threads);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+        let per_chunk = crate::par::parallel_map(&ranges, threads, |&(lo, hi)| {
+            let mut sweep = TimeSweep::new(self, modes);
+            let mut acc = make();
+            for (i, &t) in times.iter().enumerate().take(hi).skip(lo) {
+                let (snaps, deltas) = sweep.step_with_deltas(t);
+                step(&mut acc, i, snaps, deltas);
+            }
+            acc
+        });
+        let mut iter = per_chunk.into_iter();
+        // lint: allow(unwrap-in-lib) n > 0 guarantees at least one chunk accumulator
+        let mut acc = iter.next().expect("at least one chunk");
+        for part in iter {
+            merge(&mut acc, part);
+        }
+        acc
+    }
 }
 
 /// Incremental snapshot engine: walks a time series keeping satellite
@@ -446,6 +563,50 @@ pub struct TimeSweep<'a> {
     prev_ids: Vec<u32>,
     builder: GraphBuilder,
     snapshots: Vec<NetworkSnapshot>,
+    /// Delta tracking (opt-in via [`TimeSweep::step_with_deltas`]).
+    track_deltas: bool,
+    /// True once one tracked step completed — i.e. the `prev_*`
+    /// bookkeeping below describes a real previous step.
+    delta_ready: bool,
+    deltas: Vec<EdgeDelta>,
+    /// Line-of-sight flag per [`StudyContext::isls`] entry, this step /
+    /// previous step (swapped before each recompute).
+    isl_present: Vec<bool>,
+    prev_isl_present: Vec<bool>,
+    /// Previous step's visible-satellite ids per static ground point, in
+    /// emission order (the order `assemble_mode` assigned edge ids).
+    prev_static_ids: Vec<Vec<u32>>,
+    /// Previous step's total aircraft link count (the wholesale-diff
+    /// fallback when the census changed).
+    prev_air_total: usize,
+    /// Previous step's aircraft census (schedule ids, census order) and
+    /// per-aircraft visible-satellite ids in emission order. When the
+    /// census survives a step unchanged, aircraft node ids are stable
+    /// and links pair by satellite id exactly like static ground.
+    prev_air_ids: Vec<u64>,
+    prev_air_sat_ids: Vec<Vec<u32>>,
+    /// Whether the census matched (same flights, same order) — gates
+    /// per-link aircraft matching vs the wholesale fallback.
+    air_census_stable: bool,
+    /// Per-aircraft block-local matches, valid when the census is stable.
+    air_matched: Vec<Vec<(u32, u32)>>,
+    air_removed: Vec<Vec<u32>>,
+    air_added: Vec<Vec<u32>>,
+    /// Block-local (old, new) id pairs for ISLs with line of sight in
+    /// both steps, plus old-only / new-only positions.
+    isl_matched: Vec<(u32, u32)>,
+    isl_removed: Vec<u32>,
+    isl_added: Vec<u32>,
+    prev_isl_count: u32,
+    /// Per static ground point: (old position, new position) matches in
+    /// new-emission order, plus old-only / new-only positions.
+    gi_matched: Vec<Vec<(u32, u32)>>,
+    gi_removed: Vec<Vec<u32>>,
+    gi_added: Vec<Vec<u32>>,
+    /// Matching scratch: (sat id, old position) sorted by sat id, and a
+    /// consumed flag per entry.
+    match_sorted: Vec<(u32, u32)>,
+    match_consumed: Vec<bool>,
 }
 
 impl<'a> TimeSweep<'a> {
@@ -519,6 +680,28 @@ impl<'a> TimeSweep<'a> {
             prev_ids: Vec::new(),
             builder: GraphBuilder::new(0),
             snapshots,
+            track_deltas: false,
+            delta_ready: false,
+            deltas: Vec::new(),
+            isl_present: Vec::new(),
+            prev_isl_present: Vec::new(),
+            prev_static_ids: Vec::new(),
+            prev_air_total: 0,
+            prev_air_ids: Vec::new(),
+            prev_air_sat_ids: Vec::new(),
+            air_census_stable: false,
+            air_matched: Vec::new(),
+            air_removed: Vec::new(),
+            air_added: Vec::new(),
+            isl_matched: Vec::new(),
+            isl_removed: Vec::new(),
+            isl_added: Vec::new(),
+            prev_isl_count: 0,
+            gi_matched: Vec::new(),
+            gi_removed: Vec::new(),
+            gi_added: Vec::new(),
+            match_sorted: Vec::new(),
+            match_consumed: Vec::new(),
         }
     }
 
@@ -530,8 +713,44 @@ impl<'a> TimeSweep<'a> {
     /// incremental update is exact regardless of `dt` (a large jump just
     /// relocates more satellites between cells).
     pub fn step(&mut self, t_s: f64) -> &[NetworkSnapshot] {
+        self.step_impl(t_s);
+        &self.snapshots
+    }
+
+    /// Like [`TimeSweep::step`], additionally returning one [`EdgeDelta`]
+    /// per mode describing how each edge set changed since the previous
+    /// step. The first call (on this sweep, or after plain-`step`-only
+    /// use since construction… tracking starts on first request and the
+    /// first tracked-after-untracked step has no bookkeeping to diff
+    /// against) yields `full = true` deltas.
+    ///
+    /// Both returned slices borrow the sweep and are overwritten by the
+    /// next step.
+    pub fn step_with_deltas(&mut self, t_s: f64) -> (&[NetworkSnapshot], &[EdgeDelta]) {
+        if !self.track_deltas {
+            self.track_deltas = true;
+            self.delta_ready = false;
+            self.deltas = self.modes.iter().map(|_| EdgeDelta::default()).collect();
+            self.isl_present = vec![false; self.ctx.isls.len()];
+            self.prev_isl_present = vec![false; self.ctx.isls.len()];
+            self.prev_static_ids = vec![Vec::new(); self.static_ground.len()];
+            self.gi_matched = vec![Vec::new(); self.static_ground.len()];
+            self.gi_removed = vec![Vec::new(); self.static_ground.len()];
+            self.gi_added = vec![Vec::new(); self.static_ground.len()];
+        }
+        self.step_impl(t_s);
+        (&self.snapshots, &self.deltas)
+    }
+
+    /// The deltas produced by the most recent step (empty unless
+    /// [`TimeSweep::step_with_deltas`] has been used).
+    pub fn deltas(&self) -> &[EdgeDelta] {
+        &self.deltas
+    }
+
+    fn step_impl(&mut self, t_s: f64) {
         if self.modes.is_empty() {
-            return &self.snapshots;
+            return;
         }
         let _span = debug_span!("sweep_step", t_s = t_s, modes = self.modes.len());
         SNAPSHOTS_BUILT.add(self.modes.len() as u64);
@@ -550,6 +769,26 @@ impl<'a> TimeSweep<'a> {
             SWEEP_FULL_REBUILDS.add(1);
             self.started = true;
         }
+        if self.track_deltas {
+            // Stash the outgoing step's bookkeeping before the recompute
+            // passes overwrite it. Aircraft census and links are copied
+            // here because `aircraft_into` below replaces the census.
+            self.prev_air_total = (0..self.aircraft.len())
+                .map(|ai| self.air_links[ai].len())
+                .sum();
+            self.prev_air_ids.clear();
+            self.prev_air_ids.extend(self.aircraft.iter().map(|a| a.id));
+            if self.prev_air_sat_ids.len() < self.aircraft.len() {
+                self.prev_air_sat_ids
+                    .resize_with(self.aircraft.len(), Vec::new);
+            }
+            for ai in 0..self.aircraft.len() {
+                let prev = &mut self.prev_air_sat_ids[ai];
+                prev.clear();
+                prev.extend(self.air_links[ai].iter().map(|l| l.0));
+            }
+            std::mem::swap(&mut self.prev_isl_present, &mut self.isl_present);
+        }
         self.grid
             .flatten_into(&mut self.cell_off, &mut self.cell_ids);
         if self.needs_full_ground {
@@ -562,10 +801,18 @@ impl<'a> TimeSweep<'a> {
         self.recompute_isls();
         self.recompute_static_links();
         self.recompute_aircraft_links();
+        if self.track_deltas && self.delta_ready {
+            self.compute_link_matches();
+        }
         for mi in 0..self.modes.len() {
             self.assemble_mode(mi, t_s);
+            if self.track_deltas {
+                self.assemble_delta(mi);
+            }
         }
-        &self.snapshots
+        if self.track_deltas {
+            self.delta_ready = true;
+        }
     }
 
     /// The snapshots produced by the most recent [`TimeSweep::step`]
@@ -588,10 +835,14 @@ impl<'a> TimeSweep<'a> {
             return;
         }
         let clearance = self.ctx.config.network.isl_clearance_m;
-        for l in &self.ctx.isls {
+        for (i, l) in self.ctx.isls.iter().enumerate() {
             let pa = self.sats.position(l.a as usize);
             let pb = self.sats.position(l.b as usize);
-            if isl_line_of_sight(&pa, &pb, clearance) {
+            let visible = isl_line_of_sight(&pa, &pb, clearance);
+            if self.track_deltas {
+                self.isl_present[i] = visible;
+            }
+            if visible {
                 self.isl_links
                     .push((l.a, l.b, pa.distance(&pb) / SPEED_OF_LIGHT_M_S));
             }
@@ -612,13 +863,23 @@ impl<'a> TimeSweep<'a> {
     fn recompute_static_links(&mut self) {
         let (xs, ys, zs) = self.sats.xyz();
         let count = enabled(Level::Info);
+        let track = self.track_deltas;
         let (mut reused, mut recomputed) = (0u64, 0u64);
         let prev_ids = &mut self.prev_ids;
+        let prev_static_ids = &mut self.prev_static_ids;
         for (gi, links) in self.static_links.iter_mut().enumerate() {
             if count {
                 prev_ids.clear();
                 prev_ids.extend(links.iter().map(|l| l.0));
                 prev_ids.sort_unstable();
+            }
+            if track {
+                // Delta bookkeeping: the outgoing visibility set in
+                // emission order — exactly the positions `assemble_mode`
+                // turned into edge ids last step.
+                let prev = &mut prev_static_ids[gi];
+                prev.clear();
+                prev.extend(links.iter().map(|l| l.0));
             }
             links.clear();
             let (g, g_norm) = self.static_ecef[gi];
@@ -747,6 +1008,201 @@ impl<'a> TimeSweep<'a> {
             self.aircraft.len()
         };
     }
+
+    /// Match the previous step's link sets against the refreshed ones,
+    /// producing block-local (old position, new position) pairs that
+    /// [`TimeSweep::assemble_delta`] offsets into per-mode edge ids.
+    ///
+    /// Static ground points pair links by satellite id (unique per
+    /// ground point); ISLs pair by position in the fixed `ctx.isls`
+    /// order via the presence flags. Aircraft pair by satellite id too
+    /// whenever the census survived the step unchanged (stable node
+    /// ids); a census change (takeoff / landing reorders the node tail)
+    /// falls back to the wholesale removed + added diff.
+    // lint: hot-path
+    fn compute_link_matches(&mut self) {
+        self.isl_matched.clear();
+        self.isl_removed.clear();
+        self.isl_added.clear();
+        let (mut oc, mut nc) = (0u32, 0u32);
+        if self.needs_isls {
+            for i in 0..self.ctx.isls.len() {
+                match (self.prev_isl_present[i], self.isl_present[i]) {
+                    (true, true) => {
+                        self.isl_matched.push((oc, nc));
+                        oc += 1;
+                        nc += 1;
+                    }
+                    (true, false) => {
+                        self.isl_removed.push(oc);
+                        oc += 1;
+                    }
+                    (false, true) => {
+                        self.isl_added.push(nc);
+                        nc += 1;
+                    }
+                    (false, false) => {}
+                }
+            }
+        }
+        self.prev_isl_count = oc;
+        for gi in 0..self.static_ground.len() {
+            match_link_block(
+                &self.prev_static_ids[gi],
+                &self.static_links[gi],
+                &mut self.gi_matched[gi],
+                &mut self.gi_removed[gi],
+                &mut self.gi_added[gi],
+                &mut self.match_sorted,
+                &mut self.match_consumed,
+            );
+        }
+        self.air_census_stable = self.prev_air_ids.len() == self.aircraft.len()
+            && self
+                .aircraft
+                .iter()
+                .zip(&self.prev_air_ids)
+                .all(|(a, &id)| a.id == id);
+        if self.air_census_stable {
+            if self.air_matched.len() < self.aircraft.len() {
+                // lint: allow(hot-path-alloc) grows once per new peak aircraft count, then recycled
+                self.air_matched.resize_with(self.aircraft.len(), Vec::new);
+                // lint: allow(hot-path-alloc) grows once per new peak aircraft count, then recycled
+                self.air_removed.resize_with(self.aircraft.len(), Vec::new);
+                // lint: allow(hot-path-alloc) grows once per new peak aircraft count, then recycled
+                self.air_added.resize_with(self.aircraft.len(), Vec::new);
+            }
+            for ai in 0..self.aircraft.len() {
+                match_link_block(
+                    &self.prev_air_sat_ids[ai],
+                    &self.air_links[ai],
+                    &mut self.air_matched[ai],
+                    &mut self.air_removed[ai],
+                    &mut self.air_added[ai],
+                    &mut self.match_sorted,
+                    &mut self.match_consumed,
+                );
+            }
+        }
+    }
+
+    /// Offset the block-local matches into mode `mi`'s edge-id space,
+    /// mirroring [`TimeSweep::assemble_mode`]'s emission order exactly:
+    /// the ISL block first (modes with ISLs), then each ground point's
+    /// links in ground order, then aircraft links (modes with aircraft).
+    // lint: hot-path
+    fn assemble_delta(&mut self, mi: usize) {
+        let mode = self.modes[mi];
+        let num_nodes = self.snapshots[mi].nodes.len();
+        let d = &mut self.deltas[mi];
+        d.num_nodes = num_nodes;
+        d.added.clear();
+        d.removed.clear();
+        d.reweighted.clear();
+        d.full = !self.delta_ready;
+        if d.full {
+            return;
+        }
+        let (mut ob, mut nb) = (0u32, 0u32);
+        if mode != Mode::BpOnly {
+            for &(o, n) in &self.isl_matched {
+                d.reweighted.push((o as EdgeId, n as EdgeId));
+            }
+            for &o in &self.isl_removed {
+                d.removed.push(o as EdgeId);
+            }
+            for &n in &self.isl_added {
+                d.added.push(n as EdgeId);
+            }
+            ob = self.prev_isl_count;
+            nb = self.isl_links.len() as u32;
+        }
+        let num_ground_static = if mode == Mode::IslOnly {
+            self.ctx.city_positions.len()
+        } else {
+            self.static_ground.len()
+        };
+        for gi in 0..num_ground_static {
+            for &(op, np) in &self.gi_matched[gi] {
+                d.reweighted
+                    .push(((ob + op) as EdgeId, (nb + np) as EdgeId));
+            }
+            for &op in &self.gi_removed[gi] {
+                d.removed.push((ob + op) as EdgeId);
+            }
+            for &np in &self.gi_added[gi] {
+                d.added.push((nb + np) as EdgeId);
+            }
+            ob += self.prev_static_ids[gi].len() as u32;
+            nb += self.static_links[gi].len() as u32;
+        }
+        if mode != Mode::IslOnly {
+            if self.air_census_stable {
+                for ai in 0..self.aircraft.len() {
+                    for &(op, np) in &self.air_matched[ai] {
+                        d.reweighted.push((ob + op, nb + np));
+                    }
+                    for &op in &self.air_removed[ai] {
+                        d.removed.push(ob + op);
+                    }
+                    for &np in &self.air_added[ai] {
+                        d.added.push(nb + np);
+                    }
+                    ob += self.prev_air_sat_ids[ai].len() as u32;
+                    nb += self.air_links[ai].len() as u32;
+                }
+            } else {
+                for k in 0..self.prev_air_total as u32 {
+                    d.removed.push(ob + k);
+                }
+                let new_air_total: usize = (0..self.aircraft.len())
+                    .map(|ai| self.air_links[ai].len())
+                    .sum();
+                for k in 0..new_air_total as u32 {
+                    d.added.push(nb + k);
+                }
+            }
+        }
+    }
+}
+
+/// Pair one link block's previous visible-satellite ids against its
+/// refreshed links by satellite id (unique within a block), producing
+/// block-local (old position, new position) matches plus old-only /
+/// new-only position lists. `sorted` / `consumed` are recycled scratch.
+// lint: hot-path
+fn match_link_block(
+    old: &[u32],
+    new_links: &[(u32, f64, f64)],
+    matched: &mut Vec<(u32, u32)>,
+    removed: &mut Vec<u32>,
+    added: &mut Vec<u32>,
+    sorted: &mut Vec<(u32, u32)>,
+    consumed: &mut Vec<bool>,
+) {
+    matched.clear();
+    removed.clear();
+    added.clear();
+    sorted.clear();
+    sorted.extend(old.iter().enumerate().map(|(p, &sat)| (sat, p as u32)));
+    sorted.sort_unstable();
+    consumed.clear();
+    consumed.resize(sorted.len(), false);
+    for (np, l) in new_links.iter().enumerate() {
+        match sorted.binary_search_by_key(&l.0, |&(s, _)| s) {
+            Ok(k) => {
+                consumed[k] = true;
+                matched.push((sorted[k].1, np as u32));
+            }
+            Err(_) => added.push(np as u32),
+        }
+    }
+    for (k, &(_, op)) in sorted.iter().enumerate() {
+        if !consumed[k] {
+            removed.push(op);
+        }
+    }
+    removed.sort_unstable();
 }
 
 /// The network frozen at one instant: a weighted graph plus metadata.
@@ -1073,6 +1529,113 @@ mod tests {
         assert_eq!(from_times, vec![0, 1, 2]);
         assert_eq!(from_times, from_grid);
         assert_eq!(edges_times, edges_grid);
+    }
+
+    #[test]
+    fn sweep_deltas_replay_reconstructs_edge_sets() {
+        // Core delta contract: per mode, the old edge ids partition into
+        // `removed` ∪ {o | (o, n) ∈ reweighted}, the new edge ids into
+        // `added` ∪ {n | (o, n) ∈ reweighted}, and every reweighted pair
+        // refers to the *same physical link* — identical endpoint node
+        // ids in old and new graph (stable because aircraft, the only
+        // nodes whose ids shift, are always wholesale removed+added).
+        let c = ctx();
+        let modes = [Mode::BpOnly, Mode::Hybrid, Mode::IslOnly];
+        let times = [0.0, 15.0, 90.0, 947.3, 1000.0, 30_000.0];
+        let mut sweep = TimeSweep::new(&c, &modes);
+        let mut prev: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); modes.len()];
+        for (step, &t) in times.iter().enumerate() {
+            let (snaps, deltas) = sweep.step_with_deltas(t);
+            assert_eq!(deltas.len(), modes.len());
+            for (mi, (snap, d)) in snaps.iter().zip(deltas).enumerate() {
+                let fresh = c.snapshot(t, modes[mi]);
+                assert_snapshots_identical(snap, &fresh, &format!("t={t} mode #{mi}"));
+                assert_eq!(d.num_nodes, snap.nodes.len(), "t={t} mode #{mi} nodes");
+                assert_eq!(d.full, step == 0, "t={t} mode #{mi} full flag");
+                let ne = snap.graph.num_edges();
+                if !d.full {
+                    let no = prev[mi].len();
+                    let mut old_seen = vec![false; no];
+                    let mut new_seen = vec![false; ne];
+                    for &o in &d.removed {
+                        assert!(!old_seen[o as usize], "old id {o} twice");
+                        old_seen[o as usize] = true;
+                    }
+                    for &n in &d.added {
+                        assert!(!new_seen[n as usize], "new id {n} twice");
+                        new_seen[n as usize] = true;
+                    }
+                    for &(o, n) in &d.reweighted {
+                        assert!(!old_seen[o as usize], "old id {o} twice");
+                        assert!(!new_seen[n as usize], "new id {n} twice");
+                        old_seen[o as usize] = true;
+                        new_seen[n as usize] = true;
+                        let (u2, v2, _) = snap.graph.edge(n);
+                        assert_eq!(
+                            prev[mi][o as usize],
+                            (u2, v2),
+                            "t={t} mode #{mi}: pair ({o}, {n}) endpoints moved"
+                        );
+                    }
+                    assert!(old_seen.iter().all(|&s| s), "old edge unaccounted");
+                    assert!(new_seen.iter().all(|&s| s), "new edge unaccounted");
+                    // Small steps must be dominated by reweights — the
+                    // whole point of the delta path. Modes with aircraft
+                    // churn those links wholesale (the aircraft move, so
+                    // node ids shift), so only IslOnly pins dominance.
+                    if t - times[step - 1] < 100.0 {
+                        assert!(!d.reweighted.is_empty(), "t={t} mode #{mi}: no reweights");
+                        if modes[mi] == Mode::IslOnly {
+                            assert!(
+                                d.reweighted.len() > d.added.len() + d.removed.len(),
+                                "t={t} mode #{mi}: delta not incremental \
+                                 ({} reweighted vs {} added + {} removed)",
+                                d.reweighted.len(),
+                                d.added.len(),
+                                d.removed.len()
+                            );
+                        }
+                    }
+                }
+                prev[mi].clear();
+                prev[mi].extend((0..ne as EdgeId).map(|e| {
+                    let (u, v, _) = snap.graph.edge(e);
+                    (u, v)
+                }));
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_fold_deltas_is_thread_count_invariant() {
+        // Chunk boundaries reset delta tracking (each chunk's first step
+        // is a `full` delta), but folding with a full-rebuild-aware step
+        // function must still be chunking-invariant.
+        let c = ctx();
+        let modes = [Mode::Hybrid];
+        let times: Vec<f64> = (0..7).map(|i| i as f64 * 137.0).collect();
+        let fold = |threads: usize| -> (u64, usize) {
+            c.sweep_fold_deltas(
+                &times,
+                &modes,
+                threads,
+                || (0u64, 0usize),
+                |acc, i, snaps, deltas| {
+                    assert_eq!(deltas.len(), 1);
+                    acc.0 ^= (snaps[0].graph.num_edges() as u64).wrapping_mul(0x9e37 + i as u64);
+                    acc.1 += 1;
+                },
+                |a, b| {
+                    a.0 ^= b.0;
+                    a.1 += b.1;
+                },
+            )
+        };
+        let one = fold(1);
+        assert_eq!(one.1, times.len(), "every snapshot folded exactly once");
+        assert_eq!(one, fold(3));
+        assert_eq!(one, fold(7));
+        assert_eq!(one, fold(0));
     }
 
     #[test]

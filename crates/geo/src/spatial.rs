@@ -241,12 +241,27 @@ impl CellGrid {
     /// Panics if `bin_deg` is not in `(0, 90]`.
     pub fn new(bin_deg: f64) -> Self {
         let shape = GridShape::new(bin_deg);
+        // The last row/column absorbs any remainder when the bin size
+        // does not divide 180°/360° evenly (`rows`/`cols` are ceils), so
+        // the final boundary angle must be clamped to the pole/
+        // antimeridian — matching `row_of`/`col_of`'s index clamps.
+        // Without the row clamp, sin() past π/2 *decreases* and the
+        // whole polar cap above the mirrored latitude is falsely
+        // rejected; without the column clamp the last wedge wraps past
+        // +π and wrongly *accepts* directions that `cell_of` assigns to
+        // column 0.
         let row_sin: Vec<f64> = (0..=shape.rows)
-            .map(|r| (r as f64 * shape.bin_rad - std::f64::consts::FRAC_PI_2).sin())
+            .map(|r| {
+                (r as f64 * shape.bin_rad - std::f64::consts::FRAC_PI_2)
+                    .min(std::f64::consts::FRAC_PI_2)
+                    .sin()
+            })
             .collect();
         let col_dir: Vec<(f64, f64)> = (0..=shape.cols)
             .map(|c| {
-                let (s, cos) = (c as f64 * shape.bin_rad - std::f64::consts::PI).sin_cos();
+                let (s, cos) = (c as f64 * shape.bin_rad - std::f64::consts::PI)
+                    .min(std::f64::consts::PI)
+                    .sin_cos();
                 (cos, s)
             })
             .collect();
@@ -636,6 +651,98 @@ mod tests {
             declined_same_cell < accepted / 10,
             "quick path declined too often: {declined_same_cell} vs {accepted}"
         );
+    }
+
+    #[test]
+    fn contains_quick_accepts_polar_caps_with_ragged_rows() {
+        // Regression: with a bin size that does not divide 180° (here 7°
+        // → 26 rows spanning 182°), the top row's boundary angle used to
+        // run 2° past the pole, where sin() *decreases* — so every GT
+        // above the mirrored latitude (|lat| ≳ 89°) was falsely rejected
+        // and fell back to the exact path forever. The clamped boundary
+        // must accept well-inside polar points (|lat| > 85°) like any
+        // other mid-cell point.
+        let g = CellGrid::new(7.0);
+        let mut accepted_polar = 0usize;
+        for &lat in &[85.5, 87.0, 88.5, 89.0, 89.4, -89.4, -89.0, -86.0] {
+            for lon in [-176.5, -90.0, -3.5, 0.0, 3.5, 90.0, 176.5] {
+                let p = GeoPoint::from_degrees(lat, lon);
+                let e = crate::Ecef::from_geo(p, 550_000.0);
+                let r = e.norm();
+                let (sub, _) = e.to_geo();
+                let exact = g.cell_of(&sub);
+                if g.contains_quick(exact, e.x, e.y, e.z, r) {
+                    accepted_polar += 1;
+                }
+                // And never accept a neighboring cell.
+                for probe in [exact.saturating_sub(1), exact + 1] {
+                    if probe != exact && (probe as usize) < g.num_cells() {
+                        assert!(
+                            !g.contains_quick(probe, e.x, e.y, e.z, r),
+                            "accepted wrong cell {probe} for lat {lat} lon {lon}"
+                        );
+                    }
+                }
+            }
+        }
+        // 89.4° sits ~0.6° inside the 26th row band ([89°, 90°] after
+        // clamping); everything sampled is safely off every boundary, so
+        // the quick path must fire for all of them.
+        assert_eq!(accepted_polar, 56, "polar caps must use the quick path");
+    }
+
+    #[test]
+    fn contains_quick_stays_sound_at_antimeridian_with_ragged_cols() {
+        // Regression (soundness): with a bin that does not divide 360°
+        // (7° → 52 columns spanning 364°), the last column's upper
+        // boundary meridian used to wrap 4° past +180°, so its wedge
+        // wrongly *accepted* directions just east of the antimeridian
+        // that `cell_of` assigns to column 0 — which would silently
+        // corrupt an incrementally-maintained grid. The clamp pins the
+        // wedge at +180°.
+        let g = CellGrid::new(7.0);
+        let last_col = (g.shape.cols - 1) as u32;
+        for &lat in &[-60.0, -11.0, 0.0, 33.0, 71.0] {
+            let row = g.shape.row_of(crate::deg_to_rad(lat)) as u32;
+            let wrong_cell = row * g.shape.cols as u32 + last_col;
+            // Points at lon ∈ (−180°, −176°]: inside the old wrapped
+            // wedge, but column 0 by the exact path.
+            for lon in [-179.9, -178.0, -176.5] {
+                let p = GeoPoint::from_degrees(lat, lon);
+                let e = crate::Ecef::from_geo(p, 550_000.0);
+                let r = e.norm();
+                let (sub, _) = e.to_geo();
+                assert_eq!(g.cell_of(&sub) % g.shape.cols as u32, 0, "lon {lon}");
+                assert!(
+                    !g.contains_quick(wrong_cell, e.x, e.y, e.z, r),
+                    "wrapped wedge accepted lon {lon} at lat {lat}"
+                );
+            }
+        }
+        // Conservativeness both ways along the seam, at the production
+        // 3° bin as well: whatever the quick test accepts must agree
+        // with the exact path.
+        for &bin in &[3.0, 7.0] {
+            let g = CellGrid::new(bin);
+            for i in 0..360 {
+                let lat = -89.9 + i as f64 * 0.5;
+                if lat >= 90.0 {
+                    break;
+                }
+                for lon in [-180.0, -179.999, 179.999, 180.0] {
+                    let p = GeoPoint::from_degrees(lat, lon);
+                    let e = crate::Ecef::from_geo(p, 550_000.0);
+                    let r = e.norm();
+                    let (sub, _) = e.to_geo();
+                    let exact = g.cell_of(&sub);
+                    for cell in 0..g.num_cells() as u32 {
+                        if g.contains_quick(cell, e.x, e.y, e.z, r) {
+                            assert_eq!(cell, exact, "lat {lat} lon {lon} bin {bin}");
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

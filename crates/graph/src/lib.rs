@@ -41,7 +41,7 @@ pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use maxflow::{max_flow, max_flow_with, FlowNetwork, MaxFlowWorkspace};
 pub use shortest::{
     dijkstra, dijkstra_with_mask, extract_path, with_thread_workspace, DijkstraWorkspace, Path,
-    ShortestPaths, SsspView,
+    ShortestPaths, SptWorkspace, SsspView,
 };
 pub use suurballe::{suurballe, suurballe_with};
 pub use yen::{yen_k_shortest, yen_k_shortest_with};

@@ -200,6 +200,73 @@ fn early_exit_distances_are_never_stale() {
     });
 }
 
+/// Yen's k-shortest-paths on equal-weight grid graphs — the worst case
+/// for spur-path tie-breaking, since every same-hop-count path costs
+/// *exactly* the same (1.0-weight edges sum without rounding). The
+/// warm-workspace variant must return byte-identical paths in the same
+/// order as the workspace-free one, the ranking must be deterministic
+/// (re-running gives the identical list), and the list must be sorted,
+/// loopless, and duplicate-free.
+#[test]
+fn yen_tie_breaking_deterministic_on_equal_weight_grids() {
+    let mut ws = DijkstraWorkspace::new();
+    check("yen_equal_weight_grid_equivalence", |gen| {
+        let rows = gen.usize(2..5);
+        let cols = gen.usize(2..6);
+        let n = rows * cols;
+        let mut b = GraphBuilder::new(n);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = (r * cols + c) as u32;
+                if c + 1 < cols {
+                    b.add_edge(i, i + 1, 1.0);
+                }
+                if r + 1 < rows {
+                    b.add_edge(i, i + cols as u32, 1.0);
+                }
+            }
+        }
+        let g = b.build();
+        let src = gen.u32(0..n as u32);
+        let dst = (n - 1) as u32;
+        let k = gen.usize(1..8);
+        let fresh = yen_k_shortest(&g, src, dst, k);
+        let warm = yen_k_shortest_with(&g, src, dst, k, &mut ws);
+        check_assert_eq!(fresh.len(), warm.len(), "warm vs fresh count");
+        for (i, (a, b)) in fresh.iter().zip(&warm).enumerate() {
+            check_assert_eq!(a.nodes, b.nodes, "path {i} nodes");
+            check_assert_eq!(a.edges, b.edges, "path {i} edges");
+            check_assert_eq!(
+                a.total_weight.to_bits(),
+                b.total_weight.to_bits(),
+                "path {i} weight bits"
+            );
+        }
+        // Re-running must reproduce the identical ranking (no hidden
+        // iteration-order dependence among the tied candidates).
+        let again = yen_k_shortest(&g, src, dst, k);
+        check_assert_eq!(fresh.len(), again.len(), "rerun count");
+        for (a, b) in fresh.iter().zip(&again) {
+            check_assert_eq!(a.nodes, b.nodes, "rerun nodes");
+        }
+        let mut seen = std::collections::HashSet::new();
+        let mut prev = 0.0;
+        for p in &fresh {
+            check_assert!(p.total_weight >= prev, "ranking must be sorted");
+            prev = p.total_weight;
+            check_assert!(seen.insert(p.nodes.clone()), "duplicate path");
+            let mut uniq = p.nodes.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            check_assert_eq!(uniq.len(), p.nodes.len(), "path must be loopless");
+        }
+        if src != dst {
+            check_assert!(!fresh.is_empty(), "grid is connected");
+        }
+        Ok(())
+    });
+}
+
 /// Max-flow from 0 to n-1 is at least the bottleneck of the shortest
 /// path (one augmenting path exists) and at most the degree-capacity
 /// bound of either endpoint.

@@ -309,10 +309,21 @@ impl QuantileSketch {
     }
 
     /// The sample at quantile `q ∈ [0, 1]`, within the documented error
-    /// bound. NaN when empty.
+    /// bound. NaN when empty. The boundary quantiles are exact: `q = 0`
+    /// returns the tracked minimum and `q = 1` the tracked maximum
+    /// (never a bucket representative), so `quantile(0.0)` /
+    /// `quantile(1.0)` agree bitwise with [`QuantileSketch::min`] /
+    /// [`QuantileSketch::max`] — including single-sample and
+    /// all-equal-sample sketches.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return f64::NAN;
+        }
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
         }
         let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         if target <= self.low {

@@ -200,3 +200,48 @@ fn cdf_points_are_monotone_and_consistent_with_quantiles() {
         Ok(())
     });
 }
+
+#[test]
+fn boundary_quantiles_are_exact_min_and_max() {
+    // Regression: quantile(0)/quantile(1) used to return the (clamped)
+    // log-bucket representative of the extreme sample's bucket — up to
+    // ~1% off the exact tracked min/max the sketch already stores. The
+    // boundaries must agree *bitwise* with min()/max().
+    check("sketch_boundary_quantiles_exact", |g| {
+        let vals = g.vec(1..150, positive_sample);
+        let s = sketch_of(&vals);
+        check_assert_eq!(
+            s.quantile(0.0).to_bits(),
+            s.min().to_bits(),
+            "quantile(0) vs exact min"
+        );
+        check_assert_eq!(
+            s.quantile(1.0).to_bits(),
+            s.max().to_bits(),
+            "quantile(1) vs exact max"
+        );
+        // And they bound every interior quantile.
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = s.quantile(q);
+            check_assert!(v >= s.min() && v <= s.max(), "q={q} inside [min, max]");
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn boundary_quantiles_single_sample_and_all_equal() {
+    // 1.0 sits exactly on a 2^(k/32) bucket boundary, so its bucket
+    // representative differs from the sample — the sharpest version of
+    // the boundary-quantile regression.
+    let one = sketch_of(&[1.0]);
+    for q in [0.0, 1.0] {
+        assert_eq!(one.quantile(q).to_bits(), 1.0f64.to_bits(), "single, q={q}");
+    }
+    let equal = sketch_of(&[3.7; 25]);
+    assert_eq!(equal.quantile(0.0).to_bits(), 3.7f64.to_bits());
+    assert_eq!(equal.quantile(1.0).to_bits(), 3.7f64.to_bits());
+    // Out-of-range q clamps to the exact boundaries too.
+    assert_eq!(equal.quantile(-0.5).to_bits(), 3.7f64.to_bits());
+    assert_eq!(equal.quantile(1.5).to_bits(), 3.7f64.to_bits());
+}
