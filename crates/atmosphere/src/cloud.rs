@@ -32,6 +32,7 @@ pub fn cloud_attenuation_db(
     elevation_rad: f64,
     columnar_water_kg_m2: f64,
 ) -> f64 {
+    // lint: allow(panic-reachable) ITU model validity-domain check on caller input; out-of-domain values would yield plausible-looking nonsense attenuation
     assert!(columnar_water_kg_m2 >= 0.0);
     let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
     let kl = liquid_water_specific_coefficient(frequency_ghz, 273.15);

@@ -36,10 +36,12 @@ pub fn gaseous_attenuation_db(
     elevation_rad: f64,
     vapour_density_g_m3: f64,
 ) -> f64 {
+    // lint: allow(panic-reachable) ITU model validity-domain check on caller input; out-of-domain values would yield plausible-looking nonsense attenuation
     assert!(
         (1.0..=57.0).contains(&frequency_ghz),
         "gas model valid 1-57 GHz, got {frequency_ghz}"
     );
+    // lint: allow(panic-reachable) ITU model validity-domain check on caller input; out-of-domain values would yield plausible-looking nonsense attenuation
     assert!(vapour_density_g_m3 >= 0.0);
     let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
     let h_o = 6.0; // km, oxygen equivalent height

@@ -15,6 +15,7 @@ use crate::model::{AttenuationModel, SlantPath};
 ///
 /// `FSPL = 20 log10(d_km) + 20 log10(f_GHz) + 92.45`.
 pub fn free_space_path_loss_db(frequency_ghz: f64, distance_m: f64) -> f64 {
+    // lint: allow(panic-reachable) physics-domain check on caller input; zero frequency or distance has no defined path loss
     assert!(frequency_ghz > 0.0 && distance_m > 0.0);
     20.0 * (distance_m / 1000.0).log10() + 20.0 * frequency_ghz.log10() + 92.45
 }

@@ -31,6 +31,7 @@ fn gaussian_fit(log_f: f64, a: &[f64], b: &[f64], c: &[f64], m: f64, cc: f64) ->
 /// rotating geometry, so the polarization-averaged circular coefficients
 /// are the appropriate choice.
 pub fn rain_coefficients(frequency_ghz: f64) -> RainCoefficients {
+    // lint: allow(panic-reachable) ITU model validity-domain check on caller input; out-of-domain values would yield plausible-looking nonsense attenuation
     assert!(
         (1.0..=100.0).contains(&frequency_ghz),
         "rain model valid for 1-100 GHz, got {frequency_ghz}"
@@ -110,6 +111,7 @@ pub fn rain_attenuation_db(
     rain_rate_001_mm_h: f64,
     p_percent: f64,
 ) -> f64 {
+    // lint: allow(panic-reachable) ITU model validity-domain check on caller input; out-of-domain values would yield plausible-looking nonsense attenuation
     assert!(
         (0.001..=5.0).contains(&p_percent),
         "P.618 scaling valid for p in [0.001, 5] percent, got {p_percent}"

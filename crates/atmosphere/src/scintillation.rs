@@ -15,10 +15,12 @@ pub fn scintillation_db(
     antenna_m: f64,
     p_percent: f64,
 ) -> f64 {
+    // lint: allow(panic-reachable) ITU model validity-domain check on caller input; out-of-domain values would yield plausible-looking nonsense attenuation
     assert!(
         (0.01..=50.0).contains(&p_percent),
         "scintillation percentile valid in [0.01, 50], got {p_percent}"
     );
+    // lint: allow(panic-reachable) ITU model validity-domain check on caller input; out-of-domain values would yield plausible-looking nonsense attenuation
     assert!((4.0..=55.0).contains(&frequency_ghz));
     let theta = elevation_rad.max(leo_geo::deg_to_rad(5.0));
     // Reference standard deviation.

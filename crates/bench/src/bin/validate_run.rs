@@ -12,6 +12,9 @@
 //! manifest saying `"false"` always fails validation; under
 //! `--require-lint-clean` (the CI lane), anything but `"true"` fails —
 //! results from an unlinted tree don't count as reproducible evidence.
+//! The gate also pins the rule set: the manifest's `lint_version` and
+//! `lint_rules` must match this binary's compiled-in analyzer, so a log
+//! produced before a rule landed cannot pass today's gate.
 
 use leo_util::telemetry::{validate_event_line, Json};
 
@@ -107,6 +110,27 @@ fn main() {
              (run under LEO_LINT_CLEAN=1 after `leo-lint --deny` passes)",
             lint_clean.unwrap_or("<absent>")
         ));
+    }
+    if require_lint_clean {
+        // "Clean" is relative to a rule set: a manifest produced by an
+        // older analyzer (fewer rules) must not satisfy today's gate.
+        let version = manifest.get("lint_version").and_then(Json::as_str);
+        let want_version = leo_lint::LINT_VERSION.to_string();
+        if version != Some(want_version.as_str()) {
+            fail(&format!(
+                "manifest: lint_version {:?} does not match this analyzer's {want_version} \
+                 — lint_clean was asserted against a different rule set",
+                version.unwrap_or("<absent>")
+            ));
+        }
+        let rules = manifest.get("lint_rules").and_then(Json::as_str);
+        let want_rules = leo_lint::rules::known_rule_names().join(",");
+        if rules != Some(want_rules.as_str()) {
+            fail(&format!(
+                "manifest: lint_rules {:?} does not match this analyzer's rule set ({want_rules})",
+                rules.unwrap_or("<absent>")
+            ));
+        }
     }
 
     let summary: Vec<String> = counts.iter().map(|(t, n)| format!("{n} {t}")).collect();

@@ -68,10 +68,16 @@ pub fn finish_run(label: &str, cfg: &StudyConfig) -> Option<PathBuf> {
     // Sample RSS once more so the recorded peak covers the full run even
     // when no heartbeat fired near the high-water mark.
     let _ = telemetry::rss_kb();
+    // `lint_clean` is only meaningful relative to a rule set: record the
+    // analyzer version and the rules it enforced, so a manifest produced
+    // before a rule landed can't masquerade as clean under the new set
+    // (`validate_run --require-lint-clean` checks both against its own).
     let manifest = telemetry::RunManifest::new(label, hash, cfg.seed, threads)
         .with("cities", cfg.num_cities)
         .with("pairs", cfg.num_pairs)
         .with("lint_clean", lint_clean)
+        .with("lint_version", leo_lint::LINT_VERSION)
+        .with("lint_rules", leo_lint::rules::known_rule_names().join(","))
         .with("peak_rss_kb", telemetry::peak_rss_kb());
     telemetry::finish_run(&manifest)
 }

@@ -116,6 +116,7 @@ pub struct StudyConfig {
 impl StudyConfig {
     /// Evenly spaced snapshot times covering one day.
     pub fn day_snapshots(n: usize) -> Vec<f64> {
+        // lint: allow(panic-reachable) config validation: zero snapshots would silently produce an empty study
         assert!(n > 0);
         (0..n).map(|i| 86_400.0 * i as f64 / n as f64).collect()
     }

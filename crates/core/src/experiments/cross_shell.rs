@@ -45,10 +45,12 @@ pub fn cross_shell_study(
     let src = ctx
         .ground
         .city_index(src_name)
+        // lint: allow(panic-reachable) config-time lookup of a caller-named city; a typo must fail loudly, not chart a wrong pair
         .unwrap_or_else(|| panic!("unknown city {src_name}"));
     let dst = ctx
         .ground
         .city_index(dst_name)
+        // lint: allow(panic-reachable) config-time lookup of a caller-named city; a typo must fail loudly, not chart a wrong pair
         .unwrap_or_else(|| panic!("unknown city {dst_name}"));
     let times = ctx.config.snapshot_times_s.clone();
     let modes = [Mode::IslOnly, Mode::Hybrid];

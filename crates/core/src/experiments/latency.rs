@@ -254,6 +254,7 @@ pub struct LatencySummary {
 
 /// Compare BP and hybrid pair statistics (same pair ordering).
 pub fn summarize(bp: &[PairStats], hybrid: &[PairStats]) -> LatencySummary {
+    // lint: allow(panic-reachable) caller contract: the two series are parallel per-pair arrays; a length mismatch means the study wiring is broken
     assert_eq!(bp.len(), hybrid.len());
     let var = |stats: &[PairStats]| -> Distribution {
         Distribution::from_samples(
@@ -317,10 +318,12 @@ pub fn pair_timeseries(
     let src = ctx
         .ground
         .city_index(src_name)
+        // lint: allow(panic-reachable) config-time lookup of a caller-named city; a typo must fail loudly, not chart a wrong pair
         .unwrap_or_else(|| panic!("unknown city {src_name}"));
     let dst = ctx
         .ground
         .city_index(dst_name)
+        // lint: allow(panic-reachable) config-time lookup of a caller-named city; a typo must fail loudly, not chart a wrong pair
         .unwrap_or_else(|| panic!("unknown city {dst_name}"));
     let times = ctx.config.snapshot_times_s.clone();
     ctx.sweep_map(&times, &[mode], threads, |i, snaps| {

@@ -48,6 +48,7 @@ pub fn packet_delay_study(
     load: f64,
     duration_s: f64,
 ) -> Option<PacketDelayResult> {
+    // lint: allow(panic-reachable) model validity: the queueing delay curve diverges at load >= 1
     assert!((0.0..1.0).contains(&load));
     let _span = span!(
         "packet_delay_study",

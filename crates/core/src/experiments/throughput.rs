@@ -42,6 +42,7 @@ pub fn throughput_with_isl_capacity(
     k: usize,
     isl_gbps: f64,
 ) -> ThroughputResult {
+    // lint: allow(panic-reachable) caller contract: k-shortest-paths with k = 0 is a meaningless request
     assert!(k >= 1);
     let _span = span!(
         "throughput",

@@ -286,6 +286,7 @@ pub fn attenuation_raster(
     step_deg: f64,
     p_percent: f64,
 ) -> Vec<(f64, f64, f64)> {
+    // lint: allow(panic-reachable) raster validation: a non-positive step would loop forever
     assert!(step_deg > 0.0);
     let _span = span!(
         "attenuation_raster",

@@ -36,6 +36,7 @@ impl GroundSegment {
 /// Lay a uniform lat/lon grid and keep points that are on land and within
 /// `radius_m` of some city.
 fn build_relay_grid(cities: &[City], spacing_deg: f64, radius_m: f64) -> Vec<GeoPoint> {
+    // lint: allow(panic-reachable) grid validation: a non-positive spacing would loop forever
     assert!(spacing_deg > 0.0);
     // Spatial index over cities for the distance test.
     let mut city_index = SphereGrid::new(4.0);

@@ -409,7 +409,7 @@ impl StudyContext {
         let ranges: Vec<(usize, usize)> = (0..n)
             .step_by(chunk)
             .map(|lo| (lo, (lo + chunk).min(n)))
-            .collect();
+            .collect(); // lint: allow(hot-path-alloc) one tiny Vec of chunk bounds per sweep fan-out, not per step
         let per_chunk = crate::par::parallel_map(&ranges, threads, |&(lo, hi)| {
             let mut sweep = TimeSweep::new(self, modes);
             let mut acc = make();
@@ -480,7 +480,7 @@ impl StudyContext {
         let ranges: Vec<(usize, usize)> = (0..n)
             .step_by(chunk)
             .map(|lo| (lo, (lo + chunk).min(n)))
-            .collect();
+            .collect(); // lint: allow(hot-path-alloc) one tiny Vec of chunk bounds per sweep fan-out, not per step
         let per_chunk = crate::par::parallel_map(&ranges, threads, |&(lo, hi)| {
             let mut sweep = TimeSweep::new(self, modes);
             let mut acc = make();
@@ -728,18 +728,26 @@ impl<'a> TimeSweep<'a> {
     /// next step.
     pub fn step_with_deltas(&mut self, t_s: f64) -> (&[NetworkSnapshot], &[EdgeDelta]) {
         if !self.track_deltas {
-            self.track_deltas = true;
-            self.delta_ready = false;
-            self.deltas = self.modes.iter().map(|_| EdgeDelta::default()).collect();
-            self.isl_present = vec![false; self.ctx.isls.len()];
-            self.prev_isl_present = vec![false; self.ctx.isls.len()];
-            self.prev_static_ids = vec![Vec::new(); self.static_ground.len()];
-            self.gi_matched = vec![Vec::new(); self.static_ground.len()];
-            self.gi_removed = vec![Vec::new(); self.static_ground.len()];
-            self.gi_added = vec![Vec::new(); self.static_ground.len()];
+            self.start_delta_tracking();
         }
         self.step_impl(t_s);
         (&self.snapshots, &self.deltas)
+    }
+
+    /// One-time allocation of the delta-tracking bookkeeping, on the
+    /// first [`TimeSweep::step_with_deltas`] call. Everything sized here
+    /// is recycled on every subsequent step (declared cold in
+    /// `lint.toml`, so `hot-path-alloc` reachability stops at this fn).
+    fn start_delta_tracking(&mut self) {
+        self.track_deltas = true;
+        self.delta_ready = false;
+        self.deltas = self.modes.iter().map(|_| EdgeDelta::default()).collect();
+        self.isl_present = vec![false; self.ctx.isls.len()];
+        self.prev_isl_present = vec![false; self.ctx.isls.len()];
+        self.prev_static_ids = vec![Vec::new(); self.static_ground.len()];
+        self.gi_matched = vec![Vec::new(); self.static_ground.len()];
+        self.gi_removed = vec![Vec::new(); self.static_ground.len()];
+        self.gi_added = vec![Vec::new(); self.static_ground.len()];
     }
 
     /// The deltas produced by the most recent step (empty unless
@@ -777,14 +785,17 @@ impl<'a> TimeSweep<'a> {
                 .map(|ai| self.air_links[ai].len())
                 .sum();
             self.prev_air_ids.clear();
+            // lint: allow(hot-path-alloc) refills a recycled buffer after clear; allocates only on a new peak aircraft count
             self.prev_air_ids.extend(self.aircraft.iter().map(|a| a.id));
             if self.prev_air_sat_ids.len() < self.aircraft.len() {
                 self.prev_air_sat_ids
+                    // lint: allow(hot-path-alloc) grows once per new peak aircraft count, then the guard above makes it a no-op
                     .resize_with(self.aircraft.len(), Vec::new);
             }
             for ai in 0..self.aircraft.len() {
                 let prev = &mut self.prev_air_sat_ids[ai];
                 prev.clear();
+                // lint: allow(hot-path-alloc) refills a recycled per-aircraft buffer after clear; steady state is a memcpy
                 prev.extend(self.air_links[ai].iter().map(|l| l.0));
             }
             std::mem::swap(&mut self.prev_isl_present, &mut self.isl_present);

@@ -220,6 +220,7 @@ const REAL_CITIES: &[(&str, f64, f64, f64)] = &[
 /// # Panics
 /// Panics if `n == 0`.
 pub fn load_cities(n: usize, seed: u64) -> Vec<City> {
+    // lint: allow(panic-reachable) dataset contract: an empty city list cannot seed any study
     assert!(n > 0, "need at least one city");
     let mut cities: Vec<City> = REAL_CITIES
         .iter()

@@ -119,12 +119,15 @@ impl FlightSchedule {
     /// Build the schedule with a traffic-density multiplier (1.0 = the
     /// baseline corridor table; 2.0 doubles every corridor's departures).
     pub fn new(density: f64) -> Self {
+        // lint: allow(panic-reachable) dataset validation at load time: a non-positive route density has no flight count
         assert!(density > 0.0);
         let day = 86_400.0;
         let mut legs = Vec::new();
         let mut id = 0u64;
         for (ri, r) in ROUTES.iter().enumerate() {
+            // lint: allow(panic-reachable) dataset validation at load time; a bad route table must fail loudly, not silently drop flights
             let a = airport(r.from).unwrap_or_else(|| panic!("unknown airport {}", r.from));
+            // lint: allow(panic-reachable) dataset validation at load time; a bad route table must fail loudly, not silently drop flights
             let b = airport(r.to).unwrap_or_else(|| panic!("unknown airport {}", r.to));
             let dist = great_circle_distance_m(a.pos(), b.pos());
             let duration = dist / CRUISE_SPEED_M_S;

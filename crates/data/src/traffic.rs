@@ -27,6 +27,7 @@ pub fn sample_city_pairs(
     seed: u64,
 ) -> Vec<CityPair> {
     let n = cities.len();
+    // lint: allow(panic-reachable) dataset contract: traffic pairs need at least two cities
     assert!(n >= 2, "need at least two cities");
     // Stream note: moved from `rand::StdRng` to the in-tree xoshiro256++
     // (see `leo_util::rng`); pair sets for a given seed differ from

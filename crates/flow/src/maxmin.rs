@@ -88,6 +88,7 @@ impl FlowSim {
 
     /// Add a link with the given capacity (must be non-negative, finite).
     pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        // lint: allow(panic-reachable) caller contract: a negative or NaN capacity would silently corrupt the max-min water-fill
         assert!(capacity.is_finite() && capacity >= 0.0);
         self.capacity.push(capacity);
         (self.capacity.len() - 1) as LinkId
@@ -99,8 +100,10 @@ impl FlowSim {
     /// a GT's up and down capacity when these are modelled as one link);
     /// each occurrence consumes capacity independently.
     pub fn add_flow(&mut self, path: Vec<LinkId>) -> FlowId {
+        // lint: allow(panic-reachable) caller contract on flow paths; a dangling link id would corrupt the fair-share computation
         assert!(!path.is_empty(), "flow path must contain at least one link");
         for &l in &path {
+            // lint: allow(panic-reachable) caller contract on flow paths; a dangling link id would corrupt the fair-share computation
             assert!((l as usize) < self.capacity.len(), "link {l} out of range");
         }
         self.paths.push(path);
@@ -111,6 +114,7 @@ impl FlowSim {
     /// link/flow structure once and re-solve under different capacity
     /// assumptions (ISL capacity sweeps, weather-degraded links).
     pub fn set_link_capacity(&mut self, l: LinkId, capacity: f64) {
+        // lint: allow(panic-reachable) caller contract: a negative or NaN capacity would silently corrupt the max-min water-fill
         assert!(capacity.is_finite() && capacity >= 0.0);
         self.capacity[l as usize] = capacity;
     }

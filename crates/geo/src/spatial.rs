@@ -39,6 +39,7 @@ impl GridShape {
     /// # Panics
     /// Panics if `bin_deg` is not in `(0, 90]`.
     fn new(bin_deg: f64) -> Self {
+        // lint: allow(panic-reachable) documented `# Panics` contract: a bin size outside (0, 90] has no valid grid shape
         assert!(
             bin_deg > 0.0 && bin_deg <= 90.0,
             "bin size must be in (0, 90] degrees"
@@ -340,6 +341,7 @@ impl CellGrid {
         let pos = bucket.partition_point(|&x| x < id);
         bucket.insert(pos, id);
         if self.cell_index.len() <= id as usize {
+            // lint: allow(hot-path-alloc) grows once per new peak id, then the guard above makes it a no-op
             self.cell_index.resize(id as usize + 1, u32::MAX);
         }
         self.cell_index[id as usize] = cell;
@@ -390,7 +392,9 @@ impl CellGrid {
     pub fn flatten_into(&self, off: &mut Vec<u32>, ids: &mut Vec<u32>) {
         off.clear();
         ids.clear();
+        // lint: allow(hot-path-alloc) reserve into recycled buffers; a no-op once capacity reaches steady state
         off.reserve(self.buckets.len() + 1);
+        // lint: allow(hot-path-alloc) reserve into recycled buffers; a no-op once capacity reaches steady state
         ids.reserve(self.len);
         off.push(0);
         for bucket in &self.buckets {

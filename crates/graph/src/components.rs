@@ -6,6 +6,7 @@ use crate::graph::{Graph, NodeId};
 /// order of first discovery). Honors an optional `disabled` edge mask.
 pub fn connected_components(g: &Graph, disabled: Option<&[bool]>) -> Vec<u32> {
     if let Some(d) = disabled {
+        // lint: allow(panic-reachable) caller contract: the disabled mask is indexed by edge id; a mismatch means it was built for a different graph
         assert_eq!(d.len(), g.num_edges());
     }
     let n = g.num_nodes();

@@ -46,6 +46,7 @@ pub fn k_edge_disjoint_paths_with(
 ) -> Vec<Path> {
     let mut mask = ws.take_mask(g.num_edges());
     if let Some(d) = disabled {
+        // lint: allow(panic-reachable) caller contract: the disabled mask is indexed by edge id; a mismatch means it was built for a different graph
         assert_eq!(d.len(), g.num_edges());
         mask.copy_from_slice(d);
     }

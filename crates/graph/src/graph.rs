@@ -56,9 +56,13 @@ impl GraphBuilder {
     /// Panics if an endpoint is out of range, on self-loops, or if the
     /// weight is negative or non-finite (Dijkstra's precondition).
     pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: f64) -> EdgeId {
+        // lint: allow(panic-reachable) documented `# Panics` contract guarding Dijkstra's preconditions at graph construction time
         assert!((u as usize) < self.num_nodes, "node {u} out of range");
+        // lint: allow(panic-reachable) documented `# Panics` contract guarding Dijkstra's preconditions at graph construction time
         assert!((v as usize) < self.num_nodes, "node {v} out of range");
+        // lint: allow(panic-reachable) documented `# Panics` contract guarding Dijkstra's preconditions at graph construction time
         assert_ne!(u, v, "self-loops are not allowed");
+        // lint: allow(panic-reachable) documented `# Panics` contract guarding Dijkstra's preconditions at graph construction time
         assert!(
             weight.is_finite() && weight >= 0.0,
             "edge weight must be finite and non-negative, got {weight}"

@@ -54,6 +54,7 @@ impl FlowNetwork {
     /// Add a directed edge `u → v` with capacity `c` (and its residual
     /// reverse arc).
     pub fn add_directed(&mut self, u: u32, v: u32, c: f64) {
+        // lint: allow(panic-reachable) caller contract: capacities must be finite and non-negative or the residual network corrupts
         assert!(c >= 0.0 && c.is_finite());
         self.push_arc(u, v, c);
         self.push_arc(v, u, 0.0);
@@ -61,6 +62,7 @@ impl FlowNetwork {
 
     /// Add an undirected edge of capacity `c` in each direction.
     pub fn add_undirected(&mut self, u: u32, v: u32, c: f64) {
+        // lint: allow(panic-reachable) caller contract: capacities must be finite and non-negative or the residual network corrupts
         assert!(c >= 0.0 && c.is_finite());
         self.push_arc(u, v, c);
         self.push_arc(v, u, c);
@@ -101,6 +103,7 @@ pub fn max_flow(net: &mut FlowNetwork, s: u32, t: u32) -> f64 {
 /// zero allocation once the workspace has grown to the network size.
 // lint: hot-path
 pub fn max_flow_with(net: &mut FlowNetwork, s: u32, t: u32, ws: &mut MaxFlowWorkspace) -> f64 {
+    // lint: allow(panic-reachable) degenerate query: max flow from a node to itself is rejected by contract
     assert_ne!(s, t);
     let n = net.num_nodes();
     let mut total = 0.0;

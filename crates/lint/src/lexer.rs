@@ -39,10 +39,16 @@ pub enum TokKind {
 pub struct Tok {
     /// Kind of token.
     pub kind: TokKind,
-    /// Exact source text (for `Str`/`Char` the raw literal is kept).
+    /// Exact source text. `Str`/`Char` tokens carry an empty string —
+    /// literal content is dropped so it can never leak tokens into
+    /// rules (property-tested in `tests/lexer_proptests.rs`).
     pub text: String,
     /// 1-based line the token starts on.
     pub line: u32,
+    /// Byte offset of the token start in the source — the span anchor
+    /// the item parser sorts and slices by. Strictly increasing across
+    /// the token stream (property-tested).
+    pub pos: u32,
 }
 
 impl Tok {
@@ -159,6 +165,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Str,
                     text: String::new(),
                     line,
+                    pos: i as u32,
                 });
                 line += newlines;
                 code_on_line = true;
@@ -170,6 +177,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Str,
                     text: String::new(),
                     line,
+                    pos: i as u32,
                 });
                 line += newlines;
                 code_on_line = true;
@@ -183,6 +191,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokKind::Char,
                         text: String::new(),
                         line,
+                        pos: i as u32,
                     });
                     i = j;
                 } else {
@@ -194,6 +203,7 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokKind::Lifetime,
                         text: src[i..j].to_string(),
                         line,
+                        pos: i as u32,
                     });
                     i = j;
                 }
@@ -209,6 +219,7 @@ pub fn lex(src: &str) -> Lexed {
                     },
                     text: src[i..j].to_string(),
                     line,
+                    pos: i as u32,
                 });
                 code_on_line = true;
                 i = j;
@@ -222,6 +233,7 @@ pub fn lex(src: &str) -> Lexed {
                     kind: TokKind::Ident,
                     text: src[i..j].to_string(),
                     line,
+                    pos: i as u32,
                 });
                 code_on_line = true;
                 i = j;
@@ -233,11 +245,13 @@ pub fn lex(src: &str) -> Lexed {
                     Some(op) => (*op).to_string(),
                     None => src[i..i + 1].to_string(),
                 };
+                let pos = i as u32;
                 i += text.len();
                 out.toks.push(Tok {
                     kind: TokKind::Punct,
                     text,
                     line,
+                    pos,
                 });
                 code_on_line = true;
             }

@@ -2,23 +2,40 @@
 //! determinism and hygiene invariants.
 //!
 //! A hand-rolled lexer ([`lexer`]) feeds per-file analysis
-//! ([`source::SourceFile`]) to eight rules ([`rules`]) that enforce
-//! what `rustc` cannot see: no wall-clock reads outside telemetry, no
-//! hash-order-dependent output, seeded RNG only, panic-free library
-//! crates, zero-alloc hot paths, documented `unsafe`, explicit float
-//! comparisons in tests, and stdio-free libraries. Hermetic like the
-//! rest of the workspace: depends only on `leo-util`.
+//! ([`source::SourceFile`]) to eight file-local rules ([`rules`]) that
+//! enforce what `rustc` cannot see: no wall-clock reads outside
+//! telemetry, no hash-order-dependent output, seeded RNG only,
+//! panic-free library crates, zero-alloc hot paths, documented
+//! `unsafe`, explicit float comparisons in tests, and stdio-free
+//! libraries. On top of the lexer, an item parser ([`parser`]) builds a
+//! workspace symbol graph ([`symgraph`]) for the reachability rules —
+//! `panic-reachable` and the workspace half of `hot-path-alloc` — that
+//! check invariants *across* files along the over-approximate call
+//! graph. Hermetic like the rest of the workspace: depends only on
+//! `leo-util` and `leo-core` (for the parallel map).
 //!
 //! Suppressions are inline — `// lint: allow(<rule>) <reason>` — with
 //! the reason mandatory, and every suppression is counted in the
-//! report so the escape hatch stays visible. `// lint: hot-path` marks
-//! the next `fn` as a zero-alloc region for `hot-path-alloc`.
+//! report so the escape hatch stays visible. A suppression that
+//! suppresses nothing is itself an error (`stale-allow`): the audit
+//! trail must describe the tree as it is, not as it once was.
+//! `// lint: hot-path` marks the next `fn` as a zero-alloc region for
+//! `hot-path-alloc` (body checked file-locally, callees checked via
+//! the graph).
+//!
+//! The run pipeline is two-phase: files parse and run file-local rules
+//! in parallel ([`leo_core::par::parallel_map`], order-preserving),
+//! then the symbol graph builds single-pass and workspace rules,
+//! suppression, and `stale-allow` auditing run deterministically.
+//! Output is bytewise independent of the thread count.
 
 pub mod config;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
+pub mod symgraph;
 pub mod walk;
 
 use std::fs;
@@ -28,22 +45,48 @@ use std::path::Path;
 use config::LintConfig;
 use diag::{Diagnostic, LintReport};
 use source::{Directive, FileKind, SourceFile};
+use symgraph::SymbolGraph;
+
+/// Current analyzer version, recorded in run manifests so a
+/// `lint_clean` flag certifies against a known rule set (an old log
+/// cannot silently pass a newer, stricter bar).
+pub const LINT_VERSION: u32 = 2;
+
+/// One file to lint: its workspace-relative path, full text, and an
+/// optional forced [`FileKind`] (fixture corpora live under `tests/`
+/// but pose as lib/bin files).
+pub struct FileSpec {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Full source text.
+    pub text: String,
+    /// Forced kind, or `None` to classify from the path.
+    pub kind: Option<FileKind>,
+}
 
 /// Lint outcome for one file.
 #[derive(Debug, Default)]
 pub struct FileOutcome {
-    /// Surviving (unsuppressed) diagnostics.
+    /// Surviving (unsuppressed) diagnostics, including any
+    /// `stale-allow` findings for this file.
     pub diagnostics: Vec<Diagnostic>,
     /// `(rule, line)` of each applied suppression.
     pub suppressed: Vec<(String, u32)>,
-    /// Lines of valid `allow` directives that matched nothing.
-    pub unused_allows: Vec<u32>,
+}
+
+/// Outcome of linting a set of files as one workspace.
+pub struct WorkspaceOutcome {
+    /// Per-file outcomes, sorted by path.
+    pub outcomes: Vec<(String, FileOutcome)>,
+    /// The symbol graph the workspace rules ran over.
+    pub graph: SymbolGraph,
 }
 
 /// The rule runner: applies every rule, then the suppression pass.
 pub struct Linter {
     cfg: LintConfig,
     rules: Vec<Box<dyn rules::Rule>>,
+    ws_rules: Vec<Box<dyn rules::WorkspaceRule>>,
     known: Vec<&'static str>,
 }
 
@@ -53,6 +96,7 @@ impl Linter {
         Linter {
             cfg,
             rules: rules::all_rules(),
+            ws_rules: rules::workspace_rules(),
             known: rules::known_rule_names(),
         }
     }
@@ -62,13 +106,57 @@ impl Linter {
         &self.cfg
     }
 
-    /// Lint one parsed file.
-    pub fn check_file(&self, file: &SourceFile) -> FileOutcome {
-        let mut raw = Vec::new();
-        for rule in &self.rules {
-            rule.check(file, &self.cfg, &mut raw);
+    /// Lint `specs` as one workspace: parallel per-file parse + local
+    /// rules, then graph build, workspace rules, suppression, and the
+    /// stale-allow audit. `threads = 0` picks the hardware default;
+    /// the result is bytewise identical at any thread count (files are
+    /// sorted by path and [`leo_core::par::parallel_map`] preserves
+    /// order).
+    pub fn check_sources(&self, mut specs: Vec<FileSpec>, threads: usize) -> WorkspaceOutcome {
+        specs.sort_by(|a, b| a.path.cmp(&b.path));
+
+        // Phase A (parallel): parse + file-local rules.
+        let mut parsed: Vec<(SourceFile, Vec<Diagnostic>)> =
+            leo_core::par::parallel_map(&specs, threads, |spec| {
+                let file = match spec.kind {
+                    Some(k) => SourceFile::parse_as(&spec.path, &spec.text, k),
+                    None => SourceFile::parse(&spec.path, &spec.text),
+                };
+                let mut raw = Vec::new();
+                for rule in &self.rules {
+                    rule.check(&file, &self.cfg, &mut raw);
+                }
+                (file, raw)
+            });
+
+        // Phase B (serial): symbol graph + workspace rules.
+        let graph = SymbolGraph::build(parsed.iter().map(|(f, _)| f));
+        let mut ws_raw: Vec<Diagnostic> = Vec::new();
+        for rule in &self.ws_rules {
+            rule.check(&graph, &self.cfg, &mut ws_raw);
+        }
+        // Route workspace diagnostics to their file (paths are sorted,
+        // so binary search keeps this deterministic and O(log n)).
+        for d in ws_raw {
+            if let Ok(idx) = parsed.binary_search_by(|(f, _)| f.path.as_str().cmp(&d.path)) {
+                parsed[idx].1.push(d);
+            }
         }
 
+        // Phase C: per-file suppression + stale-allow.
+        let outcomes = parsed
+            .into_iter()
+            .map(|(file, raw)| {
+                let out = self.suppress(&file, raw);
+                (file.path, out)
+            })
+            .collect();
+        WorkspaceOutcome { outcomes, graph }
+    }
+
+    /// Directive hygiene + the suppression pass for one file's raw
+    /// diagnostics, then the stale-allow audit over its directives.
+    fn suppress(&self, file: &SourceFile, mut raw: Vec<Diagnostic>) -> FileOutcome {
         let mut outcome = FileOutcome::default();
         // Directive hygiene: malformed comments and bare allows are
         // diagnostics themselves (and bare/unknown allows never
@@ -134,39 +222,71 @@ impl Linter {
                 None => outcome.diagnostics.push(d),
             }
         }
-        for (_, line, _, used) in &allows {
+        // Stale-allow audit: a reasoned allow that suppressed nothing
+        // is an error in its own right — and deliberately not
+        // suppressible (allowing the audit would be circular).
+        for (rule, line, _, used) in &allows {
             if !used {
-                outcome.unused_allows.push(*line);
+                outcome.diagnostics.push(Diagnostic {
+                    rule: "stale-allow",
+                    path: file.path.clone(),
+                    line: *line,
+                    msg: format!(
+                        "`lint: allow({rule})` suppresses nothing — remove it (stale \
+                         suppressions rot the audit trail)"
+                    ),
+                });
             }
         }
         outcome
+            .diagnostics
+            .sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+        outcome
     }
 
-    /// Lint source text as the file at `rel_path`, optionally forcing
-    /// the [`FileKind`] (fixture corpora live under `tests/` but pose
-    /// as lib/bin files).
+    /// Lint source text as the file at `rel_path` (a one-file
+    /// workspace: the reachability rules see this file's symbols only),
+    /// optionally forcing the [`FileKind`].
     pub fn check_source(&self, rel_path: &str, text: &str, kind: Option<FileKind>) -> FileOutcome {
-        let file = match kind {
-            Some(k) => SourceFile::parse_as(rel_path, text, k),
-            None => SourceFile::parse(rel_path, text),
+        let spec = FileSpec {
+            path: rel_path.to_string(),
+            text: text.to_string(),
+            kind,
         };
-        self.check_file(&file)
+        let mut ws = self.check_sources(vec![spec], 1);
+        ws.outcomes.pop().map(|(_, o)| o).unwrap_or_default()
     }
 
-    /// Walk `root`, lint every non-excluded `.rs` file (restricted to
-    /// `filters` prefixes when non-empty), and aggregate the report.
-    pub fn run(&self, root: &Path, filters: &[String]) -> io::Result<LintReport> {
-        let mut report = LintReport::default();
-        let mut counts: Vec<(String, usize)> = Vec::new();
+    /// Walk `root`, lint every non-excluded `.rs` file, and aggregate
+    /// the report. The symbol graph is always built from the *whole*
+    /// workspace; `filters` (path prefixes) restrict which files'
+    /// diagnostics are reported, not what the reachability rules see.
+    pub fn run(
+        &self,
+        root: &Path,
+        filters: &[String],
+        threads: usize,
+    ) -> io::Result<(LintReport, SymbolGraph)> {
+        let mut specs = Vec::new();
         for rel in walk::rs_files(root)? {
             if self.cfg.is_excluded(&rel) {
                 continue;
             }
-            if !filters.is_empty() && !filters.iter().any(|f| rel.starts_with(f.as_str())) {
+            let text = fs::read_to_string(root.join(&rel))?;
+            specs.push(FileSpec {
+                path: rel,
+                text,
+                kind: None,
+            });
+        }
+        let ws = self.check_sources(specs, threads);
+
+        let mut report = LintReport::default();
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for (path, outcome) in ws.outcomes {
+            if !filters.is_empty() && !filters.iter().any(|f| path.starts_with(f.as_str())) {
                 continue;
             }
-            let text = fs::read_to_string(root.join(&rel))?;
-            let outcome = self.check_source(&rel, &text, None);
             report.files += 1;
             report.diagnostics.extend(outcome.diagnostics);
             for (rule, _) in outcome.suppressed {
@@ -175,17 +295,13 @@ impl Linter {
                     None => counts.push((rule, 1)),
                 }
             }
-            for line in outcome.unused_allows {
-                report.unused_allows.push(format!("{rel}:{line}"));
-            }
         }
         report
             .diagnostics
             .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
         counts.sort_unstable();
         report.suppressed = counts;
-        report.unused_allows.sort_unstable();
-        Ok(report)
+        Ok((report, ws.graph))
     }
 }
 
@@ -233,11 +349,22 @@ mod tests {
     }
 
     #[test]
-    fn unused_allow_reported() {
+    fn stale_allow_is_an_error() {
         let src = "// lint: allow(wall-clock) nothing here actually\nfn f() {}";
         let out = linter().check_source("crates/x/src/lib.rs", src, None);
-        assert!(out.diagnostics.is_empty());
-        assert_eq!(out.unused_allows, vec![1]);
+        assert_eq!(out.diagnostics.len(), 1, "{:#?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].rule, "stale-allow");
+        assert_eq!(out.diagnostics[0].line, 1);
+    }
+
+    #[test]
+    fn allowing_the_stale_allow_audit_is_circular_and_fails() {
+        // `allow(stale-allow)` can never suppress anything (the audit
+        // runs after suppression), so it is always itself stale.
+        let src = "// lint: allow(stale-allow) trying to dodge the audit\nfn f() {}";
+        let out = linter().check_source("crates/x/src/lib.rs", src, None);
+        assert_eq!(out.diagnostics.len(), 1);
+        assert_eq!(out.diagnostics[0].rule, "stale-allow");
     }
 
     #[test]
@@ -248,5 +375,50 @@ mod tests {
         let out =
             linter().check_source("crates/lint/tests/fixtures/u.rs", src, Some(FileKind::Lib));
         assert_eq!(out.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn workspace_rules_fire_through_check_source() {
+        let src = "pub fn api() { helper(); }\nfn helper() { panic!(\"boom\"); }";
+        let out = linter().check_source("crates/x/src/lib.rs", src, None);
+        assert_eq!(out.diagnostics.len(), 1, "{:#?}", out.diagnostics);
+        assert_eq!(out.diagnostics[0].rule, "panic-reachable");
+        assert!(out.diagnostics[0].msg.contains("api → helper"));
+    }
+
+    #[test]
+    fn workspace_diagnostics_are_suppressible_and_allows_count_as_used() {
+        let src = "pub fn api() { helper(); }\n\
+                   fn helper() {\n\
+                       panic!(\"boom\"); // lint: allow(panic-reachable) unreachable: api guards\n\
+                   }";
+        let out = linter().check_source("crates/x/src/lib.rs", src, None);
+        assert!(out.diagnostics.is_empty(), "{:#?}", out.diagnostics);
+        assert_eq!(out.suppressed, vec![("panic-reachable".to_string(), 3)]);
+    }
+
+    #[test]
+    fn cross_file_reachability_via_check_sources() {
+        let specs = vec![
+            FileSpec {
+                path: "crates/a/src/lib.rs".into(),
+                text: "pub fn api() { helper(); }".into(),
+                kind: None,
+            },
+            FileSpec {
+                path: "crates/b/src/lib.rs".into(),
+                text: "pub(crate) fn helper() { todo!() }".into(),
+                kind: None,
+            },
+        ];
+        let ws = Linter::new(LintConfig::default()).check_sources(specs, 1);
+        let all: Vec<&Diagnostic> = ws
+            .outcomes
+            .iter()
+            .flat_map(|(_, o)| o.diagnostics.iter())
+            .collect();
+        assert_eq!(all.len(), 1, "{all:#?}");
+        assert_eq!(all[0].path, "crates/b/src/lib.rs");
+        assert!(all[0].msg.contains("api → helper"), "{}", all[0].msg);
     }
 }

@@ -1,14 +1,19 @@
 //! `leo-lint` — workspace static analysis driver.
 //!
 //! ```text
-//! leo-lint [--deny] [--jsonl] [--root DIR] [--config FILE] [--rules] [PATH…]
+//! leo-lint [--deny] [--jsonl] [--root DIR] [--config FILE] [--rules]
+//!          [--threads N] [--graph-out FILE] [PATH…]
 //! ```
 //!
 //! Walks `--root` (default: the current directory) for `.rs` files,
 //! applies every rule, prints `file:line` diagnostics (human form, or
 //! one JSON object per line with `--jsonl`) plus a summary that counts
-//! applied suppressions. `PATH…` arguments restrict linting to files
-//! under those workspace-relative prefixes.
+//! applied suppressions. `PATH…` arguments restrict *reporting* to
+//! files under those workspace-relative prefixes; the symbol graph is
+//! always built from the whole workspace so reachability findings
+//! don't change with the filter. `--threads N` pins the file-parse
+//! pool (0 = hardware default; output is bytewise identical either
+//! way). `--graph-out FILE` persists the symbol/call graph as JSONL.
 //!
 //! Exit codes: `0` clean (or findings without `--deny`), `1` findings
 //! under `--deny` (the CI lane), `2` usage or IO error.
@@ -17,7 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use leo_lint::config::LintConfig;
-use leo_lint::rules::all_rules;
+use leo_lint::rules::{all_rules, workspace_rules};
 use leo_lint::Linter;
 
 struct Args {
@@ -26,6 +31,8 @@ struct Args {
     list_rules: bool,
     root: PathBuf,
     config: Option<PathBuf>,
+    threads: usize,
+    graph_out: Option<PathBuf>,
     filters: Vec<String>,
 }
 
@@ -36,6 +43,8 @@ fn parse_args() -> Result<Args, String> {
         list_rules: false,
         root: PathBuf::from("."),
         config: None,
+        threads: 0,
+        graph_out: None,
         filters: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -50,10 +59,19 @@ fn parse_args() -> Result<Args, String> {
             "--config" => {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
             }
+            "--threads" => {
+                let n = it.next().ok_or("--threads needs a count")?;
+                args.threads = n
+                    .parse()
+                    .map_err(|_| format!("--threads: `{n}` is not a count"))?;
+            }
+            "--graph-out" => {
+                args.graph_out = Some(PathBuf::from(it.next().ok_or("--graph-out needs a file")?));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: leo-lint [--deny] [--jsonl] [--root DIR] [--config FILE] \
-                     [--rules] [PATH...]"
+                     [--rules] [--threads N] [--graph-out FILE] [PATH...]"
                 );
                 std::process::exit(0);
             }
@@ -92,6 +110,13 @@ fn main() -> ExitCode {
         for rule in all_rules() {
             println!("{:<20} {}", rule.name(), rule.rationale());
         }
+        for rule in workspace_rules() {
+            println!("{:<20} [workspace] {}", rule.name(), rule.rationale());
+        }
+        println!(
+            "{:<20} [audit] a `lint: allow` that suppresses nothing is itself an error",
+            "stale-allow"
+        );
         return ExitCode::SUCCESS;
     }
     let cfg = match load_config(&args) {
@@ -102,13 +127,19 @@ fn main() -> ExitCode {
         }
     };
     let linter = Linter::new(cfg);
-    let report = match linter.run(&args.root, &args.filters) {
+    let (report, graph) = match linter.run(&args.root, &args.filters, args.threads) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("leo-lint: walking {}: {e}", args.root.display());
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = &args.graph_out {
+        if let Err(e) = std::fs::write(path, graph.to_jsonl()) {
+            eprintln!("leo-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if args.jsonl {
         for d in &report.diagnostics {

@@ -1,17 +1,32 @@
 //! The rule framework and registry.
 //!
-//! A rule is a pure function over one analyzed [`SourceFile`]: it
-//! appends [`Diagnostic`]s and never does IO. Suppression handling
-//! lives in the runner ([`crate::Linter`]), not in rules — every rule
-//! stays suppressible by the same `// lint: allow(<rule>) <reason>`
-//! mechanism without per-rule code.
+//! Two rule shapes:
+//!
+//! * [`Rule`] — a pure function over one analyzed [`SourceFile`]; runs
+//!   in parallel across files (hence the `Sync` bound) and never does
+//!   IO.
+//! * [`WorkspaceRule`] — a pure function over the whole-workspace
+//!   [`crate::symgraph::SymbolGraph`]; runs once after
+//!   every file is parsed, for invariants (reachability) no single
+//!   file can prove.
+//!
+//! Suppression handling lives in the runner ([`crate::Linter`]), not in
+//! rules — every rule of either shape stays suppressible by the same
+//! `// lint: allow(<rule>) <reason>` mechanism without per-rule code.
+//! The one exception is `stale-allow` (also runner logic): it fires on
+//! the suppression machinery itself, so allowing it would be circular —
+//! an `allow(stale-allow)` never suppresses anything and is therefore
+//! itself stale.
 
 use crate::config::LintConfig;
 use crate::diag::Diagnostic;
 use crate::source::SourceFile;
+use crate::symgraph::SymbolGraph;
 
 mod float_fastmath;
 mod hot_path_alloc;
+mod hot_path_reach;
+mod panic_reachable;
 mod print_in_lib;
 mod unordered_iter;
 mod unsafe_undocumented;
@@ -21,6 +36,8 @@ mod wall_clock;
 
 pub use float_fastmath::FloatFastmath;
 pub use hot_path_alloc::HotPathAlloc;
+pub use hot_path_reach::HotPathReach;
+pub use panic_reachable::PanicReachable;
 pub use print_in_lib::PrintInLib;
 pub use unordered_iter::UnorderedIter;
 pub use unsafe_undocumented::UnsafeUndocumented;
@@ -28,8 +45,8 @@ pub use unseeded_rng::UnseededRng;
 pub use unwrap_in_lib::UnwrapInLib;
 pub use wall_clock::WallClock;
 
-/// A source-level invariant check.
-pub trait Rule {
+/// A file-local invariant check.
+pub trait Rule: Sync {
     /// Kebab-case rule name — the key used in `lint: allow(<name>)`
     /// suppressions and `lint.toml` sections.
     fn name(&self) -> &'static str;
@@ -39,7 +56,18 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>);
 }
 
-/// Every shipped rule, in stable order.
+/// A workspace-level invariant check over the symbol graph.
+pub trait WorkspaceRule: Sync {
+    /// Kebab-case rule name (may coincide with a file-local rule when
+    /// the two are halves of one invariant — `hot-path-alloc`).
+    fn name(&self) -> &'static str;
+    /// One line on what the rule enforces and why (shown by `--rules`).
+    fn rationale(&self) -> &'static str;
+    /// Append diagnostics over the whole graph to `out`.
+    fn check(&self, graph: &SymbolGraph, cfg: &LintConfig, out: &mut Vec<Diagnostic>);
+}
+
+/// Every shipped file-local rule, in stable order.
 pub fn all_rules() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(WallClock),
@@ -53,13 +81,25 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
     ]
 }
 
-/// Names of every shipped rule plus the two meta-diagnostics the runner
-/// itself can emit (`bare-allow`, `bad-directive`). Used to reject
-/// `allow(...)` of rules that do not exist.
+/// Every shipped workspace rule, in stable order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![Box::new(PanicReachable), Box::new(HotPathReach)]
+}
+
+/// Names of every shipped rule (both shapes) plus the meta-diagnostics
+/// the runner itself can emit (`bare-allow`, `bad-directive`,
+/// `stale-allow`). Used to reject `allow(...)` of rules that do not
+/// exist.
 pub fn known_rule_names() -> Vec<&'static str> {
     let mut names: Vec<&'static str> = all_rules().iter().map(|r| r.name()).collect();
+    for r in workspace_rules() {
+        if !names.contains(&r.name()) {
+            names.push(r.name());
+        }
+    }
     names.push("bare-allow");
     names.push("bad-directive");
+    names.push("stale-allow");
     names
 }
 
@@ -90,9 +130,28 @@ mod tests {
                 "rule name `{n}` is not kebab-case"
             );
         }
-        assert_eq!(rules.len(), 8, "the shipped rule set");
+        assert_eq!(rules.len(), 8, "the shipped file-local rule set");
         for r in rules {
             assert!(!r.rationale().is_empty());
         }
+    }
+
+    #[test]
+    fn workspace_registry_and_known_names() {
+        let ws = workspace_rules();
+        assert_eq!(ws.len(), 2);
+        let known = known_rule_names();
+        for want in [
+            "panic-reachable",
+            "hot-path-alloc",
+            "stale-allow",
+            "bare-allow",
+            "bad-directive",
+        ] {
+            assert!(known.contains(&want), "missing {want}");
+        }
+        // hot-path-alloc appears in both shapes but only once in the
+        // known set.
+        assert_eq!(known.iter().filter(|n| **n == "hot-path-alloc").count(), 1);
     }
 }

@@ -2,6 +2,7 @@
 //! `#[cfg(test)]` region detection, and `// lint:` directive parsing.
 
 use crate::lexer::{lex, Comment, Lexed, Tok};
+use crate::parser::{parse_fns, FnSym};
 
 /// How a file participates in the build — rules scope themselves by
 /// kind (e.g. `unwrap-in-lib` fires only in `Lib`).
@@ -77,6 +78,12 @@ pub struct SourceFile {
     pub comments: Vec<Comment>,
     /// Parsed `// lint:` directives.
     pub directives: Vec<Directive>,
+    /// Every `fn` item in the file, in declaration order (the symbol
+    /// graph's raw material).
+    pub fns: Vec<FnSym>,
+    /// Parallel to [`SourceFile::fns`]: true when a `// lint: hot-path`
+    /// directive marks that fn.
+    pub hot_marked: Vec<bool>,
     /// Token-index ranges `[start, end)` under `#[cfg(test)]` items.
     test_ranges: Vec<(usize, usize)>,
 }
@@ -93,12 +100,32 @@ impl SourceFile {
         let Lexed { toks, comments } = lex(text);
         let test_ranges = find_cfg_test_ranges(&toks);
         let directives = parse_directives(&comments);
+        let whole_file_test = matches!(kind, FileKind::Test | FileKind::Bench);
+        let fns = parse_fns(&toks, &|i| {
+            whole_file_test || test_ranges.iter().any(|&(s, e)| i >= s && i < e)
+        });
+        // A `// lint: hot-path` directive marks the nearest fn declared
+        // after it (attributes in between are fine — matching is by
+        // line, same as the file-local rule's next-fn-token scan).
+        let hot_marked = fns
+            .iter()
+            .map(|f| {
+                directives.iter().any(|d| match d {
+                    Directive::HotPath { line } => {
+                        *line < f.line && !fns.iter().any(|g| g.line > *line && g.line < f.line)
+                    }
+                    _ => false,
+                })
+            })
+            .collect();
         SourceFile {
             path: rel_path.to_string(),
             kind,
             toks,
             comments,
             directives,
+            fns,
+            hot_marked,
             test_ranges,
         }
     }
@@ -273,6 +300,36 @@ let x = 1; // lint: allow(wall-clock) bench timing only
             other => panic!("expected bare Allow, got {other:?}"),
         }
         assert_eq!(f.directives[3], Directive::Malformed { line: 6 });
+    }
+
+    #[test]
+    fn fns_parsed_and_hot_marked() {
+        let src = "
+fn cold() {}
+// lint: hot-path
+#[inline]
+fn hot() {}
+fn also_cold() {}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let names: Vec<&str> = f.fns.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["cold", "hot", "also_cold"]);
+        assert_eq!(f.hot_marked, vec![false, true, false]);
+    }
+
+    #[test]
+    fn cfg_test_fns_carry_the_test_flag() {
+        let src = "
+fn lib_fn() {}
+#[cfg(test)]
+mod tests {
+    fn test_helper() {}
+}
+";
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let by = |n: &str| f.fns.iter().find(|s| s.name == n).unwrap();
+        assert!(!by("lib_fn").is_test);
+        assert!(by("test_helper").is_test);
     }
 
     #[test]

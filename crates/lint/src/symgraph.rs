@@ -1,0 +1,396 @@
+//! Workspace symbol graph: every parsed `fn` across every linted file,
+//! plus an over-approximate call graph, queryable by workspace rules
+//! and persistable as JSONL (`--graph-out`).
+//!
+//! Resolution follows the precision tiers documented in
+//! [`crate::parser`]: bare calls link to free fns, `Type::fn` links
+//! within `impl Type` when `Type` is a workspace type (and produces
+//! *no* edge for foreign qualifiers like `Vec`), `self.fn()` resolves
+//! precisely to the enclosing impl when it defines `fn`, and plain
+//! method calls over-approximate to every workspace method of that
+//! name. The graph therefore never misses a real workspace edge but
+//! may invent ones — sound for reachability *denials* (what the rules
+//! assert) and honest about the rest.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::parser::{FnSym, Receiver};
+use crate::source::{FileKind, SourceFile};
+
+/// Sentinel for "no parent / unreached" in [`Reach`].
+pub const NO_NODE: u32 = u32::MAX;
+
+/// One fn in the workspace, with its file context.
+#[derive(Debug)]
+pub struct SymNode {
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Build role of the defining file.
+    pub kind: FileKind,
+    /// The parsed fn (name, visibility, call/panic/alloc sites).
+    pub sym: FnSym,
+    /// True when a `// lint: hot-path` directive marks this fn (its
+    /// body is patrolled file-locally; reachability rules treat it as
+    /// a root and skip its body to avoid double-reporting).
+    pub hot_marked: bool,
+}
+
+/// The workspace symbol + call graph.
+#[derive(Debug, Default)]
+pub struct SymbolGraph {
+    /// All fns, in (file, declaration) order — deterministic because
+    /// the runner sorts files by path before building.
+    pub nodes: Vec<SymNode>,
+    /// `edges[i]` = callee node ids of node `i`, sorted and deduped.
+    pub edges: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+/// BFS result: shortest-hop parent forest over the filtered graph.
+#[derive(Debug)]
+pub struct Reach {
+    /// `parent[i]` = predecessor on a shortest chain from some root
+    /// (`i` itself for roots, [`NO_NODE`] when unreached).
+    pub parent: Vec<u32>,
+}
+
+impl Reach {
+    /// Is node `i` reachable from any root?
+    pub fn reached(&self, i: u32) -> bool {
+        self.parent[i as usize] != NO_NODE
+    }
+
+    /// Shortest chain `root → … → to` as node ids (empty if unreached).
+    pub fn chain(&self, to: u32) -> Vec<u32> {
+        if !self.reached(to) {
+            return Vec::new();
+        }
+        let mut chain = vec![to];
+        let mut cur = to;
+        while self.parent[cur as usize] != cur {
+            cur = self.parent[cur as usize];
+            chain.push(cur);
+        }
+        chain.reverse();
+        chain
+    }
+}
+
+impl SymbolGraph {
+    /// Build the graph from analyzed files (caller supplies them in
+    /// deterministic order; node ids follow that order).
+    pub fn build<'a, I>(files: I) -> SymbolGraph
+    where
+        I: IntoIterator<Item = &'a SourceFile>,
+    {
+        let mut g = SymbolGraph::default();
+        for f in files {
+            for (sym, hot) in f.fns.iter().zip(&f.hot_marked) {
+                g.nodes.push(SymNode {
+                    path: f.path.clone(),
+                    kind: f.kind,
+                    sym: sym.clone(),
+                    hot_marked: *hot,
+                });
+            }
+        }
+
+        // Name indexes (BTreeMap: iteration order never leaks into
+        // output, but determinism-by-construction is this tool's creed).
+        let mut free: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+        let mut typed: BTreeMap<(&str, &str), Vec<u32>> = BTreeMap::new();
+        let mut known_types: BTreeSet<&str> = BTreeSet::new();
+        for (i, n) in g.nodes.iter().enumerate() {
+            let i = i as u32;
+            match &n.sym.impl_type {
+                Some(t) => {
+                    methods.entry(&n.sym.name).or_default().push(i);
+                    typed.entry((t, &n.sym.name)).or_default().push(i);
+                    known_types.insert(t);
+                }
+                None => free.entry(&n.sym.name).or_default().push(i),
+            }
+        }
+
+        let empty: Vec<u32> = Vec::new();
+        let mut edges: Vec<Vec<u32>> = Vec::with_capacity(g.nodes.len());
+        let mut edge_count = 0usize;
+        for n in &g.nodes {
+            let mut out: Vec<u32> = Vec::new();
+            for call in &n.sym.calls {
+                let name = call.name.as_str();
+                let targets: &Vec<u32> = match &call.receiver {
+                    Receiver::Bare => free.get(name).unwrap_or(&empty),
+                    Receiver::Method => methods.get(name).unwrap_or(&empty),
+                    Receiver::SelfMethod => {
+                        let own = n
+                            .sym
+                            .impl_type
+                            .as_deref()
+                            .and_then(|t| typed.get(&(t, name)));
+                        match own {
+                            Some(v) => v,
+                            None => methods.get(name).unwrap_or(&empty),
+                        }
+                    }
+                    Receiver::Qualified(seg) => {
+                        if seg == "Self" {
+                            n.sym
+                                .impl_type
+                                .as_deref()
+                                .and_then(|t| typed.get(&(t, name)))
+                                .unwrap_or(&empty)
+                        } else if known_types.contains(seg.as_str()) {
+                            typed.get(&(seg.as_str(), name)).unwrap_or(&empty)
+                        } else {
+                            // Foreign type or module path — only free
+                            // fns can plausibly be the callee.
+                            free.get(name).unwrap_or(&empty)
+                        }
+                    }
+                };
+                out.extend_from_slice(targets);
+            }
+            out.sort_unstable();
+            out.dedup();
+            edge_count += out.len();
+            edges.push(out);
+        }
+        g.edges = edges;
+        g.edge_count = edge_count;
+        g
+    }
+
+    /// Total directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Node ids whose fn matches `pattern`: `Type::name` (exact
+    /// qualified), `Type::*` (every method of `Type`), or `name`
+    /// (free fn of that name).
+    pub fn match_pattern(&self, pattern: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let hit = match pattern.split_once("::") {
+                Some((ty, "*")) => n.sym.impl_type.as_deref() == Some(ty),
+                Some(_) => n.sym.qualified() == pattern,
+                None => n.sym.impl_type.is_none() && n.sym.name == pattern,
+            };
+            if hit {
+                out.push(i as u32);
+            }
+        }
+        out
+    }
+
+    /// Multi-root BFS over nodes passing `allowed(id, node)`, returning
+    /// the shortest-hop parent forest. Roots are seeded in the order
+    /// given and adjacency lists are sorted, so ties break
+    /// deterministically toward lower node ids.
+    pub fn reach(&self, roots: &[u32], allowed: &dyn Fn(u32, &SymNode) -> bool) -> Reach {
+        let mut parent = vec![NO_NODE; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            let ri = r as usize;
+            if parent[ri] == NO_NODE && allowed(r, &self.nodes[ri]) {
+                parent[ri] = r;
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u as usize] {
+                let vi = v as usize;
+                if parent[vi] == NO_NODE && allowed(v, &self.nodes[vi]) {
+                    parent[vi] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        Reach { parent }
+    }
+
+    /// Render a node chain as `a::b → c → d::e` for diagnostics.
+    pub fn chain_display(&self, chain: &[u32]) -> String {
+        let parts: Vec<String> = chain
+            .iter()
+            .map(|&i| self.nodes[i as usize].sym.qualified())
+            .collect();
+        parts.join(" → ")
+    }
+
+    /// Persist the graph as JSONL: one `lint_symbol` line per node,
+    /// one `lint_edge` line per edge, and a closing
+    /// `lint_graph_summary` — same escaping rules as `RUN_*.jsonl`.
+    pub fn to_jsonl(&self) -> String {
+        use leo_util::telemetry::json_string;
+        let mut out = String::new();
+        for (i, n) in self.nodes.iter().enumerate() {
+            let vis = match n.sym.vis {
+                crate::parser::Visibility::Public => "pub",
+                crate::parser::Visibility::Restricted => "crate",
+                crate::parser::Visibility::Private => "priv",
+            };
+            out.push_str(&format!(
+                "{{\"type\":\"lint_symbol\",\"id\":{},\"fn\":{},\"path\":{},\"line\":{},\
+                 \"vis\":\"{}\",\"test\":{},\"hot\":{},\"panics\":{},\"allocs\":{}}}\n",
+                i,
+                json_string(&n.sym.qualified()),
+                json_string(&n.path),
+                n.sym.line,
+                vis,
+                n.sym.is_test,
+                n.hot_marked,
+                n.sym.panics.len(),
+                n.sym.allocs.len(),
+            ));
+        }
+        for (i, outs) in self.edges.iter().enumerate() {
+            for &j in outs {
+                out.push_str(&format!(
+                    "{{\"type\":\"lint_edge\",\"from\":{i},\"to\":{j}}}\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{{\"type\":\"lint_graph_summary\",\"symbols\":{},\"edges\":{}}}\n",
+            self.nodes.len(),
+            self.edge_count
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(files: &[(&str, &str)]) -> SymbolGraph {
+        let parsed: Vec<SourceFile> = files.iter().map(|(p, s)| SourceFile::parse(p, s)).collect();
+        SymbolGraph::build(&parsed)
+    }
+
+    fn id(g: &SymbolGraph, name: &str) -> u32 {
+        g.nodes
+            .iter()
+            .position(|n| n.sym.name == name)
+            .unwrap_or_else(|| panic!("no fn {name}")) as u32
+    }
+
+    #[test]
+    fn cross_file_free_fn_edges() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub fn entry() { helper(); }"),
+            ("crates/b/src/lib.rs", "pub fn helper() {}"),
+        ]);
+        let (e, h) = (id(&g, "entry"), id(&g, "helper"));
+        assert_eq!(g.edges[e as usize], vec![h]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn foreign_qualifiers_produce_no_edges() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct W; impl W { pub fn new() -> W { W } }\n\
+             pub fn go() { let _ = Vec::new(); let w = W::new(); }",
+        )]);
+        let go = id(&g, "go") as usize;
+        // Only the W::new edge — Vec::new does not alias workspace `new`s.
+        assert_eq!(g.edges[go], vec![id(&g, "new")]);
+    }
+
+    #[test]
+    fn self_method_resolves_to_own_impl_first() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { pub fn run(&self) { self.step(); } fn step(&self) {} }\n\
+             impl B { fn step(&self) {} }",
+        )]);
+        let run = id(&g, "run") as usize;
+        let a_step = g
+            .nodes
+            .iter()
+            .position(|n| n.sym.name == "step" && n.sym.impl_type.as_deref() == Some("A"))
+            .unwrap() as u32;
+        assert_eq!(g.edges[run], vec![a_step]);
+    }
+
+    #[test]
+    fn plain_method_calls_over_approximate() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn step(&self) {} }\n\
+             impl B { fn step(&self) {} }\n\
+             pub fn go(x: &A) { x.step(); }",
+        )]);
+        let go = id(&g, "go") as usize;
+        assert_eq!(g.edges[go].len(), 2, "both `step` impls are candidates");
+    }
+
+    #[test]
+    fn reach_chains_are_shortest_and_deterministic() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn root() { mid(); deep1(); }\n\
+             fn mid() { leaf(); }\n\
+             fn deep1() { deep2(); }\n\
+             fn deep2() { leaf(); }\n\
+             fn leaf() {}",
+        )]);
+        let r = g.reach(&[id(&g, "root")], &|_, _| true);
+        let chain = r.chain(id(&g, "leaf"));
+        // root → mid → leaf (2 hops) beats root → deep1 → deep2 → leaf.
+        assert_eq!(g.chain_display(&chain), "root → mid → leaf");
+    }
+
+    #[test]
+    fn reach_filter_blocks_traversal() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "pub fn root() { bridge(); }\nfn bridge() { leaf(); }\nfn leaf() {}",
+        )]);
+        let bridge = id(&g, "bridge");
+        let r = g.reach(&[id(&g, "root")], &|_, n| n.sym.name != "bridge");
+        assert!(!r.reached(bridge));
+        assert!(!r.reached(id(&g, "leaf")));
+    }
+
+    #[test]
+    fn match_pattern_forms() {
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct W; impl W { pub fn apply(&self) {} pub fn rebuild(&self) {} }\n\
+             pub fn apply() {}",
+        )]);
+        assert_eq!(g.match_pattern("W::apply").len(), 1);
+        assert_eq!(g.match_pattern("W::*").len(), 2);
+        let free = g.match_pattern("apply");
+        assert_eq!(free.len(), 1);
+        assert!(g.nodes[free[0] as usize].sym.impl_type.is_none());
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_shared_parser() {
+        let g = graph(&[("crates/a/src/lib.rs", "pub fn a() { b(); }\nfn b() {}")]);
+        let text = g.to_jsonl();
+        let mut symbols = 0;
+        let mut edges = 0;
+        for line in text.lines() {
+            let v = leo_util::telemetry::Json::parse(line).unwrap();
+            match v.get("type").and_then(|t| t.as_str()).unwrap() {
+                "lint_symbol" => symbols += 1,
+                "lint_edge" => edges += 1,
+                "lint_graph_summary" => {
+                    assert_eq!(v.get("symbols").and_then(|n| n.as_num()), Some(2.0));
+                    assert_eq!(v.get("edges").and_then(|n| n.as_num()), Some(1.0));
+                }
+                other => panic!("unknown line type {other}"),
+            }
+        }
+        assert_eq!((symbols, edges), (2, 1));
+    }
+}

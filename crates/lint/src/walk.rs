@@ -1,5 +1,12 @@
 //! Deterministic workspace walker: every `.rs` file under the root,
 //! sorted by relative path, skipping build output and VCS internals.
+//!
+//! Robustness contract: the walker never errors on what it can safely
+//! ignore. Symlinked directories are skipped (a link into `target/` or
+//! out of the workspace must not be followed — and a cyclic link must
+//! not hang the walk), and entries whose names are not valid UTF-8 are
+//! skipped (a lint path must be printable and comparable; such files
+//! cannot be workspace sources).
 
 use std::fs;
 use std::io;
@@ -16,15 +23,24 @@ pub fn rs_files(root: &Path) -> io::Result<Vec<String>> {
     while let Some(dir) = stack.pop() {
         for entry in fs::read_dir(&dir)? {
             let entry = entry?;
-            let path = entry.path();
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if path.is_dir() {
-                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
-                    stack.push(path);
+            // Non-UTF-8 names can't be workspace-relative lint paths;
+            // skip rather than lossily mangling (a mangled path would
+            // neither open nor match config prefixes).
+            let Ok(name) = entry.file_name().into_string() else {
+                continue;
+            };
+            // file_type() reports the symlink itself (no follow):
+            // symlinked dirs are pruned here, and a symlink to a file
+            // is not a workspace source either.
+            let Ok(ftype) = entry.file_type() else {
+                continue;
+            };
+            if ftype.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) && !name.starts_with('.') {
+                    stack.push(entry.path());
                 }
-            } else if name.ends_with(".rs") {
-                if let Ok(rel) = path.strip_prefix(root) {
+            } else if ftype.is_file() && name.ends_with(".rs") {
+                if let Ok(rel) = entry.path().strip_prefix(root) {
                     out.push(rel.to_string_lossy().replace('\\', "/"));
                 }
             }
@@ -49,5 +65,28 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(files, sorted);
         assert!(files.iter().all(|f| !f.starts_with("target/")));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn symlinked_dirs_and_files_are_skipped_not_errors() {
+        use std::os::unix::ffi::OsStrExt;
+        use std::os::unix::fs::symlink;
+
+        let tmp = std::env::temp_dir().join(format!("leo_lint_walk_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&tmp);
+        fs::create_dir_all(tmp.join("real")).unwrap();
+        fs::write(tmp.join("real/keep.rs"), "fn k() {}").unwrap();
+        // A cyclic symlink (dir → its own parent) must not hang or
+        // error; a symlinked file must not be reported.
+        symlink(&tmp, tmp.join("cycle")).unwrap();
+        symlink(tmp.join("real/keep.rs"), tmp.join("alias.rs")).unwrap();
+        // A non-UTF-8 filename must be skipped, not lossily reported.
+        let bad = std::ffi::OsStr::from_bytes(b"bad\xff.rs");
+        fs::write(tmp.join(bad), "fn b() {}").unwrap();
+
+        let files = rs_files(&tmp).unwrap();
+        assert_eq!(files, vec!["real/keep.rs".to_string()]);
+        fs::remove_dir_all(&tmp).unwrap();
     }
 }

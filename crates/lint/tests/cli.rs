@@ -110,7 +110,7 @@ fn unknown_flag_and_bad_root_exit_two() {
 }
 
 #[test]
-fn rules_listing_names_all_eight() {
+fn rules_listing_names_local_workspace_and_audit_rules() {
     let out = run(&["--rules"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout).to_string();
@@ -123,9 +123,141 @@ fn rules_listing_names_all_eight() {
         "unsafe-undocumented",
         "float-fastmath",
         "print-in-lib",
+        "panic-reachable",
+        "stale-allow",
     ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
+    assert!(text.contains("[workspace]"), "{text}");
+    assert!(text.contains("[audit]"), "{text}");
+}
+
+/// A tree exercising all three v2 rules: a panic chain behind a public
+/// API, an allocation below a default hot-path root, and a stale allow.
+fn v2_tree(name: &str) -> PathBuf {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let src = root.join("crates/x/src");
+    std::fs::create_dir_all(&src).expect("mkdir");
+    std::fs::write(
+        src.join("lib.rs"),
+        "pub fn api(x: u32) -> u32 { mid(x) }\n\
+         fn mid(x: u32) -> u32 { deep(x) }\n\
+         fn deep(x: u32) -> u32 { if x > 9 { panic!(\"x\"); } x }\n",
+    )
+    .expect("write lib.rs");
+    std::fs::write(
+        src.join("spt.rs"),
+        "pub struct SptWorkspace;\n\
+         impl SptWorkspace { pub fn apply(&mut self) { relax(); } }\n\
+         fn relax() { let v: Vec<u32> = Vec::new(); drop(v); }\n",
+    )
+    .expect("write spt.rs");
+    std::fs::write(
+        src.join("stale.rs"),
+        "pub fn double(x: u32) -> u32 {\n    x * 2 // lint: allow(wall-clock) timing call was removed\n}\n",
+    )
+    .expect("write stale.rs");
+    root
+}
+
+#[test]
+fn v2_rules_reach_jsonl_with_chains() {
+    let root = v2_tree("cli_v2_jsonl");
+    let out = run(&["--root", root.to_str().expect("utf8"), "--jsonl"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).to_string();
+    let mut rules = Vec::new();
+    for l in text.lines() {
+        let v = leo_util::telemetry::Json::parse(l).expect("valid JSONL");
+        if v.get("type").and_then(|t| t.as_str()) == Some("diagnostic") {
+            let rule = v
+                .get("rule")
+                .and_then(|r| r.as_str())
+                .expect("rule")
+                .to_string();
+            let msg = v
+                .get("msg")
+                .and_then(|m| m.as_str())
+                .expect("msg")
+                .to_string();
+            match rule.as_str() {
+                "panic-reachable" => {
+                    assert!(msg.contains("api → mid → deep"), "{msg}");
+                }
+                "hot-path-alloc" => {
+                    assert!(msg.contains("SptWorkspace::apply → relax"), "{msg}");
+                }
+                _ => {}
+            }
+            rules.push(rule);
+        }
+    }
+    rules.sort();
+    assert_eq!(
+        rules,
+        ["hot-path-alloc", "panic-reachable", "stale-allow"],
+        "{text}"
+    );
+}
+
+/// Satellite contract: the parallel per-file pass must not leak thread
+/// count into output — byte-identical at 1 and 8 workers.
+#[test]
+fn output_is_byte_identical_across_thread_counts() {
+    let root = v2_tree("cli_threads");
+    let rootarg = root.to_str().expect("utf8");
+    let one = run(&["--root", rootarg, "--threads", "1"]);
+    let eight = run(&["--root", rootarg, "--threads", "8"]);
+    assert_eq!(one.status.code(), eight.status.code());
+    assert_eq!(one.stdout, eight.stdout, "thread count leaked into output");
+    let one_j = run(&["--root", rootarg, "--threads", "1", "--jsonl"]);
+    let eight_j = run(&["--root", rootarg, "--threads", "8", "--jsonl"]);
+    assert_eq!(
+        one_j.stdout, eight_j.stdout,
+        "thread count leaked into JSONL"
+    );
+}
+
+#[test]
+fn graph_out_persists_the_symbol_graph() {
+    let root = v2_tree("cli_graph_out");
+    let graph_path = root.join("symgraph.jsonl");
+    let out = run(&[
+        "--root",
+        root.to_str().expect("utf8"),
+        "--graph-out",
+        graph_path.to_str().expect("utf8"),
+    ]);
+    assert!(
+        out.status.success() || out.status.code() == Some(0),
+        "{out:?}"
+    );
+    let text = std::fs::read_to_string(&graph_path).expect("graph file written");
+    let mut types = std::collections::BTreeSet::new();
+    for l in text.lines() {
+        let v = leo_util::telemetry::Json::parse(l).expect("valid graph JSONL");
+        types.insert(
+            v.get("type")
+                .and_then(|t| t.as_str())
+                .expect("type")
+                .to_string(),
+        );
+    }
+    assert!(types.contains("lint_symbol"), "{types:?}");
+    assert!(types.contains("lint_edge"), "{types:?}");
+    assert!(types.contains("lint_graph_summary"), "{types:?}");
+    // The summary counts must match the emitted records.
+    let summary = text
+        .lines()
+        .find(|l| l.contains("lint_graph_summary"))
+        .expect("summary line");
+    let v = leo_util::telemetry::Json::parse(summary).expect("summary json");
+    let symbols = v.get("symbols").and_then(|n| n.as_num()).expect("symbols");
+    let n_sym = text
+        .lines()
+        .filter(|l| l.contains("\"lint_symbol\""))
+        .count();
+    assert_eq!(symbols as usize, n_sym);
 }
 
 /// The acceptance criterion made executable: the real workspace passes

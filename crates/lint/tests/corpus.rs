@@ -73,6 +73,22 @@ const CASES: &[(&str, &str, &str, FileKind, usize)] = &[
         FileKind::Lib,
         3,
     ),
+    (
+        "panic-reachable",
+        "panic-reachable",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+        1,
+    ),
+    // The workspace half of hot-path-alloc: the fixture defines an
+    // `SptWorkspace::apply`, which the default config lists as a root.
+    (
+        "hot-path-alloc",
+        "hot-path-reach",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+        1,
+    ),
 ];
 
 #[test]
@@ -143,6 +159,55 @@ fn reasoned_allow_suppresses_and_is_counted() {
         "crates/x/src/lib.rs",
         FileKind::Lib,
     );
+    assert!(out.diagnostics.is_empty(), "{:#?}", out.diagnostics);
+    assert_eq!(out.suppressed.len(), 1);
+    assert_eq!(out.suppressed[0].0, "unwrap-in-lib");
+}
+
+#[test]
+fn reachability_diagnostics_carry_multi_hop_chains() {
+    let out = check(
+        "panic-reachable/bad.rs",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+    );
+    assert!(
+        out.diagnostics[0].msg.contains("api → mid → deep"),
+        "{}",
+        out.diagnostics[0].msg
+    );
+    let out = check(
+        "hot-path-reach/bad.rs",
+        "crates/x/src/lib.rs",
+        FileKind::Lib,
+    );
+    assert!(
+        out.diagnostics[0]
+            .msg
+            .contains("SptWorkspace::apply → relax → settle"),
+        "{}",
+        out.diagnostics[0].msg
+    );
+}
+
+#[test]
+fn stale_allows_are_errors_in_both_comment_positions() {
+    let out = check("stale-allow/bad.rs", "crates/x/src/lib.rs", FileKind::Lib);
+    let rules: Vec<&str> = out.diagnostics.iter().map(|d| d.rule).collect();
+    assert_eq!(
+        rules,
+        ["stale-allow", "stale-allow"],
+        "{:#?}",
+        out.diagnostics
+    );
+    assert_eq!(out.diagnostics[0].line, 5, "trailing form");
+    assert_eq!(out.diagnostics[1].line, 8, "standalone form");
+    assert!(out.suppressed.is_empty());
+}
+
+#[test]
+fn used_allow_is_a_suppression_not_a_stale_allow() {
+    let out = check("stale-allow/good.rs", "crates/x/src/lib.rs", FileKind::Lib);
     assert!(out.diagnostics.is_empty(), "{:#?}", out.diagnostics);
     assert_eq!(out.suppressed.len(), 1);
     assert_eq!(out.suppressed[0].0, "unwrap-in-lib");

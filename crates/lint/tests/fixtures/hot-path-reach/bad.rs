@@ -1,0 +1,19 @@
+// hot-path-alloc (workspace half): the default config roots include
+// `SptWorkspace::apply`; an allocation two private hops below it must
+// be reported with the chain from the root.
+pub struct SptWorkspace;
+
+impl SptWorkspace {
+    pub fn apply(&mut self) {
+        relax();
+    }
+}
+
+fn relax() {
+    settle();
+}
+
+fn settle() {
+    let scratch: Vec<u32> = Vec::new();
+    drop(scratch);
+}

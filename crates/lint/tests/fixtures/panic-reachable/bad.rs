@@ -1,0 +1,16 @@
+// panic-reachable: a panic three calls deep behind a public API. The
+// diagnostic must land on the panic line and name the full chain.
+pub fn api(x: u32) -> u32 {
+    mid(x)
+}
+
+fn mid(x: u32) -> u32 {
+    deep(x)
+}
+
+fn deep(x: u32) -> u32 {
+    if x > 100 {
+        panic!("x out of range");
+    }
+    x * 2
+}

@@ -1,0 +1,17 @@
+// panic-reachable good case: the only panic sites are in a private fn
+// no public API reaches, and in test code — both out of scope.
+pub fn api(x: u32) -> u32 {
+    x * 2
+}
+
+fn orphan() {
+    panic!("kept for a bench harness; no public path reaches this");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_are_fine_in_tests() {
+        assert_eq!(super::api(2), 4);
+    }
+}

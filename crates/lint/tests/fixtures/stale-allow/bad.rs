@@ -1,0 +1,11 @@
+// stale-allow: both forms of a suppression that no longer suppresses
+// anything — a trailing allow on a clean line and a standalone allow
+// above clean code.
+pub fn double(x: u32) -> u32 {
+    x * 2 // lint: allow(wall-clock) left behind after the timing call was removed
+}
+
+// lint: allow(unwrap-in-lib) the unwrap below was refactored away
+pub fn triple(x: u32) -> u32 {
+    x * 3
+}

@@ -1,0 +1,7 @@
+// stale-allow good case: the allow genuinely suppresses a finding, so
+// the audit keeps quiet (checked by a dedicated corpus test — a used
+// allow is counted as a suppression, never as stale).
+pub fn first(v: &[u32]) -> u32 {
+    // lint: allow(unwrap-in-lib) caller contract: slice is non-empty
+    *v.first().unwrap()
+}

@@ -1,0 +1,176 @@
+//! Lexer edge cases and properties, on the in-tree `check` harness.
+//!
+//! The item parser and every rule sit on `lexer::lex`, so its two
+//! load-bearing guarantees get property coverage:
+//!
+//! 1. **Total**: `lex` never panics, on any input — including byte
+//!    soup that is nowhere near valid Rust (unterminated literals,
+//!    stray quotes, multi-byte UTF-8 in and around literals).
+//! 2. **Spans are ordered**: `Tok::pos` is strictly increasing and
+//!    in-bounds, and token line numbers are non-decreasing — the item
+//!    parser's slicing and the diagnostics' line anchoring both lean
+//!    on this.
+
+use leo_lint::lexer::{lex, TokKind};
+use leo_util::check::{check, Gen};
+use leo_util::{check_assert, check_assert_eq};
+
+fn toks(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .toks
+        .into_iter()
+        .map(|t| (t.kind, t.text))
+        .collect()
+}
+
+#[test]
+fn raw_strings_with_hash_guards_swallow_quotes_and_hashes() {
+    // Content contains `"` and `"#`; only the `"##` terminator ends it.
+    let src = "let a = r##\"has \"quote\" and \"# inside\"##; done";
+    let l = lex(src);
+    assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    assert!(l.toks.iter().any(|t| t.text == "done"));
+    assert!(!l.toks.iter().any(|t| t.text == "quote"));
+
+    // Byte raw strings take the same path.
+    let l = lex("let b = br#\"bytes \"q\" unwrap()\"#; tail");
+    assert!(!l.toks.iter().any(|t| t.text == "unwrap"));
+    assert!(l.toks.iter().any(|t| t.text == "tail"));
+}
+
+#[test]
+fn deeply_nested_block_comments_balance() {
+    let l = lex("/* 1 /* 2 /* 3 */ 2 */ 1 */ x /* /* */ */ y");
+    let idents: Vec<&str> = l.toks.iter().map(|t| t.text.as_str()).collect();
+    assert_eq!(idents, ["x", "y"]);
+    // Unterminated nesting must not panic and must not emit tokens
+    // from inside the comment.
+    let l = lex("/* open /* deeper */ still open a b c");
+    assert!(l.toks.is_empty());
+}
+
+#[test]
+fn lifetimes_vs_char_literals_disambiguate() {
+    // `'a` (lifetime) vs `'a'` (char) vs `'static` vs loop labels.
+    let ts = toks("&'a str, 'a', &'static str, b'z', 'x: loop {}");
+    let lifetimes: Vec<&str> = ts
+        .iter()
+        .filter(|t| t.0 == TokKind::Lifetime)
+        .map(|t| t.1.as_str())
+        .collect();
+    assert_eq!(lifetimes, ["'a", "'static", "'x"], "{ts:?}");
+    // `'a'` and the `z` in `b'z'` are char literals (the lexer keeps
+    // `b` as an ident — close enough for rules, which never read byte
+    // chars), and char content is dropped like string content.
+    let chars = ts.iter().filter(|t| t.0 == TokKind::Char).count();
+    assert_eq!(chars, 2, "{ts:?}");
+    // An escaped quote inside a char literal does not end it early.
+    let ts = toks("'\\'' x");
+    assert_eq!(ts[0].0, TokKind::Char);
+    assert!(ts.iter().any(|t| t.1 == "x"), "{ts:?}");
+}
+
+#[test]
+fn macro_rules_bodies_lex_as_plain_tokens() {
+    let src = "macro_rules! m {\n    ($x:expr, $($rest:tt)*) => {\n        $x.unwrap()\n    };\n}\nfn after() {}";
+    let l = lex(src);
+    // The body is token soup, not swallowed: `$`, the fragment
+    // specifiers, and the `unwrap` ident all surface, and lexing
+    // continues cleanly past the macro.
+    assert!(l.toks.iter().any(|t| t.text == "$"));
+    assert!(l.toks.iter().any(|t| t.text == "expr"));
+    assert!(l.toks.iter().any(|t| t.text == "unwrap"));
+    assert!(l.toks.iter().any(|t| t.text == "after"));
+}
+
+/// Fragments chosen to hit lexer mode switches: literal openers and
+/// closers, comment markers, multi-byte UTF-8, and plain code.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "r#\"",
+    "\"#",
+    "r##\"x\"##",
+    "\"",
+    "\\\"",
+    "'",
+    "'a",
+    "'a'",
+    "b'q'",
+    "b\"",
+    "/*",
+    "*/",
+    "//",
+    "///",
+    "\n",
+    "macro_rules! m { () => {} }",
+    "0xff_u32",
+    "1.5e-9",
+    "0..=5",
+    "x.0",
+    "::<>",
+    "..=",
+    "->",
+    "é∀🌍",
+    "ident_é",
+    "# ",
+    "$crate",
+];
+
+fn random_source(g: &mut Gen) -> String {
+    let n = g.usize(0..40);
+    let mut s = String::new();
+    for _ in 0..n {
+        s.push_str(FRAGMENTS[g.usize(0..FRAGMENTS.len())]);
+        if g.bool() {
+            s.push(' ');
+        }
+    }
+    s
+}
+
+#[test]
+fn lexing_never_panics_and_spans_increase() {
+    check("lexer_total_and_ordered", |g| {
+        let src = random_source(g);
+        // Totality: any panic here fails the case with the seed printed.
+        let l = lex(&src);
+        let mut prev_pos: Option<u32> = None;
+        let mut prev_line = 0u32;
+        for t in &l.toks {
+            check_assert!(
+                (t.pos as usize) < src.len(),
+                "pos {} out of bounds for len {}",
+                t.pos,
+                src.len()
+            );
+            if let Some(p) = prev_pos {
+                check_assert!(
+                    t.pos > p,
+                    "positions not strictly increasing: {} then {}",
+                    p,
+                    t.pos
+                );
+            }
+            check_assert!(
+                t.line >= prev_line,
+                "line numbers went backwards: {} then {}",
+                prev_line,
+                t.line
+            );
+            check_assert!(t.line >= 1, "lines are 1-based");
+            // Str/Char drop their content (rules never read it); all
+            // other kinds must carry their exact source text.
+            check_assert!(
+                !t.text.is_empty() || matches!(t.kind, TokKind::Str | TokKind::Char),
+                "empty text on a {:?} token",
+                t.kind
+            );
+            prev_pos = Some(t.pos);
+            prev_line = t.line;
+        }
+        // Lexing is deterministic: same input, same stream.
+        let l2 = lex(&src);
+        check_assert_eq!(l.toks.len(), l2.toks.len());
+        Ok(())
+    });
+}

@@ -327,6 +327,7 @@ impl Constellation {
                 return (i, id - w[0]);
             }
         }
+        // lint: allow(panic-reachable) shell_offsets partitions the id space, so the loop always returns for in-range ids; the debug_assert above catches the rest
         unreachable!("satellite id out of range")
     }
 

@@ -43,6 +43,7 @@ pub fn find_passes(
     t_end: f64,
     step_s: f64,
 ) -> Vec<Pass> {
+    // lint: allow(panic-reachable) caller contract: a non-positive step or inverted window would loop forever
     assert!(step_s > 0.0 && t_end > t_start);
     let min_elev = constellation.min_elevation_rad();
     let n = constellation.num_satellites();

@@ -120,6 +120,7 @@ impl PacketSim {
     /// of `delay_s` propagation, guarded by a `queue_limit_bytes`
     /// drop-tail FIFO.
     pub fn add_link(&mut self, rate_bps: f64, delay_s: f64, queue_limit_bytes: u64) -> LinkId {
+        // lint: allow(panic-reachable) spec validation at setup time; a malformed link/flow spec must fail before the event loop starts
         assert!(rate_bps > 0.0 && delay_s >= 0.0);
         self.links.push(Link {
             rate_bps,
@@ -138,13 +139,18 @@ impl PacketSim {
     /// Panics on an empty path, non-positive rate, zero-size packets, or
     /// a link id out of range.
     pub fn add_flow(&mut self, spec: FlowSpec) -> FlowId {
+        // lint: allow(panic-reachable) spec validation at setup time; a malformed link/flow spec must fail before the event loop starts
         assert!(!spec.path.is_empty(), "flow path must be non-empty");
+        // lint: allow(panic-reachable) spec validation at setup time; a malformed link/flow spec must fail before the event loop starts
         assert!(spec.rate_bps > 0.0 && spec.packet_bytes > 0);
+        // lint: allow(panic-reachable) spec validation at setup time; a malformed link/flow spec must fail before the event loop starts
         assert!(spec.stop_s >= spec.start_s);
         if let Some((period, duty)) = spec.burst {
+            // lint: allow(panic-reachable) spec validation at setup time; a malformed link/flow spec must fail before the event loop starts
             assert!(period > 0.0 && duty > 0.0 && duty <= 1.0, "bad burst shape");
         }
         for &l in &spec.path {
+            // lint: allow(panic-reachable) spec validation at setup time; a malformed link/flow spec must fail before the event loop starts
             assert!((l as usize) < self.links.len(), "link {l} out of range");
         }
         self.flows.push(spec);

@@ -142,6 +142,7 @@ impl ReadBytes for &[u8] {
 
     #[inline]
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        // lint: allow(panic-reachable) decode underflow means truncated or corrupt snapshot bytes; decoding must stop, not fabricate zeros
         assert!(self.len() >= dst.len(), "byte slice underflow");
         let (head, tail) = self.split_at(dst.len());
         dst.copy_from_slice(head);

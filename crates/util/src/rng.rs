@@ -128,6 +128,7 @@ impl SampleRange for Range<u64> {
     type Output = u64;
     #[inline]
     fn sample(self, rng: &mut Rng64) -> u64 {
+        // lint: allow(panic-reachable) an empty range has no sample; panicking beats feeding a bogus value into a deterministic stream
         assert!(self.start < self.end, "empty range");
         self.start + sample_span(rng, self.end - self.start)
     }
@@ -137,6 +138,7 @@ impl SampleRange for Range<u32> {
     type Output = u32;
     #[inline]
     fn sample(self, rng: &mut Rng64) -> u32 {
+        // lint: allow(panic-reachable) an empty range has no sample; panicking beats feeding a bogus value into a deterministic stream
         assert!(self.start < self.end, "empty range");
         self.start + sample_span(rng, (self.end - self.start) as u64) as u32
     }
@@ -146,6 +148,7 @@ impl SampleRange for Range<usize> {
     type Output = usize;
     #[inline]
     fn sample(self, rng: &mut Rng64) -> usize {
+        // lint: allow(panic-reachable) an empty range has no sample; panicking beats feeding a bogus value into a deterministic stream
         assert!(self.start < self.end, "empty range");
         self.start + sample_span(rng, (self.end - self.start) as u64) as usize
     }
@@ -155,6 +158,7 @@ impl SampleRange for Range<f64> {
     type Output = f64;
     #[inline]
     fn sample(self, rng: &mut Rng64) -> f64 {
+        // lint: allow(panic-reachable) an empty range has no sample; panicking beats feeding a bogus value into a deterministic stream
         assert!(self.start < self.end, "empty range");
         let x = self.start + rng.next_f64() * (self.end - self.start);
         // Guard the (theoretical) rounding-up edge so the range stays

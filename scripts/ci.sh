@@ -9,8 +9,17 @@
 # 3. Style gates: rustfmt (check mode) and clippy with -D warnings —
 #    the tree must be lint-clean, not just compiling.
 # 4. Static invariants: `leo-lint --deny` must pass — the source-level
-#    rules (determinism, panic-free libs, zero-alloc hot paths; see
+#    rules (determinism, panic-free libs, zero-alloc hot paths, the
+#    call-graph reachability rules, and the stale-suppression audit; see
 #    DESIGN.md "Static invariants") with every suppression reasoned.
+#    The run persists the workspace symbol graph to
+#    target/lint-symgraph.jsonl for post-hoc queries (jq/grep over
+#    lint_symbol/lint_edge records).
+#    4b. Sanitizer lane (opt-in: LEO_CI_SANITIZE=1, needs a nightly
+#    toolchain): re-runs the lock-free fan-out (leo-core par), telemetry
+#    sink, and sketch suites under ThreadSanitizer. Skips gracefully
+#    with a notice when nightly is not installed, so the default lane
+#    stays stable-only and offline.
 # 5. Doc gate: `cargo doc` with warnings denied — broken intra-doc links
 #    and malformed doc comments fail the build.
 # 6. Telemetry schema guard: one Tiny figure run with LEO_LOG=info must
@@ -80,8 +89,37 @@ echo "== cargo clippy --offline --all-targets -- -D warnings =="
 cargo clippy -q --offline --all-targets -- -D warnings
 
 echo "== static invariants: leo-lint --deny =="
-cargo run -q --release --offline -p leo-lint -- --deny
+cargo run -q --release --offline -p leo-lint -- --deny --graph-out target/lint-symgraph.jsonl
 export LEO_LINT_CLEAN=1
+
+if [ "${LEO_CI_SANITIZE:-0}" = "1" ]; then
+    echo "== sanitize lane (opt-in): ThreadSanitizer on par/telemetry/sketch =="
+    # TSan needs an instrumented std (-Zbuild-std): without it, the
+    # happens-before edges inside std (thread::scope joins, channel
+    # sends) are invisible and every cross-thread handoff is a false
+    # positive. That in turn needs nightly + the rust-src component.
+    std_lock=""
+    if cargo +nightly --version >/dev/null 2>&1; then
+        std_lock="$(rustc +nightly --print sysroot)/lib/rustlib/src/rust/library/Cargo.lock"
+    fi
+    if [ -n "$std_lock" ] && [ -f "$std_lock" ]; then
+        host=$(rustc -vV | sed -n 's/^host: //p')
+        # A separate target dir keeps instrumented artifacts out of the
+        # stable cache; --target scopes -Zsanitizer to test binaries so
+        # build scripts stay uninstrumented.
+        RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+            cargo +nightly test -q --offline -Zbuild-std --target "$host" \
+            -p leo-core --lib par::
+        RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+            cargo +nightly test -q --offline -Zbuild-std --target "$host" \
+            -p leo-util --lib telemetry::
+        RUSTFLAGS="-Zsanitizer=thread" CARGO_TARGET_DIR=target/tsan \
+            cargo +nightly test -q --offline -Zbuild-std --target "$host" \
+            -p leo-util --lib sketch::
+    else
+        echo "skip: needs nightly with rust-src (rustup toolchain install nightly && rustup component add rust-src --toolchain nightly)"
+    fi
+fi
 
 echo "== doc gate: cargo doc --no-deps with warnings denied =="
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
