@@ -1,0 +1,70 @@
+//! Shard-pipeline overhead benchmarks: the evidence that out-of-core
+//! execution (`leo-shard`) is close to free at the merge layer.
+//!
+//! Four measurements, tiny scale:
+//!
+//! * `latency_unsharded` — the baseline: one `latency_studies` fold over
+//!   the full pair set, single-threaded.
+//! * `latency_sharded_4` — the same study as 4 in-process pair shards:
+//!   per-shard context builds + folds + spill files + merge. **This /
+//!   `latency_unsharded` is the headline overhead ratio** gated by
+//!   `scripts/ci.sh` (the sharded path re-builds the study context per
+//!   shard, so the ratio bounds the whole out-of-core tax, not just the
+//!   merge).
+//! * `merge_4_shards` — `merge_latency_files` over 4 pre-spilled shard
+//!   files alone: decode + validate + concatenate + sketch merges.
+//! * `keepers_roundtrip` — encode + decode of one shard's keepers in
+//!   memory (codec cost with no I/O).
+//!
+//! `cargo bench -p leo-bench --bench shard` writes `BENCH_shard.json`
+//! (JSON lines) into `LEO_BENCH_DIR` or the cwd.
+
+use leo_core::experiments::latency::latency_studies;
+use leo_core::{ExperimentScale, Mode, StudyContext};
+use leo_shard::codec::PayloadKind;
+use leo_shard::runner::{config_hash, latency_shard, run_latency_sharded, spill_latency_shard};
+use leo_shard::{LatencyKeepers, ShardSpec};
+use leo_util::bench::Harness;
+
+const MODES: [Mode; 2] = [Mode::BpOnly, Mode::Hybrid];
+const SHARDS: usize = 4;
+
+fn main() {
+    let mut h = Harness::new("shard");
+    let cfg = ExperimentScale::Tiny.config();
+    let dir = std::env::temp_dir().join(format!("leo_bench_shard_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create shard bench scratch dir");
+
+    // Baseline: the unsharded fold the figure bins run by default.
+    let ctx = StudyContext::build(cfg.clone());
+    h.bench("latency_unsharded", || latency_studies(&ctx, &MODES, 1));
+
+    // Full sharded pipeline: partition, per-shard context + fold, spill,
+    // merge. Byte-identity with the baseline is covered by tests and the
+    // CI diff lane; this measures what that isolation costs.
+    h.bench("latency_sharded_4", || {
+        run_latency_sharded(&cfg, &MODES, SHARDS, &dir, "bench").expect("sharded run")
+    });
+
+    // Merge alone, over pre-spilled files.
+    let files: Vec<_> = ShardSpec::all(SHARDS)
+        .into_iter()
+        .map(|spec| spill_latency_shard(&cfg, &MODES, spec, 1, &dir, "merge_only").expect("spill"))
+        .collect();
+    h.bench("merge_4_shards", || {
+        leo_shard::runner::merge_latency_files(&files).expect("merge")
+    });
+
+    // Codec alone, in memory.
+    let spec = ShardSpec::new(0, 1).expect("valid spec");
+    let (header, keepers) = latency_shard(&cfg, &MODES, spec, 1);
+    assert_eq!(header.config_hash, config_hash(&cfg));
+    assert_eq!(header.kind, PayloadKind::Latency);
+    h.bench("keepers_roundtrip", || {
+        let bytes = keepers.encode();
+        LatencyKeepers::decode(&bytes).expect("decode")
+    });
+
+    let _ = std::fs::remove_dir_all(&dir);
+    h.finish().expect("write BENCH_shard.json");
+}

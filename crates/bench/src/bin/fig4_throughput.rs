@@ -1,24 +1,126 @@
 //! Fig. 4 — aggregate max-min-fair throughput for {Starlink, Kuiper} ×
 //! {BP, hybrid} × {k=1, k=4}, plus the §5 disconnected-satellite
 //! statistic (pass `--disconnected`).
+//!
+//! Sharded execution (`leo-shard`): routing is per-pair independent, so
+//! `--shards K` routes each pair shard in a range-restricted context,
+//! spills the per-pair path sets (one file per constellation per
+//! shard), and re-solves the *global* max-min allocation from the
+//! merged path list — byte-identical tables and CSV. `--spawn` fans
+//! out over OS processes; `--shard i/K --shard-dir D` is the worker
+//! half of that protocol.
 
-use leo_bench::{finish_run, init_run, print_table, results_dir, scale_from_args};
-use leo_core::experiments::throughput::{disconnected_satellite_fraction, throughput};
+use leo_bench::{
+    finish_run, finish_run_with, init_run, print_table, results_dir, scale_from_args, shard_cli,
+    shard_dir, shard_label, spawn_shard_workers,
+};
+use leo_core::experiments::throughput::{
+    disconnected_satellite_fraction, throughput, throughput_from_path_edges, ThroughputResult,
+};
 use leo_core::output::CsvWriter;
-use leo_core::{ConstellationKind, Mode, StudyContext};
+use leo_core::{ConstellationKind, ExperimentScale, Mode, StudyContext};
+use leo_flow::FlowWorkspace;
+use leo_shard::runner::{merge_flow_files, run_flow_sharded, shard_file_name, spill_flow_shard};
+use leo_shard::{FlowPathsKeepers, ShardSpec};
 use leo_util::diag;
+
+const LABEL: &str = "fig4_throughput";
+const KINDS: [ConstellationKind; 2] = [ConstellationKind::Starlink, ConstellationKind::Kuiper];
+const COMBOS: [(Mode, usize); 4] = [
+    (Mode::BpOnly, 1),
+    (Mode::BpOnly, 4),
+    (Mode::Hybrid, 1),
+    (Mode::Hybrid, 4),
+];
+const T_S: f64 = 0.0;
+
+fn kind_config(scale: ExperimentScale, kind: ConstellationKind) -> leo_core::StudyConfig {
+    let mut cfg = scale.config();
+    cfg.constellation = kind;
+    cfg
+}
+
+fn kind_label(kind: ConstellationKind) -> String {
+    format!("{LABEL}.{kind:?}")
+}
+
+/// Worker: route this shard's pairs for every constellation and combo,
+/// spilling one file per constellation. Stdout stays silent.
+fn run_worker(scale: ExperimentScale, spec: ShardSpec, dir: &std::path::Path) {
+    let label = shard_label(LABEL, spec);
+    init_run(&label);
+    let mut extras: Vec<(&str, String)> = vec![("shard", spec.to_string())];
+    for kind in KINDS {
+        let cfg = kind_config(scale, kind);
+        let path = spill_flow_shard(&cfg, T_S, &COMBOS, spec, dir, &kind_label(kind))
+            .unwrap_or_else(|e| {
+                eprintln!("fig4 shard {spec} ({kind:?}): {e}");
+                std::process::exit(1);
+            });
+        diag!("fig4 shard {spec}: spilled {}", path.display());
+    }
+    extras.push(("kinds", format!("{KINDS:?}")));
+    finish_run_with(&label, &kind_config(scale, KINDS[0]), &extras);
+}
+
+/// Merged per-constellation path sets, keyed off the combo order.
+fn sharded_paths(
+    scale: ExperimentScale,
+    kind: ConstellationKind,
+    cli: &leo_bench::ShardCli,
+) -> FlowPathsKeepers {
+    let dir = shard_dir(cli);
+    let cfg = kind_config(scale, kind);
+    let (run, merged) = if cli.spawn {
+        let files: Vec<_> = ShardSpec::all(cli.shards)
+            .into_iter()
+            .map(|s| dir.join(shard_file_name(&kind_label(kind), s)))
+            .collect();
+        merge_flow_files(&files).unwrap_or_else(|e| {
+            eprintln!("fig4 ({kind:?}): merging worker spills: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let (run, merged, _files) =
+            run_flow_sharded(&cfg, T_S, &COMBOS, cli.shards, &dir, &kind_label(kind))
+                .unwrap_or_else(|e| {
+                    eprintln!("fig4 ({kind:?}): sharded run: {e}");
+                    std::process::exit(1);
+                });
+        (run, merged)
+    };
+    assert_eq!(
+        run.config_hash,
+        leo_shard::runner::config_hash(&cfg),
+        "merged shards were produced under a different config"
+    );
+    merged
+}
 
 fn main() {
     let (scale, rest) = scale_from_args();
-    init_run("fig4_throughput");
-    let want_disconnected = rest.iter().any(|a| a == "--disconnected");
-    let t_s = 0.0;
+    let cli = shard_cli(rest);
+
+    if let Some(spec) = cli.worker {
+        run_worker(scale, spec, &shard_dir(&cli));
+        return;
+    }
+
+    init_run(LABEL);
+    let want_disconnected = cli.rest.iter().any(|a| a == "--disconnected");
+
+    if cli.shards > 0 && cli.spawn {
+        let dir = shard_dir(&cli);
+        if let Err(e) = spawn_shard_workers(scale, cli.shards, &dir, &[]) {
+            eprintln!("fig4: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let mut rows = Vec::new();
     let mut csv_rows: Vec<(String, String, usize, f64)> = Vec::new();
-    for kind in [ConstellationKind::Starlink, ConstellationKind::Kuiper] {
-        let mut cfg = scale.config();
-        cfg.constellation = kind;
+    for kind in KINDS {
+        let cfg = kind_config(scale, kind);
         let ctx = StudyContext::build(cfg);
         diag!(
             "fig4: {:?}: {} sats, {} pairs, {} relays",
@@ -27,26 +129,41 @@ fn main() {
             ctx.pairs.len(),
             ctx.ground.relays.len()
         );
+        let merged = (cli.shards > 0).then(|| sharded_paths(scale, kind, &cli));
         let mut per_kind: Vec<f64> = Vec::new();
-        for mode in [Mode::BpOnly, Mode::Hybrid] {
-            for k in [1usize, 4] {
-                let r = throughput(&ctx, t_s, mode, k);
-                per_kind.push(r.aggregate_gbps);
-                rows.push(vec![
-                    format!("{kind:?}"),
-                    format!("{mode:?}"),
-                    format!("{k}"),
-                    format!("{:.1}", r.aggregate_gbps),
-                    format!("{}", r.routed_pairs),
-                    format!("{}", r.flows),
-                ]);
-                csv_rows.push((
-                    format!("{kind:?}"),
-                    format!("{mode:?}"),
-                    k,
-                    r.aggregate_gbps,
-                ));
-            }
+        for (ci, &(mode, k)) in COMBOS.iter().enumerate() {
+            let r: ThroughputResult = match &merged {
+                Some(m) => {
+                    // Global solve over the merged per-pair path list —
+                    // same snapshot, link table, and flow order as the
+                    // unsharded path, hence identical output.
+                    assert_eq!(m.combos[ci].tag, leo_shard::runner::combo_tag(mode, k));
+                    let snap = ctx.snapshot(T_S, mode);
+                    throughput_from_path_edges(
+                        &ctx,
+                        &snap,
+                        &m.combos[ci].paths,
+                        ctx.config.network.isl_gbps,
+                        &mut FlowWorkspace::new(),
+                    )
+                }
+                None => throughput(&ctx, T_S, mode, k),
+            };
+            per_kind.push(r.aggregate_gbps);
+            rows.push(vec![
+                format!("{kind:?}"),
+                format!("{mode:?}"),
+                format!("{k}"),
+                format!("{:.1}", r.aggregate_gbps),
+                format!("{}", r.routed_pairs),
+                format!("{}", r.flows),
+            ]);
+            csv_rows.push((
+                format!("{kind:?}"),
+                format!("{mode:?}"),
+                k,
+                r.aggregate_gbps,
+            ));
         }
         // Paper's headline ratios for this constellation.
         let (bp1, bp4, hy1, hy4) = (per_kind[0], per_kind[1], per_kind[2], per_kind[3]);
@@ -92,5 +209,16 @@ fn main() {
     }
     w.flush().unwrap();
     diag!("wrote {}", path.display());
-    finish_run("fig4_throughput", &scale.config());
+    if cli.shards > 0 {
+        finish_run_with(
+            LABEL,
+            &scale.config(),
+            &[
+                ("shards", cli.shards.to_string()),
+                ("spawned", cli.spawn.to_string()),
+            ],
+        );
+    } else {
+        finish_run(LABEL, &scale.config());
+    }
 }

@@ -7,8 +7,9 @@
 //! as CSV under `results/`.
 
 use leo_core::{ExperimentScale, StudyConfig};
+use leo_shard::ShardSpec;
 use leo_util::telemetry;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// Parse `--scale <tiny|bench|paper>` from `std::env::args`, defaulting
 /// to `bench`. Unknown values abort with a usage message.
@@ -30,6 +31,148 @@ pub fn scale_from_args() -> (ExperimentScale, Vec<String>) {
         }
     }
     (scale, rest)
+}
+
+/// The CLI name of a scale (inverse of `ExperimentScale::parse`), for
+/// re-spawning this binary as shard workers.
+pub fn scale_name(scale: ExperimentScale) -> &'static str {
+    match scale {
+        ExperimentScale::Tiny => "tiny",
+        ExperimentScale::Bench => "bench",
+        ExperimentScale::Paper => "paper",
+    }
+}
+
+/// Sharding options shared by the figure bins (parsed from the args
+/// left over after [`scale_from_args`]):
+///
+/// * `--shards K` — coordinator: run the study as `K` pair shards and
+///   merge (output stays byte-identical to an unsharded run).
+/// * `--spawn` — with `--shards K`, run each shard as a separate OS
+///   process (re-invoking this binary in worker mode) instead of
+///   in-process workers.
+/// * `--shard i/K` — worker mode: compute shard `i` only, spill it to
+///   the shard dir, print nothing to stdout, and exit.
+/// * `--shard-dir D` — where spill files live (default
+///   `results/shards`).
+#[derive(Debug, Clone, Default)]
+pub struct ShardCli {
+    /// Coordinator shard count; 0 = unsharded.
+    pub shards: usize,
+    /// Coordinator: fan out over OS processes instead of threads.
+    pub spawn: bool,
+    /// Worker mode: the one shard this process computes.
+    pub worker: Option<ShardSpec>,
+    /// Spill directory override.
+    pub dir: Option<PathBuf>,
+    /// Args not consumed by the shard protocol.
+    pub rest: Vec<String>,
+}
+
+/// Parse the shard protocol flags out of `rest`. Malformed values abort
+/// with a usage message (CLI surface, same policy as
+/// [`scale_from_args`]).
+pub fn shard_cli(rest: Vec<String>) -> ShardCli {
+    let mut cli = ShardCli::default();
+    let mut it = rest.into_iter();
+    let bail = |msg: String| -> ! {
+        // lint: allow(print-in-lib) CLI usage-error surface shared by every figure bin; exits immediately
+        eprintln!("{msg}");
+        std::process::exit(2);
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--shards" => {
+                let v = it.next().unwrap_or_default();
+                cli.shards = match v.parse::<usize>() {
+                    Ok(k) if k >= 1 => k,
+                    _ => bail(format!("--shards needs a count >= 1, got '{v}'")),
+                };
+            }
+            "--spawn" => cli.spawn = true,
+            "--shard" => {
+                let v = it.next().unwrap_or_default();
+                cli.worker = match ShardSpec::parse(&v) {
+                    Ok(s) => Some(s),
+                    Err(e) => bail(format!("--shard: {e}")),
+                };
+            }
+            "--shard-dir" => {
+                let v = it.next().unwrap_or_default();
+                if v.is_empty() {
+                    bail("--shard-dir needs a path".to_string());
+                }
+                cli.dir = Some(PathBuf::from(v));
+            }
+            _ => cli.rest.push(a),
+        }
+    }
+    if cli.worker.is_some() && (cli.shards > 0 || cli.spawn) {
+        bail("--shard (worker mode) conflicts with --shards/--spawn".to_string());
+    }
+    cli
+}
+
+/// The spill directory for this run (created on demand): the `--shard-dir`
+/// override or `results/shards`.
+pub fn shard_dir(cli: &ShardCli) -> PathBuf {
+    let dir = cli
+        .dir
+        .clone()
+        .unwrap_or_else(|| results_dir().join("shards"));
+    let _ = std::fs::create_dir_all(&dir);
+    dir
+}
+
+/// Worker-mode run-log label: `label.s<i>of<K>` — each worker gets its
+/// own `RUN_*.jsonl` (own heartbeats, counters, and manifest), and
+/// `validate_run` accepts them like any other run log.
+pub fn shard_label(label: &str, spec: ShardSpec) -> String {
+    format!("{label}.s{}of{}", spec.index, spec.count)
+}
+
+/// Re-invoke this binary once per shard as an OS worker process
+/// (`--scale S --shard i/K --shard-dir D` + `extra`), wait for all of
+/// them, and fail if any worker fails. Workers inherit stdio: their
+/// stdout stays silent by protocol, diagnostics go to stderr.
+pub fn spawn_shard_workers(
+    scale: ExperimentScale,
+    count: usize,
+    dir: &Path,
+    extra: &[&str],
+) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let mut children = Vec::with_capacity(count);
+    for spec in ShardSpec::all(count) {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg("--scale")
+            .arg(scale_name(scale))
+            .arg("--shard")
+            .arg(spec.to_string())
+            .arg("--shard-dir")
+            .arg(dir);
+        for a in extra {
+            cmd.arg(a);
+        }
+        let child = cmd
+            .spawn()
+            .map_err(|e| format!("spawn shard worker {spec}: {e}"))?;
+        children.push((spec, child));
+    }
+    let mut failed = Vec::new();
+    for (spec, mut child) in children {
+        let status = child
+            .wait()
+            .map_err(|e| format!("wait for shard worker {spec}: {e}"))?;
+        if !status.success() {
+            failed.push(format!("worker {spec} exited with {status}"));
+        }
+    }
+    if failed.is_empty() {
+        Ok(())
+    } else {
+        Err(failed.join("; "))
+    }
 }
 
 /// The scale's config with at least `min_cities` cities — the named-pair
@@ -55,6 +198,17 @@ pub fn init_run(label: &str) -> Option<PathBuf> {
 /// resolved worker count (the bins all fan out with `threads = 0` =
 /// one per core). No-op when telemetry is disabled.
 pub fn finish_run(label: &str, cfg: &StudyConfig) -> Option<PathBuf> {
+    finish_run_with(label, cfg, &[])
+}
+
+/// [`finish_run`] with extra manifest fields — shard workers record
+/// their shard coordinate and pair range here, coordinators their
+/// shard count and merge provenance.
+pub fn finish_run_with(
+    label: &str,
+    cfg: &StudyConfig,
+    extras: &[(&str, String)],
+) -> Option<PathBuf> {
     let hash = telemetry::fnv1a_64(cfg.to_kv_string().as_bytes());
     let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     // Provenance: did the producing tree pass `leo-lint --deny`? CI
@@ -72,13 +226,16 @@ pub fn finish_run(label: &str, cfg: &StudyConfig) -> Option<PathBuf> {
     // analyzer version and the rules it enforced, so a manifest produced
     // before a rule landed can't masquerade as clean under the new set
     // (`validate_run --require-lint-clean` checks both against its own).
-    let manifest = telemetry::RunManifest::new(label, hash, cfg.seed, threads)
+    let mut manifest = telemetry::RunManifest::new(label, hash, cfg.seed, threads)
         .with("cities", cfg.num_cities)
         .with("pairs", cfg.num_pairs)
         .with("lint_clean", lint_clean)
         .with("lint_version", leo_lint::LINT_VERSION)
         .with("lint_rules", leo_lint::rules::known_rule_names().join(","))
         .with("peak_rss_kb", telemetry::peak_rss_kb());
+    for (k, v) in extras {
+        manifest = manifest.with(k, v);
+    }
     telemetry::finish_run(&manifest)
 }
 

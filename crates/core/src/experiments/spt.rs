@@ -79,6 +79,31 @@ impl SourceSptPool {
         }
         spt
     }
+
+    /// [`SourceSptPool::tree`] when only `targets` will be queried this
+    /// snapshot: incremental repairs go through
+    /// [`SptWorkspace::apply_for_targets`], which stops the relaxation
+    /// drain as soon as every target settles. Distances and extracted
+    /// paths for the targets are bitwise identical to [`Self::tree`]
+    /// (the workspace's early-exit contract); other nodes may read as
+    /// unreached, so callers must not query beyond `targets` until the
+    /// next call. Full rebuilds are unaffected.
+    pub fn tree_for_targets(
+        &mut self,
+        si: usize,
+        source: NodeId,
+        snap: &NetworkSnapshot,
+        delta: &EdgeDelta,
+        targets: &[NodeId],
+    ) -> &SptWorkspace {
+        let spt = &mut self.spts[si];
+        if !delta.full && spt.is_ready() && spt.source() == source {
+            spt.apply_for_targets(&snap.graph, &delta.removed, &delta.reweighted, targets);
+        } else {
+            spt.rebuild(&snap.graph, source);
+        }
+        spt
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +119,34 @@ mod tests {
         // An absurd mode multiplicity blows any budget — the gate must
         // actually gate.
         assert!(!SourceSptPool::fits(&ctx, 100_000));
+    }
+
+    #[test]
+    fn targeted_pool_matches_fresh_dijkstra_at_targets_across_sweep() {
+        let ctx = StudyContext::build(ExperimentScale::Tiny.config());
+        let modes = [Mode::Hybrid];
+        let mut sweep = TimeSweep::new(&ctx, &modes);
+        let mut pool = SourceSptPool::new(&ctx);
+        for t in [0.0, 15.0, 90.0, 900.0] {
+            let (snaps, deltas) = sweep.step_with_deltas(t);
+            let snap = &snaps[0];
+            for (si, (src, pair_idxs)) in ctx.pairs_by_src().iter().enumerate() {
+                let source = snap.city_node(*src as usize);
+                let targets: Vec<NodeId> = pair_idxs
+                    .iter()
+                    .map(|&i| snap.city_node(ctx.pairs[i].dst as usize))
+                    .collect();
+                let spt = pool.tree_for_targets(si, source, snap, &deltas[0], &targets);
+                let fresh = leo_graph::dijkstra(&snap.graph, source);
+                for &tgt in &targets {
+                    assert_eq!(
+                        spt.dist(tgt).to_bits(),
+                        fresh.dist[tgt as usize].to_bits(),
+                        "t={t} src={src} target {tgt}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::snapshot::{EdgeKind, Mode, NetworkSnapshot, StudyContext};
 use leo_flow::{FlowSim, FlowWorkspace};
 use leo_graph::{
     component_sizes, connected_components, k_edge_disjoint_paths_with, max_flow,
-    with_thread_workspace, FlowNetwork,
+    with_thread_workspace, EdgeId, FlowNetwork, Path,
 };
 use leo_util::span;
 use leo_util::telemetry::{Heartbeat, MetricSeries};
@@ -76,11 +76,21 @@ impl RoutedFlows {
     }
 }
 
-/// Route `k` edge-disjoint shortest paths per pair and load them into a
-/// flow simulation with per-edge capacities (ISL capacity overridable).
-fn route_flows(ctx: &StudyContext, snap: &NetworkSnapshot, k: usize, isl_gbps: f64) -> RoutedFlows {
+/// Route `k` edge-disjoint delay-shortest paths for every pair of
+/// `ctx`'s (possibly [range-restricted]) traffic matrix, in pair order.
+///
+/// This is the per-pair-independent half of the throughput pipeline —
+/// the stage pair-sharded runs execute per shard. Paths depend only on
+/// the snapshot's delay graph (never on capacities or on *other* pairs),
+/// so routing pairs `lo..hi` in a restricted context yields exactly the
+/// `lo..hi` slice of the full run's result, and concatenating shard
+/// slices in global pair order feeds [`throughput_from_path_edges`]
+/// bit-identically to the single-process path.
+///
+/// [range-restricted]: StudyContext::restrict_pair_range
+pub fn route_pair_paths(ctx: &StudyContext, snap: &NetworkSnapshot, k: usize) -> Vec<Vec<Path>> {
     // Path-finding per pair is read-only on the snapshot: parallelize.
-    let paths_per_pair = parallel_map(&ctx.pairs, 0, |pair| {
+    parallel_map(&ctx.pairs, 0, |pair| {
         with_thread_workspace(|ws| {
             k_edge_disjoint_paths_with(
                 &snap.graph,
@@ -91,8 +101,18 @@ fn route_flows(ctx: &StudyContext, snap: &NetworkSnapshot, k: usize, isl_gbps: f
                 ws,
             )
         })
-    });
+    })
+}
 
+/// Load per-pair path edge lists (snapshot edge ids, as produced by
+/// [`route_pair_paths`]) into a flow simulation with per-edge
+/// capacities (ISL capacity overridable).
+fn routed_from_path_edges(
+    ctx: &StudyContext,
+    snap: &NetworkSnapshot,
+    paths_per_pair: &[Vec<Vec<EdgeId>>],
+    isl_gbps: f64,
+) -> RoutedFlows {
     let mut net_cfg = ctx.config.network;
     net_cfg.isl_gbps = isl_gbps;
     let mut sim = FlowSim::new();
@@ -102,12 +122,12 @@ fn route_flows(ctx: &StudyContext, snap: &NetworkSnapshot, k: usize, isl_gbps: f
     }
     let mut routed_pairs = 0;
     let mut flows = 0;
-    for paths in &paths_per_pair {
+    for paths in paths_per_pair {
         if !paths.is_empty() {
             routed_pairs += 1;
         }
-        for p in paths {
-            sim.add_flow(p.edges.clone());
+        for edges in paths {
+            sim.add_flow(edges.clone());
             flows += 1;
         }
     }
@@ -116,6 +136,34 @@ fn route_flows(ctx: &StudyContext, snap: &NetworkSnapshot, k: usize, isl_gbps: f
         routed_pairs,
         flows,
     }
+}
+
+/// Max-min-fair throughput from pre-routed per-pair path edge lists —
+/// the merge half of the pair-sharded throughput pipeline. `paths`
+/// must list every pair of the *full* traffic matrix in global pair
+/// order (each entry up to `k` paths of snapshot edge ids); the result
+/// is bit-identical to [`throughput_with_isl_capacity`] routing the
+/// same snapshot itself, because the global max-min solve sees the
+/// identical link table and flow order.
+pub fn throughput_from_path_edges(
+    ctx: &StudyContext,
+    snap: &NetworkSnapshot,
+    paths: &[Vec<Vec<EdgeId>>],
+    isl_gbps: f64,
+    ws: &mut FlowWorkspace,
+) -> ThroughputResult {
+    routed_from_path_edges(ctx, snap, paths, isl_gbps).result(ws)
+}
+
+/// Route `k` edge-disjoint shortest paths per pair and load them into a
+/// flow simulation with per-edge capacities (ISL capacity overridable).
+fn route_flows(ctx: &StudyContext, snap: &NetworkSnapshot, k: usize, isl_gbps: f64) -> RoutedFlows {
+    let paths = route_pair_paths(ctx, snap, k);
+    let edge_lists: Vec<Vec<Vec<EdgeId>>> = paths
+        .into_iter()
+        .map(|ps| ps.into_iter().map(|p| p.edges).collect())
+        .collect();
+    routed_from_path_edges(ctx, snap, &edge_lists, isl_gbps)
 }
 
 /// Fig. 5: Starlink aggregate throughput as ISL capacity sweeps over

@@ -179,6 +179,22 @@ pub struct StudyContext {
     pairs_by_src: Vec<(u32, Vec<usize>)>,
 }
 
+/// Group pair indices by source city via a stable sort (keeps pair
+/// order within a source) — no hash-order dependence anywhere near the
+/// routing fan-out.
+fn group_pairs_by_src(pairs: &[CityPair]) -> Vec<(u32, Vec<usize>)> {
+    let mut by_src: Vec<(u32, usize)> = pairs.iter().enumerate().map(|(i, p)| (p.src, i)).collect();
+    by_src.sort_by_key(|&(src, _)| src);
+    let mut grouped: Vec<(u32, Vec<usize>)> = Vec::new();
+    for (src, i) in by_src {
+        match grouped.last_mut() {
+            Some((s, v)) if *s == src => v.push(i),
+            _ => grouped.push((src, vec![i])),
+        }
+    }
+    grouped
+}
+
 impl StudyContext {
     /// Assemble the full study context from a configuration.
     pub fn build(config: StudyConfig) -> Self {
@@ -211,19 +227,7 @@ impl StudyContext {
             .map(NodeKind::Relay)
             .collect();
         let city_positions: Vec<GeoPoint> = ground.cities.iter().map(|c| c.pos).collect();
-        // Group by source via a stable sort (keeps pair order within a
-        // source) — no hash-order dependence anywhere near the routing
-        // fan-out.
-        let mut by_src: Vec<(u32, usize)> =
-            pairs.iter().enumerate().map(|(i, p)| (p.src, i)).collect();
-        by_src.sort_by_key(|&(src, _)| src);
-        let mut pairs_by_src: Vec<(u32, Vec<usize>)> = Vec::new();
-        for (src, i) in by_src {
-            match pairs_by_src.last_mut() {
-                Some((s, v)) if *s == src => v.push(i),
-                _ => pairs_by_src.push((src, vec![i])),
-            }
-        }
+        let pairs_by_src = group_pairs_by_src(&pairs);
         Self {
             config,
             constellation,
@@ -243,6 +247,30 @@ impl StudyContext {
     /// once instead of rebuilt per snapshot by every experiment.
     pub fn pairs_by_src(&self) -> &[(u32, Vec<usize>)] {
         &self.pairs_by_src
+    }
+
+    /// Narrow the traffic matrix to the global pair-index range
+    /// `lo..hi` — one shard of a pair-sharded run — rebuilding the
+    /// per-source fan-out for the kept slice.
+    ///
+    /// Everything else is untouched: the configuration (and therefore
+    /// the config hash), the constellation, the ground segment, and the
+    /// pair *sampling* are those of the full run, so every shard shares
+    /// provenance and shard workers see exactly the pairs a
+    /// single-process run indexes as `lo..hi`, in the same order. Local
+    /// pair index `j` in the restricted context is global pair `lo + j`
+    /// — the offset shard files record so merges can reassemble global
+    /// order.
+    pub fn restrict_pair_range(&mut self, lo: usize, hi: usize) {
+        // lint: allow(panic-reachable) API misuse trap: an out-of-range shard window would silently drop traffic
+        assert!(
+            lo <= hi && hi <= self.pairs.len(),
+            "pair range {lo}..{hi} outside 0..{}",
+            self.pairs.len()
+        );
+        self.pairs.truncate(hi);
+        self.pairs.drain(..lo);
+        self.pairs_by_src = group_pairs_by_src(&self.pairs);
     }
 
     /// Number of satellites (node ids `0..S` in every snapshot).

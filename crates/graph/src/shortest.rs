@@ -30,6 +30,9 @@ static SPT_FULL_FALLBACKS: Counter = Counter::new("spt_full_fallbacks");
 /// Telemetry: delta entries (removed + reweighted) consumed by
 /// [`SptWorkspace::apply`].
 static DELTA_EDGES_APPLIED: Counter = Counter::new("delta_edges_applied");
+/// Telemetry: [`SptWorkspace::apply_for_targets`] repairs that stopped
+/// the Dial drain early because every queried target had settled.
+static SPT_EARLY_EXITS: Counter = Counter::new("spt_early_exits");
 
 /// Result of a single-source Dijkstra run.
 #[derive(Debug, Clone)]
@@ -650,8 +653,49 @@ impl SptWorkspace {
     /// the **new** graph; its node count may differ from the previous
     /// version (the stable node prefix keeps its ids; tail nodes that
     /// vanished must have had their edges removed).
-    // lint: hot-path
     pub fn apply(&mut self, g: &Graph, removed: &[EdgeId], reweighted: &[(EdgeId, EdgeId)]) {
+        self.apply_impl(g, removed, reweighted, None);
+    }
+
+    /// [`SptWorkspace::apply`] when only `targets` will be queried: the
+    /// Dial-bucket drain stops as soon as every target's label settles
+    /// below the next bucket floor, instead of relaxing the whole graph
+    /// to the fixpoint.
+    ///
+    /// Contract: for every target, `dist` and `extract_path` are
+    /// **bitwise identical** to a full [`SptWorkspace::apply`] (and so
+    /// to fresh [`dijkstra`]). The argument: after draining bucket `bi`,
+    /// every pending queue entry carries a label `≥ (bi + 1) · width`,
+    /// and positive weights only push labels up — so any node whose
+    /// label sits strictly below that floor is final. Settled nodes'
+    /// canonical parents also settle first (`du < dv`), so target parent
+    /// chains are final too. Non-target state is *not* preserved:
+    /// labels at or above the stop floor are discarded to `INFINITY` /
+    /// `NodeId::MAX` parents, exactly the shape of an unreached node, so
+    /// a later `apply`/`apply_for_targets` on this workspace re-anchors
+    /// the kept prefix and re-discovers the rest from the seed scan —
+    /// correctness never depends on how early a previous repair stopped.
+    /// A target unreached in the new graph keeps an `INFINITY` label and
+    /// therefore never satisfies the exit test; such repairs degrade to
+    /// the full drain.
+    pub fn apply_for_targets(
+        &mut self,
+        g: &Graph,
+        removed: &[EdgeId],
+        reweighted: &[(EdgeId, EdgeId)],
+        targets: &[NodeId],
+    ) {
+        self.apply_impl(g, removed, reweighted, Some(targets));
+    }
+
+    // lint: hot-path
+    fn apply_impl(
+        &mut self,
+        g: &Graph,
+        removed: &[EdgeId],
+        reweighted: &[(EdgeId, EdgeId)],
+        targets: Option<&[NodeId]>,
+    ) {
         // lint: allow(panic-reachable) API misuse trap: apply without a prior rebuild would repair an empty tree into garbage paths
         assert!(self.ready, "SptWorkspace::apply before rebuild");
         let n = g.num_nodes();
@@ -802,6 +846,7 @@ impl SptWorkspace {
             self.buckets[bucket_of(d)].push((d, v));
         }
         self.heap.clear();
+        let mut stop_floor = f64::INFINITY;
         for bi in 0..nb {
             while let Some(&(d, v)) = self.buckets[bi].last() {
                 self.buckets[bi].pop();
@@ -827,6 +872,35 @@ impl SptWorkspace {
                             self.buckets[tb].push((nd, h.to));
                         }
                     }
+                }
+            }
+            if let Some(ts) = targets {
+                // Tighten the floor by a relative margin that dwarfs the
+                // `bucket_of` division rounding (~2⁻⁵²): an entry can be
+                // misbucketed upward by at most an ulp, so requiring
+                // labels strictly below the *tightened* floor keeps the
+                // finality argument exact even at bucket boundaries.
+                let floor = (bi + 1) as f64 * width * (1.0 - 1e-9);
+                if ts
+                    .iter()
+                    .all(|&t| self.dist.get(t as usize).is_some_and(|&d| d < floor))
+                {
+                    SPT_EARLY_EXITS.add(1);
+                    stop_floor = floor;
+                    for b in &mut self.buckets[bi + 1..] {
+                        b.clear();
+                    }
+                    break;
+                }
+            }
+        }
+        if stop_floor.is_finite() {
+            // Labels at or above the stop floor never finished relaxing;
+            // reset them to the unreached shape so later repairs (and
+            // `recompute_parents` below) never see a half-settled label.
+            for d in &mut self.dist {
+                if *d >= stop_floor {
+                    *d = f64::INFINITY;
                 }
             }
         }

@@ -1,0 +1,408 @@
+//! The shard file: a compact versioned binary container with a
+//! checksummed provenance header.
+//!
+//! Layout (all integers little-endian):
+//!
+//! | bytes | field |
+//! |---|---|
+//! | 8 | magic `LEOSHARD` |
+//! | 4 | format version (`FORMAT_VERSION`) |
+//! | 8 | `config_hash` (FNV-1a of the study config's canonical kv string) |
+//! | 8 | `seed` |
+//! | 4 | `shard_index` |
+//! | 4 | `shard_count` |
+//! | 8 | `pair_lo` (global pair-index range, inclusive start) |
+//! | 8 | `pair_hi` (exclusive end) |
+//! | 1 | `payload_kind` ([`PayloadKind`]) |
+//! | 8 | `payload_len` |
+//! | 8 | FNV-1a 64 of the payload bytes |
+//! | 8 | FNV-1a 64 of everything above |
+//! | … | payload |
+//!
+//! Every read re-verifies both checksums, the magic, the version, and
+//! the internal consistency of the header before a single payload byte
+//! is interpreted, so a truncated or bit-flipped shard file fails with
+//! a diagnostic instead of merging garbage into final outputs. Payload
+//! encodings live in [`crate::keepers`]; this module only moves bytes.
+
+use leo_util::telemetry::fnv1a_64;
+use std::fmt;
+use std::path::Path;
+
+/// On-disk format version; bumped on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File magic, first 8 bytes of every shard file.
+pub const MAGIC: &[u8; 8] = b"LEOSHARD";
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 4 + 4 + 8 + 8 + 1 + 8 + 8 + 8;
+
+/// What the payload encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Per-pair latency keepers ([`crate::keepers::LatencyKeepers`]).
+    Latency,
+    /// Per-pair routed path sets ([`crate::keepers::FlowPathsKeepers`]).
+    FlowPaths,
+}
+
+impl PayloadKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            PayloadKind::Latency => 1,
+            PayloadKind::FlowPaths => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<PayloadKind, ShardError> {
+        match v {
+            1 => Ok(PayloadKind::Latency),
+            2 => Ok(PayloadKind::FlowPaths),
+            _ => Err(ShardError::Corrupt(format!("unknown payload kind {v}"))),
+        }
+    }
+}
+
+/// Everything a merge needs to prove shard compatibility before
+/// touching payload bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardHeader {
+    /// FNV-1a 64 of the producing study config's canonical kv string —
+    /// shards of one run must agree bit for bit.
+    pub config_hash: u64,
+    /// The study RNG seed (provenance; the partition itself is
+    /// unseeded).
+    pub seed: u64,
+    /// Which shard this is.
+    pub shard_index: u32,
+    /// Out of how many.
+    pub shard_count: u32,
+    /// Global pair-index range start (inclusive).
+    pub pair_lo: u64,
+    /// Global pair-index range end (exclusive).
+    pub pair_hi: u64,
+    /// Payload encoding.
+    pub kind: PayloadKind,
+}
+
+/// Why a shard file could not be written, read, or merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Filesystem-level failure.
+    Io(String),
+    /// The bytes are not a valid shard file (bad magic/version/checksum
+    /// or an internally inconsistent payload).
+    Corrupt(String),
+    /// Individually valid shards that don't belong to the same run.
+    Incompatible(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(m) => write!(f, "shard io: {m}"),
+            ShardError::Corrupt(m) => write!(f, "shard corrupt: {m}"),
+            ShardError::Incompatible(m) => write!(f, "shard incompatible: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Little-endian byte sink for payload encoders.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty sink.
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `i128`, little-endian (the `FixedSum` accumulator).
+    pub fn i128(&mut self, v: i128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f64` as its IEEE-754 bit pattern — bit-exact, NaNs
+    /// and infinities included.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bounds-checked little-endian reader for payload decoders: every read
+/// can fail, so corrupt payloads surface as [`ShardError::Corrupt`]
+/// instead of panics.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ShardError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            // lint: allow(hot-path-alloc) corrupt-file error path, taken at most once per decode; the sweep_fold edge is a bare-call name collision on `take`
+            None => Err(ShardError::Corrupt(format!(
+                "truncated payload: need {n} bytes at offset {} of {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    /// Next `u8`.
+    pub fn u8(&mut self) -> Result<u8, ShardError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ShardError> {
+        // lint: allow(unwrap-in-lib) take(4) returned exactly 4 bytes
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ShardError> {
+        // lint: allow(unwrap-in-lib) take(8) returned exactly 8 bytes
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Next little-endian `i128`.
+    pub fn i128(&mut self) -> Result<i128, ShardError> {
+        // lint: allow(unwrap-in-lib) take(16) returned exactly 16 bytes
+        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Next `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, ShardError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Next length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, ShardError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ShardError::Corrupt("string field is not UTF-8".into()))
+    }
+
+    /// True when every byte has been consumed — decoders check this so
+    /// trailing garbage is rejected, not ignored.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Assemble a complete shard file image (header + checksums + payload).
+pub fn encode_shard(header: &ShardHeader, payload: &[u8]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u32(FORMAT_VERSION);
+    w.u64(header.config_hash);
+    w.u64(header.seed);
+    w.u32(header.shard_index);
+    w.u32(header.shard_count);
+    w.u64(header.pair_lo);
+    w.u64(header.pair_hi);
+    w.u8(header.kind.to_u8());
+    w.u64(payload.len() as u64);
+    w.u64(fnv1a_64(payload));
+    let header_fnv = fnv1a_64(&w.buf);
+    w.u64(header_fnv);
+    debug_assert_eq!(w.buf.len(), HEADER_LEN);
+    w.buf.extend_from_slice(payload);
+    w.into_bytes()
+}
+
+/// Parse and fully verify a shard file image; returns the header and
+/// the (checksum-verified) payload slice.
+pub fn decode_shard(bytes: &[u8]) -> Result<(ShardHeader, &[u8]), ShardError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(ShardError::Corrupt(format!(
+            "file is {} bytes, header alone is {HEADER_LEN}",
+            bytes.len()
+        )));
+    }
+    let mut r = ByteReader::new(&bytes[..HEADER_LEN]);
+    let magic = r.take(8)?;
+    if magic != MAGIC {
+        return Err(ShardError::Corrupt("bad magic (not a shard file)".into()));
+    }
+    let version = r.u32()?;
+    if version != FORMAT_VERSION {
+        return Err(ShardError::Corrupt(format!(
+            "format version {version}, this build reads {FORMAT_VERSION}"
+        )));
+    }
+    let config_hash = r.u64()?;
+    let seed = r.u64()?;
+    let shard_index = r.u32()?;
+    let shard_count = r.u32()?;
+    let pair_lo = r.u64()?;
+    let pair_hi = r.u64()?;
+    let kind = PayloadKind::from_u8(r.u8()?)?;
+    let payload_len = r.u64()?;
+    let payload_fnv = r.u64()?;
+    let header_fnv = r.u64()?;
+    let computed = fnv1a_64(&bytes[..HEADER_LEN - 8]);
+    if header_fnv != computed {
+        return Err(ShardError::Corrupt(format!(
+            "header checksum {header_fnv:#018x} != computed {computed:#018x}"
+        )));
+    }
+    if shard_count == 0 || shard_index >= shard_count {
+        return Err(ShardError::Corrupt(format!(
+            "shard index {shard_index} out of range 0..{shard_count}"
+        )));
+    }
+    if pair_lo > pair_hi {
+        return Err(ShardError::Corrupt(format!(
+            "pair range {pair_lo}..{pair_hi} is inverted"
+        )));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(ShardError::Corrupt(format!(
+            "payload is {} bytes, header says {payload_len}",
+            payload.len()
+        )));
+    }
+    let computed = fnv1a_64(payload);
+    if payload_fnv != computed {
+        return Err(ShardError::Corrupt(format!(
+            "payload checksum {payload_fnv:#018x} != computed {computed:#018x}"
+        )));
+    }
+    Ok((
+        ShardHeader {
+            config_hash,
+            seed,
+            shard_index,
+            shard_count,
+            pair_lo,
+            pair_hi,
+            kind,
+        },
+        payload,
+    ))
+}
+
+/// Write a shard file, returning the bytes spilled (also added to the
+/// `shard_spill_bytes` counter).
+pub fn write_shard(path: &Path, header: &ShardHeader, payload: &[u8]) -> Result<u64, ShardError> {
+    let bytes = encode_shard(header, payload);
+    std::fs::write(path, &bytes)
+        .map_err(|e| ShardError::Io(format!("write {}: {e}", path.display())))?;
+    crate::SHARD_SPILL_BYTES.add(bytes.len() as u64);
+    Ok(bytes.len() as u64)
+}
+
+/// Read and verify a shard file.
+pub fn read_shard(path: &Path) -> Result<(ShardHeader, Vec<u8>), ShardError> {
+    let bytes =
+        std::fs::read(path).map_err(|e| ShardError::Io(format!("read {}: {e}", path.display())))?;
+    let (header, payload) = decode_shard(&bytes)?;
+    Ok((header, payload.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> ShardHeader {
+        ShardHeader {
+            config_hash: 0xfeed_beef_dead_cafe,
+            seed: 42,
+            shard_index: 1,
+            shard_count: 4,
+            pair_lo: 250,
+            pair_hi: 500,
+            kind: PayloadKind::Latency,
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_header_and_payload() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let bytes = encode_shard(&header(), &payload);
+        let (h, p) = decode_shard(&bytes).unwrap();
+        assert_eq!(h, header());
+        assert_eq!(p, &payload[..]);
+    }
+
+    #[test]
+    fn every_single_byte_flip_in_header_is_rejected() {
+        let bytes = encode_shard(&header(), b"payload bytes");
+        for i in 0..HEADER_LEN {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x10;
+            assert!(decode_shard(&bad).is_err(), "flip at header byte {i}");
+        }
+    }
+
+    #[test]
+    fn payload_flips_and_truncations_are_rejected() {
+        let bytes = encode_shard(&header(), b"payload bytes");
+        for i in HEADER_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(decode_shard(&bad).is_err(), "flip at payload byte {i}");
+        }
+        for cut in [0, 1, HEADER_LEN - 1, HEADER_LEN, bytes.len() - 1] {
+            assert!(decode_shard(&bytes[..cut]).is_err(), "truncated to {cut}");
+        }
+    }
+
+    #[test]
+    fn reader_rejects_overruns_and_bad_utf8() {
+        let mut r = ByteReader::new(&[1, 2, 3]);
+        assert!(r.u64().is_err());
+        let mut w = ByteWriter::new();
+        w.u32(2);
+        w.u8(0xff);
+        w.u8(0xfe);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+}

@@ -54,6 +54,18 @@
 #    consecutive-instant TimeSweep step to beat the per-instant
 #    snapshot_bundle rebuild by >= 1.5x (committed BENCH_snapshot.json
 #    shows ~2.2x; same loose-floor rationale as the routing gate).
+# 11. Shard identity lane: bench-scale fig2 run unsharded and as 4
+#    spawned OS shard workers (spill + merge); stdout and the CSV must
+#    be byte-identical. This is the out-of-core contract — sharding is
+#    an execution strategy, never a result change.
+# 12. Shard-bench smoke: run benches/shard.rs and require the 4-shard
+#    merge (decode + validate + concatenate + sketch merges) to cost
+#    <= 5% of one unsharded latency fold (committed BENCH_shard.json
+#    shows ~0.3%; the loose ceiling is loud if the merge ever turns
+#    into a per-pair recompute).
+# 13. Million-pair smoke (opt-in: LEO_CI_MILLION_PAIRS=1, ~1 min):
+#    ext_million_pairs at full scale — 1,000,000 pairs over 4 workers,
+#    each asserted under a 512 MiB peak-RSS budget via its manifest.
 #
 # Usage: scripts/ci.sh   (from anywhere; cd's to the repo root)
 
@@ -126,7 +138,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps --offline
 
 echo "== telemetry schema: Tiny fig2 run under LEO_LOG=info =="
 log_dir=$(mktemp -d)
-trap 'rm -rf "$log_dir" "${paper_dir:-}"' EXIT
+trap 'rm -rf "$log_dir" "${paper_dir:-}" "${shard_a:-}" "${shard_b:-}" "${million_dir:-}"' EXIT
 LEO_LOG=info LEO_LOG_DIR="$log_dir" \
     cargo run -q --release --offline -p leo-bench --bin fig2_latency -- --scale tiny \
     > /dev/null
@@ -220,5 +232,48 @@ awk -F'"median_ns":' '
         }
     }
 ' "$log_dir/BENCH_snapshot.json"
+
+echo "== shard identity: bench-scale fig2, unsharded vs 4 spawned shards =="
+repo_root=$(pwd)
+shard_a=$(mktemp -d)
+shard_b=$(mktemp -d)
+(cd "$shard_a" && "$repo_root/target/release/fig2_latency" --scale bench > stdout.txt)
+(cd "$shard_b" && "$repo_root/target/release/fig2_latency" --scale bench \
+    --shards 4 --spawn > stdout.txt)
+if ! diff -q "$shard_a/stdout.txt" "$shard_b/stdout.txt" ||
+    ! diff -q "$shard_a/results/fig2_latency.csv" "$shard_b/results/fig2_latency.csv"; then
+    echo "ERROR: sharded fig2 output differs from the unsharded run" >&2
+    diff "$shard_a/stdout.txt" "$shard_b/stdout.txt" >&2 || true
+    exit 1
+fi
+echo "ok: stdout and CSV byte-identical across execution strategies"
+rm -rf "$shard_a" "$shard_b"
+
+echo "== shard bench smoke: merge must stay a tiny fraction of the fold =="
+LEO_LOG=off LEO_BENCH_DIR="$log_dir" \
+    cargo bench -q --offline -p leo-bench --bench shard > /dev/null
+awk -F'"median_ns":' '
+    /"bench":"latency_unsharded"/ { split($2, a, /[,}]/); fold = a[1] }
+    /"bench":"merge_4_shards"/    { split($2, a, /[,}]/); merge = a[1] }
+    END {
+        if (fold == "" || merge == "" || fold <= 0) {
+            print "ERROR: shard benches missing from BENCH_shard.json" > "/dev/stderr"
+            exit 1
+        }
+        ratio = merge / fold
+        printf "shard: fold %d ns vs 4-shard merge %d ns  (overhead %.4fx)\n", fold, merge, ratio
+        if (ratio > 0.05) {
+            printf "ERROR: merge overhead %.4fx above the 0.05x ceiling\n", ratio > "/dev/stderr"
+            exit 1
+        }
+    }
+' "$log_dir/BENCH_shard.json"
+
+if [ "${LEO_CI_MILLION_PAIRS:-0}" = "1" ]; then
+    echo "== million-pair smoke: 1M pairs, 4 workers, 512 MiB/worker budget =="
+    million_dir=$(mktemp -d)
+    (cd "$million_dir" && "$repo_root/target/release/ext_million_pairs")
+    rm -rf "$million_dir"
+fi
 
 echo "tier-1 verify passed"
